@@ -1,0 +1,229 @@
+//! Holtgrewe et al.'s *communicating* distributed 2D RGG generator (§3.2).
+//!
+//! Every PE draws `n/P` points uniformly in the unit square from its own
+//! stream, so nobody knows in advance where points land. Edges can only be
+//! generated once points are co-located with their grid cell, so the
+//! algorithm must (1) redistribute all points to the PE owning their cell
+//! stripe (communication volume Θ(n/P) per PE) and (2) exchange the border
+//! stripe of cells with the left and right neighbors. KaGen's Fig. 9
+//! baseline: correct, but communication-bound at scale.
+
+use kagen_graph::EdgeList;
+use kagen_runtime::comm::Communicator;
+use kagen_util::{derive_seed, Mt64, Rng64};
+use std::sync::atomic::Ordering;
+
+/// Result of a run: the merged graph plus the measured exchange volume.
+pub struct HoltgreweResult {
+    /// The generated graph (canonical undirected edge list).
+    pub graph: EdgeList,
+    /// Total bytes moved between PEs.
+    pub bytes_exchanged: u64,
+    /// Wall time of the parallel phase.
+    pub wall: std::time::Duration,
+}
+
+/// The communicating generator.
+pub struct HoltgreweRgg {
+    n: u64,
+    radius: f64,
+    pes: usize,
+    seed: u64,
+}
+
+#[derive(Clone, Copy)]
+struct P2 {
+    x: f64,
+    y: f64,
+    id: u64,
+}
+
+impl HoltgreweRgg {
+    /// `n` points, radius `radius`, on `pes` communicating PEs.
+    pub fn new(n: u64, radius: f64, pes: usize, seed: u64) -> Self {
+        assert!(pes >= 1);
+        assert!(radius > 0.0 && radius < 1.0);
+        HoltgreweRgg {
+            n,
+            radius,
+            pes,
+            seed,
+        }
+    }
+
+    /// Run the full point-generation + exchange + edge-generation pipeline
+    /// on real threads with channel communication.
+    pub fn run(&self) -> HoltgreweResult {
+        let p = self.pes;
+        let n = self.n;
+        let r = self.radius;
+        let seed = self.seed;
+        // Vertical stripes of cells; stripe i owns x ∈ [i/p, (i+1)/p).
+        let (endpoints, bytes) = Communicator::endpoints::<[f64; 3]>(p);
+        let start = std::time::Instant::now();
+
+        let per_pe: Vec<Vec<(u64, u64)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = endpoints
+                .into_iter()
+                .map(|mut ep| {
+                    scope.spawn(move || {
+                        let rank = ep.rank();
+                        let lo = n * rank as u64 / p as u64;
+                        let hi = n * (rank as u64 + 1) / p as u64;
+                        let mut rng = Mt64::new(derive_seed(seed, &[rank as u64]));
+                        // Phase 1: draw local points and bucket them by
+                        // owner stripe.
+                        let mut outgoing: Vec<Vec<[f64; 3]>> =
+                            (0..p).map(|_| Vec::new()).collect();
+                        for id in lo..hi {
+                            let x = rng.next_f64();
+                            let y = rng.next_f64();
+                            let owner = ((x * p as f64) as usize).min(p - 1);
+                            outgoing[owner].push([x, y, id as f64]);
+                        }
+                        // Phase 2: all-to-all redistribution.
+                        let incoming = ep.all_to_all(outgoing);
+                        let mut mine: Vec<P2> = incoming
+                            .into_iter()
+                            .flatten()
+                            .map(|[x, y, id]| P2 { x, y, id: id as u64 })
+                            .collect();
+                        // Phase 3: border exchange with stripe neighbors.
+                        let stripe_lo = rank as f64 / p as f64;
+                        let stripe_hi = (rank as f64 + 1.0) / p as f64;
+                        let mut border: Vec<Vec<[f64; 3]>> =
+                            (0..p).map(|_| Vec::new()).collect();
+                        for pt in &mine {
+                            if rank > 0 && pt.x < stripe_lo + r {
+                                border[rank - 1].push([pt.x, pt.y, pt.id as f64]);
+                            }
+                            if rank + 1 < p && pt.x >= stripe_hi - r {
+                                border[rank + 1].push([pt.x, pt.y, pt.id as f64]);
+                            }
+                        }
+                        let halo_in = ep.all_to_all(border);
+                        let halo: Vec<P2> = halo_in
+                            .into_iter()
+                            .flatten()
+                            .map(|[x, y, id]| P2 { x, y, id: id as u64 })
+                            .collect();
+                        // Phase 4: local cell-grid edge generation.
+                        let mut all = mine.clone();
+                        all.extend(halo.iter().copied());
+                        mine.sort_by_key(|q| q.id);
+                        local_edges(&mine, &all, r)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let wall = start.elapsed();
+        let graph = kagen_graph::merge_pe_edges(n, per_pe);
+        HoltgreweResult {
+            graph,
+            bytes_exchanged: bytes.load(Ordering::Relaxed),
+            wall,
+        }
+    }
+}
+
+/// Cell-grid comparison of `mine` (owned points) against `all`
+/// (owned + halo) — the sequential part of Holtgrewe's algorithm.
+fn local_edges(mine: &[P2], all: &[P2], r: f64) -> Vec<(u64, u64)> {
+    let g = ((1.0 / r) as u64).max(1);
+    let cell = |q: &P2| -> (u64, u64) {
+        (
+            ((q.x * g as f64) as u64).min(g - 1),
+            ((q.y * g as f64) as u64).min(g - 1),
+        )
+    };
+    use std::collections::HashMap;
+    let mut buckets: HashMap<(u64, u64), Vec<usize>> = HashMap::new();
+    for (i, q) in all.iter().enumerate() {
+        buckets.entry(cell(q)).or_default().push(i);
+    }
+    let owned: std::collections::HashSet<u64> = mine.iter().map(|q| q.id).collect();
+    let r2 = r * r;
+    let mut edges = Vec::new();
+    for q in mine {
+        let (cx, cy) = cell(q);
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                let nx = cx as i64 + dx;
+                let ny = cy as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= g as i64 || ny >= g as i64 {
+                    continue;
+                }
+                if let Some(ids) = buckets.get(&(nx as u64, ny as u64)) {
+                    for &k in ids {
+                        let o = &all[k];
+                        if o.id == q.id {
+                            continue;
+                        }
+                        let dx = q.x - o.x;
+                        let dy = q.y - o.y;
+                        if dx * dx + dy * dy <= r2 {
+                            // Emit once per local pair, always for halo.
+                            if !owned.contains(&o.id) || o.id > q.id {
+                                edges.push((q.id, o.id));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_brute_force_small() {
+        let gen = HoltgreweRgg::new(300, 0.08, 4, 3);
+        let result = gen.run();
+        // Reconstruct the point set exactly as the PEs drew it.
+        let mut pts = vec![(0.0, 0.0); 300];
+        for rank in 0..4u64 {
+            let lo = 300 * rank / 4;
+            let hi = 300 * (rank + 1) / 4;
+            let mut rng = Mt64::new(derive_seed(3, &[rank]));
+            for id in lo..hi {
+                let x = rng.next_f64();
+                let y = rng.next_f64();
+                pts[id as usize] = (x, y);
+            }
+        }
+        let mut expect = Vec::new();
+        for i in 0..300usize {
+            for j in (i + 1)..300 {
+                let dx = pts[i].0 - pts[j].0;
+                let dy = pts[i].1 - pts[j].1;
+                if dx * dx + dy * dy <= 0.08 * 0.08 {
+                    expect.push((i as u64, j as u64));
+                }
+            }
+        }
+        expect.sort_unstable();
+        assert_eq!(result.graph.edges, expect);
+    }
+
+    #[test]
+    fn communication_happens() {
+        let result = HoltgreweRgg::new(1000, 0.05, 4, 1).run();
+        assert!(
+            result.bytes_exchanged > 0,
+            "the whole point of this baseline is that it communicates"
+        );
+    }
+
+    #[test]
+    fn single_pe_no_comm() {
+        let result = HoltgreweRgg::new(200, 0.1, 1, 2).run();
+        assert_eq!(result.bytes_exchanged, 0);
+        assert!(!result.graph.edges.is_empty());
+    }
+}

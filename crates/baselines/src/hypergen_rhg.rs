@@ -1,0 +1,165 @@
+//! HyperGen-style streaming RHG (Penschuck \[24\]).
+//!
+//! The same request-centric sweep idea as sRHG, but with the event
+//! processing HyperGen's description predates in sRHG: requests live in a
+//! per-annulus *priority queue* ordered by expiry and are popped per node
+//! event, instead of sRHG's per-cell batch compaction over a flat
+//! structure-of-arrays state. Serves as the fourth series of Fig. 14 and
+//! as the ablation partner for the batch-processing optimization
+//! (§7.2.1).
+
+use kagen_core::rhg::common::RhgInstance;
+use kagen_geometry::hyperbolic::PrePoint;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Clone, Copy)]
+struct Req {
+    end: f64,
+    p: PrePoint,
+    ann: usize,
+}
+
+/// Ordered by expiry angle for the priority queue.
+#[derive(PartialEq)]
+struct ByEnd(f64, usize);
+impl Eq for ByEnd {}
+impl PartialOrd for ByEnd {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ByEnd {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+/// Generate the full edge list of the instance sequentially (HyperGen is a
+/// shared-memory generator; the Fig. 14 comparison runs all competitors on
+/// one machine). Returns canonical undirected edges.
+pub fn hypergen_edges(inst: &RhgInstance) -> Vec<(u64, u64)> {
+    let annuli = inst.num_annuli();
+    let cosh_r = inst.space.cosh_r;
+    let tau = std::f64::consts::TAU;
+    let mut edges: Vec<(u64, u64)> = Vec::new();
+
+    // All points, grouped and θ-sorted per annulus.
+    let bands: Vec<Vec<PrePoint>> = (0..annuli)
+        .map(|i| {
+            let mut v: Vec<PrePoint> = (0..inst.ann_cells[i])
+                .flat_map(|c| inst.cell_points(i, c))
+                .collect();
+            v.sort_by(|a, b| a.theta.total_cmp(&b.theta));
+            v
+        })
+        .collect();
+
+    // Requests into annulus j from every point of annulus i ≤ j, split at
+    // the 2π wrap.
+    for j in 0..annuli {
+        if bands[j].is_empty() {
+            continue;
+        }
+        let mut reqs: Vec<(f64, Req)> = Vec::new();
+        for (i, band) in bands.iter().enumerate().take(j + 1) {
+            let b = inst.space.bounds[j].max(1e-12);
+            for p in band {
+                let dt = inst.space.delta_theta(p.r, b);
+                let (lo, hi) = (p.theta - dt, p.theta + dt);
+                let req = Req {
+                    end: hi,
+                    p: *p,
+                    ann: i,
+                };
+                if 2.0 * dt >= tau {
+                    reqs.push((0.0, Req { end: tau, ..req }));
+                } else if lo < 0.0 {
+                    reqs.push((lo + tau, Req { end: tau, ..req }));
+                    reqs.push((0.0, Req { end: hi, ..req }));
+                } else if hi > tau {
+                    reqs.push((lo, Req { end: tau, ..req }));
+                    reqs.push((0.0, Req { end: hi - tau, ..req }));
+                } else {
+                    reqs.push((lo, req));
+                }
+            }
+        }
+        reqs.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        // Sweep: priority queue keyed by expiry; pop per node event.
+        let mut active: Vec<Req> = Vec::new();
+        let mut expiry: BinaryHeap<Reverse<ByEnd>> = BinaryHeap::new();
+        let mut alive: Vec<bool> = Vec::new();
+        let mut next = 0usize;
+        for v in &bands[j] {
+            while next < reqs.len() && reqs[next].0 <= v.theta {
+                let idx = active.len();
+                active.push(reqs[next].1);
+                alive.push(true);
+                expiry.push(Reverse(ByEnd(reqs[next].1.end, idx)));
+                next += 1;
+            }
+            while let Some(Reverse(ByEnd(end, idx))) = expiry.peek() {
+                if *end < v.theta {
+                    alive[*idx] = false;
+                    expiry.pop();
+                } else {
+                    break;
+                }
+            }
+            for (idx, r) in active.iter().enumerate() {
+                if !alive[idx] || r.end < v.theta {
+                    continue;
+                }
+                let u = &r.p;
+                if u.id == v.id {
+                    continue;
+                }
+                let emit = if r.ann < j { true } else { u.id < v.id };
+                if emit && u.is_adjacent(v, cosh_r) {
+                    edges.push((u.id.min(v.id), u.id.max(v.id)));
+                }
+            }
+            // Compact when mostly dead (keeps the scan linear without
+            // giving the baseline sRHG's batched state management).
+            if active.len() > 64 && alive.iter().filter(|&&a| a).count() * 2 < active.len() {
+                let mut new_active = Vec::with_capacity(active.len() / 2);
+                for (idx, r) in active.iter().enumerate() {
+                    if alive[idx] && r.end >= v.theta {
+                        new_active.push(*r);
+                    }
+                }
+                active = new_active;
+                alive = vec![true; active.len()];
+                expiry.clear();
+                for (idx, r) in active.iter().enumerate() {
+                    expiry.push(Reverse(ByEnd(r.end, idx)));
+                }
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kagen_core::{generate_undirected, Srhg};
+
+    #[test]
+    fn matches_srhg() {
+        let gen = Srhg::new(500, 8.0, 2.8).with_seed(5).with_chunks(4);
+        let srhg = generate_undirected(&gen);
+        let hg = hypergen_edges(&gen.instance());
+        assert_eq!(srhg.edges, hg);
+    }
+
+    #[test]
+    fn deterministic() {
+        let gen = Srhg::new(300, 6.0, 3.0).with_seed(2);
+        assert_eq!(hypergen_edges(&gen.instance()), hypergen_edges(&gen.instance()));
+    }
+}

@@ -1,0 +1,113 @@
+//! Criterion benches: one group per generator family, sized for quick
+//! regression tracking (the paper-scale experiments live in the
+//! `experiments` binary).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kagen_core::prelude::*;
+
+fn bench_er(c: &mut Criterion) {
+    let mut g = c.benchmark_group("er");
+    g.sample_size(20);
+    g.bench_function("gnm_directed/2^16", |b| {
+        let gen = GnmDirected::new(1 << 12, 1 << 16).with_seed(1).with_chunks(4);
+        b.iter(|| black_box(generate_parallel(&gen, 4).len()))
+    });
+    g.bench_function("gnm_undirected/2^16", |b| {
+        let gen = GnmUndirected::new(1 << 12, 1 << 16).with_seed(1).with_chunks(4);
+        b.iter(|| black_box(generate_parallel(&gen, 4).len()))
+    });
+    g.bench_function("gnp_directed/2^16", |b| {
+        let gen = GnpDirected::new(1 << 12, 1.0 / 256.0).with_seed(1).with_chunks(4);
+        b.iter(|| black_box(generate_parallel(&gen, 4).len()))
+    });
+    g.finish();
+}
+
+fn bench_spatial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spatial");
+    g.sample_size(10);
+    g.bench_function("rgg2d/2^14", |b| {
+        let n = 1 << 14;
+        let gen = Rgg2d::new(n, Rgg2d::threshold_radius(n, 4)).with_seed(1).with_chunks(4);
+        b.iter(|| black_box(generate_parallel(&gen, 4).len()))
+    });
+    g.bench_function("rgg3d/2^13", |b| {
+        let n = 1 << 13;
+        let gen = Rgg3d::new(n, Rgg3d::threshold_radius(n, 8)).with_seed(1).with_chunks(8);
+        b.iter(|| black_box(generate_parallel(&gen, 4).len()))
+    });
+    g.bench_function("rdg2d/2^12", |b| {
+        let gen = Rdg2d::new(1 << 12).with_seed(1).with_chunks(4);
+        b.iter(|| black_box(generate_parallel(&gen, 4).len()))
+    });
+    g.bench_function("rdg3d/2^10", |b| {
+        let gen = Rdg3d::new(1 << 10).with_seed(1).with_chunks(8);
+        b.iter(|| black_box(generate_parallel(&gen, 4).len()))
+    });
+    g.finish();
+}
+
+fn bench_hyperbolic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hyperbolic");
+    g.sample_size(10);
+    g.bench_function("rhg/2^12", |b| {
+        let gen = Rhg::new(1 << 12, 16.0, 3.0).with_seed(1).with_chunks(4);
+        b.iter(|| black_box(generate_parallel(&gen, 4).len()))
+    });
+    g.bench_function("srhg/2^12", |b| {
+        let gen = Srhg::new(1 << 12, 16.0, 3.0).with_seed(1).with_chunks(4);
+        b.iter(|| black_box(generate_parallel(&gen, 4).len()))
+    });
+    g.bench_function("soft_rhg/2^12_T0.5", |b| {
+        let gen = SoftRhg::new(1 << 12, 16.0, 3.0, 0.5).with_seed(1).with_chunks(4);
+        b.iter(|| black_box(generate_parallel(&gen, 4).len()))
+    });
+    g.finish();
+}
+
+fn bench_gpgpu(c: &mut Criterion) {
+    use kagen_gpgpu::{exclusive_scan, Device, GpuGnmDirected, GpuRgg2d};
+    let mut g = c.benchmark_group("gpgpu-sim");
+    g.sample_size(10);
+    g.bench_function("device_scan/2^16", |b| {
+        let dev = Device::default();
+        let xs: Vec<u64> = (0..1u64 << 16).map(|i| i % 17).collect();
+        b.iter(|| black_box(exclusive_scan(&dev, &xs).1))
+    });
+    g.bench_function("gpu_gnm/2^16_edges", |b| {
+        let dev = Device::default();
+        let gen = GpuGnmDirected::new(1 << 12, 1 << 16).with_seed(1);
+        b.iter(|| black_box(gen.generate(&dev).len()))
+    });
+    g.bench_function("gpu_rgg2d/2^12", |b| {
+        let dev = Device::default();
+        let n = 1u64 << 12;
+        let gen = GpuRgg2d::new(n, 0.02).with_seed(1);
+        b.iter(|| black_box(gen.generate(&dev).len()))
+    });
+    g.finish();
+}
+
+fn bench_misc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("misc");
+    g.sample_size(20);
+    g.bench_function("ba/2^14_edges", |b| {
+        let gen = BarabasiAlbert::new(1 << 12, 4).with_seed(1).with_chunks(4);
+        b.iter(|| black_box(generate_parallel(&gen, 4).len()))
+    });
+    g.bench_function("rmat/2^16_edges", |b| {
+        let gen = Rmat::new(12, 1 << 16).with_seed(1).with_chunks(4);
+        b.iter(|| black_box(generate_parallel(&gen, 4).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_er,
+    bench_spatial,
+    bench_hyperbolic,
+    bench_misc,
+    bench_gpgpu
+);
+criterion_main!(benches);

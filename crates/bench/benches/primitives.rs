@@ -1,0 +1,70 @@
+//! Criterion microbenches for the pseudorandomization primitives — the
+//! per-variate costs that the paper's O(·) analyses charge as constants.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kagen_dist::{binomial, hypergeometric};
+use kagen_sampling::vitter::sample_sorted;
+use kagen_util::{derive_seed, Mt64, Rng64, SplitMix64};
+
+fn bench_hash(c: &mut Criterion) {
+    c.bench_function("spooky/derive_seed_3words", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(derive_seed(42, &[1, i, 3]))
+        })
+    });
+}
+
+fn bench_prng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prng");
+    g.bench_function("mt19937_64/next_u64", |b| {
+        let mut rng = Mt64::new(1);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+    g.bench_function("mt19937_64/init", |b| {
+        let mut s = 0u64;
+        b.iter(|| {
+            s += 1;
+            black_box(Mt64::new(s).next_u64())
+        })
+    });
+    g.bench_function("splitmix64/next_u64", |b| {
+        let mut rng = SplitMix64::new(1);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+    g.finish();
+}
+
+fn bench_variates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("variates");
+    g.bench_function("binomial/btpe_large", |b| {
+        let mut rng = Mt64::new(2);
+        b.iter(|| black_box(binomial(&mut rng, 1 << 30, 0.3)))
+    });
+    g.bench_function("binomial/binv_small", |b| {
+        let mut rng = Mt64::new(3);
+        b.iter(|| black_box(binomial(&mut rng, 1000, 0.01)))
+    });
+    g.bench_function("hypergeometric/hrua_large", |b| {
+        let mut rng = Mt64::new(4);
+        b.iter(|| black_box(hypergeometric(&mut rng, 1 << 40, 1 << 39, 1 << 20)))
+    });
+    g.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sampling");
+    g.bench_function("vitter_d/1k_of_1G", |b| {
+        let mut rng = Mt64::new(5);
+        b.iter(|| {
+            let mut sum = 0u64;
+            sample_sorted(&mut rng, 1 << 30, 1000, &mut |x| sum += x);
+            black_box(sum)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hash, bench_prng, bench_variates, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Shared measurement helpers for the experiment harness.
+
+use kagen_core::Generator;
+use kagen_runtime::scaling::PeTiming;
+use std::time::{Duration, Instant};
+
+pub use kagen_runtime::scaling::format_table;
+
+/// One emulated run of a generator: per-PE busy times (executed on all
+/// available cores), emulated parallel time = max over PEs, and the total
+/// number of emitted edges.
+pub struct RunStats {
+    /// Emulated parallel time (slowest PE).
+    pub time: Duration,
+    /// Sum of per-PE busy times.
+    pub work: Duration,
+    /// Load imbalance max/mean.
+    pub imbalance: f64,
+    /// Edges emitted across PEs (with cross-PE redundancy for undirected
+    /// generators).
+    pub edges: u64,
+}
+
+/// Execute all PEs of `gen`, timing each.
+///
+/// PEs are executed on a *single* worker so the per-PE busy times are free
+/// of memory-bandwidth and SMT interference; the emulated parallel time
+/// `max_i t_i` is then exactly what ≥P dedicated cores would achieve (the
+/// generators are communication-free, so there is nothing else to model).
+pub fn run_generator<G: Generator>(gen: &G) -> RunStats {
+    let results = kagen_runtime::run_chunks_timed(gen.num_chunks(), 1, |pe| {
+        gen.generate_pe(pe).edges.len() as u64
+    });
+    let timing = PeTiming::new(results.iter().map(|(_, d)| *d).collect());
+    RunStats {
+        time: timing.max_time(),
+        work: timing.total_work(),
+        imbalance: timing.imbalance(),
+        edges: results.iter().map(|(e, _)| *e).sum(),
+    }
+}
+
+/// Time a closure once (for sequential baselines).
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Milliseconds with 2 decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Million edges per second.
+pub fn meps(edges: u64, d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s == 0.0 {
+        "inf".into()
+    } else {
+        format!("{:.1}", edges as f64 / s / 1e6)
+    }
+}
+
+/// A paper-vs-measured block: the free-text expectation from the paper and
+/// the measured table.
+pub fn report(id: &str, title: &str, expectation: &str, table: String) -> String {
+    format!("## {id} — {title}\n\n*Paper expectation:* {expectation}\n\n{table}")
+}

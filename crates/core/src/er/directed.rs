@@ -1,0 +1,337 @@
+//! Directed G(n,m) and G(n,p) (§4.1, §4.3).
+
+use super::directed_index_to_edge;
+use crate::{Generator, PeGraph};
+use kagen_dist::binomial;
+use kagen_sampling::vitter::sample_sorted;
+use kagen_sampling::DistributedSampler;
+use kagen_util::seed::stream;
+use kagen_util::{derive_seed, Mt64};
+
+/// Pick the leaf-block count for an edge universe: a granularity derived
+/// from the instance parameters alone (never from the PE count, see
+/// DESIGN.md), coarse enough that per-block PRNG setup amortizes
+/// (≥ ~256 expected samples per block — fine enough that up to ~2^10 PEs
+/// stay load-balanced on small instances) and fine enough that leaves
+/// stay in the f64-exact sampling regime.
+pub(crate) fn er_blocks(universe: u128, expected_samples: u64) -> u64 {
+    let mut blocks: u64 = 1;
+    while (blocks as u128) * 2 <= universe
+        && blocks < (1 << 20)
+        && expected_samples / (2 * blocks) >= 256
+    {
+        blocks *= 2;
+    }
+    while universe / (blocks as u128) > (1u128 << 44) && (blocks as u128) * 2 <= universe {
+        blocks *= 2;
+    }
+    blocks
+}
+
+/// Assign PE `pe` of `chunks` its contiguous block range.
+pub(crate) fn pe_block_range(blocks: u64, chunks: usize, pe: usize) -> (u64, u64) {
+    let chunks = chunks as u64;
+    let pe = pe as u64;
+    (blocks * pe / chunks, blocks * (pe + 1) / chunks)
+}
+
+/// Directed Erdős–Rényi G(n,m): a uniform graph with exactly `m` distinct
+/// directed edges and no self-loops (§4.1).
+#[derive(Clone, Debug)]
+pub struct GnmDirected {
+    n: u64,
+    m: u64,
+    seed: u64,
+    chunks: usize,
+}
+
+impl GnmDirected {
+    /// New instance with `n` vertices and `m` edges.
+    ///
+    /// Panics if `m` exceeds the universe `n(n−1)`.
+    pub fn new(n: u64, m: u64) -> Self {
+        let universe = (n as u128) * (n as u128).saturating_sub(1);
+        assert!(
+            (m as u128) <= universe,
+            "m={m} exceeds the directed universe n(n-1)={universe}"
+        );
+        GnmDirected {
+            n,
+            m,
+            seed: 1,
+            chunks: 64,
+        }
+    }
+
+    /// Set the instance seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the number of logical PEs.
+    pub fn with_chunks(mut self, chunks: usize) -> Self {
+        assert!(chunks >= 1);
+        self.chunks = chunks;
+        self
+    }
+
+    /// The instance's divide-and-conquer sampler (`None` when the edge
+    /// universe is empty). Exposed so accelerator backends can run the
+    /// §4.3.1 split: count recursion on the host, leaf sampling on the
+    /// device, against the *same* decomposition.
+    pub fn sampler(&self) -> Option<DistributedSampler> {
+        let universe = (self.n as u128) * (self.n as u128).saturating_sub(1);
+        if universe == 0 {
+            return None;
+        }
+        Some(DistributedSampler::new(
+            universe,
+            self.m,
+            er_blocks(universe, self.m),
+            derive_seed(self.seed, &[stream::MISC, 0x6d64]), // "md" = gnm directed
+        ))
+    }
+}
+
+impl Generator for GnmDirected {
+    fn num_vertices(&self) -> u64 {
+        self.n
+    }
+
+    fn num_chunks(&self) -> usize {
+        self.chunks
+    }
+
+    fn directed(&self) -> bool {
+        true
+    }
+
+    fn generate_pe(&self, pe: usize) -> PeGraph {
+        let mut out = PeGraph {
+            pe,
+            ..PeGraph::default()
+        };
+        self.stream_edges(pe, &mut |u, v| out.edges.push((u, v)));
+        if let Some(sampler) = self.sampler() {
+            let (lo, hi) = pe_block_range(sampler.blocks(), self.chunks, pe);
+            let n = self.n;
+            if lo < hi {
+                out.vertex_begin = (sampler.block_range(lo).0 / (n as u128 - 1)) as u64;
+                out.vertex_end =
+                    ((sampler.block_range(hi - 1).1 - 1) / (n as u128 - 1) + 1) as u64;
+            }
+        }
+        out
+    }
+}
+
+impl GnmDirected {
+    /// Emit PE `pe`'s edges without materializing them (§9 streaming).
+    pub(crate) fn stream_edges(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
+        let Some(sampler) = self.sampler() else {
+            return;
+        };
+        let (lo, hi) = pe_block_range(sampler.blocks(), self.chunks, pe);
+        let n = self.n;
+        sampler.sample_range(lo, hi, &mut |idx| {
+            let (u, v) = directed_index_to_edge(n, idx);
+            emit(u, v);
+        });
+    }
+}
+
+/// Directed Gilbert G(n,p): every ordered pair sampled independently with
+/// probability `p` (§4.3 — per-chunk binomial counts, then leaf sampling).
+#[derive(Clone, Debug)]
+pub struct GnpDirected {
+    n: u64,
+    p: f64,
+    seed: u64,
+    chunks: usize,
+}
+
+impl GnpDirected {
+    /// New instance with `n` vertices and edge probability `p`.
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+        GnpDirected {
+            n,
+            p,
+            seed: 1,
+            chunks: 64,
+        }
+    }
+
+    /// Set the instance seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the number of logical PEs.
+    pub fn with_chunks(mut self, chunks: usize) -> Self {
+        assert!(chunks >= 1);
+        self.chunks = chunks;
+        self
+    }
+}
+
+impl Generator for GnpDirected {
+    fn num_vertices(&self) -> u64 {
+        self.n
+    }
+
+    fn num_chunks(&self) -> usize {
+        self.chunks
+    }
+
+    fn directed(&self) -> bool {
+        true
+    }
+
+    fn generate_pe(&self, pe: usize) -> PeGraph {
+        let mut out = PeGraph {
+            pe,
+            ..PeGraph::default()
+        };
+        self.stream_edges(pe, &mut |u, v| out.edges.push((u, v)));
+        out
+    }
+}
+
+impl GnpDirected {
+    /// Emit PE `pe`'s edges without materializing them (§9 streaming).
+    pub(crate) fn stream_edges(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
+        let universe = (self.n as u128) * (self.n as u128).saturating_sub(1);
+        if universe == 0 || self.p == 0.0 {
+            return;
+        }
+        let expected = ((universe as f64) * self.p) as u64;
+        let blocks = er_blocks(universe, expected.max(1));
+        let (lo, hi) = pe_block_range(blocks, self.chunks, pe);
+        let n = self.n;
+        for b in lo..hi {
+            // The per-chunk edge count is "predetermined": a binomial over
+            // the chunk universe, seeded by the chunk id (§4.3).
+            let start = universe * b as u128 / blocks as u128;
+            let end = universe * (b + 1) as u128 / blocks as u128;
+            let len = end - start;
+            let mut count_rng = Mt64::new(derive_seed(self.seed, &[stream::COUNT, b]));
+            let count = binomial(&mut count_rng, len, self.p);
+            let mut sample_rng = Mt64::new(derive_seed(self.seed, &[stream::SAMPLE, b]));
+            sample_sorted(&mut sample_rng, len as u64, count, &mut |i| {
+                let (u, v) = directed_index_to_edge(n, start + i as u128);
+                emit(u, v);
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate_directed;
+
+    #[test]
+    fn gnm_exact_edge_count_no_dupes() {
+        let gen = GnmDirected::new(200, 4000).with_seed(3).with_chunks(8);
+        let el = generate_directed(&gen);
+        assert_eq!(el.edges.len(), 4000);
+        let mut sorted = el.edges.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4000, "duplicate edges");
+        assert!(!el.has_self_loops());
+        assert!(!el.has_out_of_range());
+    }
+
+    #[test]
+    fn gnm_chunk_invariance() {
+        // Same instance regardless of the PE count.
+        let base = generate_directed(&GnmDirected::new(100, 1500).with_seed(7).with_chunks(1));
+        for chunks in [2usize, 3, 16, 64] {
+            let other = generate_directed(
+                &GnmDirected::new(100, 1500).with_seed(7).with_chunks(chunks),
+            );
+            assert_eq!(base, other, "chunks={chunks}");
+        }
+    }
+
+    #[test]
+    fn gnm_full_universe() {
+        let n = 20u64;
+        let m = n * (n - 1);
+        let el = generate_directed(&GnmDirected::new(n, m).with_seed(1));
+        assert_eq!(el.edges.len() as u64, m);
+    }
+
+    #[test]
+    fn gnm_uniformity_over_pairs() {
+        // Each ordered pair appears with probability m/(n(n-1)).
+        let n = 12u64;
+        let m = 30u64;
+        let reps = 4000;
+        let mut counts = std::collections::HashMap::new();
+        for seed in 0..reps {
+            let el = generate_directed(&GnmDirected::new(n, m).with_seed(seed));
+            for e in el.edges {
+                *counts.entry(e).or_insert(0u32) += 1;
+            }
+        }
+        let expect = reps as f64 * m as f64 / (n * (n - 1)) as f64;
+        let sd = (expect * (1.0 - m as f64 / (n * (n - 1)) as f64)).sqrt();
+        for (e, c) in counts {
+            assert!(
+                (c as f64 - expect).abs() < 6.0 * sd,
+                "pair {e:?}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn gnp_mean_edge_count() {
+        let n = 300u64;
+        let p = 0.01;
+        let mut total = 0usize;
+        let reps = 40;
+        for seed in 0..reps {
+            let el = generate_directed(&GnpDirected::new(n, p).with_seed(seed));
+            assert!(!el.has_self_loops());
+            let mut edges = el.edges.clone();
+            edges.dedup();
+            assert_eq!(edges.len(), el.edges.len(), "duplicates");
+            total += el.edges.len();
+        }
+        let mean = total as f64 / reps as f64;
+        let expect = (n * (n - 1)) as f64 * p;
+        assert!(
+            (mean - expect).abs() / expect < 0.05,
+            "mean {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn gnp_chunk_invariance() {
+        let a = generate_directed(&GnpDirected::new(150, 0.05).with_seed(9).with_chunks(1));
+        let b = generate_directed(&GnpDirected::new(150, 0.05).with_seed(9).with_chunks(13));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let el = generate_directed(&GnmDirected::new(1, 0).with_seed(1));
+        assert_eq!(el.edges.len(), 0);
+        let el = generate_directed(&GnpDirected::new(1, 0.5).with_seed(1));
+        assert_eq!(el.edges.len(), 0);
+        let el = generate_directed(&GnmDirected::new(5, 0).with_seed(1));
+        assert_eq!(el.edges.len(), 0);
+    }
+
+    #[test]
+    fn more_chunks_than_blocks_is_safe() {
+        // Tiny universe, many PEs: trailing PEs own empty block ranges.
+        let gen = GnmDirected::new(6, 10).with_seed(2).with_chunks(512);
+        let el = generate_directed(&gen);
+        assert_eq!(el.edges.len(), 10);
+    }
+}

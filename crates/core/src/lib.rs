@@ -1,0 +1,109 @@
+//! # kagen-core
+//!
+//! The paper's contribution: communication-free distributed graph
+//! generators.
+//!
+//! Every generator implements [`Generator`]: the instance is fully defined
+//! by its parameters plus a seed, and [`Generator::generate_pe`] produces
+//! the part of that one instance belonging to logical PE `pe` — all edges
+//! incident to the PE's local vertices — as a pure function. PEs never
+//! communicate; overlap regions are recomputed deterministically through
+//! seed derivation (see `kagen-util::seed`).
+//!
+//! | Model | Type | Paper section |
+//! |-------|------|---------------|
+//! | [`GnmDirected`], [`GnmUndirected`] | Erdős–Rényi G(n,m) | §4.1, §4.2 |
+//! | [`GnpDirected`], [`GnpUndirected`] | Gilbert G(n,p) | §4.3 |
+//! | [`Rgg2d`], [`Rgg3d`] | random geometric | §5 |
+//! | [`Rdg2d`], [`Rdg3d`] | random Delaunay (torus) | §6 |
+//! | [`Rhg`] | random hyperbolic, in-memory | §7.1 |
+//! | [`Srhg`] | random hyperbolic, streaming | §7.2 |
+//! | [`SoftRhg`] | binomial/probabilistic hyperbolic | §9 (future work) |
+//! | [`BarabasiAlbert`] | preferential attachment | §3.5.1 |
+//! | [`Rmat`] | recursive matrix (baseline) | §3.5.2 |
+
+pub mod ba;
+pub mod er;
+pub mod rdg;
+pub mod rgg;
+pub mod rhg;
+pub mod rmat;
+pub mod sbm;
+pub mod srhg;
+pub mod streaming;
+
+use kagen_graph::EdgeList;
+
+/// Per-PE output: the subgraph a single processing element generates.
+#[derive(Clone, Debug, Default)]
+pub struct PeGraph {
+    /// The PE index this output belongs to.
+    pub pe: usize,
+    /// Local vertex id range `[vertex_begin, vertex_end)` for generators
+    /// with contiguous ownership; spatial generators list ids in `coords*`.
+    pub vertex_begin: u64,
+    /// End of the local vertex range (exclusive).
+    pub vertex_end: u64,
+    /// All edges incident to local vertices (directed generators: exactly
+    /// the locally-owned edges; undirected: cross-PE edges appear on both
+    /// owning PEs and deduplicate on merge).
+    pub edges: Vec<(u64, u64)>,
+    /// 2D coordinates of local vertices (spatial generators).
+    pub coords2: Vec<(u64, [f64; 2])>,
+    /// 3D coordinates of local vertices (spatial generators).
+    pub coords3: Vec<(u64, [f64; 3])>,
+}
+
+/// A communication-free graph generator.
+pub trait Generator: Sync {
+    /// Total number of vertices of the instance.
+    fn num_vertices(&self) -> u64;
+    /// Number of logical PEs (chunks) the instance is divided into.
+    fn num_chunks(&self) -> usize;
+    /// Whether emitted edges are directed.
+    fn directed(&self) -> bool;
+    /// Generate PE `pe`'s part of the instance. Pure function of
+    /// `(parameters, seed, pe)`.
+    fn generate_pe(&self, pe: usize) -> PeGraph;
+}
+
+/// Run all PEs of a generator on `threads` worker threads.
+pub fn generate_parallel<G: Generator>(gen: &G, threads: usize) -> Vec<PeGraph> {
+    kagen_runtime::run_chunks(gen.num_chunks(), threads, |pe| gen.generate_pe(pe))
+}
+
+/// Generate and merge an undirected instance into canonical form
+/// (cross-PE duplicates removed).
+pub fn generate_undirected<G: Generator>(gen: &G) -> EdgeList {
+    assert!(!gen.directed());
+    let parts = generate_parallel(gen, 0);
+    kagen_graph::merge_pe_edges(gen.num_vertices(), parts.into_iter().map(|p| p.edges))
+}
+
+/// Generate and merge a directed instance (edges concatenated and sorted;
+/// PEs own disjoint edge sets so no deduplication is involved).
+pub fn generate_directed<G: Generator>(gen: &G) -> EdgeList {
+    assert!(gen.directed());
+    let parts = generate_parallel(gen, 0);
+    let mut edges: Vec<(u64, u64)> = parts.into_iter().flat_map(|p| p.edges).collect();
+    edges.sort_unstable();
+    EdgeList::new(gen.num_vertices(), edges)
+}
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::ba::BarabasiAlbert;
+    pub use crate::er::{GnmDirected, GnmUndirected, GnpDirected, GnpUndirected};
+    pub use crate::rdg::{Rdg2d, Rdg3d};
+    pub use crate::rgg::{Rgg2d, Rgg3d};
+    pub use crate::rhg::{Rhg, SoftRhg};
+    pub use crate::rmat::Rmat;
+    pub use crate::sbm::StochasticBlockModel;
+    pub use crate::srhg::Srhg;
+    pub use crate::streaming::StreamingGenerator;
+    pub use crate::{
+        generate_directed, generate_parallel, generate_undirected, Generator, PeGraph,
+    };
+}
+
+pub use prelude::*;

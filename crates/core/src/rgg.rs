@@ -1,0 +1,401 @@
+//! Random geometric graphs in 2D and 3D (§5).
+//!
+//! `n` points uniform in `[0,1)^d`; vertices are adjacent iff their
+//! Euclidean distance is at most `r`. The grid of cells with side
+//! `max(r, n^{-1/d})` restricts candidate pairs to the 3^d neighborhood.
+//!
+//! Distribution: cells are ordered by Morton rank and grouped into
+//! `2^(d·b)` chunks (aligned Morton ranges — i.e. sub-squares/cubes of
+//! cells, assigned Z-order as in §5.1). A PE generates its own cells plus
+//! the one-cell-deep *halo* around its chunk by recomputation; no
+//! communication, and the recomputed points are bit-identical to their
+//! owners' copies because the per-cell PRNG is seeded by the cell id.
+//!
+//! Vertex ids are global Morton-prefix sums over cell counts, derivable by
+//! any PE in O(levels) per cell via the count tree.
+
+use crate::{Generator, PeGraph};
+use kagen_geometry::cell_points::cell_points;
+use kagen_geometry::grid::levels_for_min_side;
+use kagen_geometry::{CellGrid, CountTree, Point};
+use std::collections::BTreeMap;
+
+/// Shared implementation for both dimensions.
+#[derive(Clone, Debug)]
+pub struct Rgg<const D: usize> {
+    n: u64,
+    radius: f64,
+    seed: u64,
+    chunk_levels: u32,
+}
+
+/// 2D random geometric graph.
+pub type Rgg2d = Rgg<2>;
+/// 3D random geometric graph.
+pub type Rgg3d = Rgg<3>;
+
+impl<const D: usize> Rgg<D> {
+    /// `n` points, connection radius `radius`.
+    pub fn new(n: u64, radius: f64) -> Self {
+        assert!(D == 2 || D == 3);
+        assert!(n >= 1);
+        assert!(radius > 0.0 && radius < 1.0, "radius must be in (0,1)");
+        Rgg {
+            n,
+            radius,
+            seed: 1,
+            chunk_levels: 2, // 2^(2·2)=16 chunks in 2D, 64 in 3D
+        }
+    }
+
+    /// The usual connectivity-threshold radius
+    /// `0.55 · (ln n / n)^{1/d} / P^{1/d}` scaled for `pes` (§8.4).
+    pub fn threshold_radius(n: u64, pes: u64) -> f64 {
+        let nf = (n as f64).max(2.0);
+        0.55 * (nf.ln() / nf).powf(1.0 / D as f64) / (pes as f64).powf(1.0 / D as f64)
+    }
+
+    /// Set the instance seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Request ~`chunks` logical PEs; rounded to the next power of `2^d`
+    /// and capped so every chunk contains at least one cell.
+    pub fn with_chunks(mut self, chunks: usize) -> Self {
+        assert!(chunks >= 1);
+        let mut b = 0u32;
+        while (1usize << (D as u32 * (b + 1))) <= chunks {
+            b += 1;
+        }
+        self.chunk_levels = b;
+        self
+    }
+
+    /// The cell grid: side `max(r, n^{-1/d})`, snapped to powers of two,
+    /// at least as deep as the chunk refinement.
+    fn grid(&self) -> CellGrid<D> {
+        let natural = (self.n as f64).powf(-1.0 / D as f64);
+        let min_side = self.radius.max(natural);
+        let max_levels: u32 = if D == 2 { 24 } else { 16 };
+        let levels = levels_for_min_side(min_side, max_levels);
+        CellGrid::new(levels.max(self.effective_chunk_levels(levels)))
+    }
+
+    /// Chunk refinement cannot exceed grid refinement (a chunk must be a
+    /// whole number of cells).
+    fn effective_chunk_levels(&self, grid_levels: u32) -> u32 {
+        self.chunk_levels.min(grid_levels)
+    }
+
+    fn count_tree(&self) -> (CellGrid<D>, CountTree<D>, u32) {
+        let grid = self.grid();
+        let tree = CountTree::<D>::new(self.seed, self.n, grid.levels());
+        let b = self.effective_chunk_levels(grid.levels());
+        (grid, tree, b)
+    }
+
+    /// The instance's cell grid and per-cell count tree. Exposed so
+    /// accelerator backends (see `kagen-gpgpu`) generate against the exact
+    /// same decomposition — the §5.3 GPU pipeline computes "seeds and
+    /// vertex numbers for the cells [...] on the CPU" and must agree with
+    /// the CPU generator bit-for-bit.
+    pub fn instance_grid(&self) -> (CellGrid<D>, CountTree<D>) {
+        let (grid, tree, _) = self.count_tree();
+        (grid, tree)
+    }
+
+    /// The instance seed (for per-cell point regeneration).
+    pub fn instance_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Generate one cell (points + global id of its first vertex).
+    fn cell_content(
+        &self,
+        grid: &CellGrid<D>,
+        tree: &CountTree<D>,
+        morton: u64,
+    ) -> (u64, Vec<Point<D>>) {
+        let count = tree.leaf_count(morton);
+        let first_id = tree.prefix_before(morton);
+        let mut pts = Vec::new();
+        cell_points(grid, self.seed, morton, count, &mut pts);
+        (first_id, pts)
+    }
+}
+
+impl<const D: usize> Generator for Rgg<D> {
+    fn num_vertices(&self) -> u64 {
+        self.n
+    }
+
+    fn num_chunks(&self) -> usize {
+        let grid = self.grid();
+        1usize << (D as u32 * self.effective_chunk_levels(grid.levels()))
+    }
+
+    fn directed(&self) -> bool {
+        false
+    }
+
+    fn generate_pe(&self, pe: usize) -> PeGraph {
+        let (grid, tree, b) = self.count_tree();
+        let cells_per_chunk_bits = D as u32 * (grid.levels() - b);
+        let lo = (pe as u64) << cells_per_chunk_bits;
+        let hi = (pe as u64 + 1) << cells_per_chunk_bits;
+
+        let mut out = PeGraph {
+            pe,
+            ..PeGraph::default()
+        };
+
+        // 1. Generate local cells with ids from a running Morton prefix.
+        let mut local: BTreeMap<u64, (u64, Vec<Point<D>>)> = BTreeMap::new();
+        let mut next_id = tree.prefix_before(lo);
+        out.vertex_begin = next_id;
+        {
+            let mut counts: Vec<(u64, u64)> = Vec::new();
+            tree.for_leaf_counts(lo, hi, &mut |cell, c| counts.push((cell, c)));
+            for (cell, c) in counts {
+                let mut pts = Vec::new();
+                cell_points(&grid, self.seed, cell, c, &mut pts);
+                local.insert(cell, (next_id, pts));
+                next_id += c;
+            }
+        }
+        out.vertex_end = next_id;
+
+        // Record coordinates of local vertices.
+        for (&_cell, (first, pts)) in &local {
+            for (k, p) in pts.iter().enumerate() {
+                let id = first + k as u64;
+                match D {
+                    2 => out.coords2.push((id, [p.0[0], p.0[1]])),
+                    3 => out.coords3.push((id, [p.0[0], p.0[1], p.0[2]])),
+                    _ => unreachable!(),
+                }
+            }
+        }
+
+        // 2. Halo cells: all out-of-chunk neighbors of local cells,
+        //    recomputed deterministically.
+        let mut halo: BTreeMap<u64, (u64, Vec<Point<D>>)> = BTreeMap::new();
+        for &cell in local.keys() {
+            let coords = grid.coords_of(cell);
+            grid.for_neighbors(coords, false, &mut |ncoords, _| {
+                let ncell = grid.morton_of(ncoords);
+                if !(lo..hi).contains(&ncell) && !halo.contains_key(&ncell) {
+                    halo.insert(ncell, self.cell_content(&grid, &tree, ncell));
+                }
+            });
+        }
+
+        // 3. Edges: compare each local cell with its 3^d neighborhood.
+        let r2 = self.radius * self.radius;
+        let emit =
+            |a_id: u64, a: &Point<D>, b_id: u64, b: &Point<D>, edges: &mut Vec<(u64, u64)>| {
+                if a.dist2(b) <= r2 {
+                    edges.push((a_id, b_id));
+                }
+            };
+        let mut edges = Vec::new();
+        for (&cell, (first, pts)) in &local {
+            let coords = grid.coords_of(cell);
+            // Within-cell pairs.
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    emit(
+                        first + i as u64,
+                        &pts[i],
+                        first + j as u64,
+                        &pts[j],
+                        &mut edges,
+                    );
+                }
+            }
+            grid.for_neighbors(coords, false, &mut |ncoords, _| {
+                let ncell = grid.morton_of(ncoords);
+                if ncell == cell {
+                    return;
+                }
+                if let Some((nfirst, npts)) = local.get(&ncell) {
+                    // Local–local: process each unordered cell pair once.
+                    if ncell > cell {
+                        for (i, p) in pts.iter().enumerate() {
+                            for (j, q) in npts.iter().enumerate() {
+                                emit(first + i as u64, p, nfirst + j as u64, q, &mut edges);
+                            }
+                        }
+                    }
+                } else if let Some((nfirst, npts)) = halo.get(&ncell) {
+                    // Local–halo: always process (the neighbor PE emits its
+                    // own copy; merge deduplicates).
+                    for (i, p) in pts.iter().enumerate() {
+                        for (j, q) in npts.iter().enumerate() {
+                            emit(first + i as u64, p, nfirst + j as u64, q, &mut edges);
+                        }
+                    }
+                }
+            });
+        }
+        out.edges = edges;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_parallel, generate_undirected};
+
+    /// Brute-force reference: all-pairs distance check over the actual
+    /// point set (reconstructed from the generator's own coordinates).
+    fn brute_force(parts: &[PeGraph], n: u64, r: f64) -> Vec<(u64, u64)> {
+        let mut pts: Vec<(u64, Vec<f64>)> = Vec::new();
+        for p in parts {
+            for &(id, c) in &p.coords2 {
+                pts.push((id, c.to_vec()));
+            }
+            for &(id, c) in &p.coords3 {
+                pts.push((id, c.to_vec()));
+            }
+        }
+        pts.sort_by_key(|x| x.0);
+        pts.dedup_by_key(|x| x.0);
+        assert_eq!(pts.len() as u64, n, "every vertex must have coordinates");
+        let mut edges = Vec::new();
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                let d2: f64 = pts[i]
+                    .1
+                    .iter()
+                    .zip(&pts[j].1)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                if d2 <= r * r {
+                    edges.push((pts[i].0, pts[j].0));
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges
+    }
+
+    #[test]
+    fn matches_brute_force_2d() {
+        let gen = Rgg2d::new(400, 0.08).with_seed(3).with_chunks(16);
+        let parts = generate_parallel(&gen, 0);
+        let merged = generate_undirected(&gen);
+        let reference = brute_force(&parts, 400, 0.08);
+        assert_eq!(merged.edges, reference);
+    }
+
+    #[test]
+    fn matches_brute_force_3d() {
+        let gen = Rgg3d::new(300, 0.15).with_seed(5).with_chunks(8);
+        let parts = generate_parallel(&gen, 0);
+        let merged = generate_undirected(&gen);
+        let reference = brute_force(&parts, 300, 0.15);
+        assert_eq!(merged.edges, reference);
+    }
+
+    #[test]
+    fn chunk_invariance() {
+        // The instance (vertex ids AND edges) is identical for any chunking.
+        let a = generate_undirected(&Rgg2d::new(500, 0.05).with_seed(7).with_chunks(1));
+        let b = generate_undirected(&Rgg2d::new(500, 0.05).with_seed(7).with_chunks(16));
+        let c = generate_undirected(&Rgg2d::new(500, 0.05).with_seed(7).with_chunks(64));
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn vertex_ids_partition_range() {
+        let gen = Rgg2d::new(1000, 0.03).with_seed(1).with_chunks(16);
+        let parts = generate_parallel(&gen, 0);
+        let mut ranges: Vec<(u64, u64)> =
+            parts.iter().map(|p| (p.vertex_begin, p.vertex_end)).collect();
+        ranges.sort_unstable();
+        assert_eq!(ranges[0].0, 0);
+        assert_eq!(ranges.last().unwrap().1, 1000);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "gaps/overlap in id ranges");
+        }
+    }
+
+    #[test]
+    fn expected_edge_count_2d() {
+        // E[m] ≈ n²·π·r²/2 (interior approximation; generous tolerance for
+        // the boundary deficit).
+        let n = 4000u64;
+        let r = 0.02;
+        let el = generate_undirected(&Rgg2d::new(n, r).with_seed(11));
+        let expect = (n as f64) * (n as f64) * std::f64::consts::PI * r * r / 2.0;
+        let got = el.edges.len() as f64;
+        assert!(
+            got > 0.75 * expect && got < 1.1 * expect,
+            "edges {got} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn halo_recomputation_bit_identical() {
+        // A vertex emitted with coordinates by its owner must induce the
+        // same cross edges on the neighboring PE.
+        let gen = Rgg2d::new(600, 0.09).with_seed(13).with_chunks(16);
+        let parts = generate_parallel(&gen, 0);
+        // Each cross edge (u local to A, v local to B) must appear in both
+        // A's and B's output.
+        use std::collections::HashSet;
+        let owner = |id: u64| {
+            parts
+                .iter()
+                .position(|p| (p.vertex_begin..p.vertex_end).contains(&id))
+                .unwrap()
+        };
+        let sets: Vec<HashSet<(u64, u64)>> = parts
+            .iter()
+            .map(|p| {
+                p.edges
+                    .iter()
+                    .map(|&(u, v)| (u.min(v), u.max(v)))
+                    .collect()
+            })
+            .collect();
+        for (pe, set) in sets.iter().enumerate() {
+            for &(u, v) in set {
+                let (ou, ov) = (owner(u), owner(v));
+                if ou != ov {
+                    let other = if ou == pe { ov } else { ou };
+                    assert!(
+                        sets[other].contains(&(u, v)),
+                        "cross edge ({u},{v}) missing from PE {other}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_regime() {
+        // Tiny radius: few or no edges, but everything still consistent.
+        let el = generate_undirected(&Rgg2d::new(100, 0.001).with_seed(2));
+        assert!(el.edges.len() < 5);
+        assert!(!el.has_out_of_range());
+    }
+
+    #[test]
+    fn large_radius_regime() {
+        // Radius close to the cube diagonal: nearly complete graph.
+        let n = 60u64;
+        let el = generate_undirected(&Rgg2d::new(n, 0.9).with_seed(4));
+        let complete = n * (n - 1) / 2;
+        assert!(
+            el.edges.len() as u64 > complete * 8 / 10,
+            "{} of {complete}",
+            el.edges.len()
+        );
+    }
+}

@@ -1,0 +1,313 @@
+//! Shared RHG instance structure (annuli → cells → points).
+//!
+//! * Vertex counts per annulus: a multinomial over the annulus masses,
+//!   drawn from a globally seeded PRNG — identical on every PE (§7.1).
+//! * Within an annulus: a power-of-two number of equal angular cells
+//!   (expected ≈ 8 points per cell); counts assigned by a binary
+//!   binomial-splitting tree with node-seeded PRNGs.
+//! * Points of a cell: PRNG seeded by (annulus, cell); the angular
+//!   coordinate is uniform in the cell, the radius is drawn by inverse-CDF
+//!   conditioning on the annulus' radial interval.
+//! * Vertex ids: annulus offset + left-sibling prefix inside the annulus
+//!   tree + index in cell — all derivable by any PE without communication.
+//!
+//! The instance is a pure function of `(n, d̄, γ, seed)`; the number of PEs
+//! does not enter (DESIGN.md: instance-vs-P decoupling).
+
+use kagen_dist::{binomial, multinomial};
+use kagen_geometry::hyperbolic::{PrePoint, RhgSpace};
+use kagen_util::seed::stream;
+use kagen_util::{derive_seed, Mt64, Rng64};
+use std::collections::HashMap;
+
+/// Target expected points per angular cell (the paper's tuning parameter c,
+/// "typically 8", §7.2.1).
+pub const POINTS_PER_CELL: u64 = 8;
+
+/// The deterministic instance skeleton shared by RHG and sRHG.
+pub struct RhgInstance {
+    /// Geometry (R, α, annuli bounds, …).
+    pub space: RhgSpace,
+    /// Instance seed.
+    pub seed: u64,
+    /// Vertices per annulus.
+    pub ann_counts: Vec<u64>,
+    /// Angular cells per annulus (powers of two).
+    pub ann_cells: Vec<u64>,
+    /// First global vertex id of each annulus (prefix sums).
+    pub ann_offsets: Vec<u64>,
+}
+
+impl RhgInstance {
+    /// Build the skeleton (cheap: O(#annuli) binomials).
+    pub fn new(n: u64, avg_deg: f64, gamma: f64, seed: u64) -> Self {
+        let space = RhgSpace::new(n, avg_deg, gamma);
+        let k = space.num_annuli();
+        let probs: Vec<f64> = (0..k).map(|i| space.annulus_prob(i)).collect();
+        let mut rng = Mt64::new(derive_seed(seed, &[stream::HYP, 0]));
+        let ann_counts = multinomial(&mut rng, n, &probs);
+        let ann_cells: Vec<u64> = ann_counts
+            .iter()
+            .map(|&c| (c / POINTS_PER_CELL).max(1).next_power_of_two())
+            .collect();
+        let mut ann_offsets = Vec::with_capacity(k + 1);
+        let mut acc = 0u64;
+        for &c in &ann_counts {
+            ann_offsets.push(acc);
+            acc += c;
+        }
+        ann_offsets.push(acc);
+        RhgInstance {
+            space,
+            seed,
+            ann_counts,
+            ann_cells,
+            ann_offsets,
+        }
+    }
+
+    /// Number of annuli.
+    pub fn num_annuli(&self) -> usize {
+        self.space.num_annuli()
+    }
+
+    /// Angular width of a cell in annulus `i`.
+    #[inline]
+    pub fn cell_width(&self, i: usize) -> f64 {
+        std::f64::consts::TAU / self.ann_cells[i] as f64
+    }
+
+    /// Cell index containing angle `theta` in annulus `i`.
+    #[inline]
+    pub fn cell_of(&self, i: usize, theta: f64) -> u64 {
+        let c = (theta / self.cell_width(i)) as u64;
+        c.min(self.ann_cells[i] - 1)
+    }
+
+    /// (count, id-prefix) of cell `c` in annulus `i`, via the binary
+    /// splitting tree. O(log cells) binomials.
+    pub fn cell_count_prefix(&self, i: usize, c: u64) -> (u64, u64) {
+        let cells = self.ann_cells[i];
+        debug_assert!(c < cells);
+        let mut count = self.ann_counts[i];
+        let mut prefix = 0u64;
+        let mut width = cells;
+        let mut index = c;
+        let mut level = 0u64;
+        let mut rank = 0u64;
+        while width > 1 {
+            let node_seed =
+                derive_seed(self.seed, &[stream::HYP, 1 + i as u64, level, rank]);
+            let mut rng = Mt64::new(node_seed);
+            let left = binomial(&mut rng, count as u128, 0.5);
+            width /= 2;
+            level += 1;
+            if index < width {
+                rank = rank * 2;
+                count = left;
+            } else {
+                rank = rank * 2 + 1;
+                prefix += left;
+                count -= left;
+                index -= width;
+            }
+        }
+        (count, prefix)
+    }
+
+    /// Generate the points of cell `(i, c)` with precomputed adjacency
+    /// terms and global ids. Deterministic; any PE can recompute any cell.
+    pub fn cell_points(&self, i: usize, c: u64) -> Vec<PrePoint> {
+        let (count, prefix) = self.cell_count_prefix(i, c);
+        let width = self.cell_width(i);
+        let theta_lo = c as f64 * width;
+        let (r_lo, r_hi) = (self.space.bounds[i], self.space.bounds[i + 1]);
+        let mut rng = Mt64::new(derive_seed(
+            self.seed,
+            &[stream::POINT, stream::HYP, i as u64, c],
+        ));
+        let base_id = self.ann_offsets[i] + prefix;
+        (0..count)
+            .map(|k| {
+                let theta = theta_lo + width * rng.next_f64();
+                let r = self.space.sample_radius_in(&mut rng, r_lo, r_hi);
+                PrePoint::new(r, theta, base_id + k)
+            })
+            .collect()
+    }
+
+    /// Call `f(cell)` for every cell of annulus `i` overlapping the angular
+    /// interval `[lo, hi]` (handles wrap-around; each cell at most once).
+    pub fn cells_overlapping(&self, i: usize, lo: f64, hi: f64, f: &mut impl FnMut(u64)) {
+        let cells = self.ann_cells[i];
+        let width = self.cell_width(i);
+        if hi - lo >= std::f64::consts::TAU - 1e-12 {
+            for c in 0..cells {
+                f(c);
+            }
+            return;
+        }
+        let lo_wrapped = lo.rem_euclid(std::f64::consts::TAU);
+        let first = (lo_wrapped / width) as u64 % cells;
+        let span = hi - lo;
+        let count = ((span / width) as u64 + 2).min(cells);
+        for k in 0..count {
+            f((first + k) % cells);
+        }
+    }
+}
+
+/// A per-PE cache of generated cells (local and recomputed remote ones).
+#[derive(Default)]
+pub struct CellCache {
+    cells: HashMap<(usize, u64), Vec<PrePoint>>,
+}
+
+impl CellCache {
+    /// Get (possibly generating) the points of cell `(i, c)`.
+    pub fn get<'a>(&'a mut self, inst: &RhgInstance, i: usize, c: u64) -> &'a [PrePoint] {
+        self.cells
+            .entry((i, c))
+            .or_insert_with(|| inst.cell_points(i, c))
+    }
+
+    /// Number of cells generated so far (for the recomputation accounting
+    /// in the experiments).
+    pub fn generated_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of points held across all generated cells — the in-memory
+    /// footprint proxy used by the `abl-mem` experiment (every cached
+    /// point stores its precomputed Eq. 9 terms).
+    pub fn generated_points(&self) -> u64 {
+        self.cells.values().map(|v| v.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> RhgInstance {
+        RhgInstance::new(4000, 8.0, 2.8, 7)
+    }
+
+    #[test]
+    fn annulus_counts_conserve_n() {
+        let i = inst();
+        assert_eq!(i.ann_counts.iter().sum::<u64>(), 4000);
+        assert_eq!(*i.ann_offsets.last().unwrap(), 4000);
+    }
+
+    #[test]
+    fn cell_counts_conserve_annulus() {
+        let i = inst();
+        for a in 0..i.num_annuli() {
+            let total: u64 = (0..i.ann_cells[a])
+                .map(|c| i.cell_count_prefix(a, c).0)
+                .sum();
+            assert_eq!(total, i.ann_counts[a], "annulus {a}");
+        }
+    }
+
+    #[test]
+    fn prefixes_are_cumulative() {
+        let i = inst();
+        for a in 0..i.num_annuli() {
+            let mut acc = 0u64;
+            for c in 0..i.ann_cells[a] {
+                let (count, prefix) = i.cell_count_prefix(a, c);
+                assert_eq!(prefix, acc, "annulus {a} cell {c}");
+                acc += count;
+            }
+        }
+    }
+
+    #[test]
+    fn ids_globally_unique_and_dense() {
+        let i = inst();
+        let mut seen = vec![false; 4000];
+        for a in 0..i.num_annuli() {
+            for c in 0..i.ann_cells[a] {
+                for p in i.cell_points(a, c) {
+                    assert!(!seen[p.id as usize], "duplicate id {}", p.id);
+                    seen[p.id as usize] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "missing ids");
+    }
+
+    #[test]
+    fn points_inside_their_cell_and_annulus() {
+        let i = inst();
+        for a in 0..i.num_annuli() {
+            let w = i.cell_width(a);
+            for c in 0..i.ann_cells[a].min(8) {
+                for p in i.cell_points(a, c) {
+                    assert!(p.theta >= c as f64 * w && p.theta < (c + 1) as f64 * w);
+                    assert!(
+                        p.r >= i.space.bounds[a] && p.r <= i.space.bounds[a + 1],
+                        "r {} outside annulus {a}",
+                        p.r
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recomputation_bit_identical() {
+        let i = inst();
+        let a = i.num_annuli() - 1;
+        let p1 = i.cell_points(a, 3);
+        let p2 = i.cell_points(a, 3);
+        assert_eq!(p1.len(), p2.len());
+        for (x, y) in p1.iter().zip(&p2) {
+            assert_eq!(x.r.to_bits(), y.r.to_bits());
+            assert_eq!(x.theta.to_bits(), y.theta.to_bits());
+            assert_eq!(x.id, y.id);
+        }
+    }
+
+    #[test]
+    fn cells_overlapping_covers_interval() {
+        let i = inst();
+        let a = i.num_annuli() - 1;
+        let w = i.cell_width(a);
+        // Interval fully inside.
+        let mut cells = Vec::new();
+        i.cells_overlapping(a, 2.0 * w + 0.1 * w, 4.0 * w, &mut |c| cells.push(c));
+        assert!(cells.contains(&2) && cells.contains(&3) && cells.contains(&4));
+        // Wrapping interval.
+        let mut wrapped = Vec::new();
+        i.cells_overlapping(a, -w, w * 0.5, &mut |c| wrapped.push(c));
+        assert!(wrapped.contains(&(i.ann_cells[a] - 1)) && wrapped.contains(&0));
+        // Full circle.
+        let mut all = Vec::new();
+        i.cells_overlapping(a, 0.0, std::f64::consts::TAU, &mut |c| all.push(c));
+        assert_eq!(all.len() as u64, i.ann_cells[a]);
+    }
+
+    #[test]
+    fn radial_distribution_mass() {
+        // The fraction of points in the outer half of the disk must match
+        // the radial CDF (most mass lives near the rim).
+        let i = RhgInstance::new(20_000, 8.0, 3.0, 3);
+        let half = i.space.r_max / 2.0;
+        let mut outer = 0u64;
+        for a in 0..i.num_annuli() {
+            for c in 0..i.ann_cells[a] {
+                for p in i.cell_points(a, c) {
+                    if p.r > half {
+                        outer += 1;
+                    }
+                }
+            }
+        }
+        let frac = outer as f64 / 20_000.0;
+        let expect = 1.0 - i.space.radial_cdf(half);
+        assert!((frac - expect).abs() < 0.02, "outer {frac} vs {expect}");
+    }
+}

@@ -1,0 +1,241 @@
+//! The in-memory, query-centric RHG generator (§7.1).
+//!
+//! Each PE owns the angular sector `[2πp/P, 2π(p+1)/P)`. For every local
+//! vertex it runs a neighborhood query through all annuli: the angular
+//! deviation bound Δθ(r_v, ℓ_j) (Eq. 8) selects candidate cells, whose
+//! points are tested with the trig-free Eq. 9. Cells of non-local chunks
+//! encountered during the search are *recomputed* into a per-PE cache —
+//! the paper's inward/outward search recomputation, realized through the
+//! deterministic cell scheme of [`super::common`].
+
+use super::common::{CellCache, RhgInstance};
+use crate::{Generator, PeGraph};
+use kagen_geometry::hyperbolic::PrePoint;
+
+/// Random hyperbolic graph (threshold model), in-memory generator.
+#[derive(Clone, Debug)]
+pub struct Rhg {
+    n: u64,
+    avg_deg: f64,
+    gamma: f64,
+    seed: u64,
+    chunks: usize,
+}
+
+impl Rhg {
+    /// `n` vertices, target average degree `avg_deg`, power-law exponent
+    /// `gamma` (> 2).
+    pub fn new(n: u64, avg_deg: f64, gamma: f64) -> Self {
+        Rhg {
+            n,
+            avg_deg,
+            gamma,
+            seed: 1,
+            chunks: 8,
+        }
+    }
+
+    /// Set the instance seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the number of logical PEs (angular sectors).
+    pub fn with_chunks(mut self, chunks: usize) -> Self {
+        assert!(chunks >= 1);
+        self.chunks = chunks;
+        self
+    }
+
+    /// Build the shared instance skeleton.
+    pub fn instance(&self) -> RhgInstance {
+        RhgInstance::new(self.n, self.avg_deg, self.gamma, self.seed)
+    }
+
+    /// All neighbors of `v` found by scanning every annulus with the Δθ
+    /// bound. `emit` receives each adjacent point (including non-local).
+    pub(crate) fn query_neighbors(
+        inst: &RhgInstance,
+        cache: &mut CellCache,
+        v: &PrePoint,
+        emit: &mut impl FnMut(&PrePoint),
+    ) {
+        let cosh_r = inst.space.cosh_r;
+        for j in 0..inst.num_annuli() {
+            if inst.ann_counts[j] == 0 {
+                continue;
+            }
+            let dt = inst.space.delta_theta(v.r, inst.space.bounds[j].max(1e-12));
+            let mut cells = Vec::new();
+            inst.cells_overlapping(j, v.theta - dt, v.theta + dt, &mut |c| cells.push(c));
+            for c in cells {
+                for u in cache.get(inst, j, c) {
+                    if u.id != v.id && v.is_adjacent(u, cosh_r) {
+                        emit(u);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Generator for Rhg {
+    fn num_vertices(&self) -> u64 {
+        self.n
+    }
+
+    fn num_chunks(&self) -> usize {
+        self.chunks
+    }
+
+    fn directed(&self) -> bool {
+        false
+    }
+
+    fn generate_pe(&self, pe: usize) -> PeGraph {
+        self.generate_pe_stats(pe).0
+    }
+}
+
+impl Rhg {
+    /// Like [`Generator::generate_pe`], additionally returning the number
+    /// of points this PE had to generate (local + recomputed) — the
+    /// memory-footprint proxy of the `abl-mem` experiment. The in-memory
+    /// generator must *hold* all of them for its queries, which is the
+    /// §7.2 motivation for sRHG.
+    pub fn generate_pe_stats(&self, pe: usize) -> (PeGraph, u64) {
+        let inst = self.instance();
+        let tau = std::f64::consts::TAU;
+        let sector = (
+            tau * pe as f64 / self.chunks as f64,
+            tau * (pe as f64 + 1.0) / self.chunks as f64,
+        );
+        let mut cache = CellCache::default();
+        let mut out = PeGraph {
+            pe,
+            ..PeGraph::default()
+        };
+
+        // Collect local vertices: cells overlapping the sector, filtered by
+        // angular ownership.
+        let mut locals: Vec<PrePoint> = Vec::new();
+        for i in 0..inst.num_annuli() {
+            if inst.ann_counts[i] == 0 {
+                continue;
+            }
+            let mut cells = Vec::new();
+            inst.cells_overlapping(i, sector.0, sector.1, &mut |c| cells.push(c));
+            for c in cells {
+                for p in cache.get(&inst, i, c) {
+                    if p.theta >= sector.0 && p.theta < sector.1 {
+                        locals.push(*p);
+                    }
+                }
+            }
+        }
+        locals.sort_by_key(|p| p.id);
+
+        let local_ids: std::collections::HashSet<u64> =
+            locals.iter().map(|p| p.id).collect();
+        for v in &locals {
+            out.coords2.push((v.id, [v.r, v.theta]));
+        }
+        out.vertex_begin = locals.first().map_or(0, |p| p.id);
+        out.vertex_end = locals.last().map_or(0, |p| p.id + 1);
+
+        // Neighborhood queries: all incident edges of local vertices;
+        // local–local pairs emitted once (id order).
+        let mut edges = Vec::new();
+        for v in &locals {
+            Rhg::query_neighbors(&inst, &mut cache, v, &mut |u| {
+                if !local_ids.contains(&u.id) || u.id > v.id {
+                    edges.push((v.id, u.id));
+                }
+            });
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        out.edges = edges;
+        (out, cache.generated_points())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate_undirected;
+
+    /// Brute-force reference over the full instance point set.
+    fn brute_force(inst: &RhgInstance) -> Vec<(u64, u64)> {
+        let mut pts = Vec::new();
+        for a in 0..inst.num_annuli() {
+            for c in 0..inst.ann_cells[a] {
+                pts.extend(inst.cell_points(a, c));
+            }
+        }
+        let mut edges = Vec::new();
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                if pts[i].is_adjacent(&pts[j], inst.space.cosh_r) {
+                    let (a, b) = (pts[i].id.min(pts[j].id), pts[i].id.max(pts[j].id));
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let gen = Rhg::new(600, 8.0, 2.8).with_seed(5).with_chunks(4);
+        let el = generate_undirected(&gen);
+        let reference = brute_force(&gen.instance());
+        assert_eq!(el.edges, reference);
+    }
+
+    #[test]
+    fn chunk_invariance() {
+        let a = generate_undirected(&Rhg::new(800, 6.0, 3.0).with_seed(9).with_chunks(1));
+        let b = generate_undirected(&Rhg::new(800, 6.0, 3.0).with_seed(9).with_chunks(8));
+        let c = generate_undirected(&Rhg::new(800, 6.0, 3.0).with_seed(9).with_chunks(32));
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn average_degree_near_target() {
+        // Eq. 2 has (1 + o(1)) corrections; allow a generous band.
+        let n = 20_000u64;
+        let target = 12.0;
+        let el = generate_undirected(&Rhg::new(n, target, 2.6).with_seed(3).with_chunks(8));
+        let avg = 2.0 * el.edges.len() as f64 / n as f64;
+        assert!(
+            avg > 0.5 * target && avg < 2.0 * target,
+            "average degree {avg} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn power_law_tail_present() {
+        let n = 20_000u64;
+        let el = generate_undirected(&Rhg::new(n, 10.0, 2.4).with_seed(7).with_chunks(8));
+        let deg = el.degrees_undirected();
+        let max = *deg.iter().max().unwrap();
+        let mean = deg.iter().sum::<u64>() as f64 / n as f64;
+        // γ = 2.4 ⇒ heavy tail: the hub should exceed the mean many-fold.
+        assert!(
+            max as f64 > 15.0 * mean,
+            "max degree {max} vs mean {mean} — no heavy tail?"
+        );
+    }
+
+    #[test]
+    fn no_self_loops_or_out_of_range() {
+        let el = generate_undirected(&Rhg::new(500, 6.0, 3.0).with_seed(1).with_chunks(4));
+        assert!(!el.has_self_loops());
+        assert!(!el.has_out_of_range());
+    }
+}

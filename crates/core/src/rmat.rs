@@ -1,0 +1,308 @@
+//! R-MAT (recursive matrix) generator (§3.5.2) — the Graph 500 baseline the
+//! paper compares against in §8.6.1.
+//!
+//! Each of the `m` edges is sampled independently by recursively descending
+//! the adjacency matrix: at each of the log₂(n) levels one of the four
+//! quadrants is chosen with probabilities (a, b, c, d). Because edges are
+//! independent, distribution over PEs is trivial: PE `p` owns a contiguous
+//! edge-index range and seeds a cheap PRNG per edge. The Θ(m log n) variate
+//! cost is exactly the slowdown relative to the ER generators that Fig. 17
+//! and 18 demonstrate.
+
+use crate::{Generator, PeGraph};
+use kagen_dist::AliasTable;
+use kagen_util::seed::stream;
+use kagen_util::{derive_seed, Rng64, SplitMix64};
+use std::sync::Arc;
+
+/// Precomputed multi-level descent table: one alias draw selects
+/// `levels` recursion steps at once (the §9 "faster R-MAT" extension,
+/// following the path-probability precomputation idea of
+/// Hübschle-Schneider & Sanders).
+#[derive(Clone, Debug)]
+struct DescentTable {
+    levels: u32,
+    alias: AliasTable,
+    /// Per outcome: the `levels` u-bits and v-bits of the path.
+    bits: Vec<(u32, u32)>,
+}
+
+impl DescentTable {
+    fn new(levels: u32, a: f64, b: f64, c: f64) -> Self {
+        assert!(levels >= 1 && levels <= 12);
+        let d = 1.0 - a - b - c;
+        let quadrant = [a, b, c, d]; // (u_bit, v_bit) = (0,0) (0,1) (1,0) (1,1)
+        let k = 1usize << (2 * levels);
+        let mut weights = Vec::with_capacity(k);
+        let mut bits = Vec::with_capacity(k);
+        for path in 0..k {
+            let mut w = 1.0f64;
+            let mut ub = 0u32;
+            let mut vb = 0u32;
+            for level in (0..levels).rev() {
+                let q = (path >> (2 * level)) & 3;
+                w *= quadrant[q];
+                ub = (ub << 1) | (q as u32 >> 1);
+                vb = (vb << 1) | (q as u32 & 1);
+            }
+            weights.push(w);
+            bits.push((ub, vb));
+        }
+        DescentTable {
+            levels,
+            alias: AliasTable::new(&weights),
+            bits,
+        }
+    }
+
+    #[inline]
+    fn sample<R: Rng64>(&self, rng: &mut R) -> (u32, u32) {
+        self.bits[self.alias.sample(rng)]
+    }
+}
+
+/// R-MAT generator with Graph 500 default parameters.
+#[derive(Clone, Debug)]
+pub struct Rmat {
+    scale: u32,
+    m: u64,
+    a: f64,
+    b: f64,
+    c: f64,
+    seed: u64,
+    chunks: usize,
+    /// Multi-level descent tables (main + remainder), if enabled.
+    tables: Option<Arc<(DescentTable, Option<DescentTable>)>>,
+}
+
+impl Rmat {
+    /// `n = 2^scale` vertices, `m` edges, Graph 500 probabilities
+    /// (a, b, c, d) = (0.57, 0.19, 0.19, 0.05).
+    pub fn new(scale: u32, m: u64) -> Self {
+        Self::with_probabilities(scale, m, 0.57, 0.19, 0.19)
+    }
+
+    /// Custom quadrant probabilities; `d = 1 − a − b − c`.
+    pub fn with_probabilities(scale: u32, m: u64, a: f64, b: f64, c: f64) -> Self {
+        assert!(scale >= 1 && scale < 63);
+        assert!(a > 0.0 && b >= 0.0 && c >= 0.0 && a + b + c < 1.0 + 1e-12);
+        Rmat {
+            scale,
+            m,
+            a,
+            b,
+            c,
+            seed: 1,
+            chunks: 64,
+            tables: None,
+        }
+    }
+
+    /// Set the instance seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the number of logical PEs.
+    pub fn with_chunks(mut self, chunks: usize) -> Self {
+        assert!(chunks >= 1);
+        self.chunks = chunks;
+        self
+    }
+
+    /// Enable multi-level descent tables: one alias draw replaces `levels`
+    /// recursion steps (§9 future work; typically `levels = 8`, a 64 Ki
+    /// entry table). Note: the accelerated generator samples the same
+    /// *distribution* but consumes randomness differently, so it defines a
+    /// different (equally valid) instance per seed.
+    pub fn with_table_levels(mut self, levels: u32) -> Self {
+        let levels = levels.clamp(1, 12).min(self.scale);
+        let main = DescentTable::new(levels, self.a, self.b, self.c);
+        let rem = self.scale % levels;
+        let remainder = (rem > 0).then(|| DescentTable::new(rem, self.a, self.b, self.c));
+        self.tables = Some(Arc::new((main, remainder)));
+        self
+    }
+
+    /// Total number of edges of the instance.
+    pub fn num_edges(&self) -> u64 {
+        self.m
+    }
+
+    /// Sample edge number `e` of the instance (pure function).
+    #[inline]
+    pub fn edge(&self, e: u64) -> (u64, u64) {
+        let mut rng = SplitMix64::new(derive_seed(self.seed, &[stream::RMAT, e]));
+        match &self.tables {
+            None => {
+                let mut u = 0u64;
+                let mut v = 0u64;
+                for _ in 0..self.scale {
+                    u <<= 1;
+                    v <<= 1;
+                    let x = rng.next_f64();
+                    if x < self.a {
+                        // top-left: no bits set
+                    } else if x < self.a + self.b {
+                        v |= 1;
+                    } else if x < self.a + self.b + self.c {
+                        u |= 1;
+                    } else {
+                        u |= 1;
+                        v |= 1;
+                    }
+                }
+                (u, v)
+            }
+            Some(tables) => {
+                let (main, remainder) = tables.as_ref();
+                let mut u = 0u64;
+                let mut v = 0u64;
+                let mut remaining = self.scale;
+                while remaining >= main.levels {
+                    let (ub, vb) = main.sample(&mut rng);
+                    u = (u << main.levels) | ub as u64;
+                    v = (v << main.levels) | vb as u64;
+                    remaining -= main.levels;
+                }
+                if remaining > 0 {
+                    let t = remainder.as_ref().expect("remainder table");
+                    debug_assert_eq!(t.levels, remaining);
+                    let (ub, vb) = t.sample(&mut rng);
+                    u = (u << t.levels) | ub as u64;
+                    v = (v << t.levels) | vb as u64;
+                }
+                (u, v)
+            }
+        }
+    }
+}
+
+impl Generator for Rmat {
+    fn num_vertices(&self) -> u64 {
+        1u64 << self.scale
+    }
+
+    fn num_chunks(&self) -> usize {
+        self.chunks
+    }
+
+    fn directed(&self) -> bool {
+        true
+    }
+
+    fn generate_pe(&self, pe: usize) -> PeGraph {
+        let lo = self.m * pe as u64 / self.chunks as u64;
+        let hi = self.m * (pe as u64 + 1) / self.chunks as u64;
+        let mut out = PeGraph {
+            pe,
+            vertex_begin: 0,
+            vertex_end: self.num_vertices(),
+            ..PeGraph::default()
+        };
+        out.edges.reserve((hi - lo) as usize);
+        for e in lo..hi {
+            out.edges.push(self.edge(e));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate_directed;
+
+    #[test]
+    fn edge_count_and_range() {
+        let gen = Rmat::new(10, 5000).with_seed(4).with_chunks(8);
+        let el = generate_directed(&gen);
+        assert_eq!(el.edges.len(), 5000);
+        assert!(!el.has_out_of_range());
+    }
+
+    #[test]
+    fn chunk_invariance() {
+        let a = generate_directed(&Rmat::new(8, 2000).with_seed(9).with_chunks(1));
+        let b = generate_directed(&Rmat::new(8, 2000).with_seed(9).with_chunks(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skew_matches_parameters() {
+        // With a = 0.57, vertex 0's quadrant is hit most: expect the top
+        // half of rows to receive much more than half the edges.
+        let gen = Rmat::new(12, 40_000).with_seed(2);
+        let el = generate_directed(&gen);
+        let half = 1u64 << 11;
+        let top = el.edges.iter().filter(|&&(u, _)| u < half).count();
+        let frac = top as f64 / el.edges.len() as f64;
+        // P[top half] = a + b = 0.76 per level-0 split.
+        assert!((frac - 0.76).abs() < 0.02, "top fraction {frac}");
+    }
+
+    #[test]
+    fn degree_skew_power_law_ish() {
+        let gen = Rmat::new(10, 30_000).with_seed(7);
+        let el = generate_directed(&gen);
+        let deg = el.out_degrees();
+        let max = *deg.iter().max().unwrap();
+        let mean = 30_000.0 / 1024.0;
+        assert!(
+            max as f64 > 6.0 * mean,
+            "R-MAT must be skewed: max {max}, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn edge_is_pure_function() {
+        let gen = Rmat::new(9, 10).with_seed(5);
+        for e in 0..10 {
+            assert_eq!(gen.edge(e), gen.edge(e));
+        }
+    }
+
+    #[test]
+    fn table_variant_same_distribution() {
+        // Table-accelerated sampling draws from the identical edge
+        // distribution: compare first-level quadrant masses.
+        let m = 60_000u64;
+        let plain = generate_directed(&Rmat::new(10, m).with_seed(6));
+        let fast = generate_directed(&Rmat::new(10, m).with_seed(6).with_table_levels(5));
+        assert_eq!(fast.edges.len() as u64, m);
+        let half = 1u64 << 9;
+        let mass = |el: &kagen_graph::EdgeList| {
+            let mut q = [0u64; 4];
+            for &(u, v) in &el.edges {
+                q[(((u >= half) as usize) << 1) | ((v >= half) as usize)] += 1;
+            }
+            q
+        };
+        let (qa, qb) = (mass(&plain), mass(&fast));
+        for k in 0..4 {
+            let (x, y) = (qa[k] as f64 / m as f64, qb[k] as f64 / m as f64);
+            assert!((x - y).abs() < 0.01, "quadrant {k}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn table_variant_chunk_invariant() {
+        let a = generate_directed(
+            &Rmat::new(8, 2000).with_seed(9).with_table_levels(8).with_chunks(1),
+        );
+        let b = generate_directed(
+            &Rmat::new(8, 2000).with_seed(9).with_table_levels(8).with_chunks(7),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn table_levels_not_dividing_scale() {
+        // scale = 10, levels = 4 → remainder table of 2 levels.
+        let gen = Rmat::new(10, 100).with_seed(3).with_table_levels(4);
+        let el = generate_directed(&gen);
+        assert!(!el.has_out_of_range());
+        assert_eq!(el.edges.len(), 100);
+    }
+}

@@ -1,0 +1,414 @@
+//! The streaming, request-centric RHG generator sRHG (§7.2).
+//!
+//! sRHG inverts the neighborhood search of [`crate::rhg::Rhg`]: instead of
+//! querying, every point *announces* a request interval
+//! `[θ − Δθ(r, ℓ_j), θ + Δθ(r, ℓ_j)]` in each annulus `j` at or above its
+//! own, and a sweep over each annulus matches nodes against the requests
+//! active at their angle. Only points in lower annuli can be neighbors of
+//! a node through a request, so requests propagate upward only.
+//!
+//! Annuli fall into two groups (§7.2):
+//! * **global annuli** — the inner annuli whose widest own-annulus request
+//!   exceeds a chunk width `2π/P` (including the `r ≤ R/2` clique); their
+//!   points are generated redundantly on every PE (pseudorandomness makes
+//!   the copies identical) and their requests are clipped to the local
+//!   sector, so the work of high-degree vertices is spread over all PEs;
+//! * **streaming annuli** — swept locally. A PE generates the streaming
+//!   points of its sector extended by one chunk width on each side, which
+//!   covers every request that can reach its nodes (the paper's *final
+//!   phase* over the adjacent chunk, done symmetrically).
+//!
+//! The sweep batches insertion/expiry of requests per angular *cell*
+//! (§7.2.1 batch processing). Point generation is shared with `Rhg`
+//! through [`crate::rhg::common::RhgInstance`], so for equal seeds the two
+//! generators emit the *identical* graph — asserted in tests.
+
+use crate::rhg::common::RhgInstance;
+use crate::{Generator, PeGraph};
+use kagen_geometry::hyperbolic::PrePoint;
+
+/// Random hyperbolic graph, streaming generator.
+#[derive(Clone, Debug)]
+pub struct Srhg {
+    n: u64,
+    avg_deg: f64,
+    gamma: f64,
+    seed: u64,
+    chunks: usize,
+}
+
+/// One active request during the sweep.
+#[derive(Clone, Copy, Debug)]
+struct Request {
+    begin: f64,
+    end: f64,
+    ann: usize,
+    p: PrePoint,
+}
+
+/// Per-PE generation statistics (see [`Srhg::generate_pe_stats`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SrhgPeStats {
+    /// Points generated in total (replicated globals + extended sector).
+    /// This is *throughput*, not memory: a true streaming run emits them
+    /// and lets them go.
+    pub generated_points: u64,
+    /// Peak *live* state of the sweep: replicated global points plus the
+    /// largest simultaneous active-request window summed over annuli —
+    /// the quantity that bounds sRHG's memory footprint (§7.2; Lemmas
+    /// 15/17 bound exactly these two terms).
+    pub peak_state: u64,
+}
+
+impl Srhg {
+    /// `n` vertices, target average degree, power-law exponent γ > 2.
+    pub fn new(n: u64, avg_deg: f64, gamma: f64) -> Self {
+        Srhg {
+            n,
+            avg_deg,
+            gamma,
+            seed: 1,
+            chunks: 8,
+        }
+    }
+
+    /// Set the instance seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the number of logical PEs (angular sectors).
+    pub fn with_chunks(mut self, chunks: usize) -> Self {
+        assert!(chunks >= 1);
+        self.chunks = chunks;
+        self
+    }
+
+    /// Build the shared instance skeleton.
+    pub fn instance(&self) -> RhgInstance {
+        RhgInstance::new(self.n, self.avg_deg, self.gamma, self.seed)
+    }
+
+    /// First streaming annulus: all annuli below it are "global".
+    fn first_streaming(inst: &RhgInstance, chunks: usize) -> usize {
+        let width = std::f64::consts::TAU / chunks as f64;
+        (0..inst.num_annuli())
+            .find(|&i| {
+                let b = inst.space.bounds[i].max(1e-12);
+                2.0 * inst.space.delta_theta(b, b) <= width
+            })
+            .unwrap_or(inst.num_annuli())
+    }
+}
+
+/// Split a possibly-wrapping interval into ≤ 2 subintervals of `[0, 2π)`
+/// and keep those intersecting `[lo, hi)`.
+fn clip_interval(a: f64, b: f64, lo: f64, hi: f64, out: &mut Vec<(f64, f64)>) {
+    let tau = std::f64::consts::TAU;
+    let push = |x: f64, y: f64, out: &mut Vec<(f64, f64)>| {
+        if y >= lo && x < hi {
+            out.push((x, y));
+        }
+    };
+    if b - a >= tau {
+        push(0.0, tau, out);
+    } else if a < 0.0 {
+        push(a + tau, tau, out);
+        push(0.0, b, out);
+    } else if b > tau {
+        push(a, tau, out);
+        push(0.0, b - tau, out);
+    } else {
+        push(a, b, out);
+    }
+}
+
+impl Generator for Srhg {
+    fn num_vertices(&self) -> u64 {
+        self.n
+    }
+
+    fn num_chunks(&self) -> usize {
+        self.chunks
+    }
+
+    fn directed(&self) -> bool {
+        false
+    }
+
+    fn generate_pe(&self, pe: usize) -> PeGraph {
+        self.generate_pe_stats(pe).0
+    }
+}
+
+impl Srhg {
+    /// Like [`Generator::generate_pe`], additionally returning
+    /// [`SrhgPeStats`]. This implementation *emulates* the streaming sweep
+    /// in memory (it materializes the tokens it would stream), so its own
+    /// allocation is not the interesting number — `peak_state` reports
+    /// what a true streaming run must hold, which is what the `abl-mem`
+    /// experiment compares against the query-centric
+    /// [`crate::rhg::Rhg::generate_pe_stats`] footprint.
+    pub fn generate_pe_stats(&self, pe: usize) -> (PeGraph, SrhgPeStats) {
+        let inst = self.instance();
+        let tau = std::f64::consts::TAU;
+        let width = tau / self.chunks as f64;
+        let (lo, hi) = (width * pe as f64, width * (pe as f64 + 1.0));
+        let cosh_r = inst.space.cosh_r;
+        let first_stream = Self::first_streaming(&inst, self.chunks);
+
+        let mut out = PeGraph {
+            pe,
+            ..PeGraph::default()
+        };
+        let mut edges: Vec<(u64, u64)> = Vec::new();
+
+        // ---- Global phase -------------------------------------------------
+        // All global-annulus points, regenerated on every PE.
+        let mut globals: Vec<PrePoint> = Vec::new();
+        for i in 0..first_stream {
+            for c in 0..inst.ann_cells[i] {
+                globals.extend(inst.cell_points(i, c));
+            }
+        }
+        // Global–global pairs, distributed by angular ownership of the
+        // smaller-id endpoint.
+        for u in &globals {
+            if u.theta < lo || u.theta >= hi {
+                continue;
+            }
+            for w in &globals {
+                if u.id < w.id && u.is_adjacent(w, cosh_r) {
+                    edges.push((u.id, w.id));
+                }
+            }
+        }
+
+        // ---- Collect requests per streaming annulus ----------------------
+        let annuli = inst.num_annuli();
+        let mut requests: Vec<Vec<Request>> = vec![Vec::new(); annuli];
+        let mut clipped = Vec::new();
+
+        // Requests of global points, clipped to the local sector (this is
+        // what spreads the work of hubs over all PEs).
+        for u in &globals {
+            let u_ann = {
+                // Annulus from the radius (bounds are sorted).
+                let mut a = 0;
+                while a + 1 < annuli && inst.space.bounds[a + 1] < u.r {
+                    a += 1;
+                }
+                a
+            };
+            for (j, reqs) in requests.iter_mut().enumerate().skip(first_stream) {
+                if j < u_ann {
+                    continue;
+                }
+                let dt = inst
+                    .space
+                    .delta_theta(u.r, inst.space.bounds[j].max(1e-12));
+                clipped.clear();
+                clip_interval(u.theta - dt, u.theta + dt, lo, hi, &mut clipped);
+                for &(a, b) in &clipped {
+                    reqs.push(Request {
+                        begin: a,
+                        end: b,
+                        ann: u_ann,
+                        p: *u,
+                    });
+                }
+            }
+        }
+
+        // Streaming points of the extended sector (one chunk on each side:
+        // the symmetric version of the paper's final phase).
+        let mut generated_points = globals.len() as u64;
+        let mut nodes: Vec<Vec<PrePoint>> = vec![Vec::new(); annuli];
+        for i in first_stream..annuli {
+            if inst.ann_counts[i] == 0 {
+                continue;
+            }
+            let mut cells = Vec::new();
+            inst.cells_overlapping(i, lo - width, hi + width, &mut |c| cells.push(c));
+            for c in cells {
+                let cell_pts = inst.cell_points(i, c);
+                generated_points += cell_pts.len() as u64;
+                for p in cell_pts {
+                    // Nodes: owned sector only.
+                    if p.theta >= lo && p.theta < hi {
+                        nodes[i].push(p);
+                    }
+                    // Requests into every annulus at or above i.
+                    for (j, reqs) in requests.iter_mut().enumerate().skip(i) {
+                        let dt = inst
+                            .space
+                            .delta_theta(p.r, inst.space.bounds[j].max(1e-12));
+                        clipped.clear();
+                        clip_interval(p.theta - dt, p.theta + dt, lo, hi, &mut clipped);
+                        for &(a, b) in &clipped {
+                            reqs.push(Request {
+                                begin: a,
+                                end: b,
+                                ann: i,
+                                p,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- Sweep each streaming annulus ---------------------------------
+        let mut peak_active_total = 0u64;
+        for j in first_stream..annuli {
+            let reqs = &mut requests[j];
+            let ns = &mut nodes[j];
+            if ns.is_empty() || reqs.is_empty() {
+                continue;
+            }
+            reqs.sort_by(|a, b| a.begin.total_cmp(&b.begin));
+            ns.sort_by(|a, b| a.theta.total_cmp(&b.theta));
+            let cell_w = inst.cell_width(j);
+            let mut active: Vec<Request> = Vec::new();
+            let mut max_active_j = 0u64;
+            let mut next = 0usize;
+            let mut current_cell = u64::MAX;
+            for v in ns.iter() {
+                // Batch compaction at cell boundaries (§7.2.1): expired
+                // requests are dropped once per cell, not per node.
+                let cell = (v.theta / cell_w) as u64;
+                if cell != current_cell {
+                    current_cell = cell;
+                    let cell_lo = cell as f64 * cell_w;
+                    active.retain(|r| r.end >= cell_lo);
+                }
+                while next < reqs.len() && reqs[next].begin <= v.theta {
+                    active.push(reqs[next]);
+                    next += 1;
+                }
+                max_active_j = max_active_j.max(active.len() as u64);
+                for r in &active {
+                    if r.end < v.theta {
+                        continue; // expired within the cell
+                    }
+                    let u = &r.p;
+                    if u.id == v.id {
+                        continue;
+                    }
+                    // Emission rule: once globally per encounter direction.
+                    let emit = if r.ann < j {
+                        true
+                    } else {
+                        u.id < v.id
+                    };
+                    if emit && u.is_adjacent(v, cosh_r) {
+                        edges.push((u.id.min(v.id), u.id.max(v.id)));
+                    }
+                }
+            }
+            // The interleaved sweep holds every annulus' window at once.
+            peak_active_total += max_active_j;
+        }
+
+        // Local vertices: sector-owned points of every annulus.
+        let mut locals: Vec<PrePoint> = Vec::new();
+        for i in 0..first_stream {
+            locals.extend(
+                globals
+                    .iter()
+                    .filter(|p| p.theta >= lo && p.theta < hi)
+                    .filter(|p| {
+                        p.r >= inst.space.bounds[i] && p.r < inst.space.bounds[i + 1]
+                    })
+                    .copied(),
+            );
+        }
+        for ns in &nodes {
+            locals.extend(ns.iter().copied());
+        }
+        locals.sort_by_key(|p| p.id);
+        locals.dedup_by_key(|p| p.id);
+        for v in &locals {
+            out.coords2.push((v.id, [v.r, v.theta]));
+        }
+        out.vertex_begin = locals.first().map_or(0, |p| p.id);
+        out.vertex_end = locals.last().map_or(0, |p| p.id + 1);
+
+        edges.sort_unstable();
+        edges.dedup();
+        out.edges = edges;
+        let stats = SrhgPeStats {
+            generated_points,
+            peak_state: globals.len() as u64 + peak_active_total,
+        };
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate_undirected;
+    use crate::rhg::Rhg;
+
+    #[test]
+    fn matches_query_centric_generator() {
+        // Same instance skeleton + same adjacency rule ⇒ identical graphs.
+        for &(n, deg, gamma, chunks) in
+            &[(500u64, 8.0, 2.8, 4usize), (900, 6.0, 3.0, 8), (700, 12.0, 2.3, 5)]
+        {
+            let srhg = generate_undirected(
+                &Srhg::new(n, deg, gamma).with_seed(11).with_chunks(chunks),
+            );
+            let rhg = generate_undirected(
+                &Rhg::new(n, deg, gamma).with_seed(11).with_chunks(chunks),
+            );
+            assert_eq!(
+                srhg.edges, rhg.edges,
+                "sRHG vs RHG mismatch at n={n}, γ={gamma}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_invariance() {
+        let a = generate_undirected(&Srhg::new(800, 8.0, 2.9).with_seed(3).with_chunks(1));
+        let b = generate_undirected(&Srhg::new(800, 8.0, 2.9).with_seed(3).with_chunks(8));
+        let c = generate_undirected(&Srhg::new(800, 8.0, 2.9).with_seed(3).with_chunks(32));
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn no_duplicate_edges_within_pe() {
+        let gen = Srhg::new(600, 10.0, 2.5).with_seed(7).with_chunks(4);
+        for pe in 0..4 {
+            let part = gen.generate_pe(pe);
+            let mut e = part.edges.clone();
+            e.dedup();
+            assert_eq!(e.len(), part.edges.len(), "PE {pe} emitted duplicates");
+        }
+    }
+
+    #[test]
+    fn clip_interval_cases() {
+        let tau = std::f64::consts::TAU;
+        let mut out = Vec::new();
+        // Plain interval inside range.
+        clip_interval(1.0, 2.0, 0.0, tau, &mut out);
+        assert_eq!(out, vec![(1.0, 2.0)]);
+        // Wrapping below zero.
+        out.clear();
+        clip_interval(-0.5, 0.5, 0.0, tau, &mut out);
+        assert_eq!(out.len(), 2);
+        // Wider than the circle.
+        out.clear();
+        clip_interval(-1.0, tau, 0.0, tau, &mut out);
+        assert_eq!(out, vec![(0.0, tau)]);
+        // Clipped away.
+        out.clear();
+        clip_interval(1.0, 2.0, 3.0, 4.0, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! Streaming edge output (§9 future work: "extend our remaining
+//! generators to use a streaming approach … drastically reduce the memory
+//! needed").
+//!
+//! [`StreamingGenerator::stream_pe`] emits a PE's edges through a callback
+//! instead of materializing a [`PeGraph`](crate::PeGraph), so a PE's memory footprint is
+//! its generator state (cells, counts, PRNGs) — not its output. For the
+//! index-based generators (ER, BA, R-MAT, SBM) the state is O(log)-sized;
+//! for RGG it is the current cell neighborhood.
+//!
+//! Every implementation is *output-identical* to `generate_pe` (asserted
+//! in tests): streaming changes the delivery, never the instance.
+
+use crate::ba::BarabasiAlbert;
+use crate::er::{GnmDirected, GnmUndirected, GnpDirected, GnpUndirected};
+use crate::rdg::Rdg;
+use crate::rgg::Rgg;
+use crate::rhg::{Rhg, SoftRhg};
+use crate::rmat::Rmat;
+use crate::sbm::StochasticBlockModel;
+use crate::srhg::Srhg;
+use crate::Generator;
+
+/// Edge-streaming extension of [`Generator`].
+pub trait StreamingGenerator: Generator {
+    /// Emit every edge PE `pe` is responsible for, in the same order
+    /// `generate_pe` would store them.
+    fn stream_pe(&self, pe: usize, emit: &mut dyn FnMut(u64, u64));
+
+    /// Count a PE's edges without materializing them.
+    fn count_pe(&self, pe: usize) -> u64 {
+        let mut count = 0;
+        self.stream_pe(pe, &mut |_, _| count += 1);
+        count
+    }
+}
+
+/// Fallback used by generators whose natural implementation materializes
+/// intermediate structure anyway (Delaunay meshes, hyperbolic sweeps).
+macro_rules! materializing_stream {
+    () => {
+        fn stream_pe(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
+            for (u, v) in self.generate_pe(pe).edges {
+                emit(u, v);
+            }
+        }
+    };
+}
+
+impl StreamingGenerator for GnmDirected {
+    fn stream_pe(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
+        self.stream_edges(pe, emit);
+    }
+}
+
+impl StreamingGenerator for GnpDirected {
+    fn stream_pe(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
+        self.stream_edges(pe, emit);
+    }
+}
+
+impl StreamingGenerator for GnmUndirected {
+    fn stream_pe(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
+        self.stream_edges(pe, emit);
+    }
+}
+
+impl StreamingGenerator for GnpUndirected {
+    fn stream_pe(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
+        self.stream_edges(pe, emit);
+    }
+}
+
+impl StreamingGenerator for BarabasiAlbert {
+    fn stream_pe(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
+        let begin = self.num_vertices() * pe as u64 / self.num_chunks() as u64;
+        let end = self.num_vertices() * (pe as u64 + 1) / self.num_chunks() as u64;
+        let d = self.degree_parameter();
+        for slot in begin * d..end * d {
+            let (u, v) = self.edge(slot);
+            emit(u, v);
+        }
+    }
+}
+
+impl StreamingGenerator for Rmat {
+    fn stream_pe(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
+        let m = self.num_edges();
+        let lo = m * pe as u64 / self.num_chunks() as u64;
+        let hi = m * (pe as u64 + 1) / self.num_chunks() as u64;
+        for e in lo..hi {
+            let (u, v) = self.edge(e);
+            emit(u, v);
+        }
+    }
+}
+
+impl StreamingGenerator for StochasticBlockModel {
+    fn stream_pe(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
+        self.stream_edges(pe, emit);
+    }
+}
+
+impl<const D: usize> StreamingGenerator for Rgg<D> {
+    materializing_stream!();
+}
+
+impl<const D: usize> StreamingGenerator for Rdg<D> {
+    materializing_stream!();
+}
+
+impl StreamingGenerator for Rhg {
+    materializing_stream!();
+}
+
+impl StreamingGenerator for Srhg {
+    materializing_stream!();
+}
+
+impl StreamingGenerator for SoftRhg {
+    materializing_stream!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    fn assert_stream_matches<G: StreamingGenerator>(gen: &G) {
+        for pe in 0..gen.num_chunks().min(5) {
+            let materialized = gen.generate_pe(pe).edges;
+            let mut streamed = Vec::new();
+            gen.stream_pe(pe, &mut |u, v| streamed.push((u, v)));
+            assert_eq!(materialized, streamed, "PE {pe}");
+            assert_eq!(gen.count_pe(pe) as usize, materialized.len());
+        }
+    }
+
+    #[test]
+    fn gnm_directed_stream() {
+        assert_stream_matches(&GnmDirected::new(300, 2000).with_seed(3).with_chunks(5));
+    }
+
+    #[test]
+    fn gnm_undirected_stream() {
+        assert_stream_matches(&GnmUndirected::new(300, 2000).with_seed(3).with_chunks(5));
+    }
+
+    #[test]
+    fn gnp_streams() {
+        assert_stream_matches(&GnpDirected::new(200, 0.05).with_seed(4).with_chunks(4));
+        assert_stream_matches(&GnpUndirected::new(200, 0.05).with_seed(4).with_chunks(4));
+    }
+
+    #[test]
+    fn ba_stream() {
+        assert_stream_matches(&BarabasiAlbert::new(500, 3).with_seed(5).with_chunks(8));
+    }
+
+    #[test]
+    fn rmat_stream() {
+        assert_stream_matches(&Rmat::new(9, 3000).with_seed(6).with_chunks(8));
+        assert_stream_matches(
+            &Rmat::new(9, 3000).with_seed(6).with_chunks(8).with_table_levels(4),
+        );
+    }
+
+    #[test]
+    fn sbm_stream() {
+        assert_stream_matches(
+            &StochasticBlockModel::planted(300, 3, 0.1, 0.01)
+                .with_seed(7)
+                .with_chunks(6),
+        );
+    }
+
+    #[test]
+    fn rgg_stream() {
+        assert_stream_matches(&Rgg2d::new(400, 0.08).with_seed(8).with_chunks(16));
+    }
+
+    #[test]
+    fn spatial_and_hyperbolic_streams() {
+        assert_stream_matches(&Rdg2d::new(200).with_seed(9).with_chunks(4));
+        assert_stream_matches(&Rhg::new(300, 6.0, 2.8).with_seed(10).with_chunks(4));
+        assert_stream_matches(&Srhg::new(300, 6.0, 2.8).with_seed(10).with_chunks(4));
+        assert_stream_matches(
+            &SoftRhg::new(300, 6.0, 2.8, 0.4).with_seed(11).with_chunks(4),
+        );
+    }
+
+    #[test]
+    fn streaming_needs_no_edge_buffer() {
+        // A "write-to-sink" consumer: peak allocation is the generator
+        // state, demonstrated by only keeping a running checksum.
+        let gen = GnmDirected::new(2000, 50_000).with_seed(9).with_chunks(4);
+        let mut checksum = 0u64;
+        let mut count = 0u64;
+        for pe in 0..4 {
+            gen.stream_pe(pe, &mut |u, v| {
+                checksum = checksum.wrapping_mul(31).wrapping_add(u ^ v);
+                count += 1;
+            });
+        }
+        assert_eq!(count, 50_000);
+        assert_ne!(checksum, 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Error-free transformations and double-double arithmetic.
+//!
+//! A `Dd` stores a value as an unevaluated sum `hi + lo` with
+//! `|lo| ≤ ulp(hi)/2`, giving ~106 bits of mantissa. Sums and differences
+//! of plain `f64`s are *exact*; double-double products and sums carry a
+//! relative error of order 2⁻¹⁰⁴ — far below the deterministic tie
+//! threshold the predicates use.
+
+/// Double-double value `hi + lo`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Dd {
+    /// Leading component.
+    pub hi: f64,
+    /// Trailing error term.
+    pub lo: f64,
+}
+
+/// Knuth's TwoSum: `a + b = s + e` exactly.
+#[inline(always)]
+pub fn two_sum(a: f64, b: f64) -> Dd {
+    let s = a + b;
+    let bb = s - a;
+    let err = (a - (s - bb)) + (b - bb);
+    Dd { hi: s, lo: err }
+}
+
+/// TwoDiff: `a − b = s + e` exactly.
+#[inline(always)]
+pub fn two_diff(a: f64, b: f64) -> Dd {
+    let s = a - b;
+    let bb = s - a;
+    let err = (a - (s - bb)) - (b + bb);
+    Dd { hi: s, lo: err }
+}
+
+/// TwoProd via FMA: `a · b = p + e` exactly.
+#[inline(always)]
+pub fn two_prod(a: f64, b: f64) -> Dd {
+    let p = a * b;
+    let e = a.mul_add(b, -p);
+    Dd { hi: p, lo: e }
+}
+
+/// Fast renormalization (requires `|a| >= |b|` in spirit; used after
+/// operations that guarantee it).
+#[inline(always)]
+fn quick_two_sum(a: f64, b: f64) -> Dd {
+    let s = a + b;
+    let err = b - (s - a);
+    Dd { hi: s, lo: err }
+}
+
+impl Dd {
+    /// Lift an `f64`.
+    #[inline(always)]
+    pub fn from(x: f64) -> Self {
+        Dd { hi: x, lo: 0.0 }
+    }
+
+    /// Approximate value.
+    #[inline(always)]
+    pub fn value(self) -> f64 {
+        self.hi + self.lo
+    }
+
+    /// Double-double addition (Dekker/Bailey "sloppy" variant).
+    #[inline(always)]
+    pub fn add(self, other: Dd) -> Dd {
+        let s = two_sum(self.hi, other.hi);
+        quick_two_sum(s.hi, s.lo + self.lo + other.lo)
+    }
+
+    /// Double-double subtraction.
+    #[inline(always)]
+    pub fn sub(self, other: Dd) -> Dd {
+        let s = two_diff(self.hi, other.hi);
+        quick_two_sum(s.hi, s.lo + self.lo - other.lo)
+    }
+
+    /// Double-double multiplication.
+    #[inline(always)]
+    pub fn mul(self, other: Dd) -> Dd {
+        let p = two_prod(self.hi, other.hi);
+        quick_two_sum(p.hi, p.lo + self.hi * other.lo + self.lo * other.hi)
+    }
+
+    /// Negation.
+    #[inline(always)]
+    pub fn neg(self) -> Dd {
+        Dd {
+            hi: -self.hi,
+            lo: -self.lo,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_sum_exact() {
+        // 1 + 2^-60 is not representable; the error term captures it.
+        let r = two_sum(1.0, 2f64.powi(-60));
+        assert_eq!(r.hi, 1.0);
+        assert_eq!(r.lo, 2f64.powi(-60));
+    }
+
+    #[test]
+    fn two_prod_exact() {
+        // (1 + 2^-30)^2 = 1 + 2^-29 + 2^-60: the tail is in lo.
+        let x = 1.0 + 2f64.powi(-30);
+        let r = two_prod(x, x);
+        let exact_hi = 1.0 + 2f64.powi(-29);
+        assert_eq!(r.hi, exact_hi);
+        assert_eq!(r.lo, 2f64.powi(-60));
+    }
+
+    #[test]
+    fn dd_catastrophic_cancellation() {
+        // (a + tiny) - a must recover tiny exactly through Dd.
+        let a = 1e16;
+        let tiny = 0.5;
+        let sum = Dd::from(a).add(Dd::from(tiny));
+        let diff = sum.sub(Dd::from(a));
+        assert_eq!(diff.value(), tiny);
+    }
+
+    #[test]
+    fn dd_mul_accuracy() {
+        // (1+2^-50)·(1−2^-50) = 1 − 2^-100: representable only in dd.
+        let a = Dd::from(1.0).add(Dd::from(2f64.powi(-50)));
+        let b = Dd::from(1.0).sub(Dd::from(2f64.powi(-50)));
+        let p = a.mul(b);
+        let err = p.sub(Dd::from(1.0)).value();
+        assert!((err + 2f64.powi(-100)).abs() < 1e-45, "err {err:e}");
+    }
+
+    #[test]
+    fn determinant_sign_beyond_f64() {
+        // ad - bc with ad and bc equal in f64 but not exactly.
+        let a = 1.0 + 2f64.powi(-30);
+        let d = 1.0 - 2f64.powi(-30);
+        let b = 1.0 + 2f64.powi(-29);
+        let c = (1.0 - 2f64.powi(-29)) + 2f64.powi(-55);
+        let det = two_prod(a, d);
+        let det = Dd::from(det.hi).add(Dd::from(det.lo));
+        let bc = two_prod(b, c);
+        let bc = Dd::from(bc.hi).add(Dd::from(bc.lo));
+        let diff = det.sub(bc);
+        // Exact reasoning: the 2^-55 term of c rounds away (below ulp/2 of
+        // 1 − 2^-29), so c = 1 − 2^-29 exactly and bc = 1 − 2^-58. Then
+        // ad − bc = (1 − 2^-60) − (1 − 2^-58) = 2^-58 − 2^-60 > 0 — a sign
+        // plain f64 evaluation reports as 0.
+        assert!(diff.value() > 0.0);
+        assert_eq!((a * d - b * c), 0.0, "f64 alone cannot see the sign");
+    }
+}

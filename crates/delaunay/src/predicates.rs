@@ -1,0 +1,316 @@
+//! Geometric predicates with floating-point filters and double-double
+//! fallback (Shewchuk-style two-stage evaluation).
+//!
+//! Stage A evaluates the determinant in plain `f64` and accepts the sign if
+//! its magnitude exceeds a forward error bound on the computation. Stage B
+//! re-evaluates in double-double arithmetic (exact differences, ~2⁻¹⁰⁴
+//! relative product error) and applies a far smaller bound; results inside
+//! that band are declared [`Sign::Zero`] — deterministically, so every PE
+//! that replays a test reaches the same conclusion, which is all the
+//! Bowyer–Watson construction needs for cross-PE consistency.
+
+use crate::dd::{two_diff, Dd};
+
+/// Sign of a predicate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sign {
+    /// Determinant negative.
+    Negative,
+    /// Too close to call even in double-double: treated as degenerate.
+    Zero,
+    /// Determinant positive.
+    Positive,
+}
+
+impl Sign {
+    /// Map to -1 / 0 / 1.
+    pub fn as_i32(self) -> i32 {
+        match self {
+            Sign::Negative => -1,
+            Sign::Zero => 0,
+            Sign::Positive => 1,
+        }
+    }
+}
+
+/// Stage-A error bound coefficients (slightly conservative versions of
+/// Shewchuk's constants).
+const ORIENT2_BOUND: f64 = 4e-16;
+const INCIRCLE2_BOUND: f64 = 2e-15;
+const ORIENT3_BOUND: f64 = 1e-15;
+const INSPHERE3_BOUND: f64 = 4e-15;
+/// Stage-B (double-double) relative tie band.
+const DD_BOUND: f64 = 1e-28;
+
+#[inline]
+fn classify(det: f64, magnitude: f64, bound: f64) -> Option<Sign> {
+    if det > bound * magnitude {
+        Some(Sign::Positive)
+    } else if det < -bound * magnitude {
+        Some(Sign::Negative)
+    } else {
+        None
+    }
+}
+
+/// Orientation of c relative to the directed line a→b:
+/// positive = counter-clockwise triple.
+pub fn orient2(a: [f64; 2], b: [f64; 2], c: [f64; 2]) -> Sign {
+    let detleft = (a[0] - c[0]) * (b[1] - c[1]);
+    let detright = (a[1] - c[1]) * (b[0] - c[0]);
+    let det = detleft - detright;
+    let magnitude = detleft.abs() + detright.abs();
+    if let Some(s) = classify(det, magnitude, ORIENT2_BOUND) {
+        return s;
+    }
+    // Stage B.
+    let acx = two_diff(a[0], c[0]);
+    let acy = two_diff(a[1], c[1]);
+    let bcx = two_diff(b[0], c[0]);
+    let bcy = two_diff(b[1], c[1]);
+    let det = acx.mul(bcy).sub(acy.mul(bcx));
+    classify(det.value(), magnitude.max(f64::MIN_POSITIVE), DD_BOUND).unwrap_or(Sign::Zero)
+}
+
+/// Is d inside the circumcircle of the counter-clockwise triangle (a,b,c)?
+/// Positive = strictly inside.
+pub fn incircle2(a: [f64; 2], b: [f64; 2], c: [f64; 2], d: [f64; 2]) -> Sign {
+    let adx = a[0] - d[0];
+    let ady = a[1] - d[1];
+    let bdx = b[0] - d[0];
+    let bdy = b[1] - d[1];
+    let cdx = c[0] - d[0];
+    let cdy = c[1] - d[1];
+    let ad2 = adx * adx + ady * ady;
+    let bd2 = bdx * bdx + bdy * bdy;
+    let cd2 = cdx * cdx + cdy * cdy;
+    let det = ad2 * (bdx * cdy - bdy * cdx) - bd2 * (adx * cdy - ady * cdx)
+        + cd2 * (adx * bdy - ady * bdx);
+    let magnitude = ad2 * (bdx * cdy).abs().max((bdy * cdx).abs())
+        + bd2 * (adx * cdy).abs().max((ady * cdx).abs())
+        + cd2 * (adx * bdy).abs().max((ady * bdx).abs());
+    if let Some(s) = classify(det, magnitude, INCIRCLE2_BOUND) {
+        return s;
+    }
+    // Stage B.
+    let adx = two_diff(a[0], d[0]);
+    let ady = two_diff(a[1], d[1]);
+    let bdx = two_diff(b[0], d[0]);
+    let bdy = two_diff(b[1], d[1]);
+    let cdx = two_diff(c[0], d[0]);
+    let cdy = two_diff(c[1], d[1]);
+    let ad2 = adx.mul(adx).add(ady.mul(ady));
+    let bd2 = bdx.mul(bdx).add(bdy.mul(bdy));
+    let cd2 = cdx.mul(cdx).add(cdy.mul(cdy));
+    let m_bc = bdx.mul(cdy).sub(bdy.mul(cdx));
+    let m_ac = adx.mul(cdy).sub(ady.mul(cdx));
+    let m_ab = adx.mul(bdy).sub(ady.mul(bdx));
+    let det = ad2.mul(m_bc).sub(bd2.mul(m_ac)).add(cd2.mul(m_ab));
+    classify(det.value(), magnitude.max(f64::MIN_POSITIVE), DD_BOUND).unwrap_or(Sign::Zero)
+}
+
+/// Orientation of d relative to the plane through (a,b,c): positive if d
+/// is on the side making (a,b,c,d) positively oriented.
+pub fn orient3(a: [f64; 3], b: [f64; 3], c: [f64; 3], d: [f64; 3]) -> Sign {
+    let adx = a[0] - d[0];
+    let ady = a[1] - d[1];
+    let adz = a[2] - d[2];
+    let bdx = b[0] - d[0];
+    let bdy = b[1] - d[1];
+    let bdz = b[2] - d[2];
+    let cdx = c[0] - d[0];
+    let cdy = c[1] - d[1];
+    let cdz = c[2] - d[2];
+    let m1 = bdy * cdz - bdz * cdy;
+    let m2 = bdz * cdx - bdx * cdz;
+    let m3 = bdx * cdy - bdy * cdx;
+    let det = adx * m1 + ady * m2 + adz * m3;
+    let magnitude = adx.abs() * ((bdy * cdz).abs() + (bdz * cdy).abs())
+        + ady.abs() * ((bdz * cdx).abs() + (bdx * cdz).abs())
+        + adz.abs() * ((bdx * cdy).abs() + (bdy * cdx).abs());
+    if let Some(s) = classify(det, magnitude, ORIENT3_BOUND) {
+        return s;
+    }
+    // Stage B.
+    let adx = two_diff(a[0], d[0]);
+    let ady = two_diff(a[1], d[1]);
+    let adz = two_diff(a[2], d[2]);
+    let bdx = two_diff(b[0], d[0]);
+    let bdy = two_diff(b[1], d[1]);
+    let bdz = two_diff(b[2], d[2]);
+    let cdx = two_diff(c[0], d[0]);
+    let cdy = two_diff(c[1], d[1]);
+    let cdz = two_diff(c[2], d[2]);
+    let m1 = bdy.mul(cdz).sub(bdz.mul(cdy));
+    let m2 = bdz.mul(cdx).sub(bdx.mul(cdz));
+    let m3 = bdx.mul(cdy).sub(bdy.mul(cdx));
+    let det = adx.mul(m1).add(ady.mul(m2)).add(adz.mul(m3));
+    classify(det.value(), magnitude.max(f64::MIN_POSITIVE), DD_BOUND).unwrap_or(Sign::Zero)
+}
+
+/// Is e inside the circumsphere of the positively oriented tetrahedron
+/// (a,b,c,d)? Positive = strictly inside.
+pub fn insphere3(a: [f64; 3], b: [f64; 3], c: [f64; 3], d: [f64; 3], e: [f64; 3]) -> Sign {
+    // f64 stage.
+    let s = |p: [f64; 3]| [p[0] - e[0], p[1] - e[1], p[2] - e[2]];
+    let (ae, be, ce, de) = (s(a), s(b), s(c), s(d));
+    let norm = |p: [f64; 3]| p[0] * p[0] + p[1] * p[1] + p[2] * p[2];
+    let det3 = |p: [f64; 3], q: [f64; 3], r: [f64; 3]| {
+        p[0] * (q[1] * r[2] - q[2] * r[1]) - p[1] * (q[0] * r[2] - q[2] * r[0])
+            + p[2] * (q[0] * r[1] - q[1] * r[0])
+    };
+    let (na, nb, nc, nd) = (norm(ae), norm(be), norm(ce), norm(de));
+    // Cofactor expansion of the 4×4 in-sphere determinant along the norm
+    // column; the leading sign makes "inside" positive for positively
+    // oriented tetrahedra.
+    let det = -(na * det3(be, ce, de)) + nb * det3(ae, ce, de) - nc * det3(ae, be, de)
+        + nd * det3(ae, be, ce);
+    let absdet3 = |p: [f64; 3], q: [f64; 3], r: [f64; 3]| {
+        p[0].abs() * ((q[1] * r[2]).abs() + (q[2] * r[1]).abs())
+            + p[1].abs() * ((q[0] * r[2]).abs() + (q[2] * r[0]).abs())
+            + p[2].abs() * ((q[0] * r[1]).abs() + (q[1] * r[0]).abs())
+    };
+    let magnitude = na * absdet3(be, ce, de)
+        + nb * absdet3(ae, ce, de)
+        + nc * absdet3(ae, be, de)
+        + nd * absdet3(ae, be, ce);
+    if let Some(sign) = classify(det, magnitude, INSPHERE3_BOUND) {
+        return sign;
+    }
+    // Stage B in double-double.
+    let sd = |p: [f64; 3]| {
+        [
+            two_diff(p[0], e[0]),
+            two_diff(p[1], e[1]),
+            two_diff(p[2], e[2]),
+        ]
+    };
+    let (ae, be, ce, de) = (sd(a), sd(b), sd(c), sd(d));
+    let norm = |p: [Dd; 3]| p[0].mul(p[0]).add(p[1].mul(p[1])).add(p[2].mul(p[2]));
+    let det3 = |p: [Dd; 3], q: [Dd; 3], r: [Dd; 3]| {
+        p[0].mul(q[1].mul(r[2]).sub(q[2].mul(r[1])))
+            .sub(p[1].mul(q[0].mul(r[2]).sub(q[2].mul(r[0]))))
+            .add(p[2].mul(q[0].mul(r[1]).sub(q[1].mul(r[0]))))
+    };
+    let det = norm(be)
+        .mul(det3(ae, ce, de))
+        .sub(norm(ae).mul(det3(be, ce, de)))
+        .sub(norm(ce).mul(det3(ae, be, de)))
+        .add(norm(de).mul(det3(ae, be, ce)));
+    classify(det.value(), magnitude.max(f64::MIN_POSITIVE), DD_BOUND).unwrap_or(Sign::Zero)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orient2_basic() {
+        assert_eq!(
+            orient2([0.0, 0.0], [1.0, 0.0], [0.0, 1.0]),
+            Sign::Positive
+        );
+        assert_eq!(
+            orient2([0.0, 0.0], [0.0, 1.0], [1.0, 0.0]),
+            Sign::Negative
+        );
+        assert_eq!(orient2([0.0, 0.0], [1.0, 1.0], [2.0, 2.0]), Sign::Zero);
+    }
+
+    #[test]
+    fn orient2_near_degenerate() {
+        // Point barely off a long diagonal: sign must be resolved by the
+        // dd stage, consistently with the analytic answer.
+        let a = [0.0, 0.0];
+        let b = [1.0, 1.0];
+        let above = [0.5, 0.5 + 1e-17]; // below f64 resolution of the det
+        let s = orient2(a, b, above);
+        // 1e-17 offset: det = -1e-17... the offset itself is representable,
+        // determinant ~ -1e-17 (clockwise since c right of line? compute:
+        // (a-c)x(b-c): ((-0.5,-0.5-e)) x ((0.5, 0.5-e)) = -0.25+e²... )
+        // What matters: a consistent non-crashing answer and symmetry.
+        assert_eq!(orient2(b, a, above).as_i32(), -s.as_i32());
+    }
+
+    #[test]
+    fn incircle_basic() {
+        let a = [0.0, 0.0];
+        let b = [1.0, 0.0];
+        let c = [0.0, 1.0];
+        assert_eq!(incircle2(a, b, c, [0.4, 0.4]), Sign::Positive);
+        assert_eq!(incircle2(a, b, c, [2.0, 2.0]), Sign::Negative);
+        // Cocircular: (1,1) lies on the circle through the three.
+        assert_eq!(incircle2(a, b, c, [1.0, 1.0]), Sign::Zero);
+    }
+
+    #[test]
+    fn incircle_antisymmetry() {
+        // Swapping two triangle vertices flips the sign.
+        let a = [0.12, 0.7];
+        let b = [0.9, 0.13];
+        let c = [0.51, 0.94];
+        let d = [0.5, 0.5];
+        assert_eq!(
+            incircle2(a, b, c, d).as_i32(),
+            -incircle2(b, a, c, d).as_i32()
+        );
+    }
+
+    #[test]
+    fn orient3_basic() {
+        let a = [0.0, 0.0, 0.0];
+        let b = [1.0, 0.0, 0.0];
+        let c = [0.0, 1.0, 0.0];
+        assert_eq!(orient3(a, b, c, [0.0, 0.0, -1.0]), Sign::Positive);
+        assert_eq!(orient3(a, b, c, [0.0, 0.0, 1.0]), Sign::Negative);
+        assert_eq!(orient3(a, b, c, [0.3, 0.3, 0.0]), Sign::Zero);
+    }
+
+    #[test]
+    fn insphere_basic() {
+        let a = [0.0, 0.0, 0.0];
+        let b = [1.0, 0.0, 0.0];
+        let c = [0.0, 1.0, 0.0];
+        let d = [0.0, 0.0, 1.0];
+        // (a,b,c,d) orientation: orient3(a,b,c,d) must be positive for the
+        // insphere convention; d=(0,0,1) gives Negative, so swap.
+        assert_eq!(orient3(a, c, b, d), Sign::Positive);
+        assert_eq!(insphere3(a, c, b, d, [0.2, 0.2, 0.2]), Sign::Positive);
+        assert_eq!(insphere3(a, c, b, d, [3.0, 3.0, 3.0]), Sign::Negative);
+    }
+
+    #[test]
+    fn predicates_deterministic() {
+        // Replays give identical answers (tie band included).
+        let pts = [
+            [0.1000000000000001, 0.2],
+            [0.3, 0.4000000000000003],
+            [0.5, 0.6],
+            [0.7000000000000001, 0.8],
+        ];
+        for _ in 0..10 {
+            assert_eq!(
+                incircle2(pts[0], pts[1], pts[2], pts[3]),
+                incircle2(pts[0], pts[1], pts[2], pts[3])
+            );
+        }
+    }
+
+    #[test]
+    fn random_points_rarely_degenerate() {
+        use kagen_util::{Mt64, Rng64};
+        let mut rng = Mt64::new(7);
+        let mut zeros = 0;
+        for _ in 0..2000 {
+            let mut p = [[0.0f64; 2]; 4];
+            for q in &mut p {
+                q[0] = rng.next_f64();
+                q[1] = rng.next_f64();
+            }
+            if incircle2(p[0], p[1], p[2], p[3]) == Sign::Zero {
+                zeros += 1;
+            }
+        }
+        assert_eq!(zeros, 0, "random doubles should never tie");
+    }
+}

@@ -1,0 +1,26 @@
+//! # kagen-geometry
+//!
+//! Spatial infrastructure for the geometric generators (RGG, RDG, RHG):
+//!
+//! * [`point`] — fixed-dimension points in the unit cube / torus;
+//! * [`morton`] — Z-order (Morton) curves for locality-aware chunk
+//!   assignment (§5.1 / \[35\]);
+//! * [`grid`] — power-of-two cell grids over `[0,1)^d` with neighbor
+//!   iteration (periodic or clamped);
+//! * [`counts`] — the 2^d-ary *count-splitting tree*: recursive binomial
+//!   partitioning of `n` points over the grid with subtree-seeded PRNGs, so
+//!   any PE can derive the content of any cell without communication;
+//! * [`cell_points`] — deterministic per-cell point generation;
+//! * [`hyperbolic`] — the hyperbolic plane toolbox of §7 (radial sampling,
+//!   distance, Δθ bounds, trig-free adjacency via precomputation, annuli).
+
+pub mod cell_points;
+pub mod counts;
+pub mod grid;
+pub mod hyperbolic;
+pub mod morton;
+pub mod point;
+
+pub use counts::CountTree;
+pub use grid::CellGrid;
+pub use point::Point;

@@ -1,0 +1,221 @@
+//! GPGPU Erdős–Rényi generation (§4.3.1).
+//!
+//! "Since the ER generators are a direct application of sampling, the
+//! GPGPU implementation from \[18\] can be used \[...\] each PE is assigned a
+//! chunk and computes the correct sample size and seeds for the
+//! pseudorandom generator on the CPU and then invokes the GPGPU algorithm
+//! to sample the edges of the graph."
+//!
+//! The host side therefore runs the divide-and-conquer count recursion
+//! (hypergeometric splits for G(n,m), per-block binomials for G(n,p)) and
+//! hands each leaf block — count, seed identity, universe range — to one
+//! device block, which samples its edges independently. Because leaf
+//! sampling uses the same block-id-derived seeds as the CPU generators,
+//! the device output is **bit-identical** to [`kagen_core::GnmDirected`] /
+//! [`kagen_core::GnpDirected`] — asserted in tests.
+
+use crate::device::Device;
+use kagen_core::er::{directed_index_to_edge, er_leaf_blocks, er_pe_block_range};
+use kagen_core::GnmDirected;
+use kagen_dist::binomial;
+use kagen_sampling::vitter::sample_sorted;
+use kagen_util::seed::stream;
+use kagen_util::{derive_seed, Mt64};
+
+/// One device block's work: sample `count` indices from the block range.
+struct LeafJob {
+    block: u64,
+    count: u64,
+}
+
+/// Directed G(n,m) on the simulated device.
+#[derive(Clone, Debug)]
+pub struct GpuGnmDirected {
+    n: u64,
+    m: u64,
+    seed: u64,
+}
+
+impl GpuGnmDirected {
+    /// `n` vertices, exactly `m` directed edges.
+    pub fn new(n: u64, m: u64) -> Self {
+        let universe = (n as u128) * (n as u128).saturating_sub(1);
+        assert!((m as u128) <= universe, "m exceeds the directed universe");
+        GpuGnmDirected { n, m, seed: 1 }
+    }
+
+    /// Set the instance seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generate the whole instance on `dev`; edges are returned in global
+    /// index order (the concatenation of the sorted per-block samples).
+    pub fn generate(&self, dev: &Device) -> Vec<(u64, u64)> {
+        let cpu = GnmDirected::new(self.n, self.m).with_seed(self.seed);
+        let Some(sampler) = cpu.sampler() else {
+            return Vec::new();
+        };
+        // Host: count recursion (cheap, O(blocks) hypergeometric draws).
+        let mut jobs: Vec<LeafJob> = Vec::new();
+        sampler.for_block_counts(0, sampler.blocks(), &mut |block, count| {
+            jobs.push(LeafJob { block, count })
+        });
+        let n = self.n;
+        // Device: one block per leaf; PRNG seeded by the leaf id exactly as
+        // the CPU path does inside `DistributedSampler::sample_block`.
+        let per_block: Vec<Vec<(u64, u64)>> = dev.launch(jobs, move |ctx, job| {
+            let mut out = Vec::with_capacity(job.count as usize);
+            sampler.sample_block_with_count(job.block, job.count, &mut |idx| {
+                out.push(directed_index_to_edge(n, idx));
+            });
+            // Lockstep accounting: each sampled edge is one lane of work
+            // ending in a 16-byte global-memory store.
+            ctx.simd_for(out.len(), |_| true);
+            ctx.gmem_write(out.len() * 16);
+            out
+        });
+        per_block.concat()
+    }
+}
+
+/// Directed G(n,p) on the simulated device.
+#[derive(Clone, Debug)]
+pub struct GpuGnpDirected {
+    n: u64,
+    p: f64,
+    seed: u64,
+}
+
+impl GpuGnpDirected {
+    /// `n` vertices, each ordered pair kept with probability `p`.
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+        GpuGnpDirected { n, p, seed: 1 }
+    }
+
+    /// Set the instance seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generate the whole instance on `dev` (global index order).
+    pub fn generate(&self, dev: &Device) -> Vec<(u64, u64)> {
+        let universe = (self.n as u128) * (self.n as u128).saturating_sub(1);
+        if universe == 0 || self.p == 0.0 {
+            return Vec::new();
+        }
+        let expected = ((universe as f64) * self.p) as u64;
+        let blocks = er_leaf_blocks(universe, expected.max(1));
+        // Host: per-block binomial counts — "the distribution of vertices
+        // for each individual chunk is predetermined" (§4.3), so no
+        // recursion is needed, just one seeded binomial per block.
+        let seed = self.seed;
+        let jobs: Vec<(u64, u64, u128, u128)> = (0..blocks)
+            .map(|b| {
+                let start = universe * b as u128 / blocks as u128;
+                let end = universe * (b + 1) as u128 / blocks as u128;
+                let mut count_rng = Mt64::new(derive_seed(seed, &[stream::COUNT, b]));
+                let count = binomial(&mut count_rng, end - start, self.p);
+                (b, count, start, end)
+            })
+            .collect();
+        let n = self.n;
+        let per_block: Vec<Vec<(u64, u64)>> =
+            dev.launch(jobs, move |ctx, (b, count, start, end)| {
+                let mut rng = Mt64::new(derive_seed(seed, &[stream::SAMPLE, b]));
+                let mut out = Vec::with_capacity(count as usize);
+                sample_sorted(&mut rng, (end - start) as u64, count, &mut |i| {
+                    out.push(directed_index_to_edge(n, start + i as u128));
+                });
+                ctx.simd_for(out.len(), |_| true);
+                ctx.gmem_write(out.len() * 16);
+                out
+            });
+        per_block.concat()
+    }
+}
+
+/// The block range of the directed universe PE `pe` would own — exposed so
+/// a *distributed* accelerator setup (one device per PE, §2.3 "every PE
+/// has a GPGPU available") can generate just its share.
+pub fn pe_leaf_range(n: u64, m: u64, chunks: usize, pe: usize) -> (u64, u64) {
+    let universe = (n as u128) * (n as u128).saturating_sub(1);
+    let blocks = er_leaf_blocks(universe, m.max(1));
+    er_pe_block_range(blocks, chunks, pe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kagen_core::{generate_directed, GnpDirected};
+
+    #[test]
+    fn gnm_bit_identical_to_cpu() {
+        for &(n, m, seed) in &[(100u64, 800u64, 1u64), (500, 20_000, 7), (64, 64 * 63, 3)] {
+            let dev = Device::default();
+            let mut gpu = GpuGnmDirected::new(n, m).with_seed(seed).generate(&dev);
+            let cpu = generate_directed(&GnmDirected::new(n, m).with_seed(seed));
+            gpu.sort_unstable();
+            assert_eq!(gpu, cpu.edges, "n={n} m={m} seed={seed}");
+        }
+    }
+
+    #[test]
+    fn gnp_bit_identical_to_cpu() {
+        for &(n, p, seed) in &[(300u64, 0.01f64, 2u64), (100, 0.3, 9)] {
+            let dev = Device::default();
+            let mut gpu = GpuGnpDirected::new(n, p).with_seed(seed).generate(&dev);
+            let cpu = generate_directed(&GnpDirected::new(n, p).with_seed(seed));
+            gpu.sort_unstable();
+            assert_eq!(gpu, cpu.edges, "n={n} p={p} seed={seed}");
+        }
+    }
+
+    #[test]
+    fn gnm_exact_count_and_write_volume() {
+        let dev = Device::default();
+        let edges = GpuGnmDirected::new(400, 5000).with_seed(4).generate(&dev);
+        assert_eq!(edges.len(), 5000);
+        // Every edge leaves the device exactly once: 16 bytes per edge.
+        assert_eq!(dev.stats().gmem_write, 5000 * 16);
+        assert_eq!(dev.stats().kernel_launches, 1);
+    }
+
+    #[test]
+    fn blocks_match_host_plan() {
+        let n = 1000u64;
+        let m = 100_000u64;
+        let universe = (n as u128) * (n as u128 - 1);
+        let dev = Device::default();
+        GpuGnmDirected::new(n, m).with_seed(1).generate(&dev);
+        assert_eq!(
+            dev.stats().blocks_executed,
+            er_leaf_blocks(universe, m),
+            "one device block per leaf block"
+        );
+    }
+
+    #[test]
+    fn pe_leaf_range_partitions() {
+        let (n, m, chunks) = (2000u64, 50_000u64, 16usize);
+        let mut prev_hi = 0;
+        for pe in 0..chunks {
+            let (lo, hi) = pe_leaf_range(n, m, chunks, pe);
+            assert_eq!(lo, prev_hi, "contiguous coverage");
+            prev_hi = hi;
+        }
+        let universe = (n as u128) * (n as u128 - 1);
+        assert_eq!(prev_hi, er_leaf_blocks(universe, m));
+    }
+
+    #[test]
+    fn empty_instances() {
+        let dev = Device::default();
+        assert!(GpuGnmDirected::new(5, 0).generate(&dev).is_empty());
+        assert!(GpuGnpDirected::new(5, 0.0).generate(&dev).is_empty());
+        assert!(GpuGnpDirected::new(1, 0.5).generate(&dev).is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! Device-side exclusive prefix sum.
+//!
+//! The §5.3 edge pipeline needs "the prefix sum of these counts \[to\]
+//! provide both the total number of edges generated as well as offsets
+//! into the edge array for each block". On a real GPU this is the classic
+//! three-kernel blocked scan; the simulation runs the same structure:
+//!
+//! 1. **reduce** — one block per tile computes its tile's sum;
+//! 2. **scan of sums** — a single block scans the (small) sum array;
+//! 3. **downsweep** — one block per tile rewrites the tile as its local
+//!    exclusive scan plus the tile offset.
+//!
+//! No inter-block communication happens inside any kernel; information
+//! flows only through global memory between launches — exactly the
+//! constraint the accelerator model imposes.
+
+use crate::device::Device;
+
+/// Exclusive prefix sum of `xs` on the device; returns `(offsets, total)`.
+///
+/// `offsets[i] = xs[0] + … + xs[i-1]`, `total = sum(xs)`.
+pub fn exclusive_scan(dev: &Device, xs: &[u64]) -> (Vec<u64>, u64) {
+    if xs.is_empty() {
+        return (Vec::new(), 0);
+    }
+    let tile = dev.cfg.threads_per_block.max(1);
+
+    // Kernel 1: per-tile reduction.
+    let tiles: Vec<&[u64]> = xs.chunks(tile).collect();
+    let sums: Vec<u64> = dev.launch(tiles, |ctx, t| {
+        ctx.gmem_read(t.len() * 8);
+        let mut s = 0u64;
+        ctx.simd_for(t.len(), |i| {
+            s += t[i];
+            true
+        });
+        s
+    });
+
+    // Kernel 2: single-block scan of the tile sums (they are few).
+    let tile_offsets: Vec<u64> = dev
+        .launch(vec![sums], |ctx, sums| {
+            ctx.gmem_read(sums.len() * 8);
+            ctx.gmem_write(sums.len() * 8);
+            let mut acc = 0u64;
+            let mut out = Vec::with_capacity(sums.len());
+            ctx.simd_for(sums.len(), |i| {
+                out.push(acc);
+                acc += sums[i];
+                true
+            });
+            (out, acc)
+        })
+        .pop()
+        .map(|(offsets, total)| {
+            // Total travels through "global memory" to the host.
+            let mut v = offsets;
+            v.push(total);
+            v
+        })
+        .unwrap();
+    let total = *tile_offsets.last().unwrap();
+
+    // Kernel 3: per-tile downsweep.
+    let tiles: Vec<(usize, &[u64])> = xs.chunks(tile).enumerate().collect();
+    let scanned: Vec<Vec<u64>> = dev.launch(tiles, |ctx, (t_idx, t)| {
+        ctx.gmem_read(t.len() * 8 + 8);
+        ctx.gmem_write(t.len() * 8);
+        let mut acc = tile_offsets[t_idx];
+        let mut out = Vec::with_capacity(t.len());
+        ctx.simd_for(t.len(), |i| {
+            out.push(acc);
+            acc += t[i];
+            true
+        });
+        out
+    });
+
+    (scanned.concat(), total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+
+    fn reference(xs: &[u64]) -> (Vec<u64>, u64) {
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(xs.len());
+        for &x in xs {
+            out.push(acc);
+            acc += x;
+        }
+        (out, acc)
+    }
+
+    #[test]
+    fn matches_reference_across_sizes() {
+        let dev = Device::new(DeviceConfig {
+            threads_per_block: 8,
+            warp_size: 4,
+        });
+        for n in [0usize, 1, 7, 8, 9, 63, 64, 65, 1000] {
+            let xs: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % 97).collect();
+            assert_eq!(exclusive_scan(&dev, &xs), reference(&xs), "n={n}");
+        }
+    }
+
+    #[test]
+    fn total_equals_sum() {
+        let dev = Device::default();
+        let xs: Vec<u64> = (0..5000u64).collect();
+        let (_, total) = exclusive_scan(&dev, &xs);
+        assert_eq!(total, xs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn three_kernel_structure() {
+        let dev = Device::default();
+        let xs = vec![1u64; 10_000];
+        exclusive_scan(&dev, &xs);
+        let s = dev.stats();
+        assert_eq!(s.kernel_launches, 3, "reduce + scan-of-sums + downsweep");
+        // Tiles in kernels 1 and 3 plus the single block of kernel 2.
+        let tiles = xs.len().div_ceil(dev.cfg.threads_per_block) as u64;
+        assert_eq!(s.blocks_executed, 2 * tiles + 1);
+    }
+
+    #[test]
+    fn zero_heavy_input() {
+        let dev = Device::default();
+        let xs = vec![0u64, 0, 5, 0, 0, 3, 0];
+        let (offs, total) = exclusive_scan(&dev, &xs);
+        assert_eq!(offs, vec![0, 0, 0, 5, 5, 5, 8]);
+        assert_eq!(total, 8);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn scan_invariants(xs in proptest::collection::vec(0u64..1000, 0..300)) {
+            let dev = Device::new(DeviceConfig { threads_per_block: 16, warp_size: 8 });
+            let (offs, total) = exclusive_scan(&dev, &xs);
+            let (r_offs, r_total) = reference(&xs);
+            proptest::prop_assert_eq!(offs, r_offs);
+            proptest::prop_assert_eq!(total, r_total);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Breadth-first search (the Graph500 kernel; used in examples/tests).
+
+use crate::{Csr, Node};
+
+/// BFS distances from `source`; unreachable vertices get `u32::MAX`.
+pub fn bfs_distances(csr: &Csr, source: Node) -> Vec<u32> {
+    let n = csr.n();
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in csr.neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity-style summary of a BFS: (reached vertices, max finite
+/// distance).
+pub fn bfs_summary(csr: &Csr, source: Node) -> (usize, u32) {
+    let dist = bfs_distances(csr, source);
+    let reached = dist.iter().filter(|&&d| d != u32::MAX).count();
+    let max = dist
+        .iter()
+        .filter(|&&d| d != u32::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0);
+    (reached, max)
+}
+
+/// Pseudo-diameter via the double-sweep heuristic: BFS from `start`, then
+/// BFS again from the farthest vertex found. A lower bound on the true
+/// diameter, exact on trees; standard for mesh/network diagnostics.
+pub fn pseudo_diameter(csr: &Csr, start: Node) -> u32 {
+    let first = bfs_distances(csr, start);
+    let (far, _) = first
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != u32::MAX)
+        .max_by_key(|(_, &d)| d)
+        .expect("nonempty graph");
+    let second = bfs_distances(csr, far as Node);
+    second
+        .iter()
+        .filter(|&&d| d != u32::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdgeList;
+
+    #[test]
+    fn path_distances() {
+        let el = EdgeList::new(4, vec![(0, 1), (1, 2), (2, 3)]);
+        let csr = Csr::undirected(&el);
+        assert_eq!(bfs_distances(&csr, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_distances(&csr, 2), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let el = EdgeList::new(4, vec![(0, 1)]);
+        let csr = Csr::undirected(&el);
+        let d = bfs_distances(&csr, 0);
+        assert_eq!(d[2], u32::MAX);
+        assert_eq!(bfs_summary(&csr, 0), (2, 1));
+    }
+
+    #[test]
+    fn star_graph() {
+        let el = EdgeList::new(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let csr = Csr::undirected(&el);
+        let (reached, ecc) = bfs_summary(&csr, 1);
+        assert_eq!(reached, 5);
+        assert_eq!(ecc, 2);
+    }
+
+    #[test]
+    fn pseudo_diameter_path_exact() {
+        // A path's diameter is found by the double sweep from any start.
+        let el = EdgeList::new(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let csr = Csr::undirected(&el);
+        for start in 0..6 {
+            assert_eq!(pseudo_diameter(&csr, start), 5);
+        }
+    }
+
+    #[test]
+    fn pseudo_diameter_star() {
+        let el = EdgeList::new(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let csr = Csr::undirected(&el);
+        assert_eq!(pseudo_diameter(&csr, 0), 2);
+    }
+}

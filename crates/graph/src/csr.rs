@@ -1,0 +1,164 @@
+//! Compressed sparse row adjacency, built from edge lists.
+
+use crate::{EdgeList, Node};
+
+/// CSR adjacency structure.
+///
+/// For an undirected graph build it with [`Csr::undirected`], which inserts
+/// both orientations; `neighbors(v)` then yields every neighbor of `v`.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` for vertex `v`.
+    pub offsets: Vec<usize>,
+    /// Concatenated adjacency lists, each sorted ascending.
+    pub targets: Vec<Node>,
+}
+
+impl Csr {
+    /// Build from a directed edge list (edges kept as-is).
+    pub fn directed(el: &EdgeList) -> Self {
+        Self::build(el.n, el.edges.iter().copied())
+    }
+
+    /// Build from a canonical undirected edge list (both orientations
+    /// inserted).
+    pub fn undirected(el: &EdgeList) -> Self {
+        Self::build(
+            el.n,
+            el.edges
+                .iter()
+                .flat_map(|&(u, v)| [(u, v), (v, u)]),
+        )
+    }
+
+    fn build(n: Node, edges: impl Iterator<Item = (Node, Node)> + Clone) -> Self {
+        let n = n as usize;
+        let mut counts = vec![0usize; n + 1];
+        for (u, _) in edges.clone() {
+            counts[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0 as Node; offsets[n]];
+        for (u, v) in edges {
+            targets[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+        }
+        // Sort each adjacency list for deterministic iteration and binary
+        // search.
+        for v in 0..n {
+            targets[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored arcs.
+    pub fn arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Neighbors of `v`, ascending.
+    pub fn neighbors(&self, v: Node) -> &[Node] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: Node) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Adjacency test via binary search, O(log deg).
+    pub fn has_edge(&self, u: Node, v: Node) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Global clustering-style triangle count (each triangle counted once).
+    /// Intended for validation on small/medium graphs.
+    pub fn count_triangles(&self) -> u64 {
+        let mut count = 0u64;
+        for u in 0..self.n() as Node {
+            let nu = self.neighbors(u);
+            for &v in nu.iter().filter(|&&v| v > u) {
+                let nv = self.neighbors(v);
+                // Intersect the two sorted lists above u.
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < nu.len() && j < nv.len() {
+                    let (a, b) = (nu[i], nv[j]);
+                    if a <= v {
+                        i += 1;
+                        continue;
+                    }
+                    match a.cmp(&b) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            count += 1;
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdgeList;
+
+    fn path_graph() -> EdgeList {
+        EdgeList::new(4, vec![(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn undirected_degrees() {
+        let csr = Csr::undirected(&path_graph());
+        assert_eq!(csr.degree(0), 1);
+        assert_eq!(csr.degree(1), 2);
+        assert_eq!(csr.arcs(), 6);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let el = EdgeList::new(5, vec![(2, 4), (2, 0), (2, 3), (2, 1)]);
+        let csr = Csr::directed(&el);
+        assert_eq!(csr.neighbors(2), &[0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn has_edge_both_ways_undirected() {
+        let csr = Csr::undirected(&path_graph());
+        assert!(csr.has_edge(0, 1));
+        assert!(csr.has_edge(1, 0));
+        assert!(!csr.has_edge(0, 3));
+    }
+
+    #[test]
+    fn triangle_count() {
+        // K4 has 4 triangles.
+        let el = EdgeList::new(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let csr = Csr::undirected(&el);
+        assert_eq!(csr.count_triangles(), 4);
+        // A path has none.
+        assert_eq!(Csr::undirected(&path_graph()).count_triangles(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let el = EdgeList::new(10, vec![(0, 1)]);
+        let csr = Csr::undirected(&el);
+        assert_eq!(csr.degree(5), 0);
+        assert_eq!(csr.n(), 10);
+    }
+}

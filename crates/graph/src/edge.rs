@@ -1,0 +1,136 @@
+//! Edge lists: the native output format of all generators.
+
+use crate::{Edge, Node};
+
+/// An edge list with a vertex count.
+///
+/// For undirected graphs the convention across this workspace is to store
+/// each edge once in canonical orientation `(min, max)`; per-PE outputs may
+/// contain both orientations (each PE emits all edges *incident to its
+/// local vertices*, §1), which [`EdgeList::canonicalize`] and
+/// [`merge_pe_edges`] normalize.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EdgeList {
+    /// Number of vertices (ids are `0..n`).
+    pub n: Node,
+    /// The edges.
+    pub edges: Vec<Edge>,
+}
+
+impl EdgeList {
+    /// Create an edge list over `n` vertices.
+    pub fn new(n: Node, edges: Vec<Edge>) -> Self {
+        EdgeList { n, edges }
+    }
+
+    /// Number of edges currently stored.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Re-orient every edge to `(min, max)`, sort, and remove duplicates.
+    /// This is the canonical form of an undirected graph.
+    pub fn canonicalize(&mut self) {
+        for e in &mut self.edges {
+            if e.0 > e.1 {
+                *e = (e.1, e.0);
+            }
+        }
+        self.edges.sort_unstable();
+        self.edges.dedup();
+    }
+
+    /// Sort and deduplicate without re-orienting (directed graphs).
+    pub fn sort_dedup(&mut self) {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+    }
+
+    /// True if any edge references a vertex `>= n` (validation helper).
+    pub fn has_out_of_range(&self) -> bool {
+        self.edges.iter().any(|&(u, v)| u >= self.n || v >= self.n)
+    }
+
+    /// True if any self-loop is present.
+    pub fn has_self_loops(&self) -> bool {
+        self.edges.iter().any(|&(u, v)| u == v)
+    }
+
+    /// Out-degree (directed) or degree (canonical undirected, counting each
+    /// stored edge for both endpoints) per vertex.
+    pub fn degrees_undirected(&self) -> Vec<u64> {
+        let mut deg = vec![0u64; self.n as usize];
+        for &(u, v) in &self.edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        deg
+    }
+
+    /// Out-degrees of a directed edge list.
+    pub fn out_degrees(&self) -> Vec<u64> {
+        let mut deg = vec![0u64; self.n as usize];
+        for &(u, _) in &self.edges {
+            deg[u as usize] += 1;
+        }
+        deg
+    }
+}
+
+/// Merge per-PE outputs of an *undirected* generator into one canonical
+/// edge list. Cross-PE edges appear in two PE outputs (each endpoint's
+/// owner emits them) and are deduplicated here.
+pub fn merge_pe_edges(n: Node, per_pe: impl IntoIterator<Item = Vec<Edge>>) -> EdgeList {
+    let mut edges: Vec<Edge> = per_pe.into_iter().flatten().collect();
+    for e in &mut edges {
+        if e.0 > e.1 {
+            *e = (e.1, e.0);
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    EdgeList { n, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalize_orients_sorts_dedups() {
+        let mut el = EdgeList::new(5, vec![(3, 1), (1, 3), (0, 2), (2, 0), (4, 0)]);
+        el.canonicalize();
+        assert_eq!(el.edges, vec![(0, 2), (0, 4), (1, 3)]);
+    }
+
+    #[test]
+    fn merge_dedups_cross_pe_duplicates() {
+        // PE 0 owns {0,1}, PE 1 owns {2,3}; edge (1,2) emitted by both.
+        let merged = merge_pe_edges(4, vec![vec![(0, 1), (1, 2)], vec![(2, 1), (2, 3)]]);
+        assert_eq!(merged.edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn degrees() {
+        let el = EdgeList::new(4, vec![(0, 1), (1, 2), (1, 3)]);
+        assert_eq!(el.degrees_undirected(), vec![1, 3, 1, 1]);
+        assert_eq!(el.out_degrees(), vec![1, 2, 0, 0]);
+    }
+
+    #[test]
+    fn validation_helpers() {
+        let el = EdgeList::new(3, vec![(0, 1), (2, 2)]);
+        assert!(el.has_self_loops());
+        assert!(!el.has_out_of_range());
+        let el2 = EdgeList::new(2, vec![(0, 5)]);
+        assert!(el2.has_out_of_range());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let mut el = EdgeList::new(0, vec![]);
+        el.canonicalize();
+        assert_eq!(el.m(), 0);
+        assert!(!el.has_self_loops());
+    }
+}

@@ -1,0 +1,166 @@
+//! Writers for common on-disk graph formats.
+
+use crate::EdgeList;
+use std::io::{self, BufWriter, Write};
+
+/// Write one `u v` pair per line (the format the KaGen tool emits).
+pub fn write_edge_list<W: Write>(w: W, el: &EdgeList) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    for &(u, v) in &el.edges {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Write METIS format: header `n m`, then one line of 1-based neighbors per
+/// vertex. Expects a canonical undirected edge list.
+pub fn write_metis<W: Write>(w: W, el: &EdgeList) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    let csr = crate::Csr::undirected(el);
+    writeln!(w, "{} {}", el.n, el.edges.len())?;
+    for v in 0..el.n {
+        let neigh = csr.neighbors(v);
+        let mut first = true;
+        for &u in neigh {
+            if first {
+                write!(w, "{}", u + 1)?;
+                first = false;
+            } else {
+                write!(w, " {}", u + 1)?;
+            }
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Write raw little-endian `u64` pairs (binary edge list).
+pub fn write_binary<W: Write>(w: W, el: &EdgeList) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    for &(u, v) in &el.edges {
+        w.write_all(&u.to_le_bytes())?;
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Read raw little-endian `u64` pairs back (inverse of [`write_binary`]).
+pub fn read_binary(bytes: &[u8], n: u64) -> EdgeList {
+    assert_eq!(bytes.len() % 16, 0, "truncated binary edge list");
+    let mut edges = Vec::with_capacity(bytes.len() / 16);
+    for chunk in bytes.chunks_exact(16) {
+        let u = u64::from_le_bytes(chunk[0..8].try_into().unwrap());
+        let v = u64::from_le_bytes(chunk[8..16].try_into().unwrap());
+        edges.push((u, v));
+    }
+    EdgeList::new(n, edges)
+}
+
+/// Parse a text edge list (`u v` per line; `#`/`%` comment lines skipped).
+/// `n` is inferred as max id + 1 unless given.
+pub fn read_edge_list(text: &str, n: Option<u64>) -> Result<EdgeList, String> {
+    let mut edges = Vec::new();
+    let mut max_id = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<u64, String> {
+            tok.ok_or_else(|| format!("line {}: missing field", lineno + 1))?
+                .parse::<u64>()
+                .map_err(|e| format!("line {}: {e}", lineno + 1))
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = n.unwrap_or(if edges.is_empty() { 0 } else { max_id + 1 });
+    Ok(EdgeList::new(n, edges))
+}
+
+/// Write Graphviz DOT (undirected), for visualizing small instances.
+pub fn write_dot<W: Write>(w: W, el: &EdgeList, name: &str) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "graph {name} {{")?;
+    for &(u, v) in &el.edges {
+        writeln!(w, "  {u} -- {v};")?;
+    }
+    writeln!(w, "}}")?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EdgeList {
+        EdgeList::new(4, vec![(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn edge_list_format() {
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &sample()).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "0 1\n1 2\n2 3\n");
+    }
+
+    #[test]
+    fn metis_format() {
+        let mut buf = Vec::new();
+        write_metis(&mut buf, &sample()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "4 3");
+        assert_eq!(lines[1], "2");
+        assert_eq!(lines[2], "1 3");
+        assert_eq!(lines[3], "2 4");
+        assert_eq!(lines[4], "3");
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let el = sample();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &el).unwrap();
+        assert_eq!(buf.len(), 3 * 16);
+        let back = read_binary(&buf, 4);
+        assert_eq!(back, el);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let el = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &el).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let back = read_edge_list(&text, None).unwrap();
+        assert_eq!(back, el);
+    }
+
+    #[test]
+    fn read_skips_comments_and_infers_n() {
+        let el = read_edge_list("# header\n0 1\n% meta\n5 2\n", None).unwrap();
+        assert_eq!(el.n, 6);
+        assert_eq!(el.edges, vec![(0, 1), (5, 2)]);
+    }
+
+    #[test]
+    fn read_reports_errors() {
+        assert!(read_edge_list("0\n", None).is_err());
+        assert!(read_edge_list("a b\n", None).is_err());
+        assert_eq!(read_edge_list("", None).unwrap().n, 0);
+    }
+
+    #[test]
+    fn dot_output() {
+        let mut buf = Vec::new();
+        write_dot(&mut buf, &sample(), "g").unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("graph g {"));
+        assert!(text.contains("  1 -- 2;"));
+        assert!(text.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,29 @@
+//! # kagen-graph
+//!
+//! Graph data structures and algorithms for the KaGen reproduction.
+//!
+//! The generators emit *edge lists* (the Graph500-style output format the
+//! paper's evaluation produces); this crate supplies everything downstream
+//! of that: canonicalization and merging of per-PE outputs, CSR adjacency,
+//! degree statistics, connected components, BFS, and writers.
+
+pub mod bfs;
+pub mod components;
+pub mod csr;
+pub mod edge;
+pub mod io;
+pub mod stats;
+
+pub use bfs::bfs_distances;
+pub use components::UnionFind;
+pub use csr::Csr;
+pub use edge::{merge_pe_edges, EdgeList};
+pub use stats::DegreeStats;
+
+/// Vertex identifier. The paper generates up to 2^43 vertices; u64
+/// everywhere.
+pub type Node = u64;
+
+/// A directed edge (ordered pair) or an undirected edge stored in canonical
+/// orientation, depending on context.
+pub type Edge = (Node, Node);

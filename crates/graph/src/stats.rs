@@ -1,0 +1,118 @@
+//! Degree statistics for model validation.
+
+use crate::EdgeList;
+
+/// Summary statistics of a degree sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: u64,
+    /// Maximum degree.
+    pub max: u64,
+    /// Mean degree.
+    pub mean: f64,
+    /// Degree variance.
+    pub variance: f64,
+}
+
+impl DegreeStats {
+    /// Compute from a degree sequence.
+    pub fn from_degrees(degrees: &[u64]) -> Self {
+        if degrees.is_empty() {
+            return DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                variance: 0.0,
+            };
+        }
+        let min = *degrees.iter().min().unwrap();
+        let max = *degrees.iter().max().unwrap();
+        let n = degrees.len() as f64;
+        let mean = degrees.iter().map(|&d| d as f64).sum::<f64>() / n;
+        let variance = degrees
+            .iter()
+            .map(|&d| (d as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        DegreeStats {
+            min,
+            max,
+            mean,
+            variance,
+        }
+    }
+
+    /// Compute for an undirected canonical edge list.
+    pub fn undirected(el: &EdgeList) -> Self {
+        Self::from_degrees(&el.degrees_undirected())
+    }
+}
+
+/// Histogram of degrees: `hist[d]` = number of vertices with degree `d`.
+pub fn degree_histogram(degrees: &[u64]) -> Vec<u64> {
+    let max = degrees.iter().copied().max().unwrap_or(0) as usize;
+    let mut hist = vec![0u64; max + 1];
+    for &d in degrees {
+        hist[d as usize] += 1;
+    }
+    hist
+}
+
+/// Ratio of closed triplets: 3·triangles / open-and-closed triplets.
+/// (Global clustering coefficient; validation on small graphs.)
+pub fn global_clustering(el: &EdgeList) -> f64 {
+    let csr = crate::Csr::undirected(el);
+    let triangles = csr.count_triangles();
+    let triplets: u64 = (0..csr.n())
+        .map(|v| {
+            let d = csr.degree(v as u64) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if triplets == 0 {
+        0.0
+    } else {
+        3.0 * triangles as f64 / triplets as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdgeList;
+
+    #[test]
+    fn stats_of_star() {
+        let el = EdgeList::new(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let s = DegreeStats::undirected(&el);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram() {
+        let h = degree_histogram(&[0, 1, 1, 3]);
+        assert_eq!(h, vec![1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn clustering_of_triangle_is_one() {
+        let el = EdgeList::new(3, vec![(0, 1), (1, 2), (0, 2)]);
+        assert!((global_clustering(&el) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_of_path_is_zero() {
+        let el = EdgeList::new(3, vec![(0, 1), (1, 2)]);
+        assert_eq!(global_clustering(&el), 0.0);
+    }
+
+    #[test]
+    fn empty_degrees() {
+        let s = DegreeStats::from_degrees(&[]);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+}

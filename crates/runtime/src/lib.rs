@@ -1,0 +1,25 @@
+//! # kagen-runtime
+//!
+//! The processing-element (PE) execution model.
+//!
+//! The paper runs one MPI rank per core on SuperMUC. Because the KaGen
+//! generators are *communication-free*, a PE's output is a pure function of
+//! `(seed, params, pe id)` — so logical PEs can be executed as tasks on a
+//! shared-memory thread pool and the code path is identical to what MPI
+//! ranks would run (see DESIGN.md, substitutions).
+//!
+//! * [`pe`] — run `k` logical PEs on `t` threads, optionally timing each.
+//! * [`scaling`] — weak/strong scaling harness: the *emulated parallel
+//!   time* of a P-PE run is `max_i t_i`, which equals the wall time on a
+//!   machine with ≥ P cores (plus startup) for communication-free programs.
+//! * [`comm`] — a channel-based all-to-all communicator with volume
+//!   accounting, used **only** by the communicating Holtgrewe baseline
+//!   (the point of the paper is to not need this).
+
+pub mod comm;
+pub mod pe;
+pub mod scaling;
+
+pub use comm::Communicator;
+pub use pe::{run_chunks, run_chunks_timed, thread_pool};
+pub use scaling::{PeTiming, ScalingPoint};

@@ -1,0 +1,90 @@
+//! Running logical PEs on a thread pool.
+
+use std::time::{Duration, Instant};
+
+/// Build a rayon pool with a fixed thread count (0 = rayon default).
+pub fn thread_pool(threads: usize) -> rayon::ThreadPool {
+    let mut builder = rayon::ThreadPoolBuilder::new();
+    if threads > 0 {
+        builder = builder.num_threads(threads);
+    }
+    builder.build().expect("failed to build thread pool")
+}
+
+/// Execute `f(pe)` for every logical PE `0..num_pes` on `threads` worker
+/// threads and collect the results in PE order.
+///
+/// The results are identical for every `threads` value — that is the
+/// communication-free property, and the integration tests assert it.
+pub fn run_chunks<T: Send>(
+    num_pes: usize,
+    threads: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let pool = thread_pool(threads);
+    pool.install(|| {
+        use rayon::prelude::*;
+        (0..num_pes).into_par_iter().map(|pe| f(pe)).collect()
+    })
+}
+
+/// Like [`run_chunks`] but also measures each PE's busy time.
+pub fn run_chunks_timed<T: Send>(
+    num_pes: usize,
+    threads: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<(T, Duration)> {
+    let pool = thread_pool(threads);
+    pool.install(|| {
+        use rayon::prelude::*;
+        (0..num_pes)
+            .into_par_iter()
+            .map(|pe| {
+                let start = Instant::now();
+                let out = f(pe);
+                (out, start.elapsed())
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_pe_order() {
+        let out = run_chunks(16, 4, |pe| pe * 10);
+        assert_eq!(out, (0..16).map(|pe| pe * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let f = |pe: usize| (pe as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        let a = run_chunks(32, 1, f);
+        let b = run_chunks(32, 8, f);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn timing_is_recorded() {
+        let out = run_chunks_timed(4, 2, |pe| {
+            // Busy-wait a tiny deterministic amount.
+            let mut acc = pe as u64;
+            for i in 0..50_000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            acc
+        });
+        assert_eq!(out.len(), 4);
+        for (_, d) in &out {
+            assert!(*d > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn zero_pes() {
+        let out: Vec<u32> = run_chunks(0, 2, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,22 @@
+//! # kagen-sampling
+//!
+//! Sampling algorithms underlying all KaGen generators.
+//!
+//! * [`vitter`] — sequential sampling without replacement in sorted order:
+//!   Vitter's Algorithm A (linear scan) and Algorithm D (skip-based,
+//!   expected O(k) for k samples) [Vitter 1987].
+//! * [`skip`] — Bernoulli sampling with geometric skips (Batagelj–Brandes).
+//! * [`distributed`] — the divide-and-conquer sampler of Sanders et al.
+//!   \[18\]: the universe is split into blocks, sample counts per block are
+//!   derived by recursive hypergeometric splitting with subtree-seeded
+//!   PRNGs, and leaves are drawn with Algorithm D. Any PE can compute the
+//!   counts and samples of any block range *without communication*, and all
+//!   PEs agree bit-for-bit.
+
+pub mod distributed;
+pub mod skip;
+pub mod vitter;
+
+pub use distributed::DistributedSampler;
+pub use skip::bernoulli_sample;
+pub use vitter::{sample_sorted, vitter_a, vitter_d};

@@ -1,0 +1,106 @@
+//! Bernoulli sampling with geometric skips (Batagelj & Brandes).
+//!
+//! Walks a universe selecting each element independently with probability
+//! `p`, but in O(selected) time by jumping over the gaps. Used by the
+//! G(n,p) leaves and by the Boost-style baseline.
+
+use kagen_dist::geometric::geometric_skip;
+use kagen_util::Rng64;
+
+/// Emit every index of `[0, universe)` independently selected with
+/// probability `p`, in increasing order.
+pub fn bernoulli_sample<R: Rng64>(
+    rng: &mut R,
+    universe: u64,
+    p: f64,
+    emit: &mut impl FnMut(u64),
+) {
+    if p <= 0.0 || universe == 0 {
+        return;
+    }
+    if p >= 1.0 {
+        for i in 0..universe {
+            emit(i);
+        }
+        return;
+    }
+    let mut idx = geometric_skip(rng, p);
+    while idx < universe {
+        emit(idx);
+        let skip = geometric_skip(rng, p);
+        idx = match idx.checked_add(1).and_then(|x| x.checked_add(skip)) {
+            Some(next) => next,
+            None => break,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kagen_util::Mt64;
+
+    #[test]
+    fn count_matches_expectation() {
+        let mut rng = Mt64::new(1);
+        let universe = 1_000_000u64;
+        let p = 0.001;
+        let mut count = 0u64;
+        bernoulli_sample(&mut rng, universe, p, &mut |_| count += 1);
+        let expect = universe as f64 * p;
+        let sd = (universe as f64 * p * (1.0 - p)).sqrt();
+        assert!(
+            (count as f64 - expect).abs() < 5.0 * sd,
+            "count {count} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn sorted_unique_in_range() {
+        let mut rng = Mt64::new(2);
+        let mut last: Option<u64> = None;
+        bernoulli_sample(&mut rng, 100_000, 0.01, &mut |x| {
+            if let Some(l) = last {
+                assert!(x > l);
+            }
+            assert!(x < 100_000);
+            last = Some(x);
+        });
+    }
+
+    #[test]
+    fn p_one_selects_everything() {
+        let mut rng = Mt64::new(3);
+        let mut out = Vec::new();
+        bernoulli_sample(&mut rng, 10, 1.0, &mut |x| out.push(x));
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn p_zero_selects_nothing() {
+        let mut rng = Mt64::new(4);
+        let mut any = false;
+        bernoulli_sample(&mut rng, 1000, 0.0, &mut |_| any = true);
+        assert!(!any);
+    }
+
+    #[test]
+    fn inclusion_probability_uniform() {
+        // Every position equally likely: compare first and last decile.
+        let mut rng = Mt64::new(5);
+        let universe = 1000u64;
+        let mut lo = 0u32;
+        let mut hi = 0u32;
+        for _ in 0..2000 {
+            bernoulli_sample(&mut rng, universe, 0.05, &mut |x| {
+                if x < 100 {
+                    lo += 1;
+                } else if x >= 900 {
+                    hi += 1;
+                }
+            });
+        }
+        let ratio = lo as f64 / hi as f64;
+        assert!((0.9..1.1).contains(&ratio), "lo {lo} hi {hi}");
+    }
+}

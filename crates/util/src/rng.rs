@@ -1,0 +1,156 @@
+//! The [`Rng64`] trait: the single PRNG interface used across the library.
+//!
+//! Implementors only provide [`Rng64::next_u64`]; everything else (floats,
+//! unbiased bounded integers, ranges) is derived here so all generators and
+//! distributions are PRNG-agnostic.
+
+/// A source of uniform 64-bit words plus derived helpers.
+pub trait Rng64 {
+    /// Next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline(always)]
+    fn next_f64(&mut self) -> f64 {
+        // Top 53 bits scaled by 2^-53.
+        (self.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+    }
+
+    /// Uniform `f64` in the open interval `(0, 1)` — safe for `ln()`.
+    #[inline(always)]
+    fn next_f64_open(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 0.5) * (1.0 / 9_007_199_254_740_992.0)
+    }
+
+    /// Unbiased uniform integer in `[0, bound)` (Lemire's method with
+    /// rejection). `bound` must be nonzero.
+    #[inline]
+    fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Unbiased uniform integer in `[0, bound)` for 128-bit bounds.
+    /// Used for edge-index universes larger than 2^64 (n > 2^32 vertices).
+    #[inline]
+    fn next_below_u128(&mut self, bound: u128) -> u128 {
+        debug_assert!(bound > 0);
+        if bound <= u64::MAX as u128 {
+            return self.next_below(bound as u64) as u128;
+        }
+        // Rejection from the smallest power-of-two envelope.
+        let bits = 128 - bound.leading_zeros();
+        let mask = if bits == 128 {
+            u128::MAX
+        } else {
+            (1u128 << bits) - 1
+        };
+        loop {
+            let hi = self.next_u64() as u128;
+            let lo = self.next_u64() as u128;
+            let x = ((hi << 64) | lo) & mask;
+            if x < bound {
+                return x;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    #[inline]
+    fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        lo + self.next_below(hi - lo)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    fn next_f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    #[inline]
+    fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Collect `n` words (testing helper).
+    fn take_vec(&mut self, n: usize) -> Vec<u64>
+    where
+        Self: Sized,
+    {
+        (0..n).map(|_| self.next_u64()).collect()
+    }
+}
+
+impl<R: Rng64 + ?Sized> Rng64 for &mut R {
+    #[inline(always)]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::splitmix::SplitMix64;
+
+    #[test]
+    fn below_bounds_hold() {
+        let mut rng = SplitMix64::new(1);
+        for bound in [1u64, 2, 3, 7, 100, 1 << 33, u64::MAX] {
+            for _ in 0..200 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn below_u128_bounds_hold() {
+        let mut rng = SplitMix64::new(2);
+        for bound in [1u128, 5, 1 << 70, (1u128 << 100) + 12345] {
+            for _ in 0..200 {
+                assert!(rng.next_below_u128(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn open_interval_never_zero() {
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..10_000 {
+            let x = rng.next_f64_open();
+            assert!(x > 0.0 && x < 1.0);
+        }
+    }
+
+    #[test]
+    fn range_endpoints() {
+        let mut rng = SplitMix64::new(4);
+        let mut saw_lo = false;
+        for _ in 0..1000 {
+            let v = rng.next_range(10, 12);
+            assert!((10..12).contains(&v));
+            saw_lo |= v == 10;
+        }
+        assert!(saw_lo);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = SplitMix64::new(5);
+        assert!(!rng.next_bool(0.0));
+        assert!(rng.next_bool(1.0 + 1e-9));
+    }
+}

@@ -1,0 +1,72 @@
+//! Scientific-computing mesh generation with random Delaunay graphs.
+//!
+//! The paper motivates RDGs as "a good model for meshes as they are
+//! frequently used in scientific computing" with periodic boundary
+//! conditions (§2.1.4). This example generates a periodic triangle mesh,
+//! verifies the structural invariants a solver would rely on, and writes
+//! it out in METIS format for a graph partitioner.
+//!
+//! ```text
+//! cargo run --release --example mesh_generation
+//! ```
+
+use kagen_repro::core::{generate_undirected, Rdg2d, Rdg3d};
+use kagen_repro::graph::bfs::bfs_summary;
+use kagen_repro::graph::components::is_connected;
+use kagen_repro::graph::io::write_metis;
+use kagen_repro::graph::{Csr, DegreeStats};
+
+fn main() {
+    let n: u64 = 15_000;
+    let gen = Rdg2d::new(n).with_seed(99).with_chunks(16);
+    let el = generate_undirected(&gen);
+
+    // Torus triangulation invariants: 2-manifold without boundary means
+    // E = 3n exactly (Euler characteristic 0) and min degree ≥ 3.
+    let stats = DegreeStats::undirected(&el);
+    println!("2D periodic Delaunay mesh: n = {n}, m = {}", el.edges.len());
+    println!(
+        "degree min/avg/max = {}/{:.3}/{}",
+        stats.min, stats.mean, stats.max
+    );
+    assert_eq!(
+        el.edges.len() as u64,
+        3 * n,
+        "torus triangulation must have exactly 3n edges"
+    );
+    assert!(stats.min >= 3, "simplicial mesh vertices have degree ≥ 3");
+    assert!(is_connected(&el), "mesh must be a single component");
+
+    // Mesh quality proxy: BFS eccentricity from a corner vertex scales
+    // like sqrt(n) on a 2D mesh (unlike log n on expanders).
+    let csr = Csr::undirected(&el);
+    let (reached, ecc) = bfs_summary(&csr, 0);
+    println!("BFS from vertex 0: reached {reached}, eccentricity {ecc}");
+    assert_eq!(reached as u64, n);
+    let sqrt_n = (n as f64).sqrt();
+    assert!(
+        (ecc as f64) > 0.3 * sqrt_n && (ecc as f64) < 3.0 * sqrt_n,
+        "mesh diameter should scale like sqrt(n): ecc {ecc} vs sqrt(n) {sqrt_n:.0}"
+    );
+
+    // Write for a partitioner (e.g. METIS/KaHIP).
+    let path = std::env::temp_dir().join("kagen_mesh.metis");
+    let file = std::fs::File::create(&path).expect("create mesh file");
+    write_metis(file, &el).expect("write mesh");
+    println!("mesh written to {}", path.display());
+
+    // A small 3D mesh: tetrahedral, mean degree ≈ 15.54 (Poisson–Delaunay).
+    let n3: u64 = 3_000;
+    let gen3 = Rdg3d::new(n3).with_seed(99).with_chunks(8);
+    let el3 = generate_undirected(&gen3);
+    let stats3 = DegreeStats::undirected(&el3);
+    println!(
+        "\n3D periodic Delaunay mesh: n = {n3}, m = {}, mean degree = {:.2} (theory ≈ 15.54)",
+        el3.edges.len(),
+        stats3.mean
+    );
+    assert!(
+        (stats3.mean - 15.54).abs() < 1.0,
+        "3D Poisson–Delaunay degree should be ≈ 15.54"
+    );
+}

@@ -1,0 +1,87 @@
+//! Synthetic social network analysis with random hyperbolic graphs.
+//!
+//! RHGs are the paper's stand-in for complex networks: power-law degree
+//! distribution (exponent γ = 2α+1), non-vanishing clustering, small
+//! diameter. This example generates a network, validates the power-law
+//! exponent with a maximum-likelihood fit, inspects the hubs, and
+//! estimates clustering — the measurements a network scientist would run
+//! on a real social graph.
+//!
+//! ```text
+//! cargo run --release --example social_network
+//! ```
+
+use kagen_repro::core::{generate_undirected, Rhg};
+use kagen_repro::graph::stats::{degree_histogram, global_clustering, DegreeStats};
+use kagen_repro::stats::power_law_alpha;
+
+fn main() {
+    let n: u64 = 30_000;
+    let gamma = 2.5;
+    let avg_deg = 12.0;
+    let gen = Rhg::new(n, avg_deg, gamma).with_seed(2026).with_chunks(8);
+    let el = generate_undirected(&gen);
+
+    let degrees = el.degrees_undirected();
+    let stats = DegreeStats::from_degrees(&degrees);
+    println!("synthetic social network: n = {n}, target γ = {gamma}, target d̄ = {avg_deg}");
+    println!(
+        "m = {}, degree min/avg/max = {}/{:.2}/{}",
+        el.edges.len(),
+        stats.min,
+        stats.mean,
+        stats.max
+    );
+
+    // Degree distribution tail: MLE exponent should approximate γ.
+    match power_law_alpha(&degrees, 10) {
+        Some(alpha) => {
+            println!("power-law exponent (MLE, tail d ≥ 10): {alpha:.2} (target {gamma})");
+            assert!(
+                (alpha - gamma).abs() < 0.6,
+                "estimated exponent far from the model target"
+            );
+        }
+        None => println!("tail too small for an exponent estimate"),
+    }
+
+    // Hubs: the few highest-degree vertices dominate.
+    let mut by_degree: Vec<(u64, u64)> = degrees
+        .iter()
+        .enumerate()
+        .map(|(v, &d)| (d, v as u64))
+        .collect();
+    by_degree.sort_unstable_by(|a, b| b.cmp(a));
+    println!("\ntop hubs (degree, vertex):");
+    for (d, v) in by_degree.iter().take(5) {
+        println!("  {d:>6}  vertex {v}");
+    }
+    let hub_share: u64 = by_degree.iter().take(10).map(|(d, _)| d).sum();
+    println!(
+        "top-10 hubs carry {:.1}% of all edge endpoints",
+        100.0 * hub_share as f64 / (2 * el.edges.len()) as f64
+    );
+
+    // Clustering: geometric models cluster, unlike ER at equal density.
+    let clustering = global_clustering(&el);
+    println!("\nglobal clustering coefficient: {clustering:.3}");
+    let er_expect = avg_deg / n as f64;
+    println!("(an Erdős–Rényi graph at the same density would have ≈ {er_expect:.5})");
+    assert!(
+        clustering > 20.0 * er_expect,
+        "hyperbolic geometry must induce strong clustering"
+    );
+
+    // Histogram tail for eyeballing the power law on a log-log scale.
+    let hist = degree_histogram(&degrees);
+    println!("\nlog-log degree histogram (degree, count):");
+    let mut d = 1usize;
+    while d < hist.len() {
+        let upper = (d * 2).min(hist.len());
+        let count: u64 = hist[d..upper].iter().sum();
+        if count > 0 {
+            println!("  [{d:>5}, {upper:>5})  {count}");
+        }
+        d *= 2;
+    }
+}

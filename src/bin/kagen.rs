@@ -1,0 +1,239 @@
+//! `kagen` — command-line graph generation, mirroring the reference
+//! KaGen application.
+//!
+//! ```text
+//! kagen <model> [options]
+//!
+//! models:
+//!   gnm_directed    -n <vertices> -m <edges>
+//!   gnm_undirected  -n <vertices> -m <edges>
+//!   gnp_directed    -n <vertices> -p <prob>
+//!   gnp_undirected  -n <vertices> -p <prob>
+//!   rgg2d           -n <vertices> -r <radius>     (default r: threshold)
+//!   rgg3d           -n <vertices> -r <radius>
+//!   rdg2d           -n <vertices>
+//!   rdg3d           -n <vertices>
+//!   rhg             -n <vertices> -d <avg-deg> -g <gamma>
+//!   srhg            -n <vertices> -d <avg-deg> -g <gamma>
+//!   soft-rhg        -n <vertices> -d <avg-deg> -g <gamma> -T <temperature>
+//!   ba              -n <vertices> -d <edges-per-vertex>
+//!   rmat            -n <vertices=2^k> -m <edges>
+//!   sbm             -n <vertices> -b <blocks> --p-in <p> --p-out <p>
+//!
+//! common options:
+//!   -s <seed>        instance seed            (default 1)
+//!   -c <chunks>      logical PEs              (default 64)
+//!   -t <threads>     worker threads           (default: all cores)
+//!   -o <path>        output file              (default: stdout)
+//!   -f <format>      edge-list | metis | binary (default edge-list)
+//!   --stats          print graph statistics to stderr
+//! ```
+
+use kagen_repro::core::prelude::*;
+use kagen_repro::graph::io::{write_binary, write_edge_list, write_metis};
+use kagen_repro::graph::{merge_pe_edges, EdgeList};
+use std::io::Write;
+
+struct Options {
+    model: String,
+    n: u64,
+    m: u64,
+    p: f64,
+    r: Option<f64>,
+    d: f64,
+    gamma: f64,
+    temperature: f64,
+    blocks: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+    chunks: usize,
+    threads: usize,
+    output: Option<String>,
+    format: String,
+    stats: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("see `kagen --help` (module docs) for usage");
+    std::process::exit(2)
+}
+
+fn parse() -> Options {
+    let mut o = Options {
+        model: String::new(),
+        n: 1 << 12,
+        m: 1 << 15,
+        p: 0.001,
+        r: None,
+        d: 8.0,
+        gamma: 2.8,
+        temperature: 0.5,
+        blocks: 2,
+        p_in: 0.01,
+        p_out: 0.001,
+        seed: 1,
+        chunks: 64,
+        threads: 0,
+        output: None,
+        format: "edge-list".into(),
+        stats: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let Some(model) = args.next() else { usage() };
+    if model == "--help" || model == "-h" {
+        println!("{}", include_str!("kagen.rs").lines()
+            .take_while(|l| l.starts_with("//!"))
+            .map(|l| l.trim_start_matches("//!").trim_start())
+            .collect::<Vec<_>>()
+            .join("\n"));
+        std::process::exit(0);
+    }
+    o.model = model;
+    let next = |args: &mut dyn Iterator<Item = String>| -> String {
+        args.next().unwrap_or_else(|| usage())
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "-n" => o.n = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "-m" => o.m = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "-p" => o.p = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "-r" => o.r = Some(next(&mut args).parse().unwrap_or_else(|_| usage())),
+            "-d" => o.d = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "-g" => o.gamma = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "-T" => o.temperature = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "-b" => o.blocks = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--p-in" => o.p_in = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--p-out" => o.p_out = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "-s" => o.seed = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "-c" => o.chunks = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "-t" => o.threads = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "-o" => o.output = Some(next(&mut args)),
+            "-f" => o.format = next(&mut args),
+            "--stats" => o.stats = true,
+            _ => usage(),
+        }
+    }
+    o
+}
+
+fn merge_directed<G: Generator>(gen: &G, threads: usize) -> EdgeList {
+    let parts = generate_parallel(gen, threads);
+    let mut edges: Vec<(u64, u64)> = parts.into_iter().flat_map(|p| p.edges).collect();
+    edges.sort_unstable();
+    EdgeList::new(gen.num_vertices(), edges)
+}
+
+fn merge_undirected<G: Generator>(gen: &G, threads: usize) -> EdgeList {
+    let parts = generate_parallel(gen, threads);
+    merge_pe_edges(gen.num_vertices(), parts.into_iter().map(|p| p.edges))
+}
+
+fn main() {
+    let o = parse();
+    let started = std::time::Instant::now();
+    let el = match o.model.as_str() {
+        "gnm_directed" => merge_directed(
+            &GnmDirected::new(o.n, o.m).with_seed(o.seed).with_chunks(o.chunks),
+            o.threads,
+        ),
+        "gnm_undirected" => merge_undirected(
+            &GnmUndirected::new(o.n, o.m).with_seed(o.seed).with_chunks(o.chunks),
+            o.threads,
+        ),
+        "gnp_directed" => merge_directed(
+            &GnpDirected::new(o.n, o.p).with_seed(o.seed).with_chunks(o.chunks),
+            o.threads,
+        ),
+        "gnp_undirected" => merge_undirected(
+            &GnpUndirected::new(o.n, o.p).with_seed(o.seed).with_chunks(o.chunks),
+            o.threads,
+        ),
+        "rgg2d" => {
+            let r = o.r.unwrap_or_else(|| Rgg2d::threshold_radius(o.n, 1));
+            merge_undirected(
+                &Rgg2d::new(o.n, r).with_seed(o.seed).with_chunks(o.chunks),
+                o.threads,
+            )
+        }
+        "rgg3d" => {
+            let r = o.r.unwrap_or_else(|| Rgg3d::threshold_radius(o.n, 1));
+            merge_undirected(
+                &Rgg3d::new(o.n, r).with_seed(o.seed).with_chunks(o.chunks),
+                o.threads,
+            )
+        }
+        "rdg2d" => merge_undirected(
+            &Rdg2d::new(o.n).with_seed(o.seed).with_chunks(o.chunks),
+            o.threads,
+        ),
+        "rdg3d" => merge_undirected(
+            &Rdg3d::new(o.n).with_seed(o.seed).with_chunks(o.chunks),
+            o.threads,
+        ),
+        "rhg" => merge_undirected(
+            &Rhg::new(o.n, o.d, o.gamma).with_seed(o.seed).with_chunks(o.chunks),
+            o.threads,
+        ),
+        "srhg" => merge_undirected(
+            &Srhg::new(o.n, o.d, o.gamma).with_seed(o.seed).with_chunks(o.chunks),
+            o.threads,
+        ),
+        "soft-rhg" => merge_undirected(
+            &SoftRhg::new(o.n, o.d, o.gamma, o.temperature)
+                .with_seed(o.seed)
+                .with_chunks(o.chunks),
+            o.threads,
+        ),
+        "ba" => merge_directed(
+            &BarabasiAlbert::new(o.n, o.d as u64).with_seed(o.seed).with_chunks(o.chunks),
+            o.threads,
+        ),
+        "rmat" => {
+            let scale = o.n.next_power_of_two().ilog2().max(1);
+            merge_directed(
+                &Rmat::new(scale, o.m).with_seed(o.seed).with_chunks(o.chunks),
+                o.threads,
+            )
+        }
+        "sbm" => merge_undirected(
+            &StochasticBlockModel::planted(o.n, o.blocks, o.p_in, o.p_out)
+                .with_seed(o.seed)
+                .with_chunks(o.chunks),
+            o.threads,
+        ),
+        _ => usage(),
+    };
+    let gen_time = started.elapsed();
+
+    if o.stats {
+        let deg = kagen_repro::graph::stats::DegreeStats::undirected(&el);
+        eprintln!(
+            "n = {}, m = {}, degrees {}/{:.2}/{}, generated in {:.3}s",
+            el.n,
+            el.edges.len(),
+            deg.min,
+            deg.mean,
+            deg.max,
+            gen_time.as_secs_f64()
+        );
+    }
+
+    let write = |w: &mut dyn Write, el: &EdgeList| match o.format.as_str() {
+        "edge-list" => write_edge_list(w, el),
+        "metis" => write_metis(w, el),
+        "binary" => write_binary(w, el),
+        _ => usage(),
+    };
+    match &o.output {
+        Some(path) => {
+            let mut f = std::fs::File::create(path).expect("cannot create output file");
+            write(&mut f, &el).expect("write failed");
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            write(&mut lock, &el).expect("write failed");
+        }
+    }
+}

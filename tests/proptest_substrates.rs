@@ -1,0 +1,291 @@
+//! Property-based tests for the substrate crates: geometry, graph data
+//! structures, seed derivation and the simulated GPGPU backends. These
+//! complement `proptest_invariants.rs` (which targets the samplers and
+//! generators) by pinning the invariants every generator builds on.
+
+use kagen_repro::core::er::{directed_edge_to_index, directed_index_to_edge, triangle_index_to_pair};
+use kagen_repro::core::prelude::*;
+use kagen_repro::geometry::{morton, CellGrid, CountTree};
+use kagen_repro::gpgpu::{exclusive_scan, Device, GpuGnmDirected, GpuRgg2d};
+use kagen_repro::graph::components::connected_components;
+use kagen_repro::graph::{bfs_distances, merge_pe_edges, Csr, EdgeList};
+use kagen_repro::util::seed::{stream, SeedTree};
+use kagen_repro::util::{derive_seed, Mt64, Rng64};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn morton2_roundtrip(x in 0u64..(1 << 24), y in 0u64..(1 << 24)) {
+        let code = morton::encode2(x, y);
+        prop_assert_eq!(morton::decode2(code), (x, y));
+        prop_assert_eq!(morton::decode::<2>(code), [x, y]);
+    }
+
+    #[test]
+    fn morton3_roundtrip(x in 0u64..(1 << 16), y in 0u64..(1 << 16), z in 0u64..(1 << 16)) {
+        let code = morton::encode3(x, y, z);
+        prop_assert_eq!(morton::decode3(code), (x, y, z));
+        prop_assert_eq!(morton::encode::<3>([x, y, z]), code);
+    }
+
+    #[test]
+    fn morton_preserves_locality_order_within_quadrant(
+        x in 0u64..(1 << 10),
+        y in 0u64..(1 << 10),
+    ) {
+        // Z-order invariant: the code of a point is at least the code of
+        // the quadrant corner below it.
+        let code = morton::encode2(x, y);
+        let corner = morton::encode2(x & !1, y & !1);
+        prop_assert!(code >= corner);
+        prop_assert!(code - corner <= 3);
+    }
+
+    #[test]
+    fn directed_index_edge_roundtrip(n in 2u64..5000, frac in 0.0f64..1.0) {
+        let universe = (n as u128) * (n as u128 - 1);
+        let idx = ((universe as f64) * frac) as u128;
+        let idx = idx.min(universe - 1);
+        let (u, v) = directed_index_to_edge(n, idx);
+        prop_assert!(u < n && v < n && u != v);
+        prop_assert_eq!(directed_edge_to_index(n, u, v), idx);
+    }
+
+    #[test]
+    fn triangle_index_roundtrip(t in 0u128..(1u128 << 80)) {
+        let (u, v) = triangle_index_to_pair(t);
+        prop_assert!(v < u);
+        let below = (u as u128) * (u as u128 - 1) / 2;
+        prop_assert_eq!(below + v as u128, t);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cell_grid_point_location_consistent(
+        levels in 1u32..8,
+        x in 0.0f64..1.0,
+        y in 0.0f64..1.0,
+    ) {
+        let grid: CellGrid<2> = CellGrid::new(levels);
+        let coords = grid.cell_of(&[x, y]);
+        let (lo, hi) = grid.cell_bounds(coords);
+        prop_assert!(x >= lo[0] && x < hi[0] + 1e-15);
+        prop_assert!(y >= lo[1] && y < hi[1] + 1e-15);
+        // Morton code round-trips through coords.
+        let code = grid.morton_of(coords);
+        prop_assert_eq!(grid.coords_of(code), coords);
+        prop_assert!(code < grid.num_cells());
+    }
+
+    #[test]
+    fn cell_grid_neighbor_counts(levels in 1u32..6, cx in 0u64..32, cy in 0u64..32) {
+        let grid: CellGrid<2> = CellGrid::new(levels);
+        let g = grid.cells_per_dim();
+        let coords = [cx % g, cy % g];
+        let mut wrapped = 0;
+        grid.for_neighbors(coords, true, &mut |_, _| wrapped += 1);
+        prop_assert_eq!(wrapped, 9, "torus neighborhoods are always 3^2");
+        let mut clipped = Vec::new();
+        grid.for_neighbors(coords, false, &mut |n, _| clipped.push(n));
+        for n in &clipped {
+            prop_assert!(n[0] < g && n[1] < g);
+        }
+        prop_assert!(clipped.len() <= 9);
+        let interior = coords.iter().all(|&c| c > 0 && c + 1 < g);
+        if interior {
+            prop_assert_eq!(clipped.len(), 9);
+        }
+    }
+
+    #[test]
+    fn count_tree_conserves_and_prefixes(
+        levels in 1u32..6,
+        total in 0u64..5000,
+        seed in any::<u64>(),
+    ) {
+        let tree = CountTree::<2>::new(seed, total, levels);
+        let leaves = tree.num_leaves();
+        let mut sum = 0u64;
+        let mut running = 0u64;
+        for leaf in 0..leaves {
+            prop_assert_eq!(tree.prefix_before(leaf), running, "prefix at {}", leaf);
+            let c = tree.leaf_count(leaf);
+            running += c;
+            sum += c;
+        }
+        prop_assert_eq!(sum, total);
+        // Range visitor agrees with per-leaf queries.
+        let mut via_range = 0u64;
+        tree.for_leaf_counts(0, leaves, &mut |_, c| via_range += c);
+        prop_assert_eq!(via_range, total);
+    }
+
+    #[test]
+    fn seed_tree_children_deterministic_and_distinct(
+        base in any::<u64>(),
+        arity in 2u64..5,
+    ) {
+        let root = SeedTree::root(base, stream::SPLIT, arity);
+        let mut seeds = std::collections::HashSet::new();
+        for i in 0..arity {
+            let c = root.child(i);
+            // Recomputing the child gives the identical seed.
+            prop_assert_eq!(c.seed(), root.child(i).seed());
+            seeds.insert(c.seed());
+        }
+        // Children are pairwise distinct (hash collisions are 2^-64).
+        prop_assert_eq!(seeds.len() as u64, arity);
+    }
+
+    #[test]
+    fn derive_seed_order_sensitive(a in any::<u64>(), b in any::<u64>(), s in any::<u64>()) {
+        prop_assume!(a != b);
+        prop_assert_ne!(derive_seed(s, &[a, b]), derive_seed(s, &[b, a]));
+        prop_assert_eq!(derive_seed(s, &[a, b]), derive_seed(s, &[a, b]));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn csr_agrees_with_edge_list(
+        n in 1u64..200,
+        edges in proptest::collection::vec((0u64..200, 0u64..200), 0..400),
+    ) {
+        let edges: Vec<(u64, u64)> = edges
+            .into_iter()
+            .map(|(u, v)| (u % n, v % n))
+            .filter(|&(u, v)| u != v)
+            .collect();
+        let mut el = EdgeList::new(n, edges);
+        el.canonicalize();
+        let csr = Csr::undirected(&el);
+        prop_assert_eq!(csr.n() as u64, n);
+        prop_assert_eq!(csr.arcs(), el.edges.len() * 2);
+        for &(u, v) in &el.edges {
+            prop_assert!(csr.has_edge(u, v));
+            prop_assert!(csr.has_edge(v, u));
+        }
+        let degrees = el.degrees_undirected();
+        for v in 0..n {
+            prop_assert_eq!(csr.degree(v) as u64, degrees[v as usize]);
+        }
+    }
+
+    #[test]
+    fn merge_pe_edges_canonicalizes_any_split(
+        n in 2u64..100,
+        edges in proptest::collection::vec((0u64..100, 0u64..100), 1..200),
+        parts in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let edges: Vec<(u64, u64)> = edges
+            .into_iter()
+            .map(|(u, v)| (u % n, v % n))
+            .filter(|&(u, v)| u != v)
+            .collect();
+        prop_assume!(!edges.is_empty());
+        // Ground truth: merge as one part.
+        let whole = merge_pe_edges(n, vec![edges.clone()]);
+        // Split randomly into parts, duplicating some edges across parts
+        // (as redundant recomputation does), flipping some orientations.
+        let mut rng = Mt64::new(seed);
+        let mut split: Vec<Vec<(u64, u64)>> = vec![Vec::new(); parts];
+        for &(u, v) in &edges {
+            let k = (rng.next_u64() as usize) % parts;
+            split[k].push((u, v));
+            if rng.next_u64() % 3 == 0 {
+                let k2 = (rng.next_u64() as usize) % parts;
+                split[k2].push((v, u)); // duplicate, reversed
+            }
+        }
+        let merged = merge_pe_edges(n, split);
+        prop_assert_eq!(whole, merged);
+    }
+
+    #[test]
+    fn bfs_distances_on_a_path(n in 2u64..300, source_frac in 0.0f64..1.0) {
+        let edges: Vec<(u64, u64)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let el = EdgeList::new(n, edges);
+        let csr = Csr::undirected(&el);
+        let s = ((n - 1) as f64 * source_frac) as u64;
+        let dist = bfs_distances(&csr, s);
+        for v in 0..n {
+            prop_assert_eq!(dist[v as usize] as u64, v.abs_diff(s));
+        }
+        let mut uf = connected_components(&el);
+        prop_assert_eq!(uf.component_count(), 1);
+        prop_assert_eq!(uf.largest_component(), n as usize);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn gpu_scan_matches_reference(
+        xs in proptest::collection::vec(0u64..10_000, 0..500),
+        tpb in 1usize..64,
+    ) {
+        let dev = Device::new(kagen_repro::gpgpu::DeviceConfig {
+            threads_per_block: tpb,
+            warp_size: 8,
+        });
+        let (offs, total) = exclusive_scan(&dev, &xs);
+        let mut acc = 0u64;
+        for (i, &x) in xs.iter().enumerate() {
+            prop_assert_eq!(offs[i], acc);
+            acc += x;
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn gpu_er_equals_cpu_er(
+        n in 2u64..150,
+        m_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let universe = n * (n - 1);
+        let m = ((universe as f64) * m_frac) as u64;
+        let dev = Device::default();
+        let mut gpu = GpuGnmDirected::new(n, m).with_seed(seed).generate(&dev);
+        gpu.sort_unstable();
+        let cpu = generate_directed(&GnmDirected::new(n, m).with_seed(seed));
+        prop_assert_eq!(gpu, cpu.edges);
+    }
+
+    #[test]
+    fn gpu_rgg_equals_cpu_rgg(
+        n in 2u64..200,
+        r in 0.02f64..0.4,
+        seed in any::<u64>(),
+    ) {
+        let dev = Device::default();
+        let gpu = GpuRgg2d::new(n, r).with_seed(seed).generate(&dev);
+        let cpu = generate_undirected(&Rgg2d::new(n, r).with_seed(seed));
+        prop_assert_eq!(gpu, cpu.edges);
+    }
+
+    #[test]
+    fn soft_rhg_chunk_invariance(
+        n in 50u64..250,
+        temp in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let mk = |chunks| {
+            generate_undirected(
+                &SoftRhg::new(n, 6.0, 2.8, temp).with_seed(seed).with_chunks(chunks),
+            )
+        };
+        let a = mk(1);
+        prop_assert_eq!(&a, &mk(5));
+        prop_assert_eq!(&a, &mk(16));
+    }
+}

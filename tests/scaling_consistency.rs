@@ -1,0 +1,89 @@
+//! Work-distribution sanity across chunk counts: the communication-free
+//! design bounds total extra work (redundancy) and distributes items
+//! evenly enough that emulated scaling is meaningful.
+
+use kagen_repro::core::prelude::*;
+
+/// Total edges emitted across PEs, and the max per-PE share.
+fn work_profile<G: Generator>(gen: &G) -> (u64, u64) {
+    let parts = generate_parallel(gen, 0);
+    let total: u64 = parts.iter().map(|p| p.edges.len() as u64).sum();
+    let max = parts.iter().map(|p| p.edges.len() as u64).max().unwrap_or(0);
+    (total, max)
+}
+
+#[test]
+fn directed_er_work_is_partitioned_evenly() {
+    let m = 64_000u64;
+    for p in [4usize, 16, 64] {
+        let gen = GnmDirected::new(4000, m).with_seed(3).with_chunks(p);
+        let (total, max) = work_profile(&gen);
+        assert_eq!(total, m, "directed ER emits each edge exactly once");
+        let fair = m / p as u64;
+        assert!(
+            max < 2 * fair,
+            "P={p}: max per-PE share {max} vs fair {fair}"
+        );
+    }
+}
+
+#[test]
+fn undirected_er_redundancy_converges_to_two() {
+    let m = 50_000u64;
+    let (total_small, _) = work_profile(&GnmUndirected::new(4000, m).with_seed(5).with_chunks(2));
+    let (total_large, _) =
+        work_profile(&GnmUndirected::new(4000, m).with_seed(5).with_chunks(32));
+    let r_small = total_small as f64 / m as f64;
+    let r_large = total_large as f64 / m as f64;
+    // §4.2: overhead grows with P toward (and never beyond) 2.
+    assert!(r_small < r_large, "redundancy must grow with P");
+    assert!(r_large <= 2.0 + 1e-9);
+    assert!(r_large > 1.5, "at Q=32 nearly all chunks are off-diagonal");
+}
+
+#[test]
+fn rmat_work_is_perfectly_strided() {
+    let gen = Rmat::new(12, 10_000).with_seed(7).with_chunks(16);
+    let parts = generate_parallel(&gen, 0);
+    for p in &parts {
+        let share = p.edges.len() as u64;
+        assert!((624..=626).contains(&share), "share {share}");
+    }
+}
+
+#[test]
+fn ba_slots_follow_vertex_ranges() {
+    let gen = BarabasiAlbert::new(1000, 5).with_seed(9).with_chunks(8);
+    let parts = generate_parallel(&gen, 0);
+    for p in &parts {
+        assert_eq!(
+            p.edges.len() as u64,
+            (p.vertex_end - p.vertex_begin) * 5,
+            "PE {} edge share must equal its slot range",
+            p.pe
+        );
+        for &(u, _) in &p.edges {
+            assert!(
+                (p.vertex_begin..p.vertex_end).contains(&u),
+                "PE {} emitted a slot of another PE",
+                p.pe
+            );
+        }
+    }
+}
+
+#[test]
+fn srhg_distributes_hub_work() {
+    // The request-centric design splits the global annuli's work by
+    // sector: no PE should emit more than a small multiple of the fair
+    // share even with heavy hubs (γ close to 2).
+    let gen = Srhg::new(4000, 12.0, 2.2).with_seed(11).with_chunks(8);
+    let parts = generate_parallel(&gen, 0);
+    let total: u64 = parts.iter().map(|p| p.edges.len() as u64).sum();
+    let max = parts.iter().map(|p| p.edges.len() as u64).max().unwrap();
+    let fair = total / 8;
+    assert!(
+        max < 4 * fair.max(1),
+        "hub work concentrated: max {max}, fair {fair}"
+    );
+}
