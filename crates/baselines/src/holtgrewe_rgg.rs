@@ -73,8 +73,7 @@ impl HoltgreweRgg {
                         let mut rng = Mt64::new(derive_seed(seed, &[rank as u64]));
                         // Phase 1: draw local points and bucket them by
                         // owner stripe.
-                        let mut outgoing: Vec<Vec<[f64; 3]>> =
-                            (0..p).map(|_| Vec::new()).collect();
+                        let mut outgoing: Vec<Vec<[f64; 3]>> = (0..p).map(|_| Vec::new()).collect();
                         for id in lo..hi {
                             let x = rng.next_f64();
                             let y = rng.next_f64();
@@ -86,13 +85,16 @@ impl HoltgreweRgg {
                         let mut mine: Vec<P2> = incoming
                             .into_iter()
                             .flatten()
-                            .map(|[x, y, id]| P2 { x, y, id: id as u64 })
+                            .map(|[x, y, id]| P2 {
+                                x,
+                                y,
+                                id: id as u64,
+                            })
                             .collect();
                         // Phase 3: border exchange with stripe neighbors.
                         let stripe_lo = rank as f64 / p as f64;
                         let stripe_hi = (rank as f64 + 1.0) / p as f64;
-                        let mut border: Vec<Vec<[f64; 3]>> =
-                            (0..p).map(|_| Vec::new()).collect();
+                        let mut border: Vec<Vec<[f64; 3]>> = (0..p).map(|_| Vec::new()).collect();
                         for pt in &mine {
                             if rank > 0 && pt.x < stripe_lo + r {
                                 border[rank - 1].push([pt.x, pt.y, pt.id as f64]);
@@ -105,7 +107,11 @@ impl HoltgreweRgg {
                         let halo: Vec<P2> = halo_in
                             .into_iter()
                             .flatten()
-                            .map(|[x, y, id]| P2 { x, y, id: id as u64 })
+                            .map(|[x, y, id]| P2 {
+                                x,
+                                y,
+                                id: id as u64,
+                            })
                             .collect();
                         // Phase 4: local cell-grid edge generation.
                         let mut all = mine.clone();

@@ -79,7 +79,13 @@ pub fn hypergen_edges(inst: &RhgInstance) -> Vec<(u64, u64)> {
                     reqs.push((0.0, Req { end: hi, ..req }));
                 } else if hi > tau {
                     reqs.push((lo, Req { end: tau, ..req }));
-                    reqs.push((0.0, Req { end: hi - tau, ..req }));
+                    reqs.push((
+                        0.0,
+                        Req {
+                            end: hi - tau,
+                            ..req
+                        },
+                    ));
                 } else {
                     reqs.push((lo, req));
                 }
@@ -160,6 +166,9 @@ mod tests {
     #[test]
     fn deterministic() {
         let gen = Srhg::new(300, 6.0, 3.0).with_seed(2);
-        assert_eq!(hypergen_edges(&gen.instance()), hypergen_edges(&gen.instance()));
+        assert_eq!(
+            hypergen_edges(&gen.instance()),
+            hypergen_edges(&gen.instance())
+        );
     }
 }

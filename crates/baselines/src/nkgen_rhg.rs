@@ -64,10 +64,9 @@ pub fn nkgen_edges(inst: &RhgInstance, threads: usize) -> Vec<(u64, u64)> {
                     let dt = if v.r + b < r_max {
                         std::f64::consts::PI
                     } else {
-                        ((v.r.cosh() * b.cosh() - r_max.cosh())
-                            / (v.r.sinh() * b.sinh()))
-                        .clamp(-1.0, 1.0)
-                        .acos()
+                        ((v.r.cosh() * b.cosh() - r_max.cosh()) / (v.r.sinh() * b.sinh()))
+                            .clamp(-1.0, 1.0)
+                            .acos()
                     };
                     // Binary search the sorted band for the angular window.
                     let lo = v.theta - dt;

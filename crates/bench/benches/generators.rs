@@ -9,15 +9,21 @@ fn bench_er(c: &mut Criterion) {
     let mut g = c.benchmark_group("er");
     g.sample_size(20);
     g.bench_function("gnm_directed/2^16", |b| {
-        let gen = GnmDirected::new(1 << 12, 1 << 16).with_seed(1).with_chunks(4);
+        let gen = GnmDirected::new(1 << 12, 1 << 16)
+            .with_seed(1)
+            .with_chunks(4);
         b.iter(|| black_box(generate_parallel(&gen, 4).len()))
     });
     g.bench_function("gnm_undirected/2^16", |b| {
-        let gen = GnmUndirected::new(1 << 12, 1 << 16).with_seed(1).with_chunks(4);
+        let gen = GnmUndirected::new(1 << 12, 1 << 16)
+            .with_seed(1)
+            .with_chunks(4);
         b.iter(|| black_box(generate_parallel(&gen, 4).len()))
     });
     g.bench_function("gnp_directed/2^16", |b| {
-        let gen = GnpDirected::new(1 << 12, 1.0 / 256.0).with_seed(1).with_chunks(4);
+        let gen = GnpDirected::new(1 << 12, 1.0 / 256.0)
+            .with_seed(1)
+            .with_chunks(4);
         b.iter(|| black_box(generate_parallel(&gen, 4).len()))
     });
     g.finish();
@@ -28,12 +34,16 @@ fn bench_spatial(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("rgg2d/2^14", |b| {
         let n = 1 << 14;
-        let gen = Rgg2d::new(n, Rgg2d::threshold_radius(n, 4)).with_seed(1).with_chunks(4);
+        let gen = Rgg2d::new(n, Rgg2d::threshold_radius(n, 4))
+            .with_seed(1)
+            .with_chunks(4);
         b.iter(|| black_box(generate_parallel(&gen, 4).len()))
     });
     g.bench_function("rgg3d/2^13", |b| {
         let n = 1 << 13;
-        let gen = Rgg3d::new(n, Rgg3d::threshold_radius(n, 8)).with_seed(1).with_chunks(8);
+        let gen = Rgg3d::new(n, Rgg3d::threshold_radius(n, 8))
+            .with_seed(1)
+            .with_chunks(8);
         b.iter(|| black_box(generate_parallel(&gen, 4).len()))
     });
     g.bench_function("rdg2d/2^12", |b| {
@@ -59,7 +69,9 @@ fn bench_hyperbolic(c: &mut Criterion) {
         b.iter(|| black_box(generate_parallel(&gen, 4).len()))
     });
     g.bench_function("soft_rhg/2^12_T0.5", |b| {
-        let gen = SoftRhg::new(1 << 12, 16.0, 3.0, 0.5).with_seed(1).with_chunks(4);
+        let gen = SoftRhg::new(1 << 12, 16.0, 3.0, 0.5)
+            .with_seed(1)
+            .with_chunks(4);
         b.iter(|| black_box(generate_parallel(&gen, 4).len()))
     });
     g.finish();

@@ -66,5 +66,11 @@ fn bench_sampling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_hash, bench_prng, bench_variates, bench_sampling);
+criterion_group!(
+    benches,
+    bench_hash,
+    bench_prng,
+    bench_variates,
+    bench_sampling
+);
 criterion_main!(benches);

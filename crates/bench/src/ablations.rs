@@ -38,8 +38,7 @@ pub fn trig_free(fast: bool) -> String {
         let mut c = 0u64;
         for &(a, b) in &sample {
             let (p, q) = (&pts[a], &pts[b]);
-            let arg =
-                p.r.cosh() * q.r.cosh() - p.r.sinh() * q.r.sinh() * (p.theta - q.theta).cos();
+            let arg = p.r.cosh() * q.r.cosh() - p.r.sinh() * q.r.sinh() * (p.theta - q.theta).cos();
             c += ((arg.max(1.0)).acosh() < r_max) as u64;
         }
         c
@@ -117,7 +116,10 @@ pub fn rmat_tables(fast: bool) -> String {
         let gen = if levels == 0 {
             Rmat::new(scale, m).with_seed(33).with_chunks(1)
         } else {
-            Rmat::new(scale, m).with_seed(33).with_chunks(1).with_table_levels(levels)
+            Rmat::new(scale, m)
+                .with_seed(33)
+                .with_chunks(1)
+                .with_table_levels(levels)
         };
         let stats = run_generator(&gen);
         rows.push(vec![
@@ -159,12 +161,9 @@ pub fn redundancy(fast: bool) -> String {
         let rgg = Rgg2d::new(rgg_n, r).with_seed(31).with_chunks(p);
         let rgg_parts = generate_parallel(&rgg, 0);
         let rgg_emitted: u64 = rgg_parts.iter().map(|q| q.edges.len() as u64).sum();
-        let rgg_edges = kagen_graph::merge_pe_edges(
-            rgg_n,
-            rgg_parts.into_iter().map(|q| q.edges),
-        )
-        .edges
-        .len() as u64;
+        let rgg_edges = kagen_graph::merge_pe_edges(rgg_n, rgg_parts.into_iter().map(|q| q.edges))
+            .edges
+            .len() as u64;
         rows.push(vec![
             p.to_string(),
             format!("{:.3}", emitted as f64 / m as f64),

@@ -25,12 +25,10 @@ pub fn fig6_sequential(fast: bool) -> String {
             if m as u128 > (n as u128) * (n as u128 - 1) / 2 {
                 continue;
             }
-            let (kd, td) = time_once(|| {
-                run_generator(&GnmDirected::new(n, m).with_seed(1).with_chunks(1))
-            });
-            let (ku, tu) = time_once(|| {
-                run_generator(&GnmUndirected::new(n, m).with_seed(1).with_chunks(1))
-            });
+            let (kd, td) =
+                time_once(|| run_generator(&GnmDirected::new(n, m).with_seed(1).with_chunks(1)));
+            let (ku, tu) =
+                time_once(|| run_generator(&GnmUndirected::new(n, m).with_seed(1).with_chunks(1)));
             let (_, bd) = time_once(|| boost_gnm_directed(n, m, 1));
             let (_, bu) = time_once(|| boost_gnm_undirected(n, m, 1));
             let _ = (kd.edges, ku.edges);
@@ -56,7 +54,13 @@ pub fn fig6_sequential(fast: bool) -> String {
         format_table(
             "Fig. 6 (times in ms)",
             &[
-                "n", "m", "KaGen dir", "Boost dir", "speedup", "KaGen undir", "Boost undir",
+                "n",
+                "m",
+                "KaGen dir",
+                "Boost dir",
+                "speedup",
+                "KaGen undir",
+                "Boost undir",
                 "speedup",
             ],
             &rows,
@@ -79,8 +83,7 @@ pub fn fig7_weak_scaling(fast: bool) -> String {
             let m = (1u64 << mexp) * p as u64;
             let n = m / 16; // paper: n = m / 2^4
             let dir = run_generator(&GnmDirected::new(n, m).with_seed(3).with_chunks(p));
-            let undir =
-                run_generator(&GnmUndirected::new(n, m).with_seed(3).with_chunks(p));
+            let undir = run_generator(&GnmUndirected::new(n, m).with_seed(3).with_chunks(p));
             rows.push(vec![
                 format!("2^{mexp}"),
                 p.to_string(),
@@ -99,7 +102,14 @@ pub fn fig7_weak_scaling(fast: bool) -> String {
          cost (chunk redundancy bound of §4.2), then flattens.",
         format_table(
             "Fig. 7 (emulated parallel time)",
-            &["m/P", "P", "dir time ms", "dir MEPS", "undir time ms", "undir edges/m"],
+            &[
+                "m/P",
+                "P",
+                "dir time ms",
+                "dir MEPS",
+                "undir time ms",
+                "undir edges/m",
+            ],
             &rows,
         ),
     )
@@ -121,8 +131,7 @@ pub fn fig8_strong_scaling(fast: bool) -> String {
         let mut base_undir = 0.0;
         for &p in &pes {
             let dir = run_generator(&GnmDirected::new(n, m).with_seed(4).with_chunks(p));
-            let undir =
-                run_generator(&GnmUndirected::new(n, m).with_seed(4).with_chunks(p));
+            let undir = run_generator(&GnmUndirected::new(n, m).with_seed(4).with_chunks(p));
             if p == pes[0] {
                 base_dir = dir.time.as_secs_f64();
                 base_undir = undir.time.as_secs_f64();
@@ -144,7 +153,14 @@ pub fn fig8_strong_scaling(fast: bool) -> String {
          asymptotically (every edge is generated twice across PEs).",
         format_table(
             "Fig. 8 (emulated parallel time; speedup vs P=1)",
-            &["m", "P", "dir time ms", "dir speedup", "undir time ms", "undir speedup"],
+            &[
+                "m",
+                "P",
+                "dir time ms",
+                "dir speedup",
+                "undir time ms",
+                "undir speedup",
+            ],
             &rows,
         ),
     )

@@ -24,15 +24,13 @@ pub fn throughput(fast: bool) -> String {
     let est_seconds = per_pe / eps;
     let est_minutes = est_seconds / 60.0;
 
-    let rows = vec![
-        vec![
-            format!("2^{}", m.ilog2()),
-            format!("{:.1}", eps / 1e6),
-            format!("2^32"),
-            format!("{est_minutes:.1} min"),
-            "22 min".to_string(),
-        ],
-    ];
+    let rows = vec![vec![
+        format!("2^{}", m.ilog2()),
+        format!("{:.1}", eps / 1e6),
+        format!("2^32"),
+        format!("{est_minutes:.1} min"),
+        "22 min".to_string(),
+    ]];
     report(
         "headline",
         "2^43 vertices / 2^47 edges in < 22 min on 32 768 cores",

@@ -16,6 +16,7 @@ use kagen_geometry::hyperbolic::PrePoint;
 /// We measure candidates-tested / edges-found per query pass, which the
 /// corollary (plus the Θ(1) fraction of in-range candidates of Lemma 13)
 /// bounds by a small constant.
+#[allow(clippy::needless_range_loop)] // annulus indices drive three arrays
 pub fn overestimation(fast: bool) -> String {
     let n: u64 = if fast { 1 << 12 } else { 1 << 14 };
     let mut rows = Vec::new();
@@ -173,7 +174,14 @@ pub fn memory_footprint(fast: bool) -> String {
          larger instances per node with sRHG.",
         format_table(
             "Per-PE maxima (n vertices, d̄=8, γ=2.8)",
-            &["P", "n/P", "RHG held", "sRHG generated", "sRHG held", "held ratio"],
+            &[
+                "P",
+                "n/P",
+                "RHG held",
+                "sRHG generated",
+                "sRHG held",
+                "held ratio",
+            ],
             &rows,
         ),
     )
@@ -195,8 +203,11 @@ pub fn gpu_pipelines(fast: bool) -> String {
     let dev = Device::default();
     let (gpu_edges, t_gpu) =
         time_once(|| GpuGnmDirected::new(n, m).with_seed(51).generate(&dev).len() as u64);
-    let (cpu_edges, t_cpu) =
-        time_once(|| generate_directed(&GnmDirected::new(n, m).with_seed(51)).edges.len() as u64);
+    let (cpu_edges, t_cpu) = time_once(|| {
+        generate_directed(&GnmDirected::new(n, m).with_seed(51))
+            .edges
+            .len() as u64
+    });
     assert_eq!(gpu_edges, cpu_edges);
     let s = dev.stats();
     rows.push(vec![
@@ -206,7 +217,10 @@ pub fn gpu_pipelines(fast: bool) -> String {
         ms(t_gpu),
         s.blocks_executed.to_string(),
         s.warp_steps.to_string(),
-        format!("{:.1}%", 100.0 * s.divergent_warps as f64 / s.warp_steps.max(1) as f64),
+        format!(
+            "{:.1}%",
+            100.0 * s.divergent_warps as f64 / s.warp_steps.max(1) as f64
+        ),
     ]);
 
     let rgg_n: u64 = if fast { 1 << 12 } else { 1 << 14 };
@@ -215,7 +229,9 @@ pub fn gpu_pipelines(fast: bool) -> String {
     let (gpu_edges, t_gpu) =
         time_once(|| GpuRgg2d::new(rgg_n, r).with_seed(51).generate(&dev).len() as u64);
     let (cpu_edges, t_cpu) = time_once(|| {
-        generate_undirected(&Rgg2d::new(rgg_n, r).with_seed(51)).edges.len() as u64
+        generate_undirected(&Rgg2d::new(rgg_n, r).with_seed(51))
+            .edges
+            .len() as u64
     });
     assert_eq!(gpu_edges, cpu_edges);
     let s = dev.stats();
@@ -226,7 +242,10 @@ pub fn gpu_pipelines(fast: bool) -> String {
         ms(t_gpu),
         s.blocks_executed.to_string(),
         s.warp_steps.to_string(),
-        format!("{:.1}%", 100.0 * s.divergent_warps as f64 / s.warp_steps.max(1) as f64),
+        format!(
+            "{:.1}%",
+            100.0 * s.divergent_warps as f64 / s.warp_steps.max(1) as f64
+        ),
     ]);
 
     report(
@@ -240,7 +259,15 @@ pub fn gpu_pipelines(fast: bool) -> String {
          the decomposition, not the silicon.",
         format_table(
             "CPU vs simulated-device generation (identical output)",
-            &["instance", "edges", "CPU ms", "sim ms", "blocks", "warp steps", "divergent"],
+            &[
+                "instance",
+                "edges",
+                "CPU ms",
+                "sim ms",
+                "blocks",
+                "warp steps",
+                "divergent",
+            ],
             &rows,
         ),
     )

@@ -19,9 +19,28 @@ pub mod support;
 
 /// All experiment ids in paper order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-    "fig16", "fig17", "fig18", "headline", "abl-trig", "abl-cells", "abl-chunks", "abl-rmat",
-    "abl-mem", "abl-gpu", "lemma-oe", "lemma-global",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "headline",
+    "abl-trig",
+    "abl-cells",
+    "abl-chunks",
+    "abl-rmat",
+    "abl-mem",
+    "abl-gpu",
+    "lemma-oe",
+    "lemma-global",
 ];
 
 /// Run one experiment by id; `fast` shrinks workloads (CI mode).

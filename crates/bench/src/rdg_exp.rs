@@ -6,7 +6,11 @@ use kagen_core::{Rdg2d, Rdg3d};
 
 /// Fig. 12: weak scaling of the Delaunay generators.
 pub fn fig12_weak_scaling(fast: bool) -> String {
-    let per_pe: Vec<u64> = if fast { vec![1 << 9] } else { vec![1 << 11, 1 << 13] };
+    let per_pe: Vec<u64> = if fast {
+        vec![1 << 9]
+    } else {
+        vec![1 << 11, 1 << 13]
+    };
     let pes: Vec<usize> = if fast { vec![1, 4] } else { vec![1, 4, 16, 64] };
     let mut rows = Vec::new();
     for &npp in &per_pe {
@@ -32,7 +36,14 @@ pub fn fig12_weak_scaling(fast: bool) -> String {
          cells, so no further rise beyond ~2^8 PEs (paper §8.5).",
         format_table(
             "Fig. 12 (emulated parallel time)",
-            &["n/P", "P", "2D time ms", "2D imbalance", "3D time ms", "3D imbalance"],
+            &[
+                "n/P",
+                "P",
+                "2D time ms",
+                "2D imbalance",
+                "3D time ms",
+                "3D imbalance",
+            ],
             &rows,
         ),
     )
@@ -40,7 +51,11 @@ pub fn fig12_weak_scaling(fast: bool) -> String {
 
 /// Fig. 13: strong scaling of the Delaunay generators.
 pub fn fig13_strong_scaling(fast: bool) -> String {
-    let ns: Vec<u64> = if fast { vec![1 << 12] } else { vec![1 << 14, 1 << 16] };
+    let ns: Vec<u64> = if fast {
+        vec![1 << 12]
+    } else {
+        vec![1 << 14, 1 << 16]
+    };
     let pes: Vec<usize> = if fast { vec![1, 4] } else { vec![1, 4, 16, 64] };
     let mut rows = Vec::new();
     for &n in &ns {
@@ -70,7 +85,14 @@ pub fn fig13_strong_scaling(fast: bool) -> String {
          share grows as chunks shrink, flattening the curve.",
         format_table(
             "Fig. 13 (speedup vs smallest P)",
-            &["n", "P", "2D time ms", "2D speedup", "3D time ms", "3D speedup"],
+            &[
+                "n",
+                "P",
+                "2D time ms",
+                "2D speedup",
+                "3D time ms",
+                "3D speedup",
+            ],
             &rows,
         ),
     )

@@ -8,7 +8,11 @@ use kagen_core::{Rgg2d, Rgg3d};
 /// Fig. 9: 2D RGG, KaGen (communication-free, redundant halos) vs
 /// Holtgrewe et al. (communicating).
 pub fn fig9_vs_holtgrewe(fast: bool) -> String {
-    let per_pe: Vec<u64> = if fast { vec![1 << 11] } else { vec![1 << 13, 1 << 15] };
+    let per_pe: Vec<u64> = if fast {
+        vec![1 << 11]
+    } else {
+        vec![1 << 13, 1 << 15]
+    };
     let pes: Vec<usize> = if fast { vec![1, 4] } else { vec![1, 4, 16, 64] };
     let mut rows = Vec::new();
     for &npp in &per_pe {
@@ -38,7 +42,14 @@ pub fn fig9_vs_holtgrewe(fast: bool) -> String {
          one node).",
         format_table(
             "Fig. 9 (times in ms)",
-            &["n/P", "P", "KaGen ms", "Holtgrewe ms", "exchanged KiB", "KaGen imbalance"],
+            &[
+                "n/P",
+                "P",
+                "KaGen ms",
+                "Holtgrewe ms",
+                "exchanged KiB",
+                "KaGen imbalance",
+            ],
             &rows,
         ),
     )
@@ -46,8 +57,16 @@ pub fn fig9_vs_holtgrewe(fast: bool) -> String {
 
 /// Fig. 10: weak scaling of the 2D and 3D RGG generators.
 pub fn fig10_weak_scaling(fast: bool) -> String {
-    let per_pe: Vec<u64> = if fast { vec![1 << 11] } else { vec![1 << 13, 1 << 15] };
-    let pes: Vec<usize> = if fast { vec![1, 4, 16] } else { vec![1, 4, 16, 64] };
+    let per_pe: Vec<u64> = if fast {
+        vec![1 << 11]
+    } else {
+        vec![1 << 13, 1 << 15]
+    };
+    let pes: Vec<usize> = if fast {
+        vec![1, 4, 16]
+    } else {
+        vec![1, 4, 16, 64]
+    };
     let mut rows = Vec::new();
     for &npp in &per_pe {
         for &p in &pes {
@@ -74,7 +93,14 @@ pub fn fig10_weak_scaling(fast: bool) -> String {
          stays flat — near-optimal weak scaling.",
         format_table(
             "Fig. 10 (emulated parallel time; edge counts incl. redundancy /2)",
-            &["n/P", "P", "2D time ms", "2D edges", "3D time ms", "3D edges"],
+            &[
+                "n/P",
+                "P",
+                "2D time ms",
+                "2D edges",
+                "3D time ms",
+                "3D edges",
+            ],
             &rows,
         ),
     )
@@ -82,8 +108,16 @@ pub fn fig10_weak_scaling(fast: bool) -> String {
 
 /// Fig. 11: strong scaling of the 2D and 3D RGG generators.
 pub fn fig11_strong_scaling(fast: bool) -> String {
-    let ns: Vec<u64> = if fast { vec![1 << 14] } else { vec![1 << 16, 1 << 18] };
-    let pes: Vec<usize> = if fast { vec![1, 4, 16] } else { vec![1, 4, 16, 64] };
+    let ns: Vec<u64> = if fast {
+        vec![1 << 14]
+    } else {
+        vec![1 << 16, 1 << 18]
+    };
+    let pes: Vec<usize> = if fast {
+        vec![1, 4, 16]
+    } else {
+        vec![1, 4, 16, 64]
+    };
     let mut rows = Vec::new();
     for &n in &ns {
         let r2 = Rgg2d::threshold_radius(n, 1);
@@ -114,7 +148,14 @@ pub fn fig11_strong_scaling(fast: bool) -> String {
          halo; flattens when chunks shrink towards single cells.",
         format_table(
             "Fig. 11 (speedup vs smallest P)",
-            &["n", "P", "2D time ms", "2D speedup", "3D time ms", "3D speedup"],
+            &[
+                "n",
+                "P",
+                "2D time ms",
+                "2D speedup",
+                "3D time ms",
+                "3D speedup",
+            ],
             &rows,
         ),
     )

@@ -55,7 +55,11 @@ pub fn fig14_shootout(fast: bool) -> String {
 
 /// Fig. 15: weak scaling of RHG (non-streaming) and sRHG.
 pub fn fig15_weak_scaling(fast: bool) -> String {
-    let per_pe: Vec<u64> = if fast { vec![1 << 10] } else { vec![1 << 12, 1 << 14] };
+    let per_pe: Vec<u64> = if fast {
+        vec![1 << 10]
+    } else {
+        vec![1 << 12, 1 << 14]
+    };
     let pes: Vec<usize> = if fast { vec![1, 4] } else { vec![1, 4, 16, 64] };
     let mut rows = Vec::new();
     for &npp in &per_pe {
@@ -82,7 +86,14 @@ pub fn fig15_weak_scaling(fast: bool) -> String {
          distribution of hub work (paper: ~16x faster overall).",
         format_table(
             "Fig. 15 (emulated parallel time)",
-            &["n/P", "P", "RHG ms", "RHG imbalance", "sRHG ms", "sRHG imbalance"],
+            &[
+                "n/P",
+                "P",
+                "RHG ms",
+                "RHG imbalance",
+                "sRHG ms",
+                "sRHG imbalance",
+            ],
             &rows,
         ),
     )
@@ -90,7 +101,11 @@ pub fn fig15_weak_scaling(fast: bool) -> String {
 
 /// Fig. 16: strong scaling of RHG and sRHG.
 pub fn fig16_strong_scaling(fast: bool) -> String {
-    let ns: Vec<u64> = if fast { vec![1 << 12] } else { vec![1 << 14, 1 << 16] };
+    let ns: Vec<u64> = if fast {
+        vec![1 << 12]
+    } else {
+        vec![1 << 14, 1 << 16]
+    };
     let pes: Vec<usize> = if fast { vec![1, 4] } else { vec![1, 4, 16, 64] };
     let mut rows = Vec::new();
     for &n in &ns {

@@ -45,7 +45,15 @@ pub fn fig17_weak_scaling(fast: bool) -> String {
          (paper: up to 15x) and ~10x slower than sRHG per edge.",
         format_table(
             "Fig. 17 (emulated parallel time)",
-            &["m/P", "P", "R-MAT ms", "R-MAT MEPS", "ER ms", "R-MAT/ER", "sRHG ms"],
+            &[
+                "m/P",
+                "P",
+                "R-MAT ms",
+                "R-MAT MEPS",
+                "ER ms",
+                "R-MAT/ER",
+                "sRHG ms",
+            ],
             &rows,
         ),
     )

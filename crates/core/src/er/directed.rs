@@ -118,8 +118,7 @@ impl Generator for GnmDirected {
             let n = self.n;
             if lo < hi {
                 out.vertex_begin = (sampler.block_range(lo).0 / (n as u128 - 1)) as u64;
-                out.vertex_end =
-                    ((sampler.block_range(hi - 1).1 - 1) / (n as u128 - 1) + 1) as u64;
+                out.vertex_end = ((sampler.block_range(hi - 1).1 - 1) / (n as u128 - 1) + 1) as u64;
             }
         }
         out
@@ -250,9 +249,8 @@ mod tests {
         // Same instance regardless of the PE count.
         let base = generate_directed(&GnmDirected::new(100, 1500).with_seed(7).with_chunks(1));
         for chunks in [2usize, 3, 16, 64] {
-            let other = generate_directed(
-                &GnmDirected::new(100, 1500).with_seed(7).with_chunks(chunks),
-            );
+            let other =
+                generate_directed(&GnmDirected::new(100, 1500).with_seed(7).with_chunks(chunks));
             assert_eq!(base, other, "chunks={chunks}");
         }
     }

@@ -138,7 +138,10 @@ fn sample_chunk(
     if i == j {
         let s = grid.span(i, i + 1) as u128;
         let universe = s * s.saturating_sub(1) / 2;
-        assert!(universe <= u64::MAX as u128, "chunk too large: raise chunks");
+        assert!(
+            universe <= u64::MAX as u128,
+            "chunk too large: raise chunks"
+        );
         sample_sorted(&mut rng, universe as u64, count, &mut |t| {
             let (u, v) = triangle_index_to_pair(t as u128);
             emit(row_start + u, row_start + v);
@@ -147,7 +150,10 @@ fn sample_chunk(
         let si = grid.span(i, i + 1) as u128;
         let sj = grid.span(j, j + 1) as u128;
         let universe = si * sj;
-        assert!(universe <= u64::MAX as u128, "chunk too large: raise chunks");
+        assert!(
+            universe <= u64::MAX as u128,
+            "chunk too large: raise chunks"
+        );
         let col_start = grid.start(j);
         let sj = sj as u64;
         sample_sorted(&mut rng, universe as u64, count, &mut |t| {
@@ -404,7 +410,11 @@ mod tests {
         let n = 24u64;
         let m = n * (n - 1) / 2;
         let el = generate_undirected(&GnmUndirected::new(n, m).with_seed(1).with_chunks(4));
-        assert_eq!(el.edges.len() as u64, m, "must enumerate the complete graph");
+        assert_eq!(
+            el.edges.len() as u64,
+            m,
+            "must enumerate the complete graph"
+        );
     }
 
     #[test]
@@ -414,8 +424,7 @@ mod tests {
         let reps = 6000u64;
         let mut counts = std::collections::HashMap::new();
         for seed in 0..reps {
-            let el =
-                generate_undirected(&GnmUndirected::new(n, m).with_seed(seed).with_chunks(3));
+            let el = generate_undirected(&GnmUndirected::new(n, m).with_seed(seed).with_chunks(3));
             assert_eq!(el.edges.len() as u64, m, "seed {seed}");
             for e in el.edges {
                 *counts.entry(e).or_insert(0u32) += 1;
@@ -441,8 +450,7 @@ mod tests {
         let reps = 30;
         let mut total = 0usize;
         for seed in 0..reps {
-            let el =
-                generate_undirected(&GnpUndirected::new(n, p).with_seed(seed).with_chunks(5));
+            let el = generate_undirected(&GnpUndirected::new(n, p).with_seed(seed).with_chunks(5));
             assert!(!el.has_self_loops());
             total += el.edges.len();
         }
@@ -460,8 +468,7 @@ mod tests {
         let parts = generate_parallel(&gen, 0);
         let merged = generate_undirected(&gen);
         // Every PE's edges are a subset of the merged instance.
-        let all: std::collections::HashSet<(u64, u64)> =
-            merged.edges.iter().copied().collect();
+        let all: std::collections::HashSet<(u64, u64)> = merged.edges.iter().copied().collect();
         for part in parts {
             for (u, v) in part.edges {
                 let canon = (u.min(v), u.max(v));

@@ -68,13 +68,13 @@ pub trait Generator: Sync {
 }
 
 /// Run all PEs of a generator on `threads` worker threads.
-pub fn generate_parallel<G: Generator>(gen: &G, threads: usize) -> Vec<PeGraph> {
+pub fn generate_parallel<G: Generator + ?Sized>(gen: &G, threads: usize) -> Vec<PeGraph> {
     kagen_runtime::run_chunks(gen.num_chunks(), threads, |pe| gen.generate_pe(pe))
 }
 
 /// Generate and merge an undirected instance into canonical form
 /// (cross-PE duplicates removed).
-pub fn generate_undirected<G: Generator>(gen: &G) -> EdgeList {
+pub fn generate_undirected<G: Generator + ?Sized>(gen: &G) -> EdgeList {
     assert!(!gen.directed());
     let parts = generate_parallel(gen, 0);
     kagen_graph::merge_pe_edges(gen.num_vertices(), parts.into_iter().map(|p| p.edges))
@@ -82,7 +82,7 @@ pub fn generate_undirected<G: Generator>(gen: &G) -> EdgeList {
 
 /// Generate and merge a directed instance (edges concatenated and sorted;
 /// PEs own disjoint edge sets so no deduplication is involved).
-pub fn generate_directed<G: Generator>(gen: &G) -> EdgeList {
+pub fn generate_directed<G: Generator + ?Sized>(gen: &G) -> EdgeList {
     assert!(gen.directed());
     let parts = generate_parallel(gen, 0);
     let mut edges: Vec<(u64, u64)> = parts.into_iter().flat_map(|p| p.edges).collect();

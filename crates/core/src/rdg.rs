@@ -149,7 +149,8 @@ impl<const D: usize> Generator for Rdg<D> {
         let mut ids: Vec<u64> = Vec::new();
         {
             let mut cells: Vec<(u64, u64)> = Vec::new();
-            inst.tree.for_leaf_counts(lo, hi, &mut |cell, c| cells.push((cell, c)));
+            inst.tree
+                .for_leaf_counts(lo, hi, &mut |cell, c| cells.push((cell, c)));
             let mut next_id = inst.tree.prefix_before(lo);
             out.vertex_begin = next_id;
             for (cell, c) in cells {
@@ -177,7 +178,7 @@ impl<const D: usize> Generator for Rdg<D> {
         }
 
         // Grow the halo ring by ring until the triangulation is certified.
-        let max_halo = (g - 1).max(1).min(16) as i64;
+        let max_halo = (g - 1).clamp(1, 16);
         let mut halo_seen: HashSet<(u64, [i64; D])> = HashSet::new();
         let mut halo_pts: Vec<Point<D>> = Vec::new();
         let mut halo_ids: Vec<u64> = Vec::new();
@@ -233,15 +234,16 @@ impl<const D: usize> Generator for Rdg<D> {
             // Triangulate local + halo.
             let mut all_pts = pts.clone();
             all_pts.extend(halo_pts.iter().copied());
-            let region_lo: Vec<f64> = (0..D).map(|i| (origin[i] as i64 - h) as f64 * side).collect();
+            let region_lo: Vec<f64> = (0..D)
+                .map(|i| (origin[i] as i64 - h) as f64 * side)
+                .collect();
             let region_hi: Vec<f64> = (0..D)
                 .map(|i| (origin[i] as i64 + width + h) as f64 * side)
                 .collect();
 
             let (edges, converged) = match D {
                 2 => {
-                    let coords: Vec<[f64; 2]> =
-                        all_pts.iter().map(|p| [p.0[0], p.0[1]]).collect();
+                    let coords: Vec<[f64; 2]> = all_pts.iter().map(|p| [p.0[0], p.0[1]]).collect();
                     let dt = Delaunay2::new(&coords);
                     let ok = check2(&dt, n_local, &region_lo, &region_hi);
                     (extract_edges2(&dt, n_local), ok)
@@ -461,7 +463,11 @@ mod tests {
         assert!(
             deg.iter().all(|&d| d >= 3),
             "torus Delaunay degree must be ≥ 3: {:?}",
-            deg.iter().enumerate().filter(|(_, &d)| d < 3).take(5).collect::<Vec<_>>()
+            deg.iter()
+                .enumerate()
+                .filter(|(_, &d)| d < 3)
+                .take(5)
+                .collect::<Vec<_>>()
         );
     }
 }

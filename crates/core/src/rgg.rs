@@ -315,8 +315,10 @@ mod tests {
     fn vertex_ids_partition_range() {
         let gen = Rgg2d::new(1000, 0.03).with_seed(1).with_chunks(16);
         let parts = generate_parallel(&gen, 0);
-        let mut ranges: Vec<(u64, u64)> =
-            parts.iter().map(|p| (p.vertex_begin, p.vertex_end)).collect();
+        let mut ranges: Vec<(u64, u64)> = parts
+            .iter()
+            .map(|p| (p.vertex_begin, p.vertex_end))
+            .collect();
         ranges.sort_unstable();
         assert_eq!(ranges[0].0, 0);
         assert_eq!(ranges.last().unwrap().1, 1000);
@@ -357,12 +359,7 @@ mod tests {
         };
         let sets: Vec<HashSet<(u64, u64)>> = parts
             .iter()
-            .map(|p| {
-                p.edges
-                    .iter()
-                    .map(|&(u, v)| (u.min(v), u.max(v)))
-                    .collect()
-            })
+            .map(|p| p.edges.iter().map(|&(u, v)| (u.min(v), u.max(v))).collect())
             .collect();
         for (pe, set) in sets.iter().enumerate() {
             for &(u, v) in set {

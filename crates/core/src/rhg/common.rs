@@ -96,14 +96,13 @@ impl RhgInstance {
         let mut level = 0u64;
         let mut rank = 0u64;
         while width > 1 {
-            let node_seed =
-                derive_seed(self.seed, &[stream::HYP, 1 + i as u64, level, rank]);
+            let node_seed = derive_seed(self.seed, &[stream::HYP, 1 + i as u64, level, rank]);
             let mut rng = Mt64::new(node_seed);
             let left = binomial(&mut rng, count as u128, 0.5);
             width /= 2;
             level += 1;
             if index < width {
-                rank = rank * 2;
+                rank *= 2;
                 count = left;
             } else {
                 rank = rank * 2 + 1;

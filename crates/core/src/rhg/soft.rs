@@ -267,7 +267,11 @@ mod tests {
     #[test]
     fn chunk_invariance() {
         let mk = |chunks| {
-            generate_undirected(&SoftRhg::new(700, 6.0, 3.0, 0.5).with_seed(9).with_chunks(chunks))
+            generate_undirected(
+                &SoftRhg::new(700, 6.0, 3.0, 0.5)
+                    .with_seed(9)
+                    .with_chunks(chunks),
+            )
         };
         let a = mk(1);
         assert_eq!(a, mk(8));
@@ -297,7 +301,9 @@ mod tests {
     fn temperature_softens_the_threshold() {
         // At high T, a non-trivial fraction of edges crosses distance R
         // (impossible in the threshold model).
-        let gen = SoftRhg::new(2000, 8.0, 2.8, 0.8).with_seed(7).with_chunks(4);
+        let gen = SoftRhg::new(2000, 8.0, 2.8, 0.8)
+            .with_seed(7)
+            .with_chunks(4);
         let inst = gen.instance();
         let el = generate_undirected(&gen);
         let mut pts: Vec<Option<PrePoint>> = vec![None; 2000];
@@ -326,7 +332,9 @@ mod tests {
     #[test]
     fn connection_frequency_follows_sigmoid() {
         // Empirical P[edge | d bucket] must track p_T(d).
-        let gen = SoftRhg::new(1500, 10.0, 2.6, 0.5).with_seed(11).with_chunks(1);
+        let gen = SoftRhg::new(1500, 10.0, 2.6, 0.5)
+            .with_seed(11)
+            .with_chunks(1);
         let inst = gen.instance();
         let mut pts = Vec::new();
         for a in 0..inst.num_annuli() {
@@ -373,9 +381,15 @@ mod tests {
     #[test]
     fn pair_coins_symmetric_and_seeded() {
         let gen = SoftRhg::new(100, 8.0, 2.8, 0.5).with_seed(42);
-        assert_eq!(gen.pair_coin(3, 17).to_bits(), gen.pair_coin(17, 3).to_bits());
+        assert_eq!(
+            gen.pair_coin(3, 17).to_bits(),
+            gen.pair_coin(17, 3).to_bits()
+        );
         let other = SoftRhg::new(100, 8.0, 2.8, 0.5).with_seed(43);
-        assert_ne!(gen.pair_coin(3, 17).to_bits(), other.pair_coin(3, 17).to_bits());
+        assert_ne!(
+            gen.pair_coin(3, 17).to_bits(),
+            other.pair_coin(3, 17).to_bits()
+        );
         let c = gen.pair_coin(3, 17);
         assert!((0.0..1.0).contains(&c));
     }
@@ -388,8 +402,10 @@ mod tests {
         let a = crate::generate_parallel(&soft, 0);
         let b = crate::generate_parallel(&hard, 0);
         let coords = |parts: &[PeGraph]| {
-            let mut v: Vec<(u64, [f64; 2])> =
-                parts.iter().flat_map(|p| p.coords2.iter().copied()).collect();
+            let mut v: Vec<(u64, [f64; 2])> = parts
+                .iter()
+                .flat_map(|p| p.coords2.iter().copied())
+                .collect();
             v.sort_by_key(|x| x.0);
             v.dedup_by_key(|x| x.0);
             v

@@ -29,7 +29,7 @@ struct DescentTable {
 
 impl DescentTable {
     fn new(levels: u32, a: f64, b: f64, c: f64) -> Self {
-        assert!(levels >= 1 && levels <= 12);
+        assert!((1..=12).contains(&levels));
         let d = 1.0 - a - b - c;
         let quadrant = [a, b, c, d]; // (u_bit, v_bit) = (0,0) (0,1) (1,0) (1,1)
         let k = 1usize << (2 * levels);
@@ -84,7 +84,7 @@ impl Rmat {
 
     /// Custom quadrant probabilities; `d = 1 − a − b − c`.
     pub fn with_probabilities(scale: u32, m: u64, a: f64, b: f64, c: f64) -> Self {
-        assert!(scale >= 1 && scale < 63);
+        assert!((1..63).contains(&scale));
         assert!(a > 0.0 && b >= 0.0 && c >= 0.0 && a + b + c < 1.0 + 1e-12);
         Rmat {
             scale,
@@ -289,10 +289,16 @@ mod tests {
     #[test]
     fn table_variant_chunk_invariant() {
         let a = generate_directed(
-            &Rmat::new(8, 2000).with_seed(9).with_table_levels(8).with_chunks(1),
+            &Rmat::new(8, 2000)
+                .with_seed(9)
+                .with_table_levels(8)
+                .with_chunks(1),
         );
         let b = generate_directed(
-            &Rmat::new(8, 2000).with_seed(9).with_table_levels(8).with_chunks(7),
+            &Rmat::new(8, 2000)
+                .with_seed(9)
+                .with_table_levels(8)
+                .with_chunks(7),
         );
         assert_eq!(a, b);
     }

@@ -38,11 +38,7 @@ impl StochasticBlockModel {
             .map(|i| n * (i + 1) / k as u64 - n * i / k as u64)
             .collect();
         let probs = (0..k)
-            .map(|a| {
-                (0..k)
-                    .map(|b| if a == b { p_in } else { p_out })
-                    .collect()
-            })
+            .map(|a| (0..k).map(|b| if a == b { p_in } else { p_out }).collect())
             .collect();
         Self::new(sizes, probs)
     }
@@ -116,7 +112,9 @@ impl StochasticBlockModel {
     /// function of the instance (never of the PE count).
     fn pair_pieces(&self, a: usize, b: usize) -> u64 {
         let expected = self.pair_universe(a, b) as f64 * self.probs[a][b];
-        ((expected / 8192.0) as u64).next_power_of_two().clamp(1, 4096)
+        ((expected / 8192.0) as u64)
+            .next_power_of_two()
+            .clamp(1, 4096)
     }
 
     /// All (pair, piece) work units in deterministic order.
@@ -282,18 +280,11 @@ mod tests {
 
     #[test]
     fn zero_probability_blocks_empty() {
-        let gen = StochasticBlockModel::new(
-            vec![50, 50],
-            vec![vec![0.3, 0.0], vec![0.0, 0.3]],
-        )
-        .with_seed(9);
+        let gen = StochasticBlockModel::new(vec![50, 50], vec![vec![0.3, 0.0], vec![0.0, 0.3]])
+            .with_seed(9);
         let el = generate_undirected(&gen);
         for &(u, v) in &el.edges {
-            assert_eq!(
-                gen.block_of(u),
-                gen.block_of(v),
-                "cross edge despite P=0"
-            );
+            assert_eq!(gen.block_of(u), gen.block_of(v), "cross edge despite P=0");
         }
         assert!(!el.edges.is_empty());
     }
@@ -303,6 +294,10 @@ mod tests {
         let gen = StochasticBlockModel::new(vec![20, 10], vec![vec![1.0, 0.0], vec![0.0, 0.0]])
             .with_seed(11);
         let el = generate_undirected(&gen);
-        assert_eq!(el.edges.len() as u64, 20 * 19 / 2, "block 0 must be complete");
+        assert_eq!(
+            el.edges.len() as u64,
+            20 * 19 / 2,
+            "block 0 must be complete"
+        );
     }
 }

@@ -150,6 +150,7 @@ impl Srhg {
     /// what a true streaming run must hold, which is what the `abl-mem`
     /// experiment compares against the query-centric
     /// [`crate::rhg::Rhg::generate_pe_stats`] footprint.
+    #[allow(clippy::needless_range_loop)] // annulus index feeds several arrays
     pub fn generate_pe_stats(&self, pe: usize) -> (PeGraph, SrhgPeStats) {
         let inst = self.instance();
         let tau = std::f64::consts::TAU;
@@ -205,9 +206,7 @@ impl Srhg {
                 if j < u_ann {
                     continue;
                 }
-                let dt = inst
-                    .space
-                    .delta_theta(u.r, inst.space.bounds[j].max(1e-12));
+                let dt = inst.space.delta_theta(u.r, inst.space.bounds[j].max(1e-12));
                 clipped.clear();
                 clip_interval(u.theta - dt, u.theta + dt, lo, hi, &mut clipped);
                 for &(a, b) in &clipped {
@@ -241,9 +240,7 @@ impl Srhg {
                     }
                     // Requests into every annulus at or above i.
                     for (j, reqs) in requests.iter_mut().enumerate().skip(i) {
-                        let dt = inst
-                            .space
-                            .delta_theta(p.r, inst.space.bounds[j].max(1e-12));
+                        let dt = inst.space.delta_theta(p.r, inst.space.bounds[j].max(1e-12));
                         clipped.clear();
                         clip_interval(p.theta - dt, p.theta + dt, lo, hi, &mut clipped);
                         for &(a, b) in &clipped {
@@ -297,11 +294,7 @@ impl Srhg {
                         continue;
                     }
                     // Emission rule: once globally per encounter direction.
-                    let emit = if r.ann < j {
-                        true
-                    } else {
-                        u.id < v.id
-                    };
+                    let emit = if r.ann < j { true } else { u.id < v.id };
                     if emit && u.is_adjacent(v, cosh_r) {
                         edges.push((u.id.min(v.id), u.id.max(v.id)));
                     }
@@ -318,9 +311,7 @@ impl Srhg {
                 globals
                     .iter()
                     .filter(|p| p.theta >= lo && p.theta < hi)
-                    .filter(|p| {
-                        p.r >= inst.space.bounds[i] && p.r < inst.space.bounds[i + 1]
-                    })
+                    .filter(|p| p.r >= inst.space.bounds[i] && p.r < inst.space.bounds[i + 1])
                     .copied(),
             );
         }
@@ -355,15 +346,15 @@ mod tests {
     #[test]
     fn matches_query_centric_generator() {
         // Same instance skeleton + same adjacency rule ⇒ identical graphs.
-        for &(n, deg, gamma, chunks) in
-            &[(500u64, 8.0, 2.8, 4usize), (900, 6.0, 3.0, 8), (700, 12.0, 2.3, 5)]
-        {
-            let srhg = generate_undirected(
-                &Srhg::new(n, deg, gamma).with_seed(11).with_chunks(chunks),
-            );
-            let rhg = generate_undirected(
-                &Rhg::new(n, deg, gamma).with_seed(11).with_chunks(chunks),
-            );
+        for &(n, deg, gamma, chunks) in &[
+            (500u64, 8.0, 2.8, 4usize),
+            (900, 6.0, 3.0, 8),
+            (700, 12.0, 2.3, 5),
+        ] {
+            let srhg =
+                generate_undirected(&Srhg::new(n, deg, gamma).with_seed(11).with_chunks(chunks));
+            let rhg =
+                generate_undirected(&Rhg::new(n, deg, gamma).with_seed(11).with_chunks(chunks));
             assert_eq!(
                 srhg.edges, rhg.edges,
                 "sRHG vs RHG mismatch at n={n}, γ={gamma}"

@@ -33,6 +33,21 @@ pub trait StreamingGenerator: Generator {
         self.stream_pe(pe, &mut |_, _| count += 1);
         count
     }
+
+    /// Drive every PE in order through `emit` — the sequential sink
+    /// driver used by the output pipeline when a single consumer wants
+    /// the whole instance as one stream. Peak memory stays at
+    /// generator-state size; no edge is ever buffered here.
+    fn stream_all(&self, emit: &mut dyn FnMut(u64, u64)) {
+        for pe in 0..self.num_chunks() {
+            self.stream_pe(pe, emit);
+        }
+    }
+
+    /// Total edge count of the instance without materializing it.
+    fn count_edges(&self) -> u64 {
+        (0..self.num_chunks()).map(|pe| self.count_pe(pe)).sum()
+    }
 }
 
 /// Fallback used by generators whose natural implementation materializes
@@ -161,7 +176,10 @@ mod tests {
     fn rmat_stream() {
         assert_stream_matches(&Rmat::new(9, 3000).with_seed(6).with_chunks(8));
         assert_stream_matches(
-            &Rmat::new(9, 3000).with_seed(6).with_chunks(8).with_table_levels(4),
+            &Rmat::new(9, 3000)
+                .with_seed(6)
+                .with_chunks(8)
+                .with_table_levels(4),
         );
     }
 
@@ -185,8 +203,34 @@ mod tests {
         assert_stream_matches(&Rhg::new(300, 6.0, 2.8).with_seed(10).with_chunks(4));
         assert_stream_matches(&Srhg::new(300, 6.0, 2.8).with_seed(10).with_chunks(4));
         assert_stream_matches(
-            &SoftRhg::new(300, 6.0, 2.8, 0.4).with_seed(11).with_chunks(4),
+            &SoftRhg::new(300, 6.0, 2.8, 0.4)
+                .with_seed(11)
+                .with_chunks(4),
         );
+    }
+
+    #[test]
+    fn stream_all_concatenates_pes() {
+        let gen = GnmDirected::new(300, 2000).with_seed(3).with_chunks(5);
+        let mut streamed = Vec::new();
+        gen.stream_all(&mut |u, v| streamed.push((u, v)));
+        let mut materialized = Vec::new();
+        for pe in 0..5 {
+            materialized.extend(gen.generate_pe(pe).edges);
+        }
+        assert_eq!(streamed, materialized);
+        assert_eq!(gen.count_edges(), 2000);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        // The CLI streams through `&dyn StreamingGenerator`.
+        let gen = Rmat::new(8, 500).with_seed(2).with_chunks(4);
+        let dyn_gen: &dyn StreamingGenerator = &gen;
+        assert_eq!(dyn_gen.count_edges(), 500);
+        let mut count = 0u64;
+        dyn_gen.stream_all(&mut |_, _| count += 1);
+        assert_eq!(count, 500);
     }
 
     #[test]

@@ -50,6 +50,9 @@ fn quick_two_sum(a: f64, b: f64) -> Dd {
     Dd { hi: s, lo: err }
 }
 
+// Named methods rather than operator impls: the predicates chain them
+// explicitly (`a.mul(b).sub(c)`), mirroring the reference formulas.
+#[allow(clippy::should_implement_trait)]
 impl Dd {
     /// Lift an `f64`.
     #[inline(always)]

@@ -60,10 +60,7 @@ pub fn circumsphere3(a: [f64; 3], b: [f64; 3], c: [f64; 3], d: [f64; 3]) -> ([f6
         (nu * vw[2] + nv * wu[2] + nw * uv[2]) / denom,
     ];
     let r2 = norm2(center);
-    (
-        [a[0] + center[0], a[1] + center[1], a[2] + center[2]],
-        r2,
-    )
+    ([a[0] + center[0], a[1] + center[1], a[2] + center[2]], r2)
 }
 
 #[cfg(test)]

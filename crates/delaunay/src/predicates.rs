@@ -206,14 +206,8 @@ mod tests {
 
     #[test]
     fn orient2_basic() {
-        assert_eq!(
-            orient2([0.0, 0.0], [1.0, 0.0], [0.0, 1.0]),
-            Sign::Positive
-        );
-        assert_eq!(
-            orient2([0.0, 0.0], [0.0, 1.0], [1.0, 0.0]),
-            Sign::Negative
-        );
+        assert_eq!(orient2([0.0, 0.0], [1.0, 0.0], [0.0, 1.0]), Sign::Positive);
+        assert_eq!(orient2([0.0, 0.0], [0.0, 1.0], [1.0, 0.0]), Sign::Negative);
         assert_eq!(orient2([0.0, 0.0], [1.0, 1.0], [2.0, 2.0]), Sign::Zero);
     }
 

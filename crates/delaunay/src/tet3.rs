@@ -64,7 +64,10 @@ impl Delaunay3 {
             (lo[1] + hi[1]) / 2.0,
             (lo[2] + hi[2]) / 2.0,
         ];
-        let span = (hi[0] - lo[0]).max(hi[1] - lo[1]).max(hi[2] - lo[2]).max(1.0);
+        let span = (hi[0] - lo[0])
+            .max(hi[1] - lo[1])
+            .max(hi[2] - lo[2])
+            .max(1.0);
         let s = 64.0 * span;
         pts.push([c[0] - s, c[1] - s, c[2] - s]);
         pts.push([c[0] + 3.0 * s, c[1] - s, c[2] - s]);
@@ -376,7 +379,7 @@ mod tests {
     fn all_points_used() {
         let pts = random_points(80, 3);
         let dt = Delaunay3::new(&pts);
-        let mut used = vec![false; 80];
+        let mut used = [false; 80];
         for t in dt.tetrahedra() {
             for &v in &t {
                 used[v as usize] = true;

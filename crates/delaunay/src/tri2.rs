@@ -115,12 +115,7 @@ impl Delaunay2 {
             for k in 0..3 {
                 let a = v[k];
                 let b = v[(k + 1) % 3];
-                if orient2(
-                    self.pts[a as usize],
-                    self.pts[b as usize],
-                    p,
-                ) == Sign::Negative
-                {
+                if orient2(self.pts[a as usize], self.pts[b as usize], p) == Sign::Negative {
                     match self.edge_tri.get(&(b, a)) {
                         Some(&next) => {
                             t = next;
@@ -277,11 +272,7 @@ mod tests {
     /// Empty-circumcircle check against all points (O(T·n), test only).
     fn assert_delaunay(pts: &[[f64; 2]], tris: &[[u32; 3]]) {
         for t in tris {
-            let (a, b, c) = (
-                pts[t[0] as usize],
-                pts[t[1] as usize],
-                pts[t[2] as usize],
-            );
+            let (a, b, c) = (pts[t[0] as usize], pts[t[1] as usize], pts[t[2] as usize]);
             for (i, p) in pts.iter().enumerate() {
                 if t.contains(&(i as u32)) {
                     continue;

@@ -1,0 +1,148 @@
+//! Walker/Vose alias tables: O(k) construction, O(1) sampling from any
+//! finite discrete distribution. Used by the multi-level R-MAT descent
+//! tables (§9 "faster R-MAT"), where one alias draw replaces several
+//! recursion levels.
+
+use kagen_util::Rng64;
+
+/// Precomputed alias table over `weights.len()` outcomes.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights (need not be normalized; at least
+    /// one must be positive).
+    pub fn new(weights: &[f64]) -> Self {
+        let k = weights.len();
+        assert!(k > 0, "alias table needs at least one outcome");
+        assert!(k <= u32::MAX as usize, "too many outcomes");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative with positive sum"
+        );
+        // Vose's stable two-stack construction.
+        let scale = k as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0u32; k];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            // Move the excess of l onto s's slot.
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers are exactly 1 up to rounding.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if the table has no outcomes (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one outcome index.
+    #[inline]
+    pub fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.next_below(self.prob.len() as u64) as usize;
+        if rng.next_f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kagen_util::Mt64;
+
+    #[test]
+    fn single_outcome() {
+        let t = AliasTable::new(&[2.5]);
+        let mut rng = Mt64::new(1);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn frequencies_match_weights() {
+        let weights = [0.57, 0.19, 0.19, 0.05]; // Graph 500 quadrants
+        let t = AliasTable::new(&weights);
+        assert_eq!(t.len(), 4);
+        let mut rng = Mt64::new(2);
+        let reps = 400_000u64;
+        let mut counts = [0u64; 4];
+        for _ in 0..reps {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for (i, (&c, &w)) in counts.iter().zip(&weights).enumerate() {
+            let expect = reps as f64 * w;
+            let sd = (reps as f64 * w * (1.0 - w)).sqrt();
+            assert!(
+                (c as f64 - expect).abs() < 6.0 * sd,
+                "outcome {i}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weights_never_drawn() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0, 3.0]);
+        let mut rng = Mt64::new(3);
+        for _ in 0..10_000 {
+            let s = t.sample(&mut rng);
+            assert!(s == 1 || s == 3, "drew zero-weight outcome {s}");
+        }
+    }
+
+    #[test]
+    fn skewed_large_table() {
+        // 4^6 outcomes with exponential skew, as the R-MAT tables build.
+        let weights: Vec<f64> = (0..4096).map(|i| 0.999f64.powi(i)).collect();
+        let t = AliasTable::new(&weights);
+        let mut rng = Mt64::new(4);
+        let mut first = 0u64;
+        let reps = 200_000;
+        for _ in 0..reps {
+            if t.sample(&mut rng) == 0 {
+                first += 1;
+            }
+        }
+        let p0 = weights[0] / weights.iter().sum::<f64>();
+        let expect = reps as f64 * p0;
+        let sd = (reps as f64 * p0 * (1.0 - p0)).sqrt();
+        assert!((first as f64 - expect).abs() < 6.0 * sd);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn all_zero_weights_panic() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+}

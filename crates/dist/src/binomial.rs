@@ -1,0 +1,229 @@
+//! Binomial sampling: BINV inversion for small means, BTRS (Hörmann's
+//! transformed rejection with squeeze) for large ones.
+//!
+//! The G(n,p) generators draw one binomial per chunk over universes as
+//! large as `n(n−1) ≈ 2^127`, so `n` is `u128`; the count itself always
+//! fits `u64` in every caller (edge counts). Exactness of the *support*
+//! matters more than raw speed: the splitting recursions rely on
+//! `0 ≤ X ≤ n`.
+
+use kagen_util::Rng64;
+
+/// Stirling's series tail `ln k! − [(k+½)ln k − k + ½ln 2π]`, the
+/// correction BTRS needs for its acceptance bound (Hörmann 1993).
+fn stirling_tail(k: f64) -> f64 {
+    // Exact-ish table for the first ten values, series beyond.
+    const TABLE: [f64; 10] = [
+        0.08106146679532726,
+        0.04134069595540929,
+        0.02767792568499834,
+        0.02079067210376509,
+        0.01664469118982119,
+        0.01387612882307075,
+        0.01189670994589177,
+        0.01041126526197209,
+        0.009255462182712733,
+        0.00833056343336287,
+    ];
+    if k < 10.0 {
+        return TABLE[k as usize];
+    }
+    let kp1sq = (k + 1.0) * (k + 1.0);
+    (1.0 / 12.0 - (1.0 / 360.0 - 1.0 / 1260.0 / kp1sq) / kp1sq) / (k + 1.0)
+}
+
+/// BINV: sequential inversion of the CDF; expected O(np) work.
+/// Requires `np` modest (we call it for `np < 10`) and `p ≤ 0.5`.
+fn binv<R: Rng64 + ?Sized>(rng: &mut R, n: f64, p: f64) -> u64 {
+    let q = 1.0 - p;
+    let s = p / q;
+    let a = (n + 1.0) * s;
+    let r0 = (n * q.ln()).exp(); // q^n, stable for huge n
+    loop {
+        let mut r = r0;
+        let mut u = rng.next_f64();
+        let mut x = 0u64;
+        loop {
+            if u <= r {
+                return x;
+            }
+            u -= r;
+            x += 1;
+            if x as f64 > n {
+                break; // numerical tail exhausted: redraw
+            }
+            r *= a / (x as f64) - s;
+        }
+    }
+}
+
+/// BTRS: Hörmann's transformed rejection sampler; O(1) expected.
+/// Requires `np ≥ 10` and `p ≤ 0.5`.
+fn btrs<R: Rng64 + ?Sized>(rng: &mut R, n: f64, p: f64) -> u64 {
+    let q = 1.0 - p;
+    let spq = (n * p * q).sqrt();
+    let b = 1.15 + 2.53 * spq;
+    let a = -0.0873 + 0.0248 * b + 0.01 * p;
+    let c = n * p + 0.5;
+    let v_r = 0.92 - 4.2 / b;
+    let r = p / q;
+    let alpha = (2.83 + 5.1 / b) * spq;
+    let m = ((n + 1.0) * p).floor();
+    loop {
+        let u = rng.next_f64() - 0.5;
+        let v = rng.next_f64_open();
+        let us = 0.5 - u.abs();
+        let k = ((2.0 * a / us + b) * u + c).floor();
+        if k < 0.0 || k > n {
+            continue;
+        }
+        // Squeeze region: the box is tight here, accept immediately.
+        if us >= 0.07 && v <= v_r {
+            return k as u64;
+        }
+        // Transformed-rejection acceptance test against log f(k).
+        let lhs = (v * alpha / (a / (us * us) + b)).ln();
+        let rhs = (m + 0.5) * ((m + 1.0) / (r * (n - m + 1.0))).ln()
+            + (n + 1.0) * ((n - m + 1.0) / (n - k + 1.0)).ln()
+            + (k + 0.5) * (r * (n - k + 1.0) / (k + 1.0)).ln()
+            + stirling_tail(m)
+            + stirling_tail(n - m)
+            - stirling_tail(k)
+            - stirling_tail(n - k);
+        if lhs <= rhs {
+            return k as u64;
+        }
+    }
+}
+
+/// Draw `X ~ Binomial(n, p)`.
+///
+/// Always satisfies `X ≤ n`; for the callers' parameter ranges the result
+/// fits `u64` (counts are bounded by edge totals). Panics in debug builds
+/// if a flipped draw would exceed `u64::MAX`.
+pub fn binomial<R: Rng64 + ?Sized>(rng: &mut R, n: u128, p: f64) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        debug_assert!(n <= u64::MAX as u128, "binomial count overflows u64");
+        return n.min(u64::MAX as u128) as u64;
+    }
+    // Sample with the smaller tail probability, flip back afterwards.
+    let flipped = p > 0.5;
+    let ps = if flipped { 1.0 - p } else { p };
+    let n_f = n as f64;
+    let k = if n_f * ps < 10.0 {
+        binv(rng, n_f, ps)
+    } else {
+        btrs(rng, n_f, ps)
+    };
+    let k = (k as u128).min(n); // exact support, guarding f64 edge rounding
+    let x = if flipped { n - k } else { k };
+    debug_assert!(x <= u64::MAX as u128, "binomial count overflows u64");
+    x.min(u64::MAX as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kagen_util::Mt64;
+
+    #[test]
+    fn support_and_degenerate_cases() {
+        let mut rng = Mt64::new(1);
+        assert_eq!(binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(binomial(&mut rng, 100, 0.0), 0);
+        assert_eq!(binomial(&mut rng, 100, 1.0), 100);
+        for n in [1u128, 5, 50, 1000, 1 << 40] {
+            for p in [1e-9, 0.01, 0.3, 0.5, 0.7, 0.999] {
+                let x = binomial(&mut rng, n, p);
+                assert!((x as u128) <= n, "n={n} p={p} x={x}");
+            }
+        }
+    }
+
+    fn mean_sd(n: u64, p: f64, reps: usize, seed: u64) -> (f64, f64) {
+        let mut rng = Mt64::new(seed);
+        let xs: Vec<f64> = (0..reps)
+            .map(|_| binomial(&mut rng, n as u128, p) as f64)
+            .collect();
+        let mean = xs.iter().sum::<f64>() / reps as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / reps as f64;
+        (mean, var.sqrt())
+    }
+
+    #[test]
+    fn binv_regime_moments() {
+        // np = 5: BINV path. Mean within 5 standard errors.
+        let (n, p, reps) = (500u64, 0.01, 20_000usize);
+        let (mean, _) = mean_sd(n, p, reps, 2);
+        let expect = n as f64 * p;
+        let se = (n as f64 * p * (1.0 - p) / reps as f64).sqrt();
+        assert!((mean - expect).abs() < 5.0 * se, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn btrs_regime_moments() {
+        // np = 30000: BTRS path. Mean and spread must match.
+        let (n, p, reps) = (100_000u64, 0.3, 4_000usize);
+        let (mean, sd) = mean_sd(n, p, reps, 3);
+        let expect = n as f64 * p;
+        let true_sd = (n as f64 * p * (1.0 - p)).sqrt();
+        let se = true_sd / (reps as f64).sqrt();
+        assert!((mean - expect).abs() < 5.0 * se, "mean {mean} vs {expect}");
+        assert!((sd - true_sd).abs() / true_sd < 0.1, "sd {sd} vs {true_sd}");
+    }
+
+    #[test]
+    fn flipped_p_regime() {
+        // p > 0.5 flips; check the mean on the flipped branch.
+        let (mean, _) = mean_sd(10_000, 0.9, 4_000, 4);
+        let expect = 9_000.0;
+        let se = (10_000.0f64 * 0.9 * 0.1 / 4_000.0).sqrt();
+        assert!((mean - expect).abs() < 5.0 * se, "mean {mean}");
+    }
+
+    #[test]
+    fn huge_universe_small_p() {
+        // The G(n,p) regime for n >> 2^32: universe 2^80, p ~ 2^-60.
+        let mut rng = Mt64::new(5);
+        let n = 1u128 << 80;
+        let p = 1.0 / (1u64 << 60) as f64; // mean ~ 2^20
+        let x = binomial(&mut rng, n, p);
+        let expect = (n as f64) * p;
+        let sd = expect.sqrt();
+        assert!(
+            (x as f64 - expect).abs() < 8.0 * sd,
+            "x={x} expect {expect}"
+        );
+    }
+
+    #[test]
+    fn chi_square_small_n() {
+        // Exact-distribution check on Binomial(8, 0.3) via chi-square.
+        let n = 8u64;
+        let p = 0.3f64;
+        let reps = 50_000u64;
+        let mut rng = Mt64::new(6);
+        let mut obs = [0u64; 9];
+        for _ in 0..reps {
+            obs[binomial(&mut rng, n as u128, p) as usize] += 1;
+        }
+        // pmf by recurrence.
+        let mut pmf = [0.0f64; 9];
+        pmf[0] = (1.0 - p).powi(8);
+        for k in 1..=8usize {
+            pmf[k] = pmf[k - 1] * ((n as f64 - k as f64 + 1.0) / k as f64) * (p / (1.0 - p));
+        }
+        let mut chi2 = 0.0;
+        for k in 0..=8 {
+            let e = pmf[k] * reps as f64;
+            if e > 1.0 {
+                chi2 += (obs[k] as f64 - e) * (obs[k] as f64 - e) / e;
+            }
+        }
+        // χ²_{0.999, 8 dof} ≈ 26.1 — generous margin.
+        assert!(chi2 < 30.0, "chi2 {chi2}");
+    }
+}

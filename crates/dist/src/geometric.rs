@@ -1,0 +1,83 @@
+//! Geometric skip lengths for Bernoulli sampling (Batagelj–Brandes):
+//! instead of testing every element of a universe with probability `p`,
+//! jump directly over the gaps between selected elements.
+
+use kagen_util::Rng64;
+
+/// Number of consecutive failures before the next success of a Bernoulli
+/// process with success probability `p` — i.e. the gap length to skip.
+///
+/// `P(skip = k) = (1−p)^k · p` via inversion: `⌊ln U / ln(1−p)⌋` with
+/// `U ~ (0,1)`. For `p ≥ 1` the skip is 0; for `p ≤ 0` it is `u64::MAX`
+/// (no further successes within any finite universe).
+#[inline]
+pub fn geometric_skip<R: Rng64 + ?Sized>(rng: &mut R, p: f64) -> u64 {
+    if p >= 1.0 {
+        return 0;
+    }
+    if p <= 0.0 {
+        return u64::MAX;
+    }
+    let u = rng.next_f64_open();
+    // ln(1−p) via ln_1p: exact even when p is below f64 granularity.
+    let denom = (-p).ln_1p();
+    if denom == 0.0 {
+        return u64::MAX;
+    }
+    let skip = (u.ln() / denom).floor();
+    if skip >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        skip as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kagen_util::Mt64;
+
+    #[test]
+    fn degenerate_probabilities() {
+        let mut rng = Mt64::new(1);
+        assert_eq!(geometric_skip(&mut rng, 1.0), 0);
+        assert_eq!(geometric_skip(&mut rng, 1.5), 0);
+        assert_eq!(geometric_skip(&mut rng, 0.0), u64::MAX);
+        assert_eq!(geometric_skip(&mut rng, -0.1), u64::MAX);
+    }
+
+    #[test]
+    fn zero_skip_probability_is_p() {
+        // P(skip = 0) = p.
+        let mut rng = Mt64::new(2);
+        let p = 0.3;
+        let reps = 100_000;
+        let zeros = (0..reps)
+            .filter(|_| geometric_skip(&mut rng, p) == 0)
+            .count();
+        let frac = zeros as f64 / reps as f64;
+        let se = (p * (1.0 - p) / reps as f64).sqrt();
+        assert!((frac - p).abs() < 5.0 * se, "frac {frac}");
+    }
+
+    #[test]
+    fn mean_matches_geometric() {
+        // E[skip] = (1−p)/p.
+        let mut rng = Mt64::new(3);
+        let p = 0.05;
+        let reps = 100_000u64;
+        let sum: u64 = (0..reps).map(|_| geometric_skip(&mut rng, p)).sum();
+        let mean = sum as f64 / reps as f64;
+        let expect = (1.0 - p) / p; // 19
+        let sd = ((1.0 - p) / (p * p)).sqrt();
+        let se = sd / (reps as f64).sqrt();
+        assert!((mean - expect).abs() < 5.0 * se, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn tiny_p_does_not_overflow() {
+        let mut rng = Mt64::new(4);
+        let skip = geometric_skip(&mut rng, 1e-300);
+        assert!(skip > 1u64 << 40); // astronomically large, but defined
+    }
+}

@@ -1,0 +1,222 @@
+//! Hypergeometric sampling: inverse urn simulation (HYP) for small draw
+//! counts, the HRUA ratio-of-uniforms rejection sampler for large ones.
+//!
+//! This is the workhorse of the paper's G(n,m) splitting recursions
+//! (§4.1, §4.2) and the distributed sampler of Sanders et al.: a fixed
+//! sample count is split over two sub-universes by one hypergeometric
+//! draw per recursion node. Totals can exceed 2^64 (edge universes of
+//! n > 2^32 vertices), so `total` and `good` are `u128`; draws and
+//! results are `u64`.
+
+use crate::loggamma::loggamma;
+use kagen_util::Rng64;
+
+/// HYP: simulate the urn directly; O(draws) work, exact.
+fn hyp<R: Rng64 + ?Sized>(rng: &mut R, total: f64, good: f64, bad: f64, draws: u64) -> u64 {
+    // Walks the `draws` draws, tracking how many of the minority color
+    // remain; the update is the standard inverse-transform step of
+    // Kachitvichyanukul & Schnabel's HYP algorithm.
+    let d1 = total - draws as f64;
+    let d2 = good.min(bad);
+    let mut y = d2;
+    let mut k = draws as f64;
+    while y > 0.0 {
+        let u = rng.next_f64();
+        y -= (u + y / (d1 + k)).floor();
+        k -= 1.0;
+        if k == 0.0 {
+            break;
+        }
+    }
+    let z = (d2 - y.max(0.0)) as u64;
+    if good > bad {
+        draws - z
+    } else {
+        z
+    }
+}
+
+/// HRUA: ratio-of-uniforms rejection; O(1) expected draws (Stadlober).
+fn hrua<R: Rng64 + ?Sized>(rng: &mut R, popsize: f64, good: f64, bad: f64, sample: u64) -> u64 {
+    const D1: f64 = 1.7155277699214135; // 2·√(2/e)
+    const D2: f64 = 0.8989161620588988; // 3 − 2·√(3/e)
+
+    let mingoodbad = good.min(bad);
+    let maxgoodbad = good.max(bad);
+    let sample_f = sample as f64;
+    let m = sample_f.min(popsize - sample_f);
+    let d4 = mingoodbad / popsize;
+    let d5 = 1.0 - d4;
+    let d6 = m * d4 + 0.5;
+    let d7 = ((popsize - m) * sample_f * d4 * d5 / (popsize - 1.0) + 0.5).sqrt();
+    let d8 = D1 * d7 + D2;
+    let d9 = ((m + 1.0) * (mingoodbad + 1.0) / (popsize + 2.0)).floor();
+    let d10 = loggamma(d9 + 1.0)
+        + loggamma(mingoodbad - d9 + 1.0)
+        + loggamma(m - d9 + 1.0)
+        + loggamma(maxgoodbad - m + d9 + 1.0);
+    let d11 = (m + 1.0)
+        .min(mingoodbad + 1.0)
+        .min((d6 + 16.0 * d7).floor());
+
+    let z = loop {
+        let x = rng.next_f64_open();
+        let y = rng.next_f64();
+        let w = d6 + d8 * (y - 0.5) / x;
+        if w < 0.0 || w >= d11 {
+            continue;
+        }
+        let z = w.floor();
+        let t = d10
+            - (loggamma(z + 1.0)
+                + loggamma(mingoodbad - z + 1.0)
+                + loggamma(m - z + 1.0)
+                + loggamma(maxgoodbad - m + z + 1.0));
+        // Squeeze accept.
+        if x * (4.0 - x) - 3.0 <= t {
+            break z;
+        }
+        // Squeeze reject.
+        if x * (x - t) >= 1.0 {
+            continue;
+        }
+        // Full acceptance test.
+        if 2.0 * x.ln() <= t {
+            break z;
+        }
+    };
+
+    let z = if good > bad { m - z } else { z };
+    let z = if m < sample_f { good - z } else { z };
+    z as u64
+}
+
+/// Draw `X ~ Hypergeometric(total, good, draws)`: the number of "good"
+/// elements in a uniform `draws`-subset of a `total`-element universe
+/// containing `good` good ones.
+///
+/// The result always lies in the exact support
+/// `[max(0, draws − bad), min(draws, good)]`, which the splitting
+/// recursions rely on for count conservation.
+pub fn hypergeometric<R: Rng64 + ?Sized>(rng: &mut R, total: u128, good: u128, draws: u64) -> u64 {
+    assert!(good <= total, "good {good} exceeds total {total}");
+    assert!(
+        (draws as u128) <= total,
+        "draws {draws} exceed total {total}"
+    );
+    let bad = total - good;
+    // Exact support bounds.
+    let lo = (draws as u128).saturating_sub(bad).min(u64::MAX as u128) as u64;
+    let hi = (draws as u128).min(good).min(u64::MAX as u128) as u64;
+    if lo == hi {
+        return lo; // degenerate: includes draws == 0, good == 0, good == total
+    }
+    let total_f = total as f64;
+    let good_f = good as f64;
+    let bad_f = bad as f64;
+    let m = (draws as f64).min(total_f - draws as f64);
+    let x = if m < 10.0 {
+        hyp(rng, total_f, good_f, bad_f, draws)
+    } else {
+        hrua(rng, total_f, good_f, bad_f, draws)
+    };
+    x.clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kagen_util::Mt64;
+
+    #[test]
+    fn support_exact() {
+        let mut rng = Mt64::new(1);
+        for &(total, good, draws) in &[
+            (10u128, 3u128, 5u64),
+            (100, 100, 40),
+            (100, 0, 40),
+            (50, 25, 50),
+            (1 << 80, 1 << 79, 1 << 20),
+            (7, 6, 7),
+        ] {
+            let bad = total - good;
+            for _ in 0..200 {
+                let x = hypergeometric(&mut rng, total, good, draws) as u128;
+                assert!(
+                    x <= (draws as u128).min(good),
+                    "{total} {good} {draws}: {x}"
+                );
+                assert!(
+                    x >= (draws as u128).saturating_sub(bad),
+                    "{total} {good} {draws}: {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mean_small_regime() {
+        // draws < 10 → HYP path. E[X] = draws·good/total.
+        let (total, good, draws) = (1000u128, 400u128, 8u64);
+        let reps = 40_000;
+        let mut rng = Mt64::new(2);
+        let sum: u64 = (0..reps)
+            .map(|_| hypergeometric(&mut rng, total, good, draws))
+            .sum();
+        let mean = sum as f64 / reps as f64;
+        let expect = draws as f64 * good as f64 / total as f64; // 3.2
+        let var = expect * (1.0 - 0.4) * (total - draws as u128) as f64 / (total - 1) as f64;
+        let se = (var / reps as f64).sqrt();
+        assert!((mean - expect).abs() < 5.0 * se, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn mean_large_regime() {
+        // HRUA path. 2^40 universe, half good, 2^16 draws.
+        let (total, good, draws) = (1u128 << 40, 1u128 << 39, 1u64 << 16);
+        let reps = 300;
+        let mut rng = Mt64::new(3);
+        let sum: u64 = (0..reps)
+            .map(|_| hypergeometric(&mut rng, total, good, draws))
+            .sum();
+        let mean = sum as f64 / reps as f64;
+        let expect = draws as f64 * 0.5;
+        let se = (expect * 0.5 / reps as f64).sqrt();
+        assert!((mean - expect).abs() < 6.0 * se, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn exact_distribution_tiny() {
+        // Hypergeometric(10, 4, 3): compare to exact pmf by chi-square.
+        // pmf(k) = C(4,k)·C(6,3−k)/C(10,3), k = 0..3.
+        let pmf = [20.0 / 120.0, 60.0 / 120.0, 36.0 / 120.0, 4.0 / 120.0];
+        let reps = 60_000u64;
+        let mut rng = Mt64::new(4);
+        let mut obs = [0u64; 4];
+        for _ in 0..reps {
+            obs[hypergeometric(&mut rng, 10, 4, 3) as usize] += 1;
+        }
+        let mut chi2 = 0.0;
+        for k in 0..4 {
+            let e = pmf[k] * reps as f64;
+            chi2 += (obs[k] as f64 - e) * (obs[k] as f64 - e) / e;
+        }
+        // χ²_{0.999, 3 dof} ≈ 16.3 — generous margin.
+        assert!(chi2 < 20.0, "chi2 {chi2}, obs {obs:?}");
+    }
+
+    #[test]
+    fn splitting_conserves_counts() {
+        // The G(n,m) recursion pattern: X1 + X2 + X3 == count always.
+        let mut rng = Mt64::new(5);
+        for _ in 0..2000 {
+            let (u1, u2, u3) = (5000u128, 12_000u128, 3000u128);
+            let count = 7777u64;
+            let x1 = hypergeometric(&mut rng, u1 + u2 + u3, u1, count);
+            let x2 = hypergeometric(&mut rng, u2 + u3, u2, count - x1);
+            let x3 = count - x1 - x2;
+            assert!(x1 as u128 <= u1 && x2 as u128 <= u2 && (x3 as u128) <= u3);
+            assert_eq!(x1 + x2 + x3, count);
+        }
+    }
+}

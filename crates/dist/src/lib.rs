@@ -1,0 +1,38 @@
+//! # kagen-dist
+//!
+//! Random variate generation for the communication-free generators.
+//!
+//! The paper's divide-and-conquer schemes reduce every generator to a
+//! small set of discrete distributions, each drawn from a *seeded* PRNG so
+//! any PE reproduces any other PE's variates without communication:
+//!
+//! * [`binomial`] — chunk edge counts for G(n,p)-type models (§4.3) and
+//!   the 2^d-ary count-splitting trees (§5); BINV inversion for small
+//!   means, Hörmann's BTRS transformed rejection for large ones.
+//! * [`hypergeometric`] — recursive splitting of a fixed sample count
+//!   over sub-universes (§4.1, §4.2); inverse urn simulation for small
+//!   draws, the HRUA ratio-of-uniforms rejection for large ones.
+//! * [`multinomial`] — vertex counts per hyperbolic annulus (§7.1), via
+//!   the conditional-binomial chain (exact, conserves the total).
+//! * [`geometric`] — skip lengths for Bernoulli sampling
+//!   (Batagelj–Brandes), used by the G(n,p) leaves.
+//! * [`AliasTable`] — O(1) discrete sampling (Vose), used by the
+//!   multi-level R-MAT descent tables (§9).
+//!
+//! All samplers take any [`Rng64`] and use f64 arithmetic internally, so
+//! universes up to 2^127 (edge indices of n > 2^32 vertices) are
+//! supported; results are clamped to the distribution's exact support so
+//! the count-conservation identities downstream hold bit-exactly.
+
+pub mod alias;
+pub mod binomial;
+pub mod geometric;
+pub mod hypergeometric;
+pub mod multinomial;
+
+mod loggamma;
+
+pub use alias::AliasTable;
+pub use binomial::binomial;
+pub use hypergeometric::hypergeometric;
+pub use multinomial::multinomial;

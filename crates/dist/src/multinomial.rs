@@ -1,0 +1,89 @@
+//! Multinomial sampling via the conditional-binomial chain: exact, and
+//! conserves the total by construction (the last bucket takes the
+//! remainder). Used for the per-annulus vertex counts of the hyperbolic
+//! generators (§7.1).
+
+use crate::binomial::binomial;
+use kagen_util::Rng64;
+
+/// Distribute `n` items over `probs.len()` buckets with probabilities
+/// proportional to `probs` (need not be normalized). Returns one count
+/// per bucket; the counts always sum to exactly `n`.
+pub fn multinomial<R: Rng64 + ?Sized>(rng: &mut R, n: u64, probs: &[f64]) -> Vec<u64> {
+    assert!(!probs.is_empty(), "multinomial needs at least one bucket");
+    let mut out = Vec::with_capacity(probs.len());
+    let mut remaining = n;
+    let mut rest: f64 = probs.iter().sum();
+    for (i, &p) in probs.iter().enumerate() {
+        if i + 1 == probs.len() {
+            out.push(remaining);
+        } else {
+            let cond = if rest > 0.0 {
+                (p / rest).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let c = binomial(rng, remaining as u128, cond);
+            out.push(c);
+            remaining -= c;
+            rest -= p;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kagen_util::Mt64;
+
+    #[test]
+    fn conserves_total() {
+        let mut rng = Mt64::new(1);
+        for n in [0u64, 1, 17, 10_000] {
+            let counts = multinomial(&mut rng, n, &[0.2, 0.3, 0.5]);
+            assert_eq!(counts.len(), 3);
+            assert_eq!(counts.iter().sum::<u64>(), n);
+        }
+    }
+
+    #[test]
+    fn proportions_match() {
+        let mut rng = Mt64::new(2);
+        let probs = [0.1, 0.2, 0.3, 0.4];
+        let n = 400_000u64;
+        let counts = multinomial(&mut rng, n, &probs);
+        for (i, (&c, &p)) in counts.iter().zip(&probs).enumerate() {
+            let expect = n as f64 * p;
+            let sd = (n as f64 * p * (1.0 - p)).sqrt();
+            assert!(
+                (c as f64 - expect).abs() < 6.0 * sd,
+                "bucket {i}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn unnormalized_weights() {
+        let mut rng = Mt64::new(3);
+        let counts = multinomial(&mut rng, 100_000, &[1.0, 1.0]);
+        assert_eq!(counts.iter().sum::<u64>(), 100_000);
+        let ratio = counts[0] as f64 / 100_000.0;
+        assert!((ratio - 0.5).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_probability_buckets() {
+        let mut rng = Mt64::new(4);
+        let counts = multinomial(&mut rng, 5000, &[0.0, 1.0, 0.0]);
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[1], 5000);
+        assert_eq!(counts[2], 0);
+    }
+
+    #[test]
+    fn single_bucket() {
+        let mut rng = Mt64::new(5);
+        assert_eq!(multinomial(&mut rng, 42, &[3.0]), vec![42]);
+    }
+}

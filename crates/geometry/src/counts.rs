@@ -116,6 +116,7 @@ impl<const D: usize> CountTree<D> {
         self.descend(&root, 0, self.num_leaves(), self.total, lo, hi, f);
     }
 
+    #[allow(clippy::too_many_arguments)] // recursion state, not an API
     fn descend(
         &self,
         node: &SeedTree,

@@ -159,8 +159,7 @@ impl PrePoint {
     #[inline(always)]
     pub fn is_adjacent(&self, other: &PrePoint, cosh_r_max: f64) -> bool {
         let lhs = self.cos_theta * other.cos_theta + self.sin_theta * other.sin_theta;
-        let rhs = self.coth_r * other.coth_r
-            - cosh_r_max * self.inv_sinh_r * other.inv_sinh_r;
+        let rhs = self.coth_r * other.coth_r - cosh_r_max * self.inv_sinh_r * other.inv_sinh_r;
         lhs > rhs
     }
 }
@@ -312,8 +311,7 @@ mod tests {
             let s = RhgSpace::new(1 << 16, deg, gamma);
             let c = s.r_max - 2.0 * (s.n as f64).ln();
             let ratio = s.alpha / (s.alpha - 0.5);
-            let recovered =
-                2.0 / std::f64::consts::PI * ratio * ratio * (-c / 2.0).exp();
+            let recovered = 2.0 / std::f64::consts::PI * ratio * ratio * (-c / 2.0).exp();
             assert!(
                 (recovered - deg).abs() / deg < 1e-9,
                 "γ={gamma}: {recovered} vs {deg}"

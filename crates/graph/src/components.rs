@@ -93,13 +93,13 @@ pub fn component_labels(el: &EdgeList) -> Vec<u32> {
     let mut label = vec![u32::MAX; n];
     let mut next = 0u32;
     let mut out = vec![0u32; n];
-    for v in 0..n {
+    for (v, slot) in out.iter_mut().enumerate() {
         let r = uf.find(v);
         if label[r] == u32::MAX {
             label[r] = next;
             next += 1;
         }
-        out[v] = label[r];
+        *slot = label[r];
     }
     out
 }

@@ -23,12 +23,7 @@ impl Csr {
     /// Build from a canonical undirected edge list (both orientations
     /// inserted).
     pub fn undirected(el: &EdgeList) -> Self {
-        Self::build(
-            el.n,
-            el.edges
-                .iter()
-                .flat_map(|&(u, v)| [(u, v), (v, u)]),
-        )
+        Self::build(el.n, el.edges.iter().flat_map(|&(u, v)| [(u, v), (v, u)]))
     }
 
     fn build(n: Node, edges: impl Iterator<Item = (Node, Node)> + Clone) -> Self {

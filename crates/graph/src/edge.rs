@@ -75,6 +75,15 @@ impl EdgeList {
         }
         deg
     }
+
+    /// In-degrees of a directed edge list.
+    pub fn in_degrees(&self) -> Vec<u64> {
+        let mut deg = vec![0u64; self.n as usize];
+        for &(_, v) in &self.edges {
+            deg[v as usize] += 1;
+        }
+        deg
+    }
 }
 
 /// Merge per-PE outputs of an *undirected* generator into one canonical
@@ -115,6 +124,7 @@ mod tests {
         let el = EdgeList::new(4, vec![(0, 1), (1, 2), (1, 3)]);
         assert_eq!(el.degrees_undirected(), vec![1, 3, 1, 1]);
         assert_eq!(el.out_degrees(), vec![1, 2, 0, 0]);
+        assert_eq!(el.in_degrees(), vec![0, 1, 1, 1]);
     }
 
     #[test]

@@ -47,6 +47,25 @@ impl DegreeStats {
     pub fn undirected(el: &EdgeList) -> Self {
         Self::from_degrees(&el.degrees_undirected())
     }
+
+    /// Compute for a directed edge list: separate in- and out-degree
+    /// summaries (a directed graph has no single "degree" sequence).
+    pub fn directed(el: &EdgeList) -> DirectedDegreeStats {
+        DirectedDegreeStats {
+            in_deg: Self::from_degrees(&el.in_degrees()),
+            out_deg: Self::from_degrees(&el.out_degrees()),
+        }
+    }
+}
+
+/// In-/out-degree summaries of a directed edge list
+/// (see [`DegreeStats::directed`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DirectedDegreeStats {
+    /// Statistics of the in-degree sequence.
+    pub in_deg: DegreeStats,
+    /// Statistics of the out-degree sequence.
+    pub out_deg: DegreeStats,
 }
 
 /// Histogram of degrees: `hist[d]` = number of vertices with degree `d`.
@@ -107,6 +126,19 @@ mod tests {
     fn clustering_of_path_is_zero() {
         let el = EdgeList::new(3, vec![(0, 1), (1, 2)]);
         assert_eq!(global_clustering(&el), 0.0);
+    }
+
+    #[test]
+    fn directed_stats_split_in_and_out() {
+        // Star pointing outward: center has out-degree 4, leaves in-degree 1.
+        let el = EdgeList::new(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let s = DegreeStats::directed(&el);
+        assert_eq!(s.out_deg.max, 4);
+        assert_eq!(s.out_deg.min, 0);
+        assert_eq!(s.in_deg.max, 1);
+        assert_eq!(s.in_deg.min, 0);
+        assert!((s.in_deg.mean - 0.8).abs() < 1e-12);
+        assert!((s.out_deg.mean - 0.8).abs() < 1e-12);
     }
 
     #[test]

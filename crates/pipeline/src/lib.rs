@@ -1,0 +1,107 @@
+//! # kagen-pipeline
+//!
+//! Bounded-memory streaming output for the communication-free generators
+//! — the §9 future-work direction ("extend our remaining generators to
+//! use a streaming approach") turned into a production output path.
+//!
+//! The seed crates could already *generate* edges as a stream
+//! ([`StreamingGenerator::stream_pe`]), but every consumer materialized a
+//! full edge vector, capping instance size at RAM. This crate keeps the
+//! whole path at generator-state memory:
+//!
+//! * [`sink`] — the [`EdgeSink`] trait plus composable sinks: counting,
+//!   checksumming, degree statistics, text / binary / compressed writers,
+//!   tees and closure adapters.
+//! * [`writer`] — the sharded parallel writer: one shard file per PE,
+//!   written concurrently on the `kagen-runtime` pool, plus a
+//!   `manifest.json` recording model, params, seed, per-shard edge counts
+//!   and checksums. Shard bytes are independent of the thread count.
+//! * [`reader`] — stream shards back (validating the checksums) or
+//!   reassemble an [`EdgeList`](kagen_graph::EdgeList).
+//! * [`merge`] — bounded-memory external merge: sorted runs + k-way
+//!   merge reproduce `generate_undirected` / `generate_directed` exactly,
+//!   with peak memory set by an explicit edge budget instead of the
+//!   instance size.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use kagen_core::prelude::*;
+//! use kagen_pipeline::{stream_into, CountingSink};
+//!
+//! // Drive a generator into a sink without materializing edges.
+//! let gen = GnmDirected::new(1000, 5000).with_seed(42).with_chunks(8);
+//! let mut sink = CountingSink::new();
+//! let edges = stream_into(&gen, &mut sink).unwrap();
+//! assert_eq!(edges, 5000);
+//! ```
+//!
+//! Sharded write → merge round trip:
+//!
+//! ```
+//! use kagen_core::prelude::*;
+//! use kagen_pipeline::{
+//!     external_merge_to_vec, write_sharded, InstanceMeta, ShardFormat,
+//!     ShardReader, StreamConfig,
+//! };
+//!
+//! let gen = GnmUndirected::new(300, 2000).with_seed(7).with_chunks(4);
+//! let dir = std::env::temp_dir().join("kagen_pipeline_doc");
+//! let meta = InstanceMeta {
+//!     model: "gnm_undirected".into(),
+//!     params: "n=300 m=2000".into(),
+//!     seed: 7,
+//! };
+//! write_sharded(&gen, &meta, &StreamConfig::new(&dir, ShardFormat::Compressed)).unwrap();
+//!
+//! let reader = ShardReader::open(&dir).unwrap();
+//! let (edges, _stats) = external_merge_to_vec(&reader, &dir.join("runs"), 1 << 16).unwrap();
+//! assert_eq!(edges, generate_undirected(&gen).edges);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+pub mod manifest;
+pub mod merge;
+pub mod reader;
+pub mod sink;
+pub mod writer;
+
+pub use manifest::{Manifest, ShardInfo, MANIFEST_FILE};
+pub use merge::{ExternalMerge, MergeStats};
+pub use reader::ShardReader;
+pub use sink::{
+    checksum_step, BinarySink, ChecksumSink, CompressedSink, CountingSink, DegreeStatsSink,
+    EdgeSink, FnSink, TeeSink, TextSink,
+};
+pub use writer::{shard_file_name, write_sharded, InstanceMeta, ShardFormat, StreamConfig};
+
+use kagen_core::streaming::StreamingGenerator;
+use std::io;
+
+/// Drive every PE of `gen` sequentially into `sink` and finish it.
+/// Returns the edge count. This is the single-consumer driver; for
+/// parallel per-PE output use [`write_sharded`].
+pub fn stream_into<G: StreamingGenerator + ?Sized, S: EdgeSink>(
+    gen: &G,
+    sink: &mut S,
+) -> io::Result<u64> {
+    gen.stream_all(&mut |u, v| sink.accept(u, v));
+    sink.finish()
+}
+
+/// Convenience wrapper around [`ExternalMerge`]: merge a shard directory
+/// into a sorted, canonical edge vector (tests and small instances).
+pub fn external_merge_to_vec(
+    reader: &ShardReader,
+    run_dir: &std::path::Path,
+    budget_edges: usize,
+) -> io::Result<(Vec<(u64, u64)>, MergeStats)> {
+    let mut edges = Vec::new();
+    let stats = {
+        let mut sink = FnSink::new(|u, v| edges.push((u, v)));
+        let stats = ExternalMerge::new(run_dir, budget_edges).merge(reader, &mut sink)?;
+        sink.finish()?;
+        stats
+    };
+    Ok((edges, stats))
+}

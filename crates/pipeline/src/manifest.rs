@@ -1,0 +1,492 @@
+//! The shard-directory manifest: a JSON file describing one sharded
+//! generation run (model, parameters, seed, format, per-shard edge counts
+//! and checksums) so shards can be validated and reassembled later —
+//! including by tools that never saw the generator.
+//!
+//! Serialization is hand-rolled (the build environment vendors no serde):
+//! [`Manifest::to_json`] emits canonical JSON and [`Manifest::from_json`]
+//! parses the subset of JSON that `to_json` produces (objects, arrays,
+//! strings with escapes, unsigned integers, booleans).
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// File name of the manifest inside a shard directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// One shard's metadata.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// The PE (chunk) index this shard holds.
+    pub pe: u64,
+    /// File name relative to the shard directory.
+    pub file: String,
+    /// Number of edges in the shard.
+    pub edges: u64,
+    /// Order-dependent checksum of the shard's edge stream
+    /// (see `kagen_pipeline::sink::checksum_step`).
+    pub checksum: u64,
+}
+
+/// Metadata of a complete sharded run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// Model name (e.g. `rmat`, `gnm_undirected`).
+    pub model: String,
+    /// Human-readable parameter string (e.g. `n=1048576 m=16777216`).
+    pub params: String,
+    /// Instance seed.
+    pub seed: u64,
+    /// Vertex count.
+    pub n: u64,
+    /// Whether the edges are directed.
+    pub directed: bool,
+    /// Number of logical PEs == number of shards.
+    pub chunks: u64,
+    /// Shard format name (`edge-list`, `binary`, `compressed`).
+    pub format: String,
+    /// Total edge count over all shards.
+    pub edges: u64,
+    /// Per-shard metadata, in PE order.
+    pub shards: Vec<ShardInfo>,
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl Manifest {
+    /// Serialize to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = write!(s, "  \"model\": ");
+        push_str_value(&mut s, &self.model);
+        let _ = write!(s, ",\n  \"params\": ");
+        push_str_value(&mut s, &self.params);
+        let _ = write!(s, ",\n  \"seed\": {},", self.seed);
+        let _ = write!(s, "\n  \"n\": {},", self.n);
+        let _ = write!(s, "\n  \"directed\": {},", self.directed);
+        let _ = write!(s, "\n  \"chunks\": {},", self.chunks);
+        let _ = write!(s, "\n  \"format\": ");
+        push_str_value(&mut s, &self.format);
+        let _ = write!(s, ",\n  \"edges\": {},", self.edges);
+        s.push_str("\n  \"shards\": [\n");
+        for (i, sh) in self.shards.iter().enumerate() {
+            let _ = write!(s, "    {{\"pe\": {}, \"file\": ", sh.pe);
+            push_str_value(&mut s, &sh.file);
+            let _ = write!(
+                s,
+                ", \"edges\": {}, \"checksum\": {}}}{}",
+                sh.edges,
+                sh.checksum,
+                if i + 1 < self.shards.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                }
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parse from JSON (inverse of [`Manifest::to_json`]).
+    pub fn from_json(text: &str) -> Result<Manifest, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_obj("manifest")?;
+        let shards_value = obj.get("shards")?;
+        let mut shards = Vec::new();
+        for (i, sh) in shards_value.as_arr("shards")?.iter().enumerate() {
+            let sh = sh.as_obj(&format!("shards[{i}]"))?;
+            shards.push(ShardInfo {
+                pe: sh.get("pe")?.as_u64("pe")?,
+                file: sh.get("file")?.as_str("file")?.to_string(),
+                edges: sh.get("edges")?.as_u64("edges")?,
+                checksum: sh.get("checksum")?.as_u64("checksum")?,
+            });
+        }
+        Ok(Manifest {
+            model: obj.get("model")?.as_str("model")?.to_string(),
+            params: obj.get("params")?.as_str("params")?.to_string(),
+            seed: obj.get("seed")?.as_u64("seed")?,
+            n: obj.get("n")?.as_u64("n")?,
+            directed: obj.get("directed")?.as_bool("directed")?,
+            chunks: obj.get("chunks")?.as_u64("chunks")?,
+            format: obj.get("format")?.as_str("format")?.to_string(),
+            edges: obj.get("edges")?.as_u64("edges")?,
+            shards,
+        })
+    }
+
+    /// Write `manifest.json` into `dir`.
+    pub fn save(&self, dir: &Path) -> io::Result<()> {
+        std::fs::write(dir.join(MANIFEST_FILE), self.to_json())
+    }
+
+    /// Load `manifest.json` from `dir`.
+    pub fn load(dir: &Path) -> io::Result<Manifest> {
+        let text = std::fs::read_to_string(dir.join(MANIFEST_FILE))?;
+        Manifest::from_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+fn push_str_value(out: &mut String, s: &str) {
+    out.push('"');
+    escape_into(out, s);
+    out.push('"');
+}
+
+mod json {
+    //! Minimal JSON parser for the manifest subset.
+
+    /// A parsed JSON value.
+    #[derive(Clone, Debug)]
+    pub enum Value {
+        /// Object as ordered key/value pairs.
+        Obj(Vec<(String, Value)>),
+        /// Array.
+        Arr(Vec<Value>),
+        /// String.
+        Str(String),
+        /// Unsigned integer (all numbers the manifest emits).
+        Num(u64),
+        /// Boolean.
+        Bool(bool),
+    }
+
+    /// Accessor helpers for the typed object view.
+    pub struct Obj<'a>(&'a [(String, Value)]);
+
+    impl<'a> Obj<'a> {
+        /// Look up a required key.
+        pub fn get(&self, key: &str) -> Result<&'a Value, String> {
+            self.0
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("manifest: missing key '{key}'"))
+        }
+    }
+
+    impl Value {
+        /// View as object.
+        pub fn as_obj(&self, what: &str) -> Result<Obj<'_>, String> {
+            match self {
+                Value::Obj(fields) => Ok(Obj(fields)),
+                _ => Err(format!("manifest: {what} is not an object")),
+            }
+        }
+
+        /// View as array.
+        pub fn as_arr(&self, what: &str) -> Result<&[Value], String> {
+            match self {
+                Value::Arr(items) => Ok(items),
+                _ => Err(format!("manifest: {what} is not an array")),
+            }
+        }
+
+        /// View as string.
+        pub fn as_str(&self, what: &str) -> Result<&str, String> {
+            match self {
+                Value::Str(s) => Ok(s),
+                _ => Err(format!("manifest: {what} is not a string")),
+            }
+        }
+
+        /// View as unsigned integer.
+        pub fn as_u64(&self, what: &str) -> Result<u64, String> {
+            match self {
+                Value::Num(x) => Ok(*x),
+                _ => Err(format!("manifest: {what} is not an integer")),
+            }
+        }
+
+        /// View as boolean.
+        pub fn as_bool(&self, what: &str) -> Result<bool, String> {
+            match self {
+                Value::Bool(b) => Ok(*b),
+                _ => Err(format!("manifest: {what} is not a boolean")),
+            }
+        }
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    /// Parse a JSON document.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while self.pos < self.bytes.len()
+                && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+            {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&mut self) -> Result<u8, String> {
+            self.skip_ws();
+            self.bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| "unexpected end of input".to_string())
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek()? == b {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at byte {}", b as char, self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek()? {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => Ok(Value::Str(self.string()?)),
+                b't' | b'f' => self.boolean(),
+                b'0'..=b'9' => self.number(),
+                c => Err(format!("unexpected '{}' at byte {}", c as char, self.pos)),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            if self.peek()? == b'}' {
+                self.pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                let key = self.string()?;
+                self.expect(b':')?;
+                fields.push((key, self.value()?));
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b'}' => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    c => return Err(format!("expected ',' or '}}', got '{}'", c as char)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            if self.peek()? == b']' {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b']' => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    c => return Err(format!("expected ',' or ']', got '{}'", c as char)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let Some(&b) = self.bytes.get(self.pos) else {
+                    return Err("unterminated string".to_string());
+                };
+                self.pos += 1;
+                match b {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let Some(&esc) = self.bytes.get(self.pos) else {
+                            return Err("unterminated escape".to_string());
+                        };
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or("truncated \\u escape")?;
+                                self.pos += 4;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                            }
+                            c => return Err(format!("bad escape '\\{}'", c as char)),
+                        }
+                    }
+                    b => {
+                        // Re-assemble UTF-8 multibyte sequences verbatim.
+                        let start = self.pos - 1;
+                        let len = match b {
+                            0x00..=0x7f => 1,
+                            0xc0..=0xdf => 2,
+                            0xe0..=0xef => 3,
+                            _ => 4,
+                        };
+                        let slice = self
+                            .bytes
+                            .get(start..start + len)
+                            .ok_or("truncated UTF-8 sequence")?;
+                        out.push_str(std::str::from_utf8(slice).map_err(|e| e.to_string())?);
+                        self.pos = start + len;
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            let start = self.pos;
+            while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if start == self.pos {
+                return Err(format!("expected number at byte {start}"));
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .unwrap()
+                .parse::<u64>()
+                .map(Value::Num)
+                .map_err(|e| format!("bad number: {e}"))
+        }
+
+        fn boolean(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            if self.bytes[self.pos..].starts_with(b"true") {
+                self.pos += 4;
+                Ok(Value::Bool(true))
+            } else if self.bytes[self.pos..].starts_with(b"false") {
+                self.pos += 5;
+                Ok(Value::Bool(false))
+            } else {
+                Err(format!("expected boolean at byte {}", self.pos))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            model: "rmat".to_string(),
+            params: "n=1024 m=4096".to_string(),
+            seed: 42,
+            n: 1024,
+            directed: true,
+            chunks: 2,
+            format: "compressed".to_string(),
+            edges: 4096,
+            shards: vec![
+                ShardInfo {
+                    pe: 0,
+                    file: "shard-00000.kgc".to_string(),
+                    edges: 2048,
+                    checksum: 0xdeadbeef,
+                },
+                ShardInfo {
+                    pe: 1,
+                    file: "shard-00001.kgc".to_string(),
+                    edges: 2048,
+                    checksum: 0xfeedface,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let m = sample();
+        let text = m.to_json();
+        let back = Manifest::from_json(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let mut m = sample();
+        m.params = "weird \"quoted\" \\ tab\there\nnewline".to_string();
+        let back = Manifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back.params, m.params);
+    }
+
+    #[test]
+    fn empty_shard_list() {
+        let mut m = sample();
+        m.shards.clear();
+        let back = Manifest::from_json(&m.to_json()).unwrap();
+        assert!(back.shards.is_empty());
+    }
+
+    #[test]
+    fn missing_key_is_an_error() {
+        let err = Manifest::from_json("{\"model\": \"x\"}").unwrap_err();
+        assert!(err.contains("missing key"), "{err}");
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(Manifest::from_json("{").is_err());
+        assert!(Manifest::from_json("[1, 2").is_err());
+        assert!(Manifest::from_json("{\"a\": 1} trailing").is_err());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("kagen_manifest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = sample();
+        m.save(&dir).unwrap();
+        let back = Manifest::load(&dir).unwrap();
+        assert_eq!(back, m);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

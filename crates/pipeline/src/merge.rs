@@ -1,0 +1,272 @@
+//! Bounded-memory external merge of shards into the instance's canonical
+//! edge list.
+//!
+//! The in-RAM path (`kagen_graph::merge_pe_edges`) holds every per-PE
+//! edge at once — exactly what the streaming pipeline exists to avoid.
+//! This module replaces it with the classic external-memory pattern:
+//!
+//! 1. **Run formation** — stream the shards, buffering at most
+//!    `budget_edges` edges; each full buffer is canonicalized (undirected
+//!    edges re-oriented to `(min,max)`), sorted, locally deduplicated and
+//!    spilled as a sorted *run* in the compressed shard codec (sorted
+//!    runs delta-compress to a few bytes per edge).
+//! 2. **K-way merge** — the runs are merged with a binary heap of one
+//!    cursor per run; cross-PE duplicates of undirected edges become
+//!    adjacent in the merged order and are dropped on the fly.
+//!
+//! Peak memory is `budget_edges` × 16 bytes plus one decoder per run,
+//! independent of the instance's edge count. The output equals
+//! `generate_undirected` / `generate_directed` edge-for-edge.
+
+use crate::reader::ShardReader;
+use crate::sink::EdgeSink;
+use kagen_graph::io::{CompressedEdgeReader, CompressedEdgeWriter};
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter};
+use std::path::PathBuf;
+
+/// Statistics of one external merge.
+#[derive(Clone, Debug, Default)]
+pub struct MergeStats {
+    /// Sorted runs spilled to disk.
+    pub runs: usize,
+    /// Edges read from the shards (before dedup).
+    pub edges_in: u64,
+    /// Edges emitted (after dedup for undirected instances).
+    pub edges_out: u64,
+    /// High-water mark of the run buffer — never exceeds the budget.
+    pub max_buffered: usize,
+}
+
+/// One run's read cursor during the k-way merge.
+struct RunCursor {
+    dec: CompressedEdgeReader<BufReader<File>>,
+}
+
+impl RunCursor {
+    fn next(&mut self) -> io::Result<Option<(u64, u64)>> {
+        self.dec.next_edge()
+    }
+}
+
+/// Heap entry: min-heap by edge via reversed `Ord`.
+struct HeapEntry {
+    edge: (u64, u64),
+    run: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.edge == other.edge && self.run == other.run
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need the smallest edge.
+        other
+            .edge
+            .cmp(&self.edge)
+            .then_with(|| other.run.cmp(&self.run))
+    }
+}
+
+/// The external merge driver.
+pub struct ExternalMerge {
+    budget_edges: usize,
+    run_dir: PathBuf,
+}
+
+impl ExternalMerge {
+    /// Merger buffering at most `budget_edges` edges in memory and
+    /// spilling sorted runs into `run_dir` (created if missing, run
+    /// files removed afterwards).
+    pub fn new(run_dir: impl Into<PathBuf>, budget_edges: usize) -> ExternalMerge {
+        ExternalMerge {
+            budget_edges: budget_edges.max(1),
+            run_dir: run_dir.into(),
+        }
+    }
+
+    fn spill(
+        &self,
+        buf: &mut Vec<(u64, u64)>,
+        undirected: bool,
+        runs: &mut Vec<PathBuf>,
+    ) -> io::Result<()> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        buf.sort_unstable();
+        if undirected {
+            buf.dedup();
+        }
+        let path = self.run_dir.join(format!("run-{:05}.kgc", runs.len()));
+        let mut enc = CompressedEdgeWriter::new(BufWriter::new(File::create(&path)?), 0)?;
+        for &(u, v) in buf.iter() {
+            enc.push(u, v)?;
+        }
+        enc.finish()?;
+        runs.push(path);
+        buf.clear();
+        Ok(())
+    }
+
+    /// Merge every shard of `reader` into `out`, deduplicating cross-PE
+    /// duplicates when the manifest says the instance is undirected
+    /// (directed instances keep multi-edges, matching
+    /// `generate_directed`). Edges arrive at `out` in sorted order.
+    /// `out.finish()` is left to the caller.
+    pub fn merge(&self, reader: &ShardReader, out: &mut dyn EdgeSink) -> io::Result<MergeStats> {
+        let undirected = !reader.manifest().directed;
+        std::fs::create_dir_all(&self.run_dir)?;
+        let mut stats = MergeStats::default();
+        let mut runs: Vec<PathBuf> = Vec::new();
+
+        // Phase 1: bounded buffer → sorted runs.
+        {
+            let mut buf: Vec<(u64, u64)> = Vec::with_capacity(self.budget_edges);
+            let mut spill_err: Option<io::Error> = None;
+            for shard in 0..reader.manifest().shards.len() {
+                let budget = self.budget_edges;
+                let mut on_edge = |u: u64, v: u64| {
+                    if spill_err.is_some() {
+                        return;
+                    }
+                    stats.edges_in += 1;
+                    let e = if undirected && u > v { (v, u) } else { (u, v) };
+                    buf.push(e);
+                    stats.max_buffered = stats.max_buffered.max(buf.len());
+                    if buf.len() >= budget {
+                        if let Err(e) = self.spill(&mut buf, undirected, &mut runs) {
+                            spill_err = Some(e);
+                        }
+                    }
+                };
+                reader.stream_shard(shard, &mut on_edge)?;
+                if let Some(e) = spill_err.take() {
+                    return Err(e);
+                }
+            }
+            self.spill(&mut buf, undirected, &mut runs)?;
+        }
+        stats.runs = runs.len();
+
+        // Phase 2: k-way merge with adjacent dedup.
+        let mut cursors = Vec::with_capacity(runs.len());
+        for path in &runs {
+            cursors.push(RunCursor {
+                dec: CompressedEdgeReader::new(BufReader::new(File::open(path)?))?,
+            });
+        }
+        let mut heap = BinaryHeap::with_capacity(cursors.len());
+        for (i, c) in cursors.iter_mut().enumerate() {
+            if let Some(edge) = c.next()? {
+                heap.push(HeapEntry { edge, run: i });
+            }
+        }
+        let mut last: Option<(u64, u64)> = None;
+        while let Some(HeapEntry { edge, run }) = heap.pop() {
+            if !(undirected && last == Some(edge)) {
+                out.accept(edge.0, edge.1);
+                stats.edges_out += 1;
+                last = Some(edge);
+            }
+            if let Some(next) = cursors[run].next()? {
+                heap.push(HeapEntry { edge: next, run });
+            }
+        }
+
+        for path in runs {
+            std::fs::remove_file(path).ok();
+        }
+        // Remove the run directory too if it is now empty (it may be a
+        // pre-existing directory holding other files — leave those).
+        std::fs::remove_dir(&self.run_dir).ok();
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::FnSink;
+    use crate::writer::{write_sharded, InstanceMeta, ShardFormat, StreamConfig};
+    use kagen_core::prelude::*;
+
+    fn run_merge<G: kagen_core::streaming::StreamingGenerator>(
+        gen: &G,
+        model: &str,
+        budget: usize,
+        tag: &str,
+    ) -> (Vec<(u64, u64)>, MergeStats) {
+        let dir = std::env::temp_dir().join(format!("kagen_merge_{tag}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let meta = InstanceMeta {
+            model: model.into(),
+            params: String::new(),
+            seed: 1,
+        };
+        write_sharded(
+            gen,
+            &meta,
+            &StreamConfig::new(&dir, ShardFormat::Compressed),
+        )
+        .unwrap();
+        let reader = ShardReader::open(&dir).unwrap();
+        let mut edges = Vec::new();
+        let mut sink = FnSink::new(|u, v| edges.push((u, v)));
+        let stats = ExternalMerge::new(dir.join("runs"), budget)
+            .merge(&reader, &mut sink)
+            .unwrap();
+        sink.finish().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        (edges, stats)
+    }
+
+    #[test]
+    fn undirected_equals_in_ram_merge() {
+        let gen = GnmUndirected::new(250, 2000).with_seed(1).with_chunks(8);
+        let expect = generate_undirected(&gen);
+        for budget in [64usize, 1000, 1_000_000] {
+            let (edges, stats) = run_merge(&gen, "gnm_undirected", budget, &format!("u{budget}"));
+            assert_eq!(edges, expect.edges, "budget {budget}");
+            assert_eq!(stats.edges_out, expect.edges.len() as u64);
+            assert!(stats.max_buffered <= budget, "budget violated");
+        }
+    }
+
+    #[test]
+    fn directed_equals_in_ram_merge() {
+        let gen = Rmat::new(8, 3000).with_seed(1).with_chunks(5);
+        let expect = generate_directed(&gen);
+        let (edges, stats) = run_merge(&gen, "rmat", 100, "d");
+        // R-MAT may contain duplicate edges; they must all survive.
+        assert_eq!(edges, expect.edges);
+        assert_eq!(stats.edges_in, 3000);
+    }
+
+    #[test]
+    fn tiny_budget_many_runs() {
+        let gen = GnmUndirected::new(80, 500).with_seed(9).with_chunks(4);
+        let expect = generate_undirected(&gen);
+        let (edges, stats) = run_merge(&gen, "gnm_undirected", 16, "tiny");
+        assert_eq!(edges, expect.edges);
+        assert!(stats.runs > 10, "expected many runs, got {}", stats.runs);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let gen = GnmUndirected::new(10, 0).with_seed(2).with_chunks(2);
+        let (edges, stats) = run_merge(&gen, "gnm_undirected", 100, "empty");
+        assert!(edges.is_empty());
+        assert_eq!(stats.runs, 0);
+        assert_eq!(stats.edges_out, 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Reading shard directories back: stream shards edge-by-edge with O(1)
+//! memory (validating the manifest checksums as it goes), or reassemble
+//! the whole instance into an [`EdgeList`] when it fits.
+
+use crate::manifest::Manifest;
+use crate::sink::checksum_step;
+use crate::writer::ShardFormat;
+use kagen_graph::io::CompressedEdgeReader;
+use kagen_graph::EdgeList;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Read};
+use std::path::{Path, PathBuf};
+
+/// A shard directory opened for reading.
+pub struct ShardReader {
+    manifest: Manifest,
+    format: ShardFormat,
+    dir: PathBuf,
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+impl ShardReader {
+    /// Open `dir` by loading and validating its `manifest.json`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<ShardReader> {
+        let dir = dir.into();
+        let manifest = Manifest::load(&dir)?;
+        let format = ShardFormat::parse(&manifest.format)
+            .ok_or_else(|| invalid(format!("unknown shard format '{}'", manifest.format)))?;
+        Ok(ShardReader {
+            manifest,
+            format,
+            dir,
+        })
+    }
+
+    /// The run's manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Stream one shard through `emit`, verifying its edge count and
+    /// checksum against the manifest. Returns the edge count.
+    pub fn stream_shard(&self, index: usize, emit: &mut dyn FnMut(u64, u64)) -> io::Result<u64> {
+        let info = self.manifest.shards.get(index).ok_or_else(|| {
+            invalid(format!(
+                "shard index {index} out of range ({} shards)",
+                self.manifest.shards.len()
+            ))
+        })?;
+        let path = self.dir.join(&info.file);
+        let mut count = 0u64;
+        let mut checksum = 0u64;
+        let mut counted_emit = |u: u64, v: u64| {
+            count += 1;
+            checksum = checksum_step(checksum, u, v);
+            emit(u, v);
+        };
+        match self.format {
+            ShardFormat::EdgeList => stream_text(&path, &mut counted_emit)?,
+            ShardFormat::Binary => stream_binary(&path, &mut counted_emit)?,
+            ShardFormat::Compressed => stream_compressed(&path, &mut counted_emit)?,
+        }
+        if count != info.edges {
+            return Err(invalid(format!(
+                "shard {}: {count} edges on disk, {} in manifest",
+                info.file, info.edges
+            )));
+        }
+        if checksum != info.checksum {
+            return Err(invalid(format!(
+                "shard {}: checksum mismatch (corrupt or reordered)",
+                info.file
+            )));
+        }
+        Ok(count)
+    }
+
+    /// Stream every shard in PE order; total memory stays O(1).
+    /// Returns the total edge count.
+    pub fn stream(&self, emit: &mut dyn FnMut(u64, u64)) -> io::Result<u64> {
+        let mut total = 0;
+        for i in 0..self.manifest.shards.len() {
+            total += self.stream_shard(i, emit)?;
+        }
+        Ok(total)
+    }
+
+    /// Reassemble the whole instance in memory, exactly as the per-PE
+    /// streams concatenate (no dedup, no sort — see
+    /// [`crate::merge::external_merge`] for canonical merging).
+    pub fn read_all(&self) -> io::Result<EdgeList> {
+        // Cap the pre-allocation: the manifest is untrusted input until
+        // the per-shard counts and checksums have been validated.
+        let cap = (self.manifest.edges as usize).min(1 << 20);
+        let mut edges = Vec::with_capacity(cap);
+        self.stream(&mut |u, v| edges.push((u, v)))?;
+        Ok(EdgeList::new(self.manifest.n, edges))
+    }
+}
+
+fn stream_text(path: &Path, emit: &mut dyn FnMut(u64, u64)) -> io::Result<()> {
+    let r = BufReader::new(File::open(path)?);
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let mut field = || -> io::Result<u64> {
+            it.next()
+                .ok_or_else(|| invalid(format!("line {}: missing field", lineno + 1)))?
+                .parse::<u64>()
+                .map_err(|e| invalid(format!("line {}: {e}", lineno + 1)))
+        };
+        let u = field()?;
+        let v = field()?;
+        emit(u, v);
+    }
+    Ok(())
+}
+
+fn stream_binary(path: &Path, emit: &mut dyn FnMut(u64, u64)) -> io::Result<()> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut rec = [0u8; 16];
+    loop {
+        match r.read_exact(&mut rec) {
+            Ok(()) => {
+                let u = u64::from_le_bytes(rec[..8].try_into().unwrap());
+                let v = u64::from_le_bytes(rec[8..].try_into().unwrap());
+                emit(u, v);
+            }
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn stream_compressed(path: &Path, emit: &mut dyn FnMut(u64, u64)) -> io::Result<()> {
+    let mut dec = CompressedEdgeReader::new(BufReader::new(File::open(path)?))?;
+    while let Some((u, v)) = dec.next_edge()? {
+        emit(u, v);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{write_sharded, InstanceMeta, StreamConfig};
+    use kagen_core::prelude::*;
+    use kagen_core::streaming::StreamingGenerator;
+
+    fn roundtrip(format: ShardFormat, tag: &str) {
+        let gen = GnmDirected::new(150, 900).with_seed(11).with_chunks(3);
+        let dir = std::env::temp_dir().join(format!("kagen_reader_{tag}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let meta = InstanceMeta {
+            model: "gnm_directed".into(),
+            params: String::new(),
+            seed: 11,
+        };
+        write_sharded(&gen, &meta, &StreamConfig::new(&dir, format)).unwrap();
+
+        let reader = ShardReader::open(&dir).unwrap();
+        let back = reader.read_all().unwrap();
+        let mut expect = Vec::new();
+        gen.stream_all(&mut |u, v| expect.push((u, v)));
+        assert_eq!(back.edges, expect, "{tag}: stream order must be preserved");
+        assert_eq!(back.n, 150);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn roundtrip_every_format() {
+        roundtrip(ShardFormat::EdgeList, "text");
+        roundtrip(ShardFormat::Binary, "bin");
+        roundtrip(ShardFormat::Compressed, "comp");
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let gen = GnmDirected::new(100, 400).with_seed(5).with_chunks(2);
+        let dir = std::env::temp_dir().join("kagen_reader_corrupt");
+        std::fs::remove_dir_all(&dir).ok();
+        let meta = InstanceMeta {
+            model: "gnm_directed".into(),
+            params: String::new(),
+            seed: 5,
+        };
+        let manifest =
+            write_sharded(&gen, &meta, &StreamConfig::new(&dir, ShardFormat::Binary)).unwrap();
+        // Flip one byte in some non-empty shard (small instances may leave
+        // leading PEs without blocks, hence without edges).
+        let victim = manifest.shards.iter().find(|s| s.edges > 0).unwrap();
+        let path = dir.join(&victim.file);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] ^= 0xff;
+        std::fs::write(&path, bytes).unwrap();
+
+        let reader = ShardReader::open(&dir).unwrap();
+        let err = reader.read_all().unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_manifest_is_an_error() {
+        let dir = std::env::temp_dir().join("kagen_reader_nomanifest");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(ShardReader::open(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,442 @@
+//! The [`EdgeSink`] trait and the composable sinks that terminate a
+//! streaming generation run.
+//!
+//! A sink receives edges one at a time via [`EdgeSink::accept`] and is
+//! closed with [`EdgeSink::finish`]. IO sinks buffer writes internally
+//! and defer errors: `accept` stays infallible (it sits on the hot path,
+//! called once per edge), the first IO error is latched and surfaced by
+//! `finish`. Every sink counts the edges it accepts; `finish` returns
+//! that count.
+
+use kagen_graph::io::CompressedEdgeWriter;
+use kagen_graph::stats::DegreeStats;
+use std::io::{self, Write};
+
+/// A streaming consumer of edges.
+pub trait EdgeSink {
+    /// Consume one edge.
+    fn accept(&mut self, u: u64, v: u64);
+
+    /// Close the sink: flush buffers, surface any deferred IO error, and
+    /// return the number of edges accepted.
+    fn finish(&mut self) -> io::Result<u64>;
+}
+
+/// `None` is the disabled sink: it accepts everything, counts nothing.
+/// Lets optional pipeline branches (e.g. `--stats`) compose without a
+/// separate code path.
+impl<S: EdgeSink> EdgeSink for Option<S> {
+    #[inline]
+    fn accept(&mut self, u: u64, v: u64) {
+        if let Some(s) = self {
+            s.accept(u, v);
+        }
+    }
+
+    fn finish(&mut self) -> io::Result<u64> {
+        match self {
+            Some(s) => s.finish(),
+            None => Ok(0),
+        }
+    }
+}
+
+impl<S: EdgeSink + ?Sized> EdgeSink for Box<S> {
+    #[inline]
+    fn accept(&mut self, u: u64, v: u64) {
+        (**self).accept(u, v)
+    }
+
+    fn finish(&mut self) -> io::Result<u64> {
+        (**self).finish()
+    }
+}
+
+/// Step function of the order-dependent shard checksum (FNV-style mix of
+/// the running value with both endpoints).
+#[inline]
+pub fn checksum_step(acc: u64, u: u64, v: u64) -> u64 {
+    let mut h = acc ^ u.rotate_left(17) ^ v.wrapping_mul(0x9E3779B97F4A7C15);
+    h = h.wrapping_mul(0x100000001b3);
+    h ^ (h >> 29)
+}
+
+/// Counts edges; the cheapest possible sink.
+#[derive(Default)]
+pub struct CountingSink {
+    count: u64,
+}
+
+impl CountingSink {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Edges accepted so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl EdgeSink for CountingSink {
+    #[inline]
+    fn accept(&mut self, _u: u64, _v: u64) {
+        self.count += 1;
+    }
+
+    fn finish(&mut self) -> io::Result<u64> {
+        Ok(self.count)
+    }
+}
+
+/// Maintains the order-dependent checksum of the stream — the value the
+/// shard manifests record.
+#[derive(Default)]
+pub struct ChecksumSink {
+    count: u64,
+    checksum: u64,
+}
+
+impl ChecksumSink {
+    /// New checksum accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checksum of the edges accepted so far.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Edges accepted so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl EdgeSink for ChecksumSink {
+    #[inline]
+    fn accept(&mut self, u: u64, v: u64) {
+        self.checksum = checksum_step(self.checksum, u, v);
+        self.count += 1;
+    }
+
+    fn finish(&mut self) -> io::Result<u64> {
+        Ok(self.count)
+    }
+}
+
+/// Accumulates in-/out-degree counts without storing edges. Memory is
+/// O(n) — the per-vertex counters — never O(m).
+pub struct DegreeStatsSink {
+    directed: bool,
+    out_deg: Vec<u64>,
+    in_deg: Vec<u64>,
+    count: u64,
+}
+
+impl DegreeStatsSink {
+    /// Accumulator over `n` vertices. For undirected streams both
+    /// endpoints count toward one degree sequence.
+    pub fn new(n: u64, directed: bool) -> Self {
+        DegreeStatsSink {
+            directed,
+            out_deg: vec![0; n as usize],
+            in_deg: if directed {
+                vec![0; n as usize]
+            } else {
+                Vec::new()
+            },
+            count: 0,
+        }
+    }
+
+    /// Degree summary: `(out or undirected, in)`; the in-component is
+    /// `None` for undirected streams.
+    pub fn stats(&self) -> (DegreeStats, Option<DegreeStats>) {
+        let first = DegreeStats::from_degrees(&self.out_deg);
+        let second = self
+            .directed
+            .then(|| DegreeStats::from_degrees(&self.in_deg));
+        (first, second)
+    }
+}
+
+impl EdgeSink for DegreeStatsSink {
+    #[inline]
+    fn accept(&mut self, u: u64, v: u64) {
+        self.count += 1;
+        self.out_deg[u as usize] += 1;
+        if self.directed {
+            self.in_deg[v as usize] += 1;
+        } else {
+            self.out_deg[v as usize] += 1;
+        }
+    }
+
+    fn finish(&mut self) -> io::Result<u64> {
+        Ok(self.count)
+    }
+}
+
+/// Writes `u v` text lines (the KaGen tool's output format).
+pub struct TextSink<W: Write> {
+    w: W,
+    count: u64,
+    err: Option<io::Error>,
+}
+
+impl<W: Write> TextSink<W> {
+    /// Sink writing to `w` (wrap files in a `BufWriter`).
+    pub fn new(w: W) -> Self {
+        TextSink {
+            w,
+            count: 0,
+            err: None,
+        }
+    }
+}
+
+impl<W: Write> EdgeSink for TextSink<W> {
+    #[inline]
+    fn accept(&mut self, u: u64, v: u64) {
+        self.count += 1;
+        if self.err.is_none() {
+            if let Err(e) = writeln!(self.w, "{u} {v}") {
+                self.err = Some(e);
+            }
+        }
+    }
+
+    fn finish(&mut self) -> io::Result<u64> {
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        self.w.flush()?;
+        Ok(self.count)
+    }
+}
+
+/// Writes raw little-endian `u64` pairs (16 bytes per edge).
+pub struct BinarySink<W: Write> {
+    w: W,
+    count: u64,
+    err: Option<io::Error>,
+}
+
+impl<W: Write> BinarySink<W> {
+    /// Sink writing to `w` (wrap files in a `BufWriter`).
+    pub fn new(w: W) -> Self {
+        BinarySink {
+            w,
+            count: 0,
+            err: None,
+        }
+    }
+}
+
+impl<W: Write> EdgeSink for BinarySink<W> {
+    #[inline]
+    fn accept(&mut self, u: u64, v: u64) {
+        self.count += 1;
+        if self.err.is_none() {
+            let mut rec = [0u8; 16];
+            rec[..8].copy_from_slice(&u.to_le_bytes());
+            rec[8..].copy_from_slice(&v.to_le_bytes());
+            if let Err(e) = self.w.write_all(&rec) {
+                self.err = Some(e);
+            }
+        }
+    }
+
+    fn finish(&mut self) -> io::Result<u64> {
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        self.w.flush()?;
+        Ok(self.count)
+    }
+}
+
+/// Writes the compressed varint+delta shard format
+/// (`kagen_graph::io::CompressedEdgeWriter`).
+pub struct CompressedSink<W: Write> {
+    enc: Option<CompressedEdgeWriter<W>>,
+    count: u64,
+    err: Option<io::Error>,
+}
+
+impl<W: Write> CompressedSink<W> {
+    /// Sink writing a compressed stream over `n` vertices to `w`.
+    pub fn new(w: W, n: u64) -> io::Result<Self> {
+        Ok(CompressedSink {
+            enc: Some(CompressedEdgeWriter::new(w, n)?),
+            count: 0,
+            err: None,
+        })
+    }
+}
+
+impl<W: Write> EdgeSink for CompressedSink<W> {
+    #[inline]
+    fn accept(&mut self, u: u64, v: u64) {
+        self.count += 1;
+        if self.err.is_none() {
+            if let Some(enc) = self.enc.as_mut() {
+                if let Err(e) = enc.push(u, v) {
+                    self.err = Some(e);
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self) -> io::Result<u64> {
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        if let Some(enc) = self.enc.take() {
+            enc.finish()?;
+        }
+        Ok(self.count)
+    }
+}
+
+/// Duplicates the stream into two sinks (e.g. a file plus running stats).
+pub struct TeeSink<A: EdgeSink, B: EdgeSink> {
+    /// First branch.
+    pub a: A,
+    /// Second branch.
+    pub b: B,
+}
+
+impl<A: EdgeSink, B: EdgeSink> TeeSink<A, B> {
+    /// Tee into `a` and `b`.
+    pub fn new(a: A, b: B) -> Self {
+        TeeSink { a, b }
+    }
+}
+
+impl<A: EdgeSink, B: EdgeSink> EdgeSink for TeeSink<A, B> {
+    #[inline]
+    fn accept(&mut self, u: u64, v: u64) {
+        self.a.accept(u, v);
+        self.b.accept(u, v);
+    }
+
+    fn finish(&mut self) -> io::Result<u64> {
+        // Finish both branches even if the first fails, so neither sink
+        // is left unflushed; report the first error.
+        let ra = self.a.finish();
+        let rb = self.b.finish();
+        let count = ra?;
+        rb?;
+        Ok(count)
+    }
+}
+
+/// Adapts a closure into a sink (the bridge from sink-land back to the
+/// `FnMut(u64, u64)` emit-style APIs of `kagen_core::streaming`).
+pub struct FnSink<F: FnMut(u64, u64)> {
+    f: F,
+    count: u64,
+}
+
+impl<F: FnMut(u64, u64)> FnSink<F> {
+    /// Sink invoking `f` per edge.
+    pub fn new(f: F) -> Self {
+        FnSink { f, count: 0 }
+    }
+}
+
+impl<F: FnMut(u64, u64)> EdgeSink for FnSink<F> {
+    #[inline]
+    fn accept(&mut self, u: u64, v: u64) {
+        self.count += 1;
+        (self.f)(u, v);
+    }
+
+    fn finish(&mut self) -> io::Result<u64> {
+        Ok(self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_checksum() {
+        let mut c = CountingSink::new();
+        let mut s = ChecksumSink::new();
+        for (u, v) in [(0u64, 1u64), (1, 2), (2, 0)] {
+            c.accept(u, v);
+            s.accept(u, v);
+        }
+        assert_eq!(c.finish().unwrap(), 3);
+        assert_eq!(s.count(), 3);
+        assert_ne!(s.checksum(), 0);
+        // Order-dependent: swapped stream has a different checksum.
+        let mut s2 = ChecksumSink::new();
+        for (u, v) in [(1u64, 2u64), (0, 1), (2, 0)] {
+            s2.accept(u, v);
+        }
+        assert_ne!(s.checksum(), s2.checksum());
+    }
+
+    #[test]
+    fn degree_stats_directed_and_undirected() {
+        let mut d = DegreeStatsSink::new(3, true);
+        d.accept(0, 1);
+        d.accept(0, 2);
+        let (out_deg, in_deg) = d.stats();
+        assert_eq!(out_deg.max, 2);
+        assert_eq!(in_deg.unwrap().max, 1);
+
+        let mut u = DegreeStatsSink::new(3, false);
+        u.accept(0, 1);
+        u.accept(0, 2);
+        let (deg, none) = u.stats();
+        assert_eq!(deg.max, 2);
+        assert_eq!(deg.min, 1);
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn text_binary_compressed_agree() {
+        let edges = [(5u64, 7u64), (5, 8), (6, 0)];
+        let mut text = TextSink::new(Vec::new());
+        let mut bin = BinarySink::new(Vec::new());
+        let mut comp = CompressedSink::new(Vec::new(), 10).unwrap();
+        for &(u, v) in &edges {
+            text.accept(u, v);
+            bin.accept(u, v);
+            comp.accept(u, v);
+        }
+        assert_eq!(text.finish().unwrap(), 3);
+        assert_eq!(bin.finish().unwrap(), 3);
+        assert_eq!(comp.finish().unwrap(), 3);
+        assert_eq!(String::from_utf8(text.w).unwrap(), "5 7\n5 8\n6 0\n");
+        assert_eq!(bin.w.len(), 3 * 16);
+    }
+
+    #[test]
+    fn tee_feeds_both() {
+        let mut tee = TeeSink::new(CountingSink::new(), ChecksumSink::new());
+        tee.accept(1, 2);
+        tee.accept(3, 4);
+        assert_eq!(tee.finish().unwrap(), 2);
+        assert_eq!(tee.b.count(), 2);
+    }
+
+    #[test]
+    fn fn_sink_bridges_closures() {
+        let mut seen = Vec::new();
+        {
+            let mut sink = FnSink::new(|u, v| seen.push((u, v)));
+            sink.accept(9, 1);
+            assert_eq!(sink.finish().unwrap(), 1);
+        }
+        assert_eq!(seen, vec![(9, 1)]);
+    }
+}

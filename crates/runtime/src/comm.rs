@@ -164,9 +164,7 @@ mod tests {
         let results: Vec<_> = std::thread::scope(|scope| {
             let handles: Vec<_> = endpoints
                 .into_iter()
-                .map(|mut ep| {
-                    scope.spawn(move || ep.all_to_all(vec![vec![], vec![], vec![]]))
-                })
+                .map(|mut ep| scope.spawn(move || ep.all_to_all(vec![vec![], vec![], vec![]])))
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });

@@ -24,7 +24,7 @@ pub fn run_chunks<T: Send>(
     let pool = thread_pool(threads);
     pool.install(|| {
         use rayon::prelude::*;
-        (0..num_pes).into_par_iter().map(|pe| f(pe)).collect()
+        (0..num_pes).into_par_iter().map(&f).collect()
     })
 }
 

@@ -85,6 +85,7 @@ impl DistributedSampler {
         self.descend(root, 0, self.blocks, self.samples, lo, hi, f);
     }
 
+    #[allow(clippy::too_many_arguments)] // recursion state, not an API
     fn descend(
         &self,
         node: SeedTree,
@@ -143,7 +144,9 @@ impl DistributedSampler {
             "leaf block larger than 2^64; increase the block count"
         );
         let mut rng = Mt64::new(derive_seed(self.seed, &[stream::SAMPLE, b]));
-        sample_sorted(&mut rng, len as u64, count, &mut |i| emit(start + i as u128));
+        sample_sorted(&mut rng, len as u64, count, &mut |i| {
+            emit(start + i as u128)
+        });
     }
 
     /// Emit all samples of blocks `[lo, hi)` in sorted order.

@@ -9,12 +9,7 @@ use kagen_util::Rng64;
 
 /// Emit every index of `[0, universe)` independently selected with
 /// probability `p`, in increasing order.
-pub fn bernoulli_sample<R: Rng64>(
-    rng: &mut R,
-    universe: u64,
-    p: f64,
-    emit: &mut impl FnMut(u64),
-) {
+pub fn bernoulli_sample<R: Rng64>(rng: &mut R, universe: u64, p: f64, emit: &mut impl FnMut(u64)) {
     if p <= 0.0 || universe == 0 {
         return;
     }

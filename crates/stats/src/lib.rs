@@ -88,10 +88,7 @@ pub fn power_law_alpha(degrees: &[u64], d_min: u64) -> Option<f64> {
     if tail.len() < 50 {
         return None; // not enough tail mass to estimate
     }
-    let denom: f64 = tail
-        .iter()
-        .map(|&d| (d / (d_min as f64 - 0.5)).ln())
-        .sum();
+    let denom: f64 = tail.iter().map(|&d| (d / (d_min as f64 - 0.5)).ln()).sum();
     Some(1.0 + tail.len() as f64 / denom)
 }
 

@@ -189,14 +189,14 @@ fn mix(data: &[u64; 12], s: &mut [u64; 12]) {
 #[inline(always)]
 fn end_partial(h: &mut [u64; 12]) {
     const ROTS: [u32; 12] = [44, 15, 34, 21, 38, 33, 10, 13, 38, 53, 42, 54];
-    for i in 0..12 {
+    for (i, &rot) in ROTS.iter().enumerate() {
         // h[(i+11)%12] += h[(i+1)%12]; h[(i+2)%12] ^= h[(i+11)%12]; h[(i+1)%12] = rot(...)
         let j11 = (i + 11) % 12;
         let j1 = (i + 1) % 12;
         let j2 = (i + 2) % 12;
         h[j11] = h[j11].wrapping_add(h[j1]);
         h[j2] ^= h[j11];
-        h[j1] = rot64(h[j1], ROTS[i]);
+        h[j1] = rot64(h[j1], rot);
     }
 }
 

@@ -27,7 +27,10 @@ pub fn mix64(mut z: u64) -> u64 {
 /// Stateless uniform draw for a (seed, position) pair.
 #[inline(always)]
 pub fn mix2(seed: u64, position: u64) -> u64 {
-    mix64(seed.wrapping_add(GAMMA.wrapping_mul(position ^ 0xA5A5_A5A5_A5A5_A5A5)).wrapping_add(GAMMA))
+    mix64(
+        seed.wrapping_add(GAMMA.wrapping_mul(position ^ 0xA5A5_A5A5_A5A5_A5A5))
+            .wrapping_add(GAMMA),
+    )
 }
 
 /// Sequential SplitMix64 stream.

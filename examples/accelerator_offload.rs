@@ -51,7 +51,10 @@ fn main() {
     let s = dev.stats();
     println!("RGG 2D n=2^14 r={r:.4} (count → device scan → fill):");
     println!("  edges             {}", gpu_rgg.len());
-    println!("  kernel launches   {} (points, count, 3×scan, fill)", s.kernel_launches);
+    println!(
+        "  kernel launches   {} (points, count, 3×scan, fill)",
+        s.kernel_launches
+    );
     println!("  blocks executed   {}", s.blocks_executed);
     println!(
         "  divergent warps   {} of {} ({:.1}%) — distance tests mix hits and misses",

@@ -73,7 +73,10 @@ fn main() {
             }
         }
     }
-    println!("verified {} cross-rank edge copies agree bit-for-bit", cross);
+    println!(
+        "verified {} cross-rank edge copies agree bit-for-bit",
+        cross
+    );
 
     // --- Spatial models work the same way ------------------------------
     let rgg = Rgg2d::new(20_000, Rgg2d::threshold_radius(20_000, 16))

@@ -64,7 +64,11 @@ fn main() {
     });
 
     pipeline("RHG γ=2.8", || {
-        generate_undirected(&Rhg::new(n, 2.0 * (m / 2) as f64 / n as f64, 2.8).with_seed(5).with_chunks(8))
+        generate_undirected(
+            &Rhg::new(n, 2.0 * (m / 2) as f64 / n as f64, 2.8)
+                .with_seed(5)
+                .with_chunks(8),
+        )
     });
 
     println!(

@@ -10,8 +10,8 @@
 //! workers (threads here, MPI ranks on a cluster) can produce without
 //! exchanging a single message.
 
-use kagen_repro::prelude::*;
 use kagen_repro::graph::stats::DegreeStats;
+use kagen_repro::prelude::*;
 
 fn describe(name: &str, el: &kagen_repro::graph::EdgeList) {
     let stats = DegreeStats::undirected(el);
@@ -29,16 +29,22 @@ fn main() {
     let seed = 42;
 
     // Erdős–Rényi G(n,m): exactly m uniform edges.
-    let gnm = GnmUndirected::new(10_000, 80_000).with_seed(seed).with_chunks(8);
+    let gnm = GnmUndirected::new(10_000, 80_000)
+        .with_seed(seed)
+        .with_chunks(8);
     describe("G(n,m) undirected", &generate_undirected(&gnm));
 
     // Gilbert G(n,p): each pair independently with probability p.
-    let gnp = GnpUndirected::new(10_000, 0.0016).with_seed(seed).with_chunks(8);
+    let gnp = GnpUndirected::new(10_000, 0.0016)
+        .with_seed(seed)
+        .with_chunks(8);
     describe("G(n,p) undirected", &generate_undirected(&gnp));
 
     // Random geometric graph at the connectivity-threshold radius.
     let n = 10_000;
-    let rgg = Rgg2d::new(n, Rgg2d::threshold_radius(n, 1)).with_seed(seed).with_chunks(16);
+    let rgg = Rgg2d::new(n, Rgg2d::threshold_radius(n, 1))
+        .with_seed(seed)
+        .with_chunks(16);
     describe("RGG 2D", &generate_undirected(&rgg));
 
     // Random Delaunay graph: a triangulated mesh on the unit torus.
@@ -55,7 +61,9 @@ fn main() {
     describe("sRHG (same seed)", &srhg_graph);
 
     // Barabási–Albert preferential attachment.
-    let ba = BarabasiAlbert::new(10_000, 8).with_seed(seed).with_chunks(8);
+    let ba = BarabasiAlbert::new(10_000, 8)
+        .with_seed(seed)
+        .with_chunks(8);
     describe("Barabási–Albert d=8", &{
         let mut el = generate_directed(&ba);
         el.canonicalize();

@@ -32,7 +32,9 @@ fn main() {
 
     for &t in &[0.1, 0.3, 0.5, 0.7, 0.9] {
         let soft = generate_undirected(
-            &SoftRhg::new(n, deg, gamma, t).with_seed(seed).with_chunks(8),
+            &SoftRhg::new(n, deg, gamma, t)
+                .with_seed(seed)
+                .with_chunks(8),
         );
         let s = DegreeStats::undirected(&soft);
         // How many edges survive from the threshold graph?

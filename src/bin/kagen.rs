@@ -1,8 +1,9 @@
 //! `kagen` — command-line graph generation, mirroring the reference
-//! KaGen application.
+//! KaGen application, plus the bounded-memory streaming pipeline.
 //!
 //! ```text
-//! kagen <model> [options]
+//! kagen <model> [options]            materialize, merge in RAM, write one file
+//! kagen stream <model> [options]     stream shards to disk, RAM stays O(state)
 //!
 //! models:
 //!   gnm_directed    -n <vertices> -m <edges>
@@ -25,16 +26,41 @@
 //!   -c <chunks>      logical PEs              (default 64)
 //!   -t <threads>     worker threads           (default: all cores)
 //!   -o <path>        output file              (default: stdout)
-//!   -f <format>      edge-list | metis | binary (default edge-list)
+//!   -f <format>      edge-list | metis | binary | compressed
+//!                                             (default edge-list)
 //!   --stats          print graph statistics to stderr
+//!                    (directed models report in-/out-degrees)
+//!
+//! stream-mode options:
+//!   --shard-dir <dir>     shard output directory          (required)
+//!   -f <format>           edge-list | binary | compressed (default compressed)
+//!   --merge <mode>        none | external                 (default none)
+//!   --merge-budget <m>    external-merge RAM budget in edges
+//!                                                         (default 1<<22)
+//!   -o <path>             merged output file (with --merge external;
+//!                         default: <shard-dir>/merged.<ext>)
+//!
+//! Stream mode writes one shard per PE plus manifest.json; peak RSS is
+//! the generator state + write buffers, independent of the edge count.
+//! `--merge external` additionally produces the canonical merged edge
+//! list via sorted runs + k-way merge, using at most the edge budget of
+//! RAM.
 //! ```
 
 use kagen_repro::core::prelude::*;
-use kagen_repro::graph::io::{write_binary, write_edge_list, write_metis};
+use kagen_repro::core::streaming::StreamingGenerator;
+use kagen_repro::graph::io::{write_binary, write_compressed, write_edge_list, write_metis};
+use kagen_repro::graph::stats::DegreeStats;
 use kagen_repro::graph::{merge_pe_edges, EdgeList};
+use kagen_repro::pipeline::{
+    BinarySink, CompressedSink, DegreeStatsSink, EdgeSink, ExternalMerge, InstanceMeta,
+    ShardFormat, ShardReader, StreamConfig, TeeSink, TextSink,
+};
 use std::io::Write;
+use std::path::PathBuf;
 
 struct Options {
+    stream: bool,
     model: String,
     n: u64,
     m: u64,
@@ -50,8 +76,11 @@ struct Options {
     chunks: usize,
     threads: usize,
     output: Option<String>,
-    format: String,
+    format: Option<String>,
     stats: bool,
+    shard_dir: Option<String>,
+    merge: String,
+    merge_budget: usize,
 }
 
 fn usage() -> ! {
@@ -61,6 +90,7 @@ fn usage() -> ! {
 
 fn parse() -> Options {
     let mut o = Options {
+        stream: false,
         model: String::new(),
         n: 1 << 12,
         m: 1 << 15,
@@ -76,18 +106,31 @@ fn parse() -> Options {
         chunks: 64,
         threads: 0,
         output: None,
-        format: "edge-list".into(),
+        format: None,
         stats: false,
+        shard_dir: None,
+        merge: "none".into(),
+        merge_budget: 1 << 22,
     };
     let mut args = std::env::args().skip(1);
-    let Some(model) = args.next() else { usage() };
+    let Some(mut model) = args.next() else {
+        usage()
+    };
     if model == "--help" || model == "-h" {
-        println!("{}", include_str!("kagen.rs").lines()
-            .take_while(|l| l.starts_with("//!"))
-            .map(|l| l.trim_start_matches("//!").trim_start())
-            .collect::<Vec<_>>()
-            .join("\n"));
+        println!(
+            "{}",
+            include_str!("kagen.rs")
+                .lines()
+                .take_while(|l| l.starts_with("//!"))
+                .map(|l| l.trim_start_matches("//!").trim_start())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
         std::process::exit(0);
+    }
+    if model == "stream" {
+        o.stream = true;
+        model = args.next().unwrap_or_else(|| usage());
     }
     o.model = model;
     let next = |args: &mut dyn Iterator<Item = String>| -> String {
@@ -109,105 +152,157 @@ fn parse() -> Options {
             "-c" => o.chunks = next(&mut args).parse().unwrap_or_else(|_| usage()),
             "-t" => o.threads = next(&mut args).parse().unwrap_or_else(|_| usage()),
             "-o" => o.output = Some(next(&mut args)),
-            "-f" => o.format = next(&mut args),
+            "-f" => o.format = Some(next(&mut args)),
             "--stats" => o.stats = true,
+            "--shard-dir" => o.shard_dir = Some(next(&mut args)),
+            "--merge" => o.merge = next(&mut args),
+            "--merge-budget" => {
+                o.merge_budget = next(&mut args).parse().unwrap_or_else(|_| usage())
+            }
             _ => usage(),
         }
+    }
+    // Stream-only flags must not be silently ignored in materialized mode.
+    if !o.stream && (o.shard_dir.is_some() || o.merge != "none" || o.merge_budget != (1 << 22)) {
+        eprintln!("kagen: --shard-dir/--merge/--merge-budget require `kagen stream <model>`");
+        std::process::exit(2);
     }
     o
 }
 
-fn merge_directed<G: Generator>(gen: &G, threads: usize) -> EdgeList {
-    let parts = generate_parallel(gen, threads);
-    let mut edges: Vec<(u64, u64)> = parts.into_iter().flat_map(|p| p.edges).collect();
-    edges.sort_unstable();
-    EdgeList::new(gen.num_vertices(), edges)
-}
-
-fn merge_undirected<G: Generator>(gen: &G, threads: usize) -> EdgeList {
-    let parts = generate_parallel(gen, threads);
-    merge_pe_edges(gen.num_vertices(), parts.into_iter().map(|p| p.edges))
-}
-
-fn main() {
-    let o = parse();
-    let started = std::time::Instant::now();
-    let el = match o.model.as_str() {
-        "gnm_directed" => merge_directed(
-            &GnmDirected::new(o.n, o.m).with_seed(o.seed).with_chunks(o.chunks),
-            o.threads,
+/// Build the selected generator; every model supports streaming.
+fn build_generator(o: &Options) -> (Box<dyn StreamingGenerator>, String) {
+    let (gen, params): (Box<dyn StreamingGenerator>, String) = match o.model.as_str() {
+        "gnm_directed" => (
+            Box::new(
+                GnmDirected::new(o.n, o.m)
+                    .with_seed(o.seed)
+                    .with_chunks(o.chunks),
+            ),
+            format!("n={} m={}", o.n, o.m),
         ),
-        "gnm_undirected" => merge_undirected(
-            &GnmUndirected::new(o.n, o.m).with_seed(o.seed).with_chunks(o.chunks),
-            o.threads,
+        "gnm_undirected" => (
+            Box::new(
+                GnmUndirected::new(o.n, o.m)
+                    .with_seed(o.seed)
+                    .with_chunks(o.chunks),
+            ),
+            format!("n={} m={}", o.n, o.m),
         ),
-        "gnp_directed" => merge_directed(
-            &GnpDirected::new(o.n, o.p).with_seed(o.seed).with_chunks(o.chunks),
-            o.threads,
+        "gnp_directed" => (
+            Box::new(
+                GnpDirected::new(o.n, o.p)
+                    .with_seed(o.seed)
+                    .with_chunks(o.chunks),
+            ),
+            format!("n={} p={}", o.n, o.p),
         ),
-        "gnp_undirected" => merge_undirected(
-            &GnpUndirected::new(o.n, o.p).with_seed(o.seed).with_chunks(o.chunks),
-            o.threads,
+        "gnp_undirected" => (
+            Box::new(
+                GnpUndirected::new(o.n, o.p)
+                    .with_seed(o.seed)
+                    .with_chunks(o.chunks),
+            ),
+            format!("n={} p={}", o.n, o.p),
         ),
         "rgg2d" => {
             let r = o.r.unwrap_or_else(|| Rgg2d::threshold_radius(o.n, 1));
-            merge_undirected(
-                &Rgg2d::new(o.n, r).with_seed(o.seed).with_chunks(o.chunks),
-                o.threads,
+            (
+                Box::new(Rgg2d::new(o.n, r).with_seed(o.seed).with_chunks(o.chunks)),
+                format!("n={} r={r}", o.n),
             )
         }
         "rgg3d" => {
             let r = o.r.unwrap_or_else(|| Rgg3d::threshold_radius(o.n, 1));
-            merge_undirected(
-                &Rgg3d::new(o.n, r).with_seed(o.seed).with_chunks(o.chunks),
-                o.threads,
+            (
+                Box::new(Rgg3d::new(o.n, r).with_seed(o.seed).with_chunks(o.chunks)),
+                format!("n={} r={r}", o.n),
             )
         }
-        "rdg2d" => merge_undirected(
-            &Rdg2d::new(o.n).with_seed(o.seed).with_chunks(o.chunks),
-            o.threads,
+        "rdg2d" => (
+            Box::new(Rdg2d::new(o.n).with_seed(o.seed).with_chunks(o.chunks)),
+            format!("n={}", o.n),
         ),
-        "rdg3d" => merge_undirected(
-            &Rdg3d::new(o.n).with_seed(o.seed).with_chunks(o.chunks),
-            o.threads,
+        "rdg3d" => (
+            Box::new(Rdg3d::new(o.n).with_seed(o.seed).with_chunks(o.chunks)),
+            format!("n={}", o.n),
         ),
-        "rhg" => merge_undirected(
-            &Rhg::new(o.n, o.d, o.gamma).with_seed(o.seed).with_chunks(o.chunks),
-            o.threads,
+        "rhg" => (
+            Box::new(
+                Rhg::new(o.n, o.d, o.gamma)
+                    .with_seed(o.seed)
+                    .with_chunks(o.chunks),
+            ),
+            format!("n={} d={} gamma={}", o.n, o.d, o.gamma),
         ),
-        "srhg" => merge_undirected(
-            &Srhg::new(o.n, o.d, o.gamma).with_seed(o.seed).with_chunks(o.chunks),
-            o.threads,
+        "srhg" => (
+            Box::new(
+                Srhg::new(o.n, o.d, o.gamma)
+                    .with_seed(o.seed)
+                    .with_chunks(o.chunks),
+            ),
+            format!("n={} d={} gamma={}", o.n, o.d, o.gamma),
         ),
-        "soft-rhg" => merge_undirected(
-            &SoftRhg::new(o.n, o.d, o.gamma, o.temperature)
-                .with_seed(o.seed)
-                .with_chunks(o.chunks),
-            o.threads,
+        "soft-rhg" => (
+            Box::new(
+                SoftRhg::new(o.n, o.d, o.gamma, o.temperature)
+                    .with_seed(o.seed)
+                    .with_chunks(o.chunks),
+            ),
+            format!("n={} d={} gamma={} T={}", o.n, o.d, o.gamma, o.temperature),
         ),
-        "ba" => merge_directed(
-            &BarabasiAlbert::new(o.n, o.d as u64).with_seed(o.seed).with_chunks(o.chunks),
-            o.threads,
+        "ba" => (
+            Box::new(
+                BarabasiAlbert::new(o.n, o.d as u64)
+                    .with_seed(o.seed)
+                    .with_chunks(o.chunks),
+            ),
+            format!("n={} d={}", o.n, o.d as u64),
         ),
         "rmat" => {
             let scale = o.n.next_power_of_two().ilog2().max(1);
-            merge_directed(
-                &Rmat::new(scale, o.m).with_seed(o.seed).with_chunks(o.chunks),
-                o.threads,
+            (
+                Box::new(
+                    Rmat::new(scale, o.m)
+                        .with_seed(o.seed)
+                        .with_chunks(o.chunks),
+                ),
+                format!("scale={scale} m={}", o.m),
             )
         }
-        "sbm" => merge_undirected(
-            &StochasticBlockModel::planted(o.n, o.blocks, o.p_in, o.p_out)
-                .with_seed(o.seed)
-                .with_chunks(o.chunks),
-            o.threads,
+        "sbm" => (
+            Box::new(
+                StochasticBlockModel::planted(o.n, o.blocks, o.p_in, o.p_out)
+                    .with_seed(o.seed)
+                    .with_chunks(o.chunks),
+            ),
+            format!(
+                "n={} blocks={} p_in={} p_out={}",
+                o.n, o.blocks, o.p_in, o.p_out
+            ),
         ),
         _ => usage(),
     };
-    let gen_time = started.elapsed();
+    (gen, params)
+}
 
-    if o.stats {
-        let deg = kagen_repro::graph::stats::DegreeStats::undirected(&el);
+fn print_stats(el: &EdgeList, directed: bool, gen_time: std::time::Duration) {
+    if directed {
+        let s = DegreeStats::directed(el);
+        eprintln!(
+            "n = {}, m = {}, in-deg {}/{:.2}/{}, out-deg {}/{:.2}/{}, generated in {:.3}s",
+            el.n,
+            el.edges.len(),
+            s.in_deg.min,
+            s.in_deg.mean,
+            s.in_deg.max,
+            s.out_deg.min,
+            s.out_deg.mean,
+            s.out_deg.max,
+            gen_time.as_secs_f64()
+        );
+    } else {
+        let deg = DegreeStats::undirected(el);
         eprintln!(
             "n = {}, m = {}, degrees {}/{:.2}/{}, generated in {:.3}s",
             el.n,
@@ -218,11 +313,34 @@ fn main() {
             gen_time.as_secs_f64()
         );
     }
+}
 
-    let write = |w: &mut dyn Write, el: &EdgeList| match o.format.as_str() {
+/// Materializing mode: generate, merge in RAM, write one file.
+fn run_materialized(o: &Options) {
+    let (gen, _params) = build_generator(o);
+    let started = std::time::Instant::now();
+    let gen = gen.as_ref();
+    let el = if gen.directed() {
+        let parts = generate_parallel(gen, o.threads);
+        let mut edges: Vec<(u64, u64)> = parts.into_iter().flat_map(|p| p.edges).collect();
+        edges.sort_unstable();
+        EdgeList::new(gen.num_vertices(), edges)
+    } else {
+        let parts = generate_parallel(gen, o.threads);
+        merge_pe_edges(gen.num_vertices(), parts.into_iter().map(|p| p.edges))
+    };
+    let gen_time = started.elapsed();
+
+    if o.stats {
+        print_stats(&el, gen.directed(), gen_time);
+    }
+
+    let format = o.format.as_deref().unwrap_or("edge-list");
+    let write = |w: &mut dyn Write, el: &EdgeList| match format {
         "edge-list" => write_edge_list(w, el),
         "metis" => write_metis(w, el),
         "binary" => write_binary(w, el),
+        "compressed" => write_compressed(w, el),
         _ => usage(),
     };
     match &o.output {
@@ -235,5 +353,141 @@ fn main() {
             let mut lock = stdout.lock();
             write(&mut lock, &el).expect("write failed");
         }
+    }
+}
+
+/// Streaming mode: shard files + manifest; optional external merge.
+/// No full edge vector exists at any point.
+fn run_stream(o: &Options) {
+    let Some(shard_dir) = &o.shard_dir else {
+        eprintln!("kagen stream: --shard-dir is required");
+        std::process::exit(2);
+    };
+    let format = match o.format.as_deref() {
+        None => ShardFormat::Compressed,
+        Some(name) => ShardFormat::parse(name).unwrap_or_else(|| {
+            eprintln!("kagen stream: unknown shard format '{name}'");
+            std::process::exit(2);
+        }),
+    };
+    // Reject a bad merge mode *before* spending time generating shards.
+    if !matches!(o.merge.as_str(), "none" | "external") {
+        eprintln!("kagen stream: unknown merge mode '{}'", o.merge);
+        std::process::exit(2);
+    }
+    // `-o` names the merged output; without a merge there is none.
+    if o.output.is_some() && o.merge != "external" {
+        eprintln!("kagen stream: -o requires --merge external (shards go to --shard-dir)");
+        std::process::exit(2);
+    }
+    let (gen, params) = build_generator(o);
+    let meta = InstanceMeta {
+        model: o.model.clone(),
+        params,
+        seed: o.seed,
+    };
+    let cfg = StreamConfig::new(shard_dir, format).with_threads(o.threads);
+
+    let started = std::time::Instant::now();
+    let manifest = kagen_repro::pipeline::write_sharded(gen.as_ref(), &meta, &cfg)
+        .expect("shard write failed");
+    let write_time = started.elapsed();
+    eprintln!(
+        "wrote {} shards, {} edges, format {} -> {} in {:.3}s",
+        manifest.chunks,
+        manifest.edges,
+        manifest.format,
+        shard_dir,
+        write_time.as_secs_f64()
+    );
+
+    if o.merge == "external" {
+        // Merge; with --stats, tee a degree accumulator off the merge
+        // output so the shards are read only once and the reported
+        // degrees are the canonical instance's.
+        let reader = ShardReader::open(shard_dir).expect("cannot open shard dir");
+        let dir = PathBuf::from(shard_dir);
+        let out_path = o.output.clone().unwrap_or_else(|| {
+            dir.join(format!("merged.{}", format.extension()))
+                .to_string_lossy()
+                .into_owned()
+        });
+        let file = std::io::BufWriter::new(
+            std::fs::File::create(&out_path).expect("cannot create merged output"),
+        );
+        let out_sink: Box<dyn EdgeSink> = match format {
+            ShardFormat::EdgeList => Box::new(TextSink::new(file)),
+            ShardFormat::Binary => Box::new(BinarySink::new(file)),
+            ShardFormat::Compressed => {
+                Box::new(CompressedSink::new(file, manifest.n).expect("merged header write failed"))
+            }
+        };
+        let started = std::time::Instant::now();
+        let merger = ExternalMerge::new(dir.join("runs"), o.merge_budget);
+        let mut sink = TeeSink::new(
+            out_sink,
+            o.stats
+                .then(|| DegreeStatsSink::new(manifest.n, manifest.directed)),
+        );
+        let stats = merger
+            .merge(&reader, &mut sink)
+            .expect("external merge failed");
+        sink.finish().expect("merged output flush failed");
+        eprintln!(
+            "external merge: {} edges in, {} out, {} runs, peak buffer {} edges, {:.3}s -> {}",
+            stats.edges_in,
+            stats.edges_out,
+            stats.runs,
+            stats.max_buffered,
+            started.elapsed().as_secs_f64(),
+            out_path
+        );
+        if let Some(deg) = &sink.b {
+            print_degree_summary(
+                manifest.n,
+                stats.edges_out,
+                deg,
+                "canonical merged instance",
+            );
+        }
+    } else if o.stats {
+        // No merge requested: stream the shards back through a degree
+        // accumulator — O(n) counters, still no edge vector (and a
+        // checksum validation pass for free).
+        let reader = ShardReader::open(shard_dir).expect("cannot open shard dir");
+        let mut deg = DegreeStatsSink::new(manifest.n, manifest.directed);
+        reader
+            .stream(&mut |u, v| deg.accept(u, v))
+            .expect("shard read-back failed");
+        let label = if manifest.directed {
+            "per-PE streams"
+        } else {
+            "per-PE streams, cross-PE duplicates included"
+        };
+        print_degree_summary(manifest.n, manifest.edges, &deg, label);
+    }
+}
+
+/// Print a `--stats` line for a streamed degree accumulator.
+fn print_degree_summary(n: u64, m: u64, deg: &DegreeStatsSink, label: &str) {
+    let (first, second) = deg.stats();
+    match second {
+        Some(in_deg) => eprintln!(
+            "n = {n}, m = {m}, in-deg {}/{:.2}/{}, out-deg {}/{:.2}/{} ({label})",
+            in_deg.min, in_deg.mean, in_deg.max, first.min, first.mean, first.max,
+        ),
+        None => eprintln!(
+            "n = {n}, m = {m}, degrees {}/{:.2}/{} ({label})",
+            first.min, first.mean, first.max,
+        ),
+    }
+}
+
+fn main() {
+    let o = parse();
+    if o.stream {
+        run_stream(&o);
+    } else {
+        run_materialized(&o);
     }
 }

@@ -31,6 +31,7 @@ pub use kagen_dist as dist;
 pub use kagen_geometry as geometry;
 pub use kagen_gpgpu as gpgpu;
 pub use kagen_graph as graph;
+pub use kagen_pipeline as pipeline;
 pub use kagen_runtime as runtime;
 pub use kagen_sampling as sampling;
 pub use kagen_stats as stats;
@@ -39,6 +40,6 @@ pub use kagen_util as util;
 /// The most common imports in one place.
 pub mod prelude {
     pub use kagen_core::prelude::*;
-    pub use kagen_graph::{EdgeList, Csr};
+    pub use kagen_graph::{Csr, EdgeList};
     pub use kagen_util::{Mt64, Rng64};
 }

@@ -220,12 +220,16 @@ fn gpu_backends_sample_the_cpu_instance() {
     use kagen_repro::gpgpu::{Device, GpuGnmDirected, GpuGnpDirected, GpuRgg2d, GpuRgg3d};
     let dev = Device::default();
     for seed in [1u64, 9] {
-        let mut gpu = GpuGnmDirected::new(300, 5000).with_seed(seed).generate(&dev);
+        let mut gpu = GpuGnmDirected::new(300, 5000)
+            .with_seed(seed)
+            .generate(&dev);
         gpu.sort_unstable();
         let cpu = generate_directed(&GnmDirected::new(300, 5000).with_seed(seed));
         assert_eq!(gpu, cpu.edges, "GnM seed {seed}");
 
-        let mut gpu = GpuGnpDirected::new(300, 0.02).with_seed(seed).generate(&dev);
+        let mut gpu = GpuGnpDirected::new(300, 0.02)
+            .with_seed(seed)
+            .generate(&dev);
         gpu.sort_unstable();
         let cpu = generate_directed(&GnpDirected::new(300, 0.02).with_seed(seed));
         assert_eq!(gpu, cpu.edges, "GnP seed {seed}");

@@ -111,8 +111,7 @@ fn rdg_3d_degree_matches_poisson_delaunay() {
 fn rhg_degree_distribution_power_law() {
     let n = 30_000u64;
     for &gamma in &[2.4f64, 3.0] {
-        let el =
-            generate_undirected(&Rhg::new(n, 10.0, gamma).with_seed(17).with_chunks(8));
+        let el = generate_undirected(&Rhg::new(n, 10.0, gamma).with_seed(17).with_chunks(8));
         let degrees = el.degrees_undirected();
         let alpha = power_law_alpha(&degrees, 12).expect("tail large enough");
         assert!(
@@ -131,7 +130,10 @@ fn rhg_average_degree_controlled() {
     let d16 = generate_undirected(&Rhg::new(n, 16.0, 2.8).with_seed(19).with_chunks(8));
     let a4 = 2.0 * d4.edges.len() as f64 / n as f64;
     let a16 = 2.0 * d16.edges.len() as f64 / n as f64;
-    assert!(a16 > 2.5 * a4, "degree parameter has too little effect: {a4} vs {a16}");
+    assert!(
+        a16 > 2.5 * a4,
+        "degree parameter has too little effect: {a4} vs {a16}"
+    );
     assert!(a4 > 1.0 && a4 < 16.0, "d̄=4 produced average {a4}");
     assert!(a16 > 6.0 && a16 < 64.0, "d̄=16 produced average {a16}");
 }
@@ -205,7 +207,9 @@ fn soft_rhg_preserves_power_law_and_melts_clustering() {
     let gamma = 2.6;
     let hard = generate_undirected(&Rhg::new(n, 10.0, gamma).with_seed(29).with_chunks(8));
     let soft = generate_undirected(
-        &SoftRhg::new(n, 10.0, gamma, 0.7).with_seed(29).with_chunks(8),
+        &SoftRhg::new(n, 10.0, gamma, 0.7)
+            .with_seed(29)
+            .with_chunks(8),
     );
     let alpha = power_law_alpha(&soft.degrees_undirected(), 12).expect("tail large enough");
     assert!(
@@ -232,7 +236,9 @@ fn soft_rhg_truncation_error_negligible() {
             .with_chunks(4),
     );
     let default = generate_undirected(
-        &SoftRhg::new(2_000, 8.0, 2.8, 0.5).with_seed(31).with_chunks(4),
+        &SoftRhg::new(2_000, 8.0, 2.8, 0.5)
+            .with_seed(31)
+            .with_chunks(4),
     );
     assert_eq!(strict, default, "ε=1e-9 truncation altered the instance");
 }

@@ -3,7 +3,9 @@
 //! complement `proptest_invariants.rs` (which targets the samplers and
 //! generators) by pinning the invariants every generator builds on.
 
-use kagen_repro::core::er::{directed_edge_to_index, directed_index_to_edge, triangle_index_to_pair};
+use kagen_repro::core::er::{
+    directed_edge_to_index, directed_index_to_edge, triangle_index_to_pair,
+};
 use kagen_repro::core::prelude::*;
 use kagen_repro::geometry::{morton, CellGrid, CountTree};
 use kagen_repro::gpgpu::{exclusive_scan, Device, GpuGnmDirected, GpuRgg2d};
@@ -200,7 +202,7 @@ proptest! {
         for &(u, v) in &edges {
             let k = (rng.next_u64() as usize) % parts;
             split[k].push((u, v));
-            if rng.next_u64() % 3 == 0 {
+            if rng.next_u64().is_multiple_of(3) {
                 let k2 = (rng.next_u64() as usize) % parts;
                 split[k2].push((v, u)); // duplicate, reversed
             }

@@ -14,7 +14,10 @@ fn gnm_undirected_chunk_copies_agree() {
     let parts = generate_parallel(&gen, 0);
     // For every pair (i, j), the edges between V_i and V_j must appear in
     // both PE i's and PE j's output, identically.
-    let ranges: Vec<(u64, u64)> = parts.iter().map(|p| (p.vertex_begin, p.vertex_end)).collect();
+    let ranges: Vec<(u64, u64)> = parts
+        .iter()
+        .map(|p| (p.vertex_begin, p.vertex_end))
+        .collect();
     let owner = |v: u64| ranges.iter().position(|&(a, b)| v >= a && v < b).unwrap();
     let sets: Vec<HashSet<(u64, u64)>> = parts
         .iter()
@@ -27,12 +30,18 @@ fn gnm_undirected_chunk_copies_agree() {
             assert!(ou == pe || ov == pe, "PE {pe} emitted a foreign edge");
             if ou != ov {
                 let partner = if ou == pe { ov } else { ou };
-                assert!(sets[partner].contains(&(u, v)), "({u},{v}) missing on {partner}");
+                assert!(
+                    sets[partner].contains(&(u, v)),
+                    "({u},{v}) missing on {partner}"
+                );
                 cross_checked += 1;
             }
         }
     }
-    assert!(cross_checked > 100, "test too weak: {cross_checked} cross edges");
+    assert!(
+        cross_checked > 100,
+        "test too weak: {cross_checked} cross edges"
+    );
 }
 
 #[test]
@@ -126,11 +135,8 @@ fn rgg_per_pe_output_covers_exactly_incident_edges() {
             );
         }
         // (b) every instance edge touching a local vertex is present.
-        let have: HashSet<(u64, u64)> = p
-            .edges
-            .iter()
-            .map(|&(u, v)| (u.min(v), u.max(v)))
-            .collect();
+        let have: HashSet<(u64, u64)> =
+            p.edges.iter().map(|&(u, v)| (u.min(v), u.max(v))).collect();
         for &(u, v) in &all {
             if local.contains(&u) || local.contains(&v) {
                 assert!(have.contains(&(u, v)), "PE {}: missing incident edge", p.pe);

@@ -8,7 +8,11 @@ use kagen_repro::core::prelude::*;
 fn work_profile<G: Generator>(gen: &G) -> (u64, u64) {
     let parts = generate_parallel(gen, 0);
     let total: u64 = parts.iter().map(|p| p.edges.len() as u64).sum();
-    let max = parts.iter().map(|p| p.edges.len() as u64).max().unwrap_or(0);
+    let max = parts
+        .iter()
+        .map(|p| p.edges.len() as u64)
+        .max()
+        .unwrap_or(0);
     (total, max)
 }
 
@@ -31,8 +35,7 @@ fn directed_er_work_is_partitioned_evenly() {
 fn undirected_er_redundancy_converges_to_two() {
     let m = 50_000u64;
     let (total_small, _) = work_profile(&GnmUndirected::new(4000, m).with_seed(5).with_chunks(2));
-    let (total_large, _) =
-        work_profile(&GnmUndirected::new(4000, m).with_seed(5).with_chunks(32));
+    let (total_large, _) = work_profile(&GnmUndirected::new(4000, m).with_seed(5).with_chunks(32));
     let r_small = total_small as f64 / m as f64;
     let r_large = total_large as f64 / m as f64;
     // §4.2: overhead grows with P toward (and never beyond) 2.

@@ -1,0 +1,124 @@
+//! Offline stand-in for the [criterion](https://crates.io/crates/criterion)
+//! API subset used by this workspace's benches (the build environment has
+//! no access to crates.io).
+//!
+//! It runs each benchmark closure in a short calibrated loop and prints a
+//! `name ... <ns>/iter` line — enough to compare hot paths locally while
+//! keeping the real criterion source compatibility (swap the path
+//! dependency for the registry crate to get full statistics).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time per benchmark (kept small: these run in CI too).
+const TARGET: Duration = Duration::from_millis(200);
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the last `iter` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record its per-iteration time.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up + calibration: time a single iteration.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.last_ns = t1.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { last_ns: 0.0 };
+    f(&mut b);
+    println!("{name:<40} {:>12.1} ns/iter", b.last_ns);
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// New benchmark driver.
+    pub fn new() -> Self {
+        Criterion
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for compatibility; the stand-in ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a function within the group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), &mut f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Mirror of `criterion_group!`: defines a function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`: defines `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::new();
+        c.bench_function("noop", |b| b.iter(|| 1u64 + 1));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10)
+            .bench_function("add", |b| b.iter(|| black_box(2u64) * 3));
+        g.finish();
+    }
+}

@@ -1,0 +1,76 @@
+//! Offline stand-in for the [crossbeam](https://crates.io/crates/crossbeam)
+//! API subset used by this workspace (the build environment has no access
+//! to crates.io).
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is needed —
+//! provided here on top of `std::sync::mpsc`, which has the same unbounded
+//! MPSC semantics and error types shaped the same way for the call sites
+//! in `kagen_runtime::comm`.
+
+pub mod channel {
+    //! Unbounded MPSC channels.
+
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half (clonable).
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    /// Receiving half.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message; errors only if the receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives; errors only if all senders are
+        /// gone and the queue is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (s, r) = mpsc::channel();
+        (Sender(s), Receiver(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (s, r) = unbounded();
+        s.send(41u64).unwrap();
+        let s2 = s.clone();
+        s2.send(42).unwrap();
+        assert_eq!(r.recv().unwrap(), 41);
+        assert_eq!(r.recv().unwrap(), 42);
+    }
+
+    #[test]
+    fn cross_thread() {
+        let (s, r) = unbounded();
+        std::thread::spawn(move || s.send(7u32).unwrap());
+        assert_eq!(r.recv().unwrap(), 7);
+    }
+}

@@ -1,0 +1,409 @@
+//! Offline stand-in for the [proptest](https://crates.io/crates/proptest)
+//! API subset used by this workspace's property tests (the build
+//! environment has no access to crates.io).
+//!
+//! Supported surface:
+//! * `proptest! { #![proptest_config(ProptestConfig::with_cases(N))]
+//!   #[test] fn name(x in strategy, ...) { body } ... }`
+//! * range strategies over unsigned integers and `f64` (`a..b`, `a..=b`),
+//!   tuple strategies, `any::<T>()`, `proptest::collection::vec`,
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`.
+//!
+//! Differences from real proptest: inputs are drawn from a deterministic
+//! per-test PRNG (seeded by the test's module path and name, so runs are
+//! reproducible), and failing cases are *not* shrunk — the failing values
+//! appear in the assertion panic message instead.
+
+pub mod test_runner {
+    //! Configuration and the deterministic case PRNG.
+
+    /// Run configuration; only the case count is honored.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases each property is checked with.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Configuration running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Marker returned by `prop_assume!` to skip the current case.
+    #[derive(Clone, Copy, Debug)]
+    pub struct TestCaseSkip;
+
+    /// Deterministic SplitMix64 stream seeded from the test identity.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// PRNG for the test named `path` (stable across runs).
+        pub fn for_test(path: &str) -> Self {
+            // FNV-1a over the test path gives a stable, distinct seed.
+            let mut h = 0xcbf29ce484222325u64;
+            for b in path.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next uniform 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Unbiased uniform value in `[0, bound)`; `bound > 0`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            loop {
+                let x = self.next_u64();
+                let m = (x as u128) * (bound as u128);
+                if (m as u64) >= bound || (m as u64) >= bound.wrapping_neg() % bound {
+                    return (m >> 64) as u64;
+                }
+            }
+        }
+
+        /// Unbiased uniform value in `[0, bound)` for 128-bit bounds.
+        pub fn below_u128(&mut self, bound: u128) -> u128 {
+            debug_assert!(bound > 0);
+            if bound <= u64::MAX as u128 {
+                return self.below(bound as u64) as u128;
+            }
+            let bits = 128 - bound.leading_zeros();
+            let mask = if bits == 128 {
+                u128::MAX
+            } else {
+                (1u128 << bits) - 1
+            };
+            loop {
+                let x = (((self.next_u64() as u128) << 64) | self.next_u64() as u128) & mask;
+                if x < bound {
+                    return x;
+                }
+            }
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait: a recipe for sampling test inputs.
+
+    use crate::test_runner::TestRng;
+
+    /// A value generator for one property-test argument.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! uint_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as u128) - (self.start as u128);
+                    self.start + rng.below_u128(span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as u128) - (lo as u128) + 1;
+                    lo + rng.below_u128(span) as $t
+                }
+            }
+        )*};
+    }
+    uint_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for std::ops::Range<u128> {
+        type Value = u128;
+        fn sample(&self, rng: &mut TestRng) -> u128 {
+            assert!(self.start < self.end, "empty strategy range");
+            self.start + rng.below_u128(self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            // Closed upper end: scale so `end` is reachable at u == max.
+            let (lo, hi) = (*self.start(), *self.end());
+            let u = (rng.next_u64() >> 11) as f64 / 9_007_199_254_740_991.0;
+            lo + (hi - lo) * u
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary {
+        /// Draw an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! uint_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    uint_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`](crate::arbitrary::any).
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` entry point.
+
+    use crate::strategy::{Any, Arbitrary};
+
+    /// Strategy producing arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any::default()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for vectors with element strategy `S` and a length range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// A `Vec` whose length is uniform in `len` and whose elements come
+    /// from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Assert a boolean property of the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality of two expressions for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality of two expressions for the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseSkip);
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($cfg:expr; $(
+        #[test]
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            #[test]
+            #[allow(clippy::redundant_closure_call)] // the closure hosts prop_assume! early returns
+            fn $name() {
+                let cfg = $cfg;
+                let mut prop_rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for _case in 0..cfg.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strat), &mut prop_rng);
+                    )+
+                    let _outcome: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseSkip,
+                    > = (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                }
+            }
+        )*
+    };
+}
+
+/// Define property tests: each `#[test] fn name(x in strategy, ...)` runs
+/// its body against `cases` random samples of the argument strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(
+            $crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Arbitrary, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..10, y in 0.25f64..=0.75, n in 1usize..5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.25..=0.75).contains(&y));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn tuples_and_vecs(pair in (0u64..4, 0u64..4), xs in crate::collection::vec(0u32..100, 2..6)) {
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            for &x in &xs {
+                prop_assert!(x < 100);
+            }
+        }
+
+        #[test]
+        fn assume_skips(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0, "assume must filter odd {}", x);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in any::<u64>()) {
+            prop_assert_ne!(x, x.wrapping_add(1));
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        use crate::test_runner::TestRng;
+        let a: Vec<u64> = {
+            let mut r = TestRng::for_test("t");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let mut r = TestRng::for_test("t");
+        let b: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, {
+            let mut r = TestRng::for_test("other");
+            (0..8).map(|_| r.next_u64()).collect::<Vec<_>>()
+        });
+    }
+}

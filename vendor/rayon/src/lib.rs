@@ -1,0 +1,338 @@
+//! Offline stand-in for the [rayon](https://crates.io/crates/rayon) API
+//! subset used by this workspace.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides source-compatible `ThreadPool`, `ThreadPoolBuilder` and the
+//! `prelude` parallel-iterator adapters (`into_par_iter`, `par_iter`,
+//! `map`, `enumerate`, `collect`) backed by `std::thread::scope`.
+//!
+//! Semantics preserved for the workspace's purposes:
+//! * results come back in input order,
+//! * `num_threads(n)` bounds worker count (`0` = all cores),
+//! * `pool.install(op)` scopes the thread budget to `op`.
+//!
+//! It is **not** a work-stealing scheduler: each terminal operation
+//! splits its input into contiguous chunks, one per worker thread. For
+//! the coarse PE-sized tasks this workspace runs, that is equivalent.
+
+use std::cell::Cell;
+
+thread_local! {
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn current_threads() -> usize {
+    let t = CURRENT_THREADS.with(|c| c.get());
+    if t == 0 {
+        default_threads()
+    } else {
+        t
+    }
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]; building never
+/// actually fails here.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with the default thread count (all cores).
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Bound the number of worker threads (`0` = all cores).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Infallible in this implementation.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: if self.num_threads == 0 {
+                default_threads()
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// A thread budget; parallel iterators running under [`ThreadPool::install`]
+/// use at most this many worker threads.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread budget installed.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = CURRENT_THREADS.with(|c| c.replace(self.threads));
+        let out = op();
+        CURRENT_THREADS.with(|c| c.set(prev));
+        out
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Order-preserving parallel map over owned items, on `threads` workers.
+fn parallel_map<I, R, F>(items: Vec<I>, threads: usize, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let len = items.len();
+    if threads <= 1 || len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = threads.min(len);
+    let chunk = len.div_ceil(workers);
+    let mut inputs: Vec<Vec<I>> = Vec::with_capacity(workers);
+    let mut items = items.into_iter();
+    for _ in 0..workers {
+        inputs.push(items.by_ref().take(chunk).collect());
+    }
+    let f = &f;
+    let outputs: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .map(|part| scope.spawn(move || part.into_iter().map(f).collect()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    outputs.into_iter().flatten().collect()
+}
+
+pub mod iter {
+    //! The parallel-iterator traits and adapters.
+
+    use super::{current_threads, parallel_map};
+
+    /// A finite, order-preserving parallel iterator.
+    pub trait ParallelIterator: Sized {
+        /// Element type.
+        type Item: Send;
+
+        /// Materialize all items, applying the adapter chain with up to
+        /// `threads` worker threads.
+        fn run(self, threads: usize) -> Vec<Self::Item>;
+
+        /// Map each item through `f` in parallel. (`F: Sync` suffices —
+        /// workers share `&F`, the closure itself is never moved across
+        /// threads.)
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync,
+        {
+            Map { base: self, f }
+        }
+
+        /// Pair each item with its index.
+        fn enumerate(self) -> Enumerate<Self> {
+            Enumerate { base: self }
+        }
+
+        /// Collect into any `FromIterator` container (order preserved).
+        fn collect<C: FromIterator<Self::Item>>(self) -> C {
+            self.run(current_threads()).into_iter().collect()
+        }
+
+        /// Fold all items into one value; `identity` seeds the fold.
+        fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+        where
+            ID: Fn() -> Self::Item + Sync,
+            OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+        {
+            self.run(current_threads()).into_iter().fold(identity(), op)
+        }
+
+        /// Sum the items.
+        fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<Self::Item>,
+        {
+            self.run(current_threads()).into_iter().sum()
+        }
+
+        /// Number of items.
+        fn count(self) -> usize {
+            self.run(current_threads()).len()
+        }
+    }
+
+    /// Source backed by a materialized vector.
+    pub struct VecParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for VecParIter<T> {
+        type Item = T;
+        fn run(self, _threads: usize) -> Vec<T> {
+            self.items
+        }
+    }
+
+    /// `map` adapter: the stage that actually fans out to threads.
+    pub struct Map<P, F> {
+        base: P,
+        f: F,
+    }
+
+    impl<P, R, F> ParallelIterator for Map<P, F>
+    where
+        P: ParallelIterator,
+        R: Send,
+        F: Fn(P::Item) -> R + Sync,
+    {
+        type Item = R;
+        fn run(self, threads: usize) -> Vec<R> {
+            let items = self.base.run(threads);
+            parallel_map(items, threads, self.f)
+        }
+    }
+
+    /// `enumerate` adapter.
+    pub struct Enumerate<P> {
+        base: P,
+    }
+
+    impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+        type Item = (usize, P::Item);
+        fn run(self, threads: usize) -> Vec<(usize, P::Item)> {
+            self.base.run(threads).into_iter().enumerate().collect()
+        }
+    }
+
+    /// Conversion into a parallel iterator (by value).
+    pub trait IntoParallelIterator {
+        /// Iterator produced.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Element type.
+        type Item: Send;
+        /// Convert.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Iter = VecParIter<T>;
+        type Item = T;
+        fn into_par_iter(self) -> VecParIter<T> {
+            VecParIter { items: self }
+        }
+    }
+
+    macro_rules! range_into_par_iter {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for std::ops::Range<$t> {
+                type Iter = VecParIter<$t>;
+                type Item = $t;
+                fn into_par_iter(self) -> VecParIter<$t> {
+                    VecParIter { items: self.collect() }
+                }
+            }
+        )*};
+    }
+    range_into_par_iter!(usize, u32, u64, i32, i64);
+
+    /// Conversion into a parallel iterator over references.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Iterator produced.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Element type (a reference).
+        type Item: Send + 'a;
+        /// Convert.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = VecParIter<&'a T>;
+        type Item = &'a T;
+        fn par_iter(&'a self) -> VecParIter<&'a T> {
+            VecParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = VecParIter<&'a T>;
+        type Item = &'a T;
+        fn par_iter(&'a self) -> VecParIter<&'a T> {
+            VecParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `rayon::prelude`.
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..100usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_bounds_threads() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let out: Vec<u64> = pool.install(|| (0..17u64).into_par_iter().map(|x| x * x).collect());
+        assert_eq!(out.len(), 17);
+        assert_eq!(out[16], 256);
+    }
+
+    #[test]
+    fn par_iter_over_refs() {
+        let data = vec![1u64, 2, 3];
+        let out: Vec<u64> = data.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn enumerate_indices() {
+        let data = vec!["a", "b", "c"];
+        let out: Vec<(usize, &str)> = data
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, s)| (i, s))
+            .collect();
+        assert_eq!(out, vec![(0, "a"), (1, "b"), (2, "c")]);
+    }
+}
