@@ -1,0 +1,338 @@
+//! `throughput` — the edges/second harness behind `BENCH_throughput.json`.
+//!
+//! Measures every hot generator twice on a single core:
+//!
+//! * **per-edge** — `stream_pe`, one virtual `emit` per edge; for R-MAT
+//!   and BA this re-derives the hashed seed per edge, i.e. the seed
+//!   repository's original hot path;
+//! * **batched** — `stream_pe_batched`, slice delivery with per-block
+//!   seed hashing and hoisted descent dispatch.
+//!
+//! ```text
+//! throughput [--quick] [--reps N] [--out PATH]
+//!
+//!   --quick      tiny sizes (CI smoke: seconds, not minutes)
+//!   --reps N     repetitions per measurement, best-of (default 3)
+//!   --out PATH   JSON output (default BENCH_throughput.json)
+//! ```
+//!
+//! The JSON is machine-readable so future PRs have a trajectory to beat;
+//! the paper's headline metric (§8.6.1) is exactly this rate.
+
+use kagen_core::prelude::*;
+use kagen_core::streaming::BATCH_EDGES;
+use kagen_pipeline::{BinarySink, EdgeSink};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Measurement {
+    name: &'static str,
+    model: &'static str,
+    params: String,
+    edges: u64,
+    per_edge_secs: f64,
+    batched_secs: f64,
+    /// Writer-boundary timings: the instance streamed into a boxed
+    /// `BinarySink` (the `kagen stream` shard path, minus the file) via
+    /// per-edge `accept` vs `push_batch`.
+    sink_per_edge_secs: f64,
+    sink_batched_secs: f64,
+}
+
+impl Measurement {
+    fn per_edge_eps(&self) -> f64 {
+        self.edges as f64 / self.per_edge_secs
+    }
+
+    fn batched_eps(&self) -> f64 {
+        self.edges as f64 / self.batched_secs
+    }
+
+    fn speedup(&self) -> f64 {
+        self.per_edge_secs / self.batched_secs
+    }
+}
+
+/// Best-of-`reps` wall time of one full instance streamed per edge.
+fn time_per_edge<G: StreamingGenerator + ?Sized>(gen: &G, reps: u32) -> (u64, f64) {
+    let mut edges = 0u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut acc = 0u64;
+        let mut count = 0u64;
+        let start = Instant::now();
+        for pe in 0..gen.num_chunks() {
+            gen.stream_pe(pe, &mut |u, v| {
+                acc ^= u.wrapping_add(v.rotate_left(17));
+                count += 1;
+            });
+        }
+        best = best.min(start.elapsed().as_secs_f64().max(1e-9));
+        black_box(acc);
+        edges = count;
+    }
+    (edges, best)
+}
+
+/// The sink the writer-boundary measurements stream into: the binary
+/// shard encoder over a buffered null writer — the memcpy-into-buffer
+/// traffic of a real file write, without disk noise or a platform-
+/// specific device path.
+fn null_binary_sink() -> Box<dyn EdgeSink> {
+    Box::new(BinarySink::new(std::io::BufWriter::new(std::io::sink())))
+}
+
+/// Best-of-`reps` wall time streamed into a boxed binary sink, one
+/// virtual `accept` plus one 16-byte encode per edge.
+fn time_sink_per_edge<G: StreamingGenerator + ?Sized>(gen: &G, reps: u32) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut sink = null_binary_sink();
+        let start = Instant::now();
+        for pe in 0..gen.num_chunks() {
+            gen.stream_pe(pe, &mut |u, v| sink.accept(u, v));
+        }
+        best = best.min(start.elapsed().as_secs_f64().max(1e-9));
+        black_box(sink.finish().unwrap());
+    }
+    best
+}
+
+/// Best-of-`reps` wall time streamed into the same boxed sink through
+/// `push_batch`: one virtual call and one buffered write per batch.
+fn time_sink_batched<G: StreamingGenerator + ?Sized>(gen: &G, reps: u32) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut buf = Vec::with_capacity(BATCH_EDGES);
+    for _ in 0..reps {
+        let mut sink = null_binary_sink();
+        let start = Instant::now();
+        for pe in 0..gen.num_chunks() {
+            gen.stream_pe_batched(pe, &mut buf, &mut |batch| sink.push_batch(batch));
+        }
+        best = best.min(start.elapsed().as_secs_f64().max(1e-9));
+        black_box(sink.finish().unwrap());
+    }
+    best
+}
+
+/// Best-of-`reps` wall time of one full instance streamed in batches.
+fn time_batched<G: StreamingGenerator + ?Sized>(gen: &G, reps: u32) -> (u64, f64) {
+    let mut edges = 0u64;
+    let mut best = f64::INFINITY;
+    let mut buf = Vec::with_capacity(BATCH_EDGES);
+    for _ in 0..reps {
+        let mut acc = 0u64;
+        let mut count = 0u64;
+        let start = Instant::now();
+        for pe in 0..gen.num_chunks() {
+            gen.stream_pe_batched(pe, &mut buf, &mut |batch| {
+                for &(u, v) in batch {
+                    acc ^= u.wrapping_add(v.rotate_left(17));
+                }
+                count += batch.len() as u64;
+            });
+        }
+        best = best.min(start.elapsed().as_secs_f64().max(1e-9));
+        black_box(acc);
+        edges = count;
+    }
+    (edges, best)
+}
+
+fn measure<G: StreamingGenerator + ?Sized>(
+    name: &'static str,
+    model: &'static str,
+    params: String,
+    gen: &G,
+    reps: u32,
+) -> Measurement {
+    let (edges_a, per_edge_secs) = time_per_edge(gen, reps);
+    let (edges_b, batched_secs) = time_batched(gen, reps);
+    assert_eq!(edges_a, edges_b, "{name}: batched path lost edges");
+    let sink_per_edge_secs = time_sink_per_edge(gen, reps);
+    let sink_batched_secs = time_sink_batched(gen, reps);
+    eprintln!(
+        "{name:<16} {edges:>10} edges   per-edge {pe:>7.1} Meps   batched {ba:>7.1} Meps ({sp:.2}x)   sink {spe:>7.1} -> {sba:>7.1} Meps ({ssp:.2}x)",
+        edges = edges_a,
+        pe = edges_a as f64 / per_edge_secs / 1e6,
+        ba = edges_a as f64 / batched_secs / 1e6,
+        sp = per_edge_secs / batched_secs,
+        spe = edges_a as f64 / sink_per_edge_secs / 1e6,
+        sba = edges_a as f64 / sink_batched_secs / 1e6,
+        ssp = sink_per_edge_secs / sink_batched_secs,
+    );
+    Measurement {
+        name,
+        model,
+        params,
+        edges: edges_a,
+        per_edge_secs,
+        batched_secs,
+        sink_per_edge_secs,
+        sink_batched_secs,
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut reps = 3u32;
+    let mut out = String::from("BENCH_throughput.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--reps" => {
+                // Zero reps would leave every best-of time at infinity
+                // and emit `inf`/`NaN` — not valid JSON.
+                reps = match args.next().map(|v| v.parse()) {
+                    Some(Ok(r)) if r >= 1 => r,
+                    _ => {
+                        eprintln!("throughput: --reps needs an integer >= 1");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("throughput: unknown flag '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Full mode: the ISSUE's reference point — scale 20, 2^22 edges.
+    let (scale, m, n, ba_n) = if quick {
+        (14u32, 1u64 << 16, 1u64 << 14, 1u64 << 13)
+    } else {
+        (20u32, 1u64 << 22, 1u64 << 20, 1u64 << 19)
+    };
+    let chunks = 64usize;
+    let universe_d = (n as f64) * (n as f64 - 1.0);
+    let p_directed = (m as f64 / universe_d).min(1.0);
+    let p_undirected = (m as f64 / (universe_d / 2.0)).min(1.0);
+
+    eprintln!(
+        "throughput: {} mode, reps={reps}, chunks={chunks}, batch={BATCH_EDGES}",
+        if quick { "quick" } else { "full" }
+    );
+
+    let mut results = Vec::new();
+    results.push(measure(
+        "rmat_plain",
+        "rmat",
+        format!("scale={scale} m={m} plain"),
+        &Rmat::new(scale, m).with_seed(1).with_chunks(chunks),
+        reps,
+    ));
+    results.push(measure(
+        "rmat_table8",
+        "rmat",
+        format!("scale={scale} m={m} table_levels=8"),
+        &Rmat::new(scale, m)
+            .with_seed(1)
+            .with_chunks(chunks)
+            .with_table_levels(8),
+        reps,
+    ));
+    results.push(measure(
+        "gnm_directed",
+        "gnm_directed",
+        format!("n={n} m={m}"),
+        &GnmDirected::new(n, m).with_seed(1).with_chunks(chunks),
+        reps,
+    ));
+    results.push(measure(
+        "gnm_undirected",
+        "gnm_undirected",
+        format!("n={n} m={m}"),
+        &GnmUndirected::new(n, m).with_seed(1).with_chunks(chunks),
+        reps,
+    ));
+    results.push(measure(
+        "gnp_directed",
+        "gnp_directed",
+        format!("n={n} p={p_directed:.3e}"),
+        &GnpDirected::new(n, p_directed)
+            .with_seed(1)
+            .with_chunks(chunks),
+        reps,
+    ));
+    results.push(measure(
+        "gnp_undirected",
+        "gnp_undirected",
+        format!("n={n} p={p_undirected:.3e}"),
+        &GnpUndirected::new(n, p_undirected)
+            .with_seed(1)
+            .with_chunks(chunks),
+        reps,
+    ));
+    results.push(measure(
+        "ba_d8",
+        "ba",
+        format!("n={ba_n} d=8"),
+        &BarabasiAlbert::new(ba_n, 8)
+            .with_seed(1)
+            .with_chunks(chunks),
+        reps,
+    ));
+
+    // The acceptance ratio: fastest batched R-MAT path (table descent,
+    // the CLI default) against the per-edge-seeded plain descent — the
+    // seed repository's hot path.
+    let plain = &results[0];
+    let table = &results[1];
+    let rmat_ratio = plain.per_edge_secs / table.batched_secs;
+    eprintln!(
+        "rmat batched(table) vs per-edge(plain): {rmat_ratio:.2}x (target >= 3x at scale 20)"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"kagen-throughput/v1\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"repetitions\": {reps},");
+    let _ = writeln!(json, "  \"chunks\": {chunks},");
+    let _ = writeln!(json, "  \"batch_edges\": {BATCH_EDGES},");
+    let _ = writeln!(
+        json,
+        "  \"rmat_table_batched_vs_plain_per_edge\": {rmat_ratio:.3},"
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(json, "      \"model\": \"{}\",", r.model);
+        let _ = writeln!(json, "      \"params\": \"{}\",", r.params);
+        let _ = writeln!(json, "      \"edges\": {},", r.edges);
+        let _ = writeln!(json, "      \"per_edge_seconds\": {:.6},", r.per_edge_secs);
+        let _ = writeln!(json, "      \"per_edge_eps\": {:.0},", r.per_edge_eps());
+        let _ = writeln!(json, "      \"batched_seconds\": {:.6},", r.batched_secs);
+        let _ = writeln!(json, "      \"batched_eps\": {:.0},", r.batched_eps());
+        let _ = writeln!(json, "      \"speedup\": {:.3},", r.speedup());
+        let _ = writeln!(
+            json,
+            "      \"sink_per_edge_eps\": {:.0},",
+            r.edges as f64 / r.sink_per_edge_secs
+        );
+        let _ = writeln!(
+            json,
+            "      \"sink_batched_eps\": {:.0},",
+            r.edges as f64 / r.sink_batched_secs
+        );
+        let _ = writeln!(
+            json,
+            "      \"sink_speedup\": {:.3}",
+            r.sink_per_edge_secs / r.sink_batched_secs
+        );
+        json.push_str(if i + 1 < results.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out, &json).expect("cannot write JSON output");
+    eprintln!("wrote {out}");
+}

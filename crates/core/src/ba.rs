@@ -55,10 +55,16 @@ impl BarabasiAlbert {
         self
     }
 
-    /// Resolve virtual array position `pos` (the vertex id stored there).
+    /// The instance's base seed for slot resolution — hashed once, shared
+    /// by every slot (the batched fill hoists this out of the edge loop).
     #[inline]
-    fn resolve(&self, mut pos: u64) -> u64 {
-        let base = derive_seed(self.seed, &[stream::BA]);
+    fn resolve_base(&self) -> u64 {
+        derive_seed(self.seed, &[stream::BA])
+    }
+
+    /// Resolve virtual array position `pos` under a precomputed base seed.
+    #[inline]
+    fn resolve_with_base(&self, base: u64, mut pos: u64) -> u64 {
         loop {
             if pos & 1 == 0 {
                 // Even positions hold the slot's source vertex directly.
@@ -75,7 +81,29 @@ impl BarabasiAlbert {
     /// Edge of slot `i` (pure function): `(⌊i/d⌋, M[2i+1])`.
     #[inline]
     pub fn edge(&self, slot: u64) -> (u64, u64) {
-        (slot / self.d, self.resolve(2 * slot + 1))
+        (
+            slot / self.d,
+            self.resolve_with_base(self.resolve_base(), 2 * slot + 1),
+        )
+    }
+
+    /// Append the edges of slot range `slots` to `out` — identical to
+    /// calling [`BarabasiAlbert::edge`] per slot, with the hashed base
+    /// seed derived once for the whole range.
+    pub fn fill_edges(&self, slots: std::ops::Range<u64>, out: &mut Vec<(u64, u64)>) {
+        out.reserve((slots.end - slots.start) as usize);
+        let base = self.resolve_base();
+        for slot in slots {
+            out.push((slot / self.d, self.resolve_with_base(base, 2 * slot + 1)));
+        }
+    }
+
+    /// Slot range owned by PE `pe` (its vertex range × `d`).
+    #[inline]
+    pub fn pe_slot_range(&self, pe: usize) -> std::ops::Range<u64> {
+        let begin = self.n * pe as u64 / self.chunks as u64;
+        let end = self.n * (pe as u64 + 1) / self.chunks as u64;
+        begin * self.d..end * self.d
     }
 
     /// Edges attached per vertex (the model's `d`).
@@ -108,10 +136,7 @@ impl Generator for BarabasiAlbert {
             vertex_end: end,
             ..PeGraph::default()
         };
-        out.edges.reserve(((end - begin) * self.d) as usize);
-        for slot in begin * self.d..end * self.d {
-            out.edges.push(self.edge(slot));
-        }
+        self.fill_edges(self.pe_slot_range(pe), &mut out.edges);
         out
     }
 }

@@ -1,6 +1,6 @@
 //! Directed G(n,m) and G(n,p) (§4.1, §4.3).
 
-use super::directed_index_to_edge;
+use super::MonotoneEdgeDecoder;
 use crate::{Generator, PeGraph};
 use kagen_dist::binomial;
 use kagen_sampling::vitter::sample_sorted;
@@ -127,14 +127,18 @@ impl Generator for GnmDirected {
 
 impl GnmDirected {
     /// Emit PE `pe`'s edges without materializing them (§9 streaming).
-    pub(crate) fn stream_edges(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
+    /// Generic over the consumer so concrete callers (the batched path,
+    /// `generate_pe`) monomorphize with no per-edge virtual dispatch.
+    pub(crate) fn stream_edges<F: FnMut(u64, u64) + ?Sized>(&self, pe: usize, emit: &mut F) {
         let Some(sampler) = self.sampler() else {
             return;
         };
         let (lo, hi) = pe_block_range(sampler.blocks(), self.chunks, pe);
-        let n = self.n;
+        // Sample indices arrive sorted across the PE's blocks: decode
+        // rows incrementally instead of a u128 division per edge.
+        let mut dec = MonotoneEdgeDecoder::new(self.n);
         sampler.sample_range(lo, hi, &mut |idx| {
-            let (u, v) = directed_index_to_edge(n, idx);
+            let (u, v) = dec.decode(idx);
             emit(u, v);
         });
     }
@@ -201,7 +205,8 @@ impl Generator for GnpDirected {
 
 impl GnpDirected {
     /// Emit PE `pe`'s edges without materializing them (§9 streaming).
-    pub(crate) fn stream_edges(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
+    /// Generic over the consumer — see [`GnmDirected::stream_edges`].
+    pub(crate) fn stream_edges<F: FnMut(u64, u64) + ?Sized>(&self, pe: usize, emit: &mut F) {
         let universe = (self.n as u128) * (self.n as u128).saturating_sub(1);
         if universe == 0 || self.p == 0.0 {
             return;
@@ -209,7 +214,10 @@ impl GnpDirected {
         let expected = ((universe as f64) * self.p) as u64;
         let blocks = er_blocks(universe, expected.max(1));
         let (lo, hi) = pe_block_range(blocks, self.chunks, pe);
-        let n = self.n;
+        // Blocks are visited in order and samples are sorted within each,
+        // so the whole PE's index stream is sorted: one incremental
+        // decoder replaces the per-edge u128 division.
+        let mut dec = MonotoneEdgeDecoder::new(self.n);
         for b in lo..hi {
             // The per-chunk edge count is "predetermined": a binomial over
             // the chunk universe, seeded by the chunk id (§4.3).
@@ -220,7 +228,7 @@ impl GnpDirected {
             let count = binomial(&mut count_rng, len, self.p);
             let mut sample_rng = Mt64::new(derive_seed(self.seed, &[stream::SAMPLE, b]));
             sample_sorted(&mut sample_rng, len as u64, count, &mut |i| {
-                let (u, v) = directed_index_to_edge(n, start + i as u128);
+                let (u, v) = dec.decode(start + i as u128);
                 emit(u, v);
             });
         }

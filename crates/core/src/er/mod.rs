@@ -48,6 +48,90 @@ pub fn directed_edge_to_index(n: u64, u: u64, v: u64) -> u128 {
     (u as u128) * (n as u128 - 1) + c as u128
 }
 
+/// Incremental `(row, offset)` splitter for *sorted* indices over
+/// fixed-length rows.
+///
+/// A division and modulo per index is the dominant per-edge arithmetic
+/// of the index-decoding hot paths (128-bit for the directed universe,
+/// 64-bit for rectangular chunks). Sampled indices arrive sorted, so the
+/// row is non-decreasing: the splitter advances it by subtraction
+/// (amortized O(1)) and only falls back to the division when a gap skips
+/// many rows at once (sparse instances), keeping the worst case O(m).
+#[derive(Clone, Copy, Debug)]
+pub struct MonotoneRowSplitter {
+    row_len: u128,
+    row: u64,
+    base: u128,
+    primed: bool,
+}
+
+impl MonotoneRowSplitter {
+    /// Linear row advances per split before falling back to division.
+    const MAX_LINEAR_ROWS: u32 = 8;
+
+    /// Splitter over rows of `row_len` indices (`row_len ≥ 1`).
+    #[inline]
+    pub fn new(row_len: u128) -> Self {
+        debug_assert!(row_len >= 1);
+        MonotoneRowSplitter {
+            row_len,
+            row: 0,
+            base: 0,
+            primed: false,
+        }
+    }
+
+    /// Split `idx` into `(row, offset)`; indices must arrive in
+    /// non-decreasing order.
+    #[inline]
+    pub fn split(&mut self, idx: u128) -> (u64, u64) {
+        debug_assert!(!self.primed || idx >= self.base);
+        if !self.primed {
+            self.primed = true;
+            self.row = (idx / self.row_len) as u64;
+            self.base = self.row as u128 * self.row_len;
+        }
+        let mut steps = 0u32;
+        while idx - self.base >= self.row_len {
+            if steps >= Self::MAX_LINEAR_ROWS {
+                self.row = (idx / self.row_len) as u64;
+                self.base = self.row as u128 * self.row_len;
+                break;
+            }
+            self.base += self.row_len;
+            self.row += 1;
+            steps += 1;
+        }
+        (self.row, (idx - self.base) as u64)
+    }
+}
+
+/// Incremental decoder for *sorted* directed edge indices — the
+/// monotone counterpart of [`directed_index_to_edge`]: a
+/// [`MonotoneRowSplitter`] over rows of `n − 1` plus the diagonal skip.
+#[derive(Clone, Copy, Debug)]
+pub struct MonotoneEdgeDecoder {
+    rows: MonotoneRowSplitter,
+}
+
+impl MonotoneEdgeDecoder {
+    /// Decoder over `n` vertices (`n ≥ 2`).
+    #[inline]
+    pub fn new(n: u64) -> Self {
+        debug_assert!(n >= 2);
+        MonotoneEdgeDecoder {
+            rows: MonotoneRowSplitter::new(n as u128 - 1),
+        }
+    }
+
+    /// Decode `idx`; indices must be passed in non-decreasing order.
+    #[inline]
+    pub fn decode(&mut self, idx: u128) -> (u64, u64) {
+        let (u, c) = self.rows.split(idx);
+        (u, c + (c >= u) as u64)
+    }
+}
+
 /// Map a lower-triangle index `t ∈ [0, s(s−1)/2)` to the pair `(u, v)`
 /// with `0 ≤ v < u < s` (diagonal chunks of the undirected scheme).
 #[inline]
@@ -85,6 +169,31 @@ mod tests {
             assert_eq!(directed_edge_to_index(n, u, v), idx);
         }
         assert_eq!(seen.len() as u128, (n as u128) * (n as u128 - 1));
+    }
+
+    #[test]
+    fn monotone_decoder_matches_division() {
+        // Dense scan, sparse jumps (forcing the division fallback) and a
+        // restart mid-row must all agree with the per-index division.
+        let n = 50u64;
+        let mut dec = MonotoneEdgeDecoder::new(n);
+        for idx in 0..(n as u128) * (n as u128 - 1) {
+            assert_eq!(dec.decode(idx), directed_index_to_edge(n, idx), "{idx}");
+        }
+        let n = 1u64 << 20;
+        let universe = (n as u128) * (n as u128 - 1);
+        let mut dec = MonotoneEdgeDecoder::new(n);
+        let mut idx = 7u128;
+        let mut step = 1u128;
+        while idx < universe {
+            assert_eq!(dec.decode(idx), directed_index_to_edge(n, idx), "{idx}");
+            idx += step;
+            step = (step * 3 + 1) % (universe / 13);
+        }
+        // First index deep inside the universe (primes far from row 0).
+        let mut dec = MonotoneEdgeDecoder::new(n);
+        let deep = universe - 5;
+        assert_eq!(dec.decode(deep), directed_index_to_edge(n, deep));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! All variates are drawn from recursion-node-seeded PRNGs, so every PE
 //! reconstructs identical counts along its paths.
 
-use super::triangle_index_to_pair;
+use super::{triangle_index_to_pair, MonotoneRowSplitter};
 use crate::{Generator, PeGraph};
 use kagen_dist::{binomial, hypergeometric};
 use kagen_sampling::vitter::sample_sorted;
@@ -125,13 +125,13 @@ impl<F: FnMut(u64, u64, u64)> Recursion<'_, F> {
 
 /// Sample the `count` edges of chunk `(i, j)` — identical on both owning
 /// PEs because the PRNG is seeded by the chunk id alone.
-fn sample_chunk(
+fn sample_chunk<F: FnMut(u64, u64) + ?Sized>(
     grid: &ChunkMatrix,
     seed: u64,
     i: u64,
     j: u64,
     count: u64,
-    emit: &mut dyn FnMut(u64, u64),
+    emit: &mut F,
 ) {
     let mut rng = Mt64::new(derive_seed(seed, &[stream::SAMPLE, i, j]));
     let row_start = grid.start(i);
@@ -155,9 +155,12 @@ fn sample_chunk(
             "chunk too large: raise chunks"
         );
         let col_start = grid.start(j);
-        let sj = sj as u64;
+        // Samples arrive sorted: advance the row incrementally instead
+        // of dividing per edge.
+        let mut rows = MonotoneRowSplitter::new(sj);
         sample_sorted(&mut rng, universe as u64, count, &mut |t| {
-            emit(row_start + t / sj, col_start + t % sj);
+            let (row, off) = rows.split(t as u128);
+            emit(row_start + row, col_start + off);
         });
     }
 }
@@ -233,7 +236,8 @@ impl Generator for GnmUndirected {
 
 impl GnmUndirected {
     /// Emit PE `pe`'s edges without materializing them (§9 streaming).
-    pub(crate) fn stream_edges(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
+    /// Generic over the consumer so concrete callers monomorphize.
+    pub(crate) fn stream_edges<F: FnMut(u64, u64) + ?Sized>(&self, pe: usize, emit: &mut F) {
         let grid = ChunkMatrix::new(self.n, self.chunks);
         if self.n < 2 {
             return;
@@ -324,7 +328,8 @@ impl Generator for GnpUndirected {
 
 impl GnpUndirected {
     /// Emit PE `pe`'s edges without materializing them (§9 streaming).
-    pub(crate) fn stream_edges(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
+    /// Generic over the consumer so concrete callers monomorphize.
+    pub(crate) fn stream_edges<F: FnMut(u64, u64) + ?Sized>(&self, pe: usize, emit: &mut F) {
         let grid = ChunkMatrix::new(self.n, self.chunks);
         let pe_id = pe as u64;
         if self.n < 2 || self.p == 0.0 {

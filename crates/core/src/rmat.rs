@@ -8,23 +8,55 @@
 //! edge-index range and seeds a cheap PRNG per edge. The Θ(m log n) variate
 //! cost is exactly the slowdown relative to the ER generators that Fig. 17
 //! and 18 demonstrate.
+//!
+//! **Hot-path seeding.** Edge `e`'s PRNG is seeded in two steps: one hashed
+//! seed per fixed-size *block* of `SEED_BLOCK_EDGES` consecutive edge
+//! indices, then a single `mix2` for the edge's offset inside its block.
+//! `edge(e)` recomputes the block seed every call (it is a pure function),
+//! while [`Rmat::fill_edges`] derives it once per block — amortizing the
+//! hash over thousands of edges, which is where the per-edge constant
+//! factors live (cf. Hübschle-Schneider & Sanders, "Linear Work Generation
+//! of R-MAT Graphs"). Chunk invariance is unaffected: the seed of edge `e`
+//! depends only on `(instance seed, e)`, never on the PE boundaries.
 
 use crate::{Generator, PeGraph};
 use kagen_dist::AliasTable;
 use kagen_util::seed::stream;
 use kagen_util::{derive_seed, Rng64, SplitMix64};
+use std::ops::Range;
 use std::sync::Arc;
+
+/// Edge indices per hashed seed block (the amortization granularity of
+/// [`Rmat::fill_edges`]).
+pub const SEED_BLOCK_EDGES: u64 = 4096;
+
+/// Compact the even-position bits of `x` (bits 0, 2, 4, …) into the low
+/// half — the Morton deinterleave step.
+#[inline(always)]
+fn compact_even_bits(mut x: u64) -> u64 {
+    x &= 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF
+}
 
 /// Precomputed multi-level descent table: one alias draw selects
 /// `levels` recursion steps at once (the §9 "faster R-MAT" extension,
 /// following the path-probability precomputation idea of
 /// Hübschle-Schneider & Sanders).
+///
+/// An outcome is a *path*: `levels` quadrant choices of 2 bits each,
+/// most-significant level first, so the u-bits sit at odd and the v-bits
+/// at even positions of the path index. The sampler therefore needs no
+/// per-outcome payload array — the bits deinterleave from the index in a
+/// handful of ALU ops, keeping the table's memory traffic to the single
+/// fused alias slot per draw.
 #[derive(Clone, Debug)]
 struct DescentTable {
     levels: u32,
     alias: AliasTable,
-    /// Per outcome: the `levels` u-bits and v-bits of the path.
-    bits: Vec<(u32, u32)>,
 }
 
 impl DescentTable {
@@ -34,30 +66,24 @@ impl DescentTable {
         let quadrant = [a, b, c, d]; // (u_bit, v_bit) = (0,0) (0,1) (1,0) (1,1)
         let k = 1usize << (2 * levels);
         let mut weights = Vec::with_capacity(k);
-        let mut bits = Vec::with_capacity(k);
         for path in 0..k {
             let mut w = 1.0f64;
-            let mut ub = 0u32;
-            let mut vb = 0u32;
-            for level in (0..levels).rev() {
-                let q = (path >> (2 * level)) & 3;
-                w *= quadrant[q];
-                ub = (ub << 1) | (q as u32 >> 1);
-                vb = (vb << 1) | (q as u32 & 1);
+            for level in 0..levels {
+                w *= quadrant[(path >> (2 * level)) & 3];
             }
             weights.push(w);
-            bits.push((ub, vb));
         }
         DescentTable {
             levels,
             alias: AliasTable::new(&weights),
-            bits,
         }
     }
 
-    #[inline]
-    fn sample<R: Rng64>(&self, rng: &mut R) -> (u32, u32) {
-        self.bits[self.alias.sample(rng)]
+    /// Draw one path: `levels` quadrant choices, u- and v-bits still
+    /// interleaved (u at odd, v at even positions).
+    #[inline(always)]
+    fn sample_path<R: Rng64>(&self, rng: &mut R) -> u64 {
+        self.alias.sample(rng) as u64
     }
 }
 
@@ -69,6 +95,10 @@ pub struct Rmat {
     a: f64,
     b: f64,
     c: f64,
+    /// Precomputed prefix sums a+b and a+b+c of the quadrant
+    /// probabilities — the two extra thresholds of the branchless descent.
+    ab: f64,
+    abc: f64,
     seed: u64,
     chunks: usize,
     /// Multi-level descent tables (main + remainder), if enabled.
@@ -92,6 +122,8 @@ impl Rmat {
             a,
             b,
             c,
+            ab: a + b,
+            abc: a + b + c,
             seed: 1,
             chunks: 64,
             tables: None,
@@ -113,10 +145,18 @@ impl Rmat {
 
     /// Enable multi-level descent tables: one alias draw replaces `levels`
     /// recursion steps (§9 future work; typically `levels = 8`, a 64 Ki
-    /// entry table). Note: the accelerated generator samples the same
+    /// entry table). `levels = 0` disables the tables (plain per-level
+    /// descent). Note: the accelerated generator samples the same
     /// *distribution* but consumes randomness differently, so it defines a
     /// different (equally valid) instance per seed.
     pub fn with_table_levels(mut self, levels: u32) -> Self {
+        if levels == 0 || self.scale >= 32 {
+            // `0` disables; scale ≥ 32 stays on plain descent (the
+            // table sampler packs the 2·scale interleaved path bits
+            // into a u64).
+            self.tables = None;
+            return self;
+        }
         let levels = levels.clamp(1, 12).min(self.scale);
         let main = DescentTable::new(levels, self.a, self.b, self.c);
         let rem = self.scale % levels;
@@ -130,52 +170,108 @@ impl Rmat {
         self.m
     }
 
+    /// Hashed seed of the block of edge indices containing edge `e`.
+    #[inline]
+    fn block_seed(&self, block: u64) -> u64 {
+        derive_seed(self.seed, &[stream::RMAT, block])
+    }
+
+    /// Branchless per-level descent: the three threshold comparisons fold
+    /// into the quadrant bits without data-dependent branches
+    /// (`u_bit = [x ≥ a+b]`, `v_bit = [x ≥ a] ⊕ [x ≥ a+b] ⊕ [x ≥ a+b+c]`).
+    #[inline(always)]
+    fn descend_plain<R: Rng64>(&self, rng: &mut R) -> (u64, u64) {
+        let mut u = 0u64;
+        let mut v = 0u64;
+        for _ in 0..self.scale {
+            let x = rng.next_f64();
+            let t0 = (x >= self.a) as u64;
+            let t1 = (x >= self.ab) as u64;
+            let t2 = (x >= self.abc) as u64;
+            u = (u << 1) | t1;
+            v = (v << 1) | (t0 ^ t1 ^ t2);
+        }
+        (u, v)
+    }
+
+    /// Table-accelerated descent: one alias draw per `levels` recursion
+    /// steps, plus one remainder draw when `levels ∤ scale`. The drawn
+    /// paths stay *interleaved* while they accumulate (one shift+or per
+    /// draw) and deinterleave once per edge — `scale < 32` always holds
+    /// when tables are enabled (see [`Rmat::with_table_levels`]), so the
+    /// 2·scale interleaved bits fit a u64.
+    #[inline(always)]
+    fn descend_tables<R: Rng64>(
+        &self,
+        tables: &(DescentTable, Option<DescentTable>),
+        rng: &mut R,
+    ) -> (u64, u64) {
+        let (main, remainder) = tables;
+        let mut z = 0u64;
+        let mut remaining = self.scale;
+        while remaining >= main.levels {
+            z = (z << (2 * main.levels)) | main.sample_path(rng);
+            remaining -= main.levels;
+        }
+        if remaining > 0 {
+            let t = remainder.as_ref().expect("remainder table");
+            debug_assert_eq!(t.levels, remaining);
+            z = (z << (2 * t.levels)) | t.sample_path(rng);
+        }
+        (compact_even_bits(z >> 1), compact_even_bits(z))
+    }
+
     /// Sample edge number `e` of the instance (pure function).
     #[inline]
     pub fn edge(&self, e: u64) -> (u64, u64) {
-        let mut rng = SplitMix64::new(derive_seed(self.seed, &[stream::RMAT, e]));
+        let block_seed = self.block_seed(e / SEED_BLOCK_EDGES);
+        let mut rng = SplitMix64::at(block_seed, e % SEED_BLOCK_EDGES);
         match &self.tables {
-            None => {
-                let mut u = 0u64;
-                let mut v = 0u64;
-                for _ in 0..self.scale {
-                    u <<= 1;
-                    v <<= 1;
-                    let x = rng.next_f64();
-                    if x < self.a {
-                        // top-left: no bits set
-                    } else if x < self.a + self.b {
-                        v |= 1;
-                    } else if x < self.a + self.b + self.c {
-                        u |= 1;
-                    } else {
-                        u |= 1;
-                        v |= 1;
-                    }
-                }
-                (u, v)
-            }
-            Some(tables) => {
-                let (main, remainder) = tables.as_ref();
-                let mut u = 0u64;
-                let mut v = 0u64;
-                let mut remaining = self.scale;
-                while remaining >= main.levels {
-                    let (ub, vb) = main.sample(&mut rng);
-                    u = (u << main.levels) | ub as u64;
-                    v = (v << main.levels) | vb as u64;
-                    remaining -= main.levels;
-                }
-                if remaining > 0 {
-                    let t = remainder.as_ref().expect("remainder table");
-                    debug_assert_eq!(t.levels, remaining);
-                    let (ub, vb) = t.sample(&mut rng);
-                    u = (u << t.levels) | ub as u64;
-                    v = (v << t.levels) | vb as u64;
-                }
-                (u, v)
-            }
+            None => self.descend_plain(&mut rng),
+            Some(tables) => self.descend_tables(tables.as_ref(), &mut rng),
         }
+    }
+
+    /// Append the edges of the index range `range` to `out` — identical to
+    /// calling [`Rmat::edge`] per index, but the hashed block seed is
+    /// derived once per `SEED_BLOCK_EDGES` indices and the descent-mode
+    /// dispatch is hoisted out of the loop.
+    pub fn fill_edges(&self, range: Range<u64>, out: &mut Vec<(u64, u64)>) {
+        debug_assert!(range.end <= self.m);
+        out.reserve((range.end - range.start) as usize);
+        let mut e = range.start;
+        while e < range.end {
+            let block = e / SEED_BLOCK_EDGES;
+            let hi = ((block + 1) * SEED_BLOCK_EDGES).min(range.end);
+            let block_seed = self.block_seed(block);
+            let offsets = (e % SEED_BLOCK_EDGES)..(e % SEED_BLOCK_EDGES + (hi - e));
+            // `extend` over an exact-size iterator: one reservation, no
+            // per-push capacity check inside the hot loop.
+            match &self.tables {
+                None => {
+                    out.extend(offsets.map(|off| {
+                        let mut rng = SplitMix64::at(block_seed, off);
+                        self.descend_plain(&mut rng)
+                    }));
+                }
+                Some(tables) => {
+                    let tables = tables.as_ref();
+                    out.extend(offsets.map(|off| {
+                        let mut rng = SplitMix64::at(block_seed, off);
+                        self.descend_tables(tables, &mut rng)
+                    }));
+                }
+            }
+            e = hi;
+        }
+    }
+
+    /// Edge-index range `[lo, hi)` owned by PE `pe`.
+    #[inline]
+    pub fn pe_edge_range(&self, pe: usize) -> Range<u64> {
+        let lo = self.m * pe as u64 / self.chunks as u64;
+        let hi = self.m * (pe as u64 + 1) / self.chunks as u64;
+        lo..hi
     }
 }
 
@@ -193,18 +289,13 @@ impl Generator for Rmat {
     }
 
     fn generate_pe(&self, pe: usize) -> PeGraph {
-        let lo = self.m * pe as u64 / self.chunks as u64;
-        let hi = self.m * (pe as u64 + 1) / self.chunks as u64;
         let mut out = PeGraph {
             pe,
             vertex_begin: 0,
             vertex_end: self.num_vertices(),
             ..PeGraph::default()
         };
-        out.edges.reserve((hi - lo) as usize);
-        for e in lo..hi {
-            out.edges.push(self.edge(e));
-        }
+        self.fill_edges(self.pe_edge_range(pe), &mut out.edges);
         out
     }
 }
@@ -252,6 +343,34 @@ mod tests {
         assert!(
             max as f64 > 6.0 * mean,
             "R-MAT must be skewed: max {max}, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn fill_edges_matches_edge_across_block_boundaries() {
+        // A range straddling a seed-block boundary must produce exactly
+        // the per-edge results (same block seed, same offsets).
+        let m = SEED_BLOCK_EDGES * 2 + 100;
+        let range = SEED_BLOCK_EDGES - 50..SEED_BLOCK_EDGES + 50;
+        for gen in [
+            Rmat::new(10, m).with_seed(5),
+            Rmat::new(10, m).with_seed(5).with_table_levels(4),
+        ] {
+            let mut filled = Vec::new();
+            gen.fill_edges(range.clone(), &mut filled);
+            let expect: Vec<_> = range.clone().map(|e| gen.edge(e)).collect();
+            assert_eq!(filled, expect);
+        }
+    }
+
+    #[test]
+    fn table_levels_zero_disables_tables() {
+        let plain = Rmat::new(9, 500).with_seed(3);
+        let toggled = Rmat::new(9, 500).with_seed(3).with_table_levels(8);
+        let off = toggled.with_table_levels(0);
+        assert_eq!(
+            generate_directed(&plain).edges,
+            generate_directed(&off).edges
         );
     }
 

@@ -134,7 +134,13 @@ impl StochasticBlockModel {
     }
 
     /// Sample one work unit, emitting global edges.
-    fn sample_unit(&self, a: usize, b: usize, piece: u64, emit: &mut dyn FnMut(u64, u64)) {
+    fn sample_unit<F: FnMut(u64, u64) + ?Sized>(
+        &self,
+        a: usize,
+        b: usize,
+        piece: u64,
+        emit: &mut F,
+    ) {
         let universe = self.pair_universe(a, b);
         let pieces = self.pair_pieces(a, b);
         let start = universe as u128 * piece as u128 / pieces as u128;
@@ -190,8 +196,9 @@ impl Generator for StochasticBlockModel {
 impl StochasticBlockModel {
     /// Emit PE `pe`'s edges without materializing them (§9 streaming).
     /// Strided unit assignment: PEs own disjoint unit sets, each edge is
-    /// emitted exactly once globally.
-    pub(crate) fn stream_edges(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
+    /// emitted exactly once globally. Generic over the consumer so
+    /// concrete callers monomorphize.
+    pub(crate) fn stream_edges<F: FnMut(u64, u64) + ?Sized>(&self, pe: usize, emit: &mut F) {
         for (idx, (a, b, piece)) in self.units().into_iter().enumerate() {
             if idx % self.chunks == pe {
                 self.sample_unit(a, b, piece, emit);

@@ -21,11 +21,97 @@ use crate::sbm::StochasticBlockModel;
 use crate::srhg::Srhg;
 use crate::Generator;
 
+/// Default batch size (edges) of the batched streaming path: large enough
+/// to amortize per-batch costs (seed hashing, virtual dispatch, slice
+/// encoding), small enough to stay L1/L2-resident (64 KiB of pairs).
+pub const BATCH_EDGES: usize = 4096;
+
+/// The buffer-and-flush protocol of the batched streaming path, in one
+/// place: push edges, emit a full slice whenever the buffer reaches its
+/// capacity, and emit the ragged final slice on `finish`. The `push`
+/// call is concrete and inlined, so generators streaming through a
+/// `Batcher` keep their monomorphized hot loop.
+struct Batcher<'a, 'e> {
+    buf: &'a mut Vec<(u64, u64)>,
+    emit: &'a mut BatchEmit<'e>,
+    cap: usize,
+}
+
+impl<'a, 'e> Batcher<'a, 'e> {
+    fn new(buf: &'a mut Vec<(u64, u64)>, emit: &'a mut BatchEmit<'e>) -> Self {
+        buf.clear();
+        if buf.capacity() == 0 {
+            buf.reserve(BATCH_EDGES);
+        }
+        let cap = buf.capacity();
+        Batcher { buf, emit, cap }
+    }
+
+    #[inline(always)]
+    fn push(&mut self, u: u64, v: u64) {
+        self.buf.push((u, v));
+        if self.buf.len() >= self.cap {
+            (self.emit)(self.buf);
+            self.buf.clear();
+        }
+    }
+
+    fn finish(self) {
+        if !self.buf.is_empty() {
+            (self.emit)(self.buf);
+            self.buf.clear();
+        }
+    }
+}
+
+/// Shared driver for range-fill generators (R-MAT, BA): carve the index
+/// range into capacity-sized sub-ranges, let `fill` append each one to
+/// the buffer, emit every full buffer.
+fn fill_range_batched(
+    range: std::ops::Range<u64>,
+    buf: &mut Vec<(u64, u64)>,
+    emit: &mut BatchEmit,
+    fill: impl Fn(std::ops::Range<u64>, &mut Vec<(u64, u64)>),
+) {
+    buf.clear();
+    if buf.capacity() == 0 {
+        buf.reserve(BATCH_EDGES);
+    }
+    let cap = buf.capacity() as u64;
+    let mut lo = range.start;
+    while lo < range.end {
+        let hi = (lo + cap).min(range.end);
+        fill(lo..hi, buf);
+        emit(buf);
+        buf.clear();
+        lo = hi;
+    }
+}
+
+/// The slice-consumer side of the batched streaming path.
+pub type BatchEmit<'a> = dyn FnMut(&[(u64, u64)]) + 'a;
+
 /// Edge-streaming extension of [`Generator`].
 pub trait StreamingGenerator: Generator {
     /// Emit every edge PE `pe` is responsible for, in the same order
     /// `generate_pe` would store them.
     fn stream_pe(&self, pe: usize, emit: &mut dyn FnMut(u64, u64));
+
+    /// Emit PE `pe`'s edges in batches: `buf` is a caller-provided
+    /// scratch buffer (its capacity sets the batch size; reserved to
+    /// [`BATCH_EDGES`] if empty) and `emit` receives full slices. The
+    /// concatenation of all slices equals the `stream_pe` stream
+    /// edge-for-edge — batching changes delivery granularity, never the
+    /// instance.
+    ///
+    /// The default buffers `stream_pe`; generators whose per-edge work
+    /// can be amortized (seed hashing, descent-mode dispatch) override
+    /// this with a genuinely batched fill.
+    fn stream_pe_batched(&self, pe: usize, buf: &mut Vec<(u64, u64)>, emit: &mut BatchEmit) {
+        let mut b = Batcher::new(buf, emit);
+        self.stream_pe(pe, &mut |u, v| b.push(u, v));
+        b.finish();
+    }
 
     /// Count a PE's edges without materializing them.
     fn count_pe(&self, pe: usize) -> u64 {
@@ -44,10 +130,31 @@ pub trait StreamingGenerator: Generator {
         }
     }
 
+    /// Batched analogue of [`StreamingGenerator::stream_all`]: every PE in
+    /// order, slices instead of single edges. Peak memory is one batch.
+    fn stream_all_batched(&self, buf: &mut Vec<(u64, u64)>, emit: &mut BatchEmit) {
+        for pe in 0..self.num_chunks() {
+            self.stream_pe_batched(pe, buf, emit);
+        }
+    }
+
     /// Total edge count of the instance without materializing it.
     fn count_edges(&self) -> u64 {
         (0..self.num_chunks()).map(|pe| self.count_pe(pe)).sum()
     }
+}
+
+/// Shared override body for generators with a monomorphic
+/// `stream_edges<F>`: push through a concrete closure (no per-edge
+/// virtual dispatch), flush full slices.
+macro_rules! batched_via_stream_edges {
+    () => {
+        fn stream_pe_batched(&self, pe: usize, buf: &mut Vec<(u64, u64)>, emit: &mut BatchEmit) {
+            let mut b = Batcher::new(buf, emit);
+            self.stream_edges(pe, &mut |u: u64, v: u64| b.push(u, v));
+            b.finish();
+        }
+    };
 }
 
 /// Fallback used by generators whose natural implementation materializes
@@ -66,47 +173,66 @@ impl StreamingGenerator for GnmDirected {
     fn stream_pe(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
         self.stream_edges(pe, emit);
     }
+
+    batched_via_stream_edges!();
 }
 
 impl StreamingGenerator for GnpDirected {
     fn stream_pe(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
         self.stream_edges(pe, emit);
     }
+
+    batched_via_stream_edges!();
 }
 
 impl StreamingGenerator for GnmUndirected {
     fn stream_pe(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
         self.stream_edges(pe, emit);
     }
+
+    batched_via_stream_edges!();
 }
 
 impl StreamingGenerator for GnpUndirected {
     fn stream_pe(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
         self.stream_edges(pe, emit);
     }
+
+    batched_via_stream_edges!();
 }
 
 impl StreamingGenerator for BarabasiAlbert {
     fn stream_pe(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
-        let begin = self.num_vertices() * pe as u64 / self.num_chunks() as u64;
-        let end = self.num_vertices() * (pe as u64 + 1) / self.num_chunks() as u64;
-        let d = self.degree_parameter();
-        for slot in begin * d..end * d {
+        for slot in self.pe_slot_range(pe) {
             let (u, v) = self.edge(slot);
             emit(u, v);
         }
+    }
+
+    /// Batched fill: the hashed resolve-base seed is derived once per
+    /// batch instead of once per edge.
+    fn stream_pe_batched(&self, pe: usize, buf: &mut Vec<(u64, u64)>, emit: &mut BatchEmit) {
+        fill_range_batched(self.pe_slot_range(pe), buf, emit, |r, out| {
+            self.fill_edges(r, out)
+        });
     }
 }
 
 impl StreamingGenerator for Rmat {
     fn stream_pe(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
-        let m = self.num_edges();
-        let lo = m * pe as u64 / self.num_chunks() as u64;
-        let hi = m * (pe as u64 + 1) / self.num_chunks() as u64;
-        for e in lo..hi {
+        for e in self.pe_edge_range(pe) {
             let (u, v) = self.edge(e);
             emit(u, v);
         }
+    }
+
+    /// Batched fill: one hashed seed per edge block and one descent-mode
+    /// dispatch per batch (see [`Rmat::fill_edges`]) — the §8.6.1 variate
+    /// cost drops from hash+descent to `mix2`+descent per edge.
+    fn stream_pe_batched(&self, pe: usize, buf: &mut Vec<(u64, u64)>, emit: &mut BatchEmit) {
+        fill_range_batched(self.pe_edge_range(pe), buf, emit, |r, out| {
+            self.fill_edges(r, out)
+        });
     }
 }
 
@@ -114,6 +240,8 @@ impl StreamingGenerator for StochasticBlockModel {
     fn stream_pe(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
         self.stream_edges(pe, emit);
     }
+
+    batched_via_stream_edges!();
 }
 
 impl<const D: usize> StreamingGenerator for Rgg<D> {
@@ -148,6 +276,31 @@ mod tests {
             gen.stream_pe(pe, &mut |u, v| streamed.push((u, v)));
             assert_eq!(materialized, streamed, "PE {pe}");
             assert_eq!(gen.count_pe(pe) as usize, materialized.len());
+        }
+        assert_batched_matches(gen);
+    }
+
+    /// The batched path must yield edge-for-edge the same stream as
+    /// `generate_pe`/`stream_pe`, for every PE and any batch capacity.
+    fn assert_batched_matches<G: StreamingGenerator + ?Sized>(gen: &G) {
+        for pe in 0..gen.num_chunks() {
+            let materialized = gen.generate_pe(pe).edges;
+            // Default capacity, plus a tiny odd one that forces many
+            // flushes and ragged final slices.
+            for cap in [0usize, 7] {
+                let mut buf = Vec::with_capacity(cap);
+                let mut batched = Vec::new();
+                let mut batches = 0usize;
+                gen.stream_pe_batched(pe, &mut buf, &mut |edges| {
+                    assert!(!edges.is_empty(), "empty batch emitted");
+                    batched.extend_from_slice(edges);
+                    batches += 1;
+                });
+                assert_eq!(materialized, batched, "PE {pe} cap {cap}");
+                if cap == 7 && materialized.len() > 7 {
+                    assert!(batches > 1, "PE {pe}: tiny capacity must flush often");
+                }
+            }
         }
     }
 
@@ -207,6 +360,57 @@ mod tests {
                 .with_seed(11)
                 .with_chunks(4),
         );
+    }
+
+    #[test]
+    fn batched_equivalence_across_chunk_counts() {
+        // Every generator with a batched path, at ≥2 chunk counts each:
+        // the batched stream must equal the per-edge stream exactly.
+        for chunks in [1usize, 3, 8] {
+            assert_batched_matches(&GnmDirected::new(300, 2000).with_seed(3).with_chunks(chunks));
+            assert_batched_matches(
+                &GnmUndirected::new(300, 2000)
+                    .with_seed(3)
+                    .with_chunks(chunks),
+            );
+            assert_batched_matches(&GnpDirected::new(200, 0.05).with_seed(4).with_chunks(chunks));
+            assert_batched_matches(
+                &GnpUndirected::new(200, 0.05)
+                    .with_seed(4)
+                    .with_chunks(chunks),
+            );
+            assert_batched_matches(&BarabasiAlbert::new(500, 3).with_seed(5).with_chunks(chunks));
+            assert_batched_matches(&Rmat::new(9, 3000).with_seed(6).with_chunks(chunks));
+            assert_batched_matches(
+                &Rmat::new(9, 3000)
+                    .with_seed(6)
+                    .with_chunks(chunks)
+                    .with_table_levels(4),
+            );
+            assert_batched_matches(
+                &StochasticBlockModel::planted(300, 3, 0.1, 0.01)
+                    .with_seed(7)
+                    .with_chunks(chunks),
+            );
+        }
+    }
+
+    #[test]
+    fn batched_default_covers_materializing_generators() {
+        // Generators relying on the default (buffered) batched path.
+        assert_batched_matches(&Rgg2d::new(200, 0.1).with_seed(8).with_chunks(4));
+        assert_batched_matches(&Rhg::new(200, 6.0, 2.8).with_seed(10).with_chunks(4));
+    }
+
+    #[test]
+    fn stream_all_batched_concatenates_pes() {
+        let gen = Rmat::new(9, 2500).with_seed(12).with_chunks(6);
+        let mut whole = Vec::new();
+        gen.stream_all(&mut |u, v| whole.push((u, v)));
+        let mut buf = Vec::new();
+        let mut batched = Vec::new();
+        gen.stream_all_batched(&mut buf, &mut |edges| batched.extend_from_slice(edges));
+        assert_eq!(whole, batched);
     }
 
     #[test]

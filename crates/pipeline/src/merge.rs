@@ -7,16 +7,22 @@
 //!
 //! 1. **Run formation** — stream the shards, buffering at most
 //!    `budget_edges` edges; each full buffer is canonicalized (undirected
-//!    edges re-oriented to `(min,max)`), sorted, locally deduplicated and
-//!    spilled as a sorted *run* in the compressed shard codec (sorted
-//!    runs delta-compress to a few bytes per edge).
+//!    edges re-oriented to `(min,max)`), split into one piece per worker,
+//!    and the pieces are sorted, locally deduplicated and spilled as
+//!    sorted *runs* in the compressed shard codec **in parallel** on the
+//!    rayon thread pool (sorted runs delta-compress to a few bytes per
+//!    edge). Parallel piece-sorting produces more, shorter runs than one
+//!    big sort — the k-way merge absorbs them at one heap entry each.
 //! 2. **K-way merge** — the runs are merged with a binary heap of one
 //!    cursor per run; cross-PE duplicates of undirected edges become
-//!    adjacent in the merged order and are dropped on the fly.
+//!    adjacent in the merged order and are dropped on the fly. The merge
+//!    stays sequential (it is IO- and heap-bound); its output leaves
+//!    through [`EdgeSink::push_batch`] in batches.
 //!
 //! Peak memory is `budget_edges` × 16 bytes plus one decoder per run,
 //! independent of the instance's edge count. The output equals
-//! `generate_undirected` / `generate_directed` edge-for-edge.
+//! `generate_undirected` / `generate_directed` edge-for-edge — run count
+//! and thread count never change the merged stream.
 
 use crate::reader::ShardReader;
 use crate::sink::EdgeSink;
@@ -77,10 +83,36 @@ impl Ord for HeapEntry {
     }
 }
 
+/// Minimum edges per parallel spill piece: below this, sorting is cheaper
+/// than thread handoff and extra run files.
+const MIN_PIECE_EDGES: usize = 1 << 15;
+
+/// Remove adjacent duplicates from a sorted slice in place; returns the
+/// deduplicated length (slice variant of `Vec::dedup`, needed because
+/// spill pieces are borrowed sub-slices of the run buffer).
+fn dedup_in_place(s: &mut [(u64, u64)]) -> usize {
+    if s.is_empty() {
+        return 0;
+    }
+    let mut w = 0;
+    for r in 1..s.len() {
+        if s[r] != s[w] {
+            w += 1;
+            s[w] = s[r];
+        }
+    }
+    w + 1
+}
+
+/// Batch size of the merged output stream (edges per `push_batch`) —
+/// the pipeline-wide batching granularity.
+const OUT_BATCH_EDGES: usize = kagen_core::streaming::BATCH_EDGES;
+
 /// The external merge driver.
 pub struct ExternalMerge {
     budget_edges: usize,
     run_dir: PathBuf,
+    threads: usize,
 }
 
 impl ExternalMerge {
@@ -91,11 +123,37 @@ impl ExternalMerge {
         ExternalMerge {
             budget_edges: budget_edges.max(1),
             run_dir: run_dir.into(),
+            threads: 0,
         }
     }
 
+    /// Bound the worker threads of parallel run formation
+    /// (`0` = all cores).
+    pub fn with_threads(mut self, threads: usize) -> ExternalMerge {
+        self.threads = threads;
+        self
+    }
+
+    /// Worker count for a buffer of `len` edges.
+    fn spill_workers(&self, len: usize) -> usize {
+        let max = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        max.min(len.div_ceil(MIN_PIECE_EDGES)).max(1)
+    }
+
+    /// Sort the buffered edges and spill them as sorted runs: the buffer
+    /// is split into one **in-place** piece per worker (disjoint
+    /// `chunks_mut` slices — no copy, peak memory stays at the budget)
+    /// and the pieces are sorted, deduplicated and encoded concurrently,
+    /// each into its own run file.
     fn spill(
         &self,
+        pool: &rayon::ThreadPool,
         buf: &mut Vec<(u64, u64)>,
         undirected: bool,
         runs: &mut Vec<PathBuf>,
@@ -103,17 +161,39 @@ impl ExternalMerge {
         if buf.is_empty() {
             return Ok(());
         }
-        buf.sort_unstable();
-        if undirected {
-            buf.dedup();
+        let workers = self.spill_workers(buf.len());
+        let piece_len = buf.len().div_ceil(workers);
+        let base = runs.len();
+        let pieces: Vec<(PathBuf, &mut [(u64, u64)])> = buf
+            .chunks_mut(piece_len)
+            .enumerate()
+            .map(|(i, piece)| {
+                let path = self.run_dir.join(format!("run-{:05}.kgc", base + i));
+                (path, piece)
+            })
+            .collect();
+        let results: Vec<io::Result<PathBuf>> = pool.install(|| {
+            use rayon::prelude::*;
+            pieces
+                .into_par_iter()
+                .map(|(path, piece)| {
+                    piece.sort_unstable();
+                    let len = if undirected {
+                        dedup_in_place(piece)
+                    } else {
+                        piece.len()
+                    };
+                    let mut enc =
+                        CompressedEdgeWriter::new(BufWriter::new(File::create(&path)?), 0)?;
+                    enc.push_slice(&piece[..len])?;
+                    enc.finish()?;
+                    Ok(path)
+                })
+                .collect()
+        });
+        for r in results {
+            runs.push(r?);
         }
-        let path = self.run_dir.join(format!("run-{:05}.kgc", runs.len()));
-        let mut enc = CompressedEdgeWriter::new(BufWriter::new(File::create(&path)?), 0)?;
-        for &(u, v) in buf.iter() {
-            enc.push(u, v)?;
-        }
-        enc.finish()?;
-        runs.push(path);
         buf.clear();
         Ok(())
     }
@@ -128,6 +208,8 @@ impl ExternalMerge {
         std::fs::create_dir_all(&self.run_dir)?;
         let mut stats = MergeStats::default();
         let mut runs: Vec<PathBuf> = Vec::new();
+        // One pool for the whole merge — spills may fire many times.
+        let pool = kagen_runtime::thread_pool(self.threads);
 
         // Phase 1: bounded buffer → sorted runs.
         {
@@ -144,7 +226,7 @@ impl ExternalMerge {
                     buf.push(e);
                     stats.max_buffered = stats.max_buffered.max(buf.len());
                     if buf.len() >= budget {
-                        if let Err(e) = self.spill(&mut buf, undirected, &mut runs) {
+                        if let Err(e) = self.spill(&pool, &mut buf, undirected, &mut runs) {
                             spill_err = Some(e);
                         }
                     }
@@ -154,7 +236,7 @@ impl ExternalMerge {
                     return Err(e);
                 }
             }
-            self.spill(&mut buf, undirected, &mut runs)?;
+            self.spill(&pool, &mut buf, undirected, &mut runs)?;
         }
         stats.runs = runs.len();
 
@@ -172,15 +254,24 @@ impl ExternalMerge {
             }
         }
         let mut last: Option<(u64, u64)> = None;
+        let mut out_batch: Vec<(u64, u64)> = Vec::with_capacity(OUT_BATCH_EDGES);
         while let Some(HeapEntry { edge, run }) = heap.pop() {
             if !(undirected && last == Some(edge)) {
-                out.accept(edge.0, edge.1);
-                stats.edges_out += 1;
+                out_batch.push(edge);
+                if out_batch.len() >= OUT_BATCH_EDGES {
+                    out.push_batch(&out_batch);
+                    stats.edges_out += out_batch.len() as u64;
+                    out_batch.clear();
+                }
                 last = Some(edge);
             }
             if let Some(next) = cursors[run].next()? {
                 heap.push(HeapEntry { edge: next, run });
             }
+        }
+        if !out_batch.is_empty() {
+            out.push_batch(&out_batch);
+            stats.edges_out += out_batch.len() as u64;
         }
 
         for path in runs {
@@ -259,6 +350,52 @@ mod tests {
         let (edges, stats) = run_merge(&gen, "gnm_undirected", 16, "tiny");
         assert_eq!(edges, expect.edges);
         assert!(stats.runs > 10, "expected many runs, got {}", stats.runs);
+    }
+
+    #[test]
+    fn parallel_run_formation_matches_sequential() {
+        // Enough buffered edges (> MIN_PIECE_EDGES per worker) that the
+        // spill actually splits into parallel pieces; the merged stream
+        // must be identical to the single-threaded one and to the in-RAM
+        // merge.
+        let gen = GnmUndirected::new(2000, 120_000)
+            .with_seed(4)
+            .with_chunks(8);
+        let expect = generate_undirected(&gen);
+        let dir = std::env::temp_dir().join("kagen_merge_par");
+        std::fs::remove_dir_all(&dir).ok();
+        let meta = InstanceMeta {
+            model: "gnm_undirected".into(),
+            params: String::new(),
+            seed: 4,
+        };
+        write_sharded(
+            &gen,
+            &meta,
+            &StreamConfig::new(&dir, ShardFormat::Compressed),
+        )
+        .unwrap();
+        let reader = ShardReader::open(&dir).unwrap();
+        let mut outputs = Vec::new();
+        let mut run_counts = Vec::new();
+        for threads in [1usize, 4] {
+            let mut edges = Vec::new();
+            let mut sink = FnSink::new(|u, v| edges.push((u, v)));
+            let stats = ExternalMerge::new(dir.join("runs"), 1 << 20)
+                .with_threads(threads)
+                .merge(&reader, &mut sink)
+                .unwrap();
+            sink.finish().unwrap();
+            assert_eq!(edges, expect.edges, "threads={threads}");
+            run_counts.push(stats.runs);
+            outputs.push(edges);
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert!(
+            run_counts[1] > run_counts[0],
+            "4 workers must spill more, shorter runs ({run_counts:?})"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! The [`EdgeSink`] trait and the composable sinks that terminate a
 //! streaming generation run.
 //!
-//! A sink receives edges one at a time via [`EdgeSink::accept`] and is
-//! closed with [`EdgeSink::finish`]. IO sinks buffer writes internally
-//! and defer errors: `accept` stays infallible (it sits on the hot path,
-//! called once per edge), the first IO error is latched and surfaced by
-//! `finish`. Every sink counts the edges it accepts; `finish` returns
-//! that count.
+//! A sink receives edges one at a time via [`EdgeSink::accept`] — or a
+//! whole slice at once via [`EdgeSink::push_batch`], the hot path of the
+//! batched generation pipeline — and is closed with [`EdgeSink::finish`].
+//! IO sinks buffer writes internally and defer errors: `accept` and
+//! `push_batch` stay infallible (they sit on the hot path), the first IO
+//! error is latched and surfaced by `finish`. Every sink counts the edges
+//! it accepts; `finish` returns that count.
 
 use kagen_graph::io::CompressedEdgeWriter;
 use kagen_graph::stats::DegreeStats;
@@ -16,6 +17,17 @@ use std::io::{self, Write};
 pub trait EdgeSink {
     /// Consume one edge.
     fn accept(&mut self, u: u64, v: u64);
+
+    /// Consume a whole batch of edges — semantically identical to calling
+    /// [`EdgeSink::accept`] per element, but a single virtual call per
+    /// slice. Sinks override this to process slices without per-edge
+    /// dispatch (tight count/checksum loops, one buffered write per
+    /// batch).
+    fn push_batch(&mut self, edges: &[(u64, u64)]) {
+        for &(u, v) in edges {
+            self.accept(u, v);
+        }
+    }
 
     /// Close the sink: flush buffers, surface any deferred IO error, and
     /// return the number of edges accepted.
@@ -33,6 +45,13 @@ impl<S: EdgeSink> EdgeSink for Option<S> {
         }
     }
 
+    #[inline]
+    fn push_batch(&mut self, edges: &[(u64, u64)]) {
+        if let Some(s) = self {
+            s.push_batch(edges);
+        }
+    }
+
     fn finish(&mut self) -> io::Result<u64> {
         match self {
             Some(s) => s.finish(),
@@ -45,6 +64,11 @@ impl<S: EdgeSink + ?Sized> EdgeSink for Box<S> {
     #[inline]
     fn accept(&mut self, u: u64, v: u64) {
         (**self).accept(u, v)
+    }
+
+    #[inline]
+    fn push_batch(&mut self, edges: &[(u64, u64)]) {
+        (**self).push_batch(edges)
     }
 
     fn finish(&mut self) -> io::Result<u64> {
@@ -85,6 +109,11 @@ impl EdgeSink for CountingSink {
         self.count += 1;
     }
 
+    #[inline]
+    fn push_batch(&mut self, edges: &[(u64, u64)]) {
+        self.count += edges.len() as u64;
+    }
+
     fn finish(&mut self) -> io::Result<u64> {
         Ok(self.count)
     }
@@ -120,6 +149,15 @@ impl EdgeSink for ChecksumSink {
     fn accept(&mut self, u: u64, v: u64) {
         self.checksum = checksum_step(self.checksum, u, v);
         self.count += 1;
+    }
+
+    fn push_batch(&mut self, edges: &[(u64, u64)]) {
+        let mut acc = self.checksum;
+        for &(u, v) in edges {
+            acc = checksum_step(acc, u, v);
+        }
+        self.checksum = acc;
+        self.count += edges.len() as u64;
     }
 
     fn finish(&mut self) -> io::Result<u64> {
@@ -175,6 +213,22 @@ impl EdgeSink for DegreeStatsSink {
         }
     }
 
+    fn push_batch(&mut self, edges: &[(u64, u64)]) {
+        // Directedness is per-sink, not per-edge: branch once per batch.
+        self.count += edges.len() as u64;
+        if self.directed {
+            for &(u, v) in edges {
+                self.out_deg[u as usize] += 1;
+                self.in_deg[v as usize] += 1;
+            }
+        } else {
+            for &(u, v) in edges {
+                self.out_deg[u as usize] += 1;
+                self.out_deg[v as usize] += 1;
+            }
+        }
+    }
+
     fn finish(&mut self) -> io::Result<u64> {
         Ok(self.count)
     }
@@ -185,6 +239,8 @@ pub struct TextSink<W: Write> {
     w: W,
     count: u64,
     err: Option<io::Error>,
+    /// Reusable format buffer for batched writes.
+    scratch: String,
 }
 
 impl<W: Write> TextSink<W> {
@@ -194,6 +250,7 @@ impl<W: Write> TextSink<W> {
             w,
             count: 0,
             err: None,
+            scratch: String::new(),
         }
     }
 }
@@ -205,6 +262,25 @@ impl<W: Write> EdgeSink for TextSink<W> {
         if self.err.is_none() {
             if let Err(e) = writeln!(self.w, "{u} {v}") {
                 self.err = Some(e);
+            }
+        }
+    }
+
+    fn push_batch(&mut self, edges: &[(u64, u64)]) {
+        use std::fmt::Write as _;
+        self.count += edges.len() as u64;
+        if self.err.is_some() {
+            return;
+        }
+        // Chunked so one huge slice cannot balloon the scratch buffer.
+        for chunk in edges.chunks(4096) {
+            self.scratch.clear();
+            for &(u, v) in chunk {
+                let _ = writeln!(self.scratch, "{u} {v}");
+            }
+            if let Err(e) = self.w.write_all(self.scratch.as_bytes()) {
+                self.err = Some(e);
+                return;
             }
         }
     }
@@ -223,6 +299,8 @@ pub struct BinarySink<W: Write> {
     w: W,
     count: u64,
     err: Option<io::Error>,
+    /// Reusable encode buffer for batched writes.
+    scratch: Vec<u8>,
 }
 
 impl<W: Write> BinarySink<W> {
@@ -232,6 +310,7 @@ impl<W: Write> BinarySink<W> {
             w,
             count: 0,
             err: None,
+            scratch: Vec::new(),
         }
     }
 }
@@ -246,6 +325,25 @@ impl<W: Write> EdgeSink for BinarySink<W> {
             rec[8..].copy_from_slice(&v.to_le_bytes());
             if let Err(e) = self.w.write_all(&rec) {
                 self.err = Some(e);
+            }
+        }
+    }
+
+    fn push_batch(&mut self, edges: &[(u64, u64)]) {
+        self.count += edges.len() as u64;
+        if self.err.is_some() {
+            return;
+        }
+        // Chunked so one huge slice cannot balloon the scratch buffer.
+        for chunk in edges.chunks(4096) {
+            self.scratch.clear();
+            for &(u, v) in chunk {
+                self.scratch.extend_from_slice(&u.to_le_bytes());
+                self.scratch.extend_from_slice(&v.to_le_bytes());
+            }
+            if let Err(e) = self.w.write_all(&self.scratch) {
+                self.err = Some(e);
+                return;
             }
         }
     }
@@ -291,6 +389,19 @@ impl<W: Write> EdgeSink for CompressedSink<W> {
         }
     }
 
+    fn push_batch(&mut self, edges: &[(u64, u64)]) {
+        // Whole-slice varint encode into the encoder's reusable scratch
+        // buffer; one buffered write per batch.
+        self.count += edges.len() as u64;
+        if self.err.is_none() {
+            if let Some(enc) = self.enc.as_mut() {
+                if let Err(e) = enc.push_slice(edges) {
+                    self.err = Some(e);
+                }
+            }
+        }
+    }
+
     fn finish(&mut self) -> io::Result<u64> {
         if let Some(e) = self.err.take() {
             return Err(e);
@@ -322,6 +433,12 @@ impl<A: EdgeSink, B: EdgeSink> EdgeSink for TeeSink<A, B> {
     fn accept(&mut self, u: u64, v: u64) {
         self.a.accept(u, v);
         self.b.accept(u, v);
+    }
+
+    #[inline]
+    fn push_batch(&mut self, edges: &[(u64, u64)]) {
+        self.a.push_batch(edges);
+        self.b.push_batch(edges);
     }
 
     fn finish(&mut self) -> io::Result<u64> {
@@ -418,6 +535,61 @@ mod tests {
         assert_eq!(comp.finish().unwrap(), 3);
         assert_eq!(String::from_utf8(text.w).unwrap(), "5 7\n5 8\n6 0\n");
         assert_eq!(bin.w.len(), 3 * 16);
+    }
+
+    #[test]
+    fn push_batch_equals_per_edge_for_every_sink() {
+        let edges: Vec<(u64, u64)> = (0..100u64).map(|i| (i / 3, (i * 7) % 41)).collect();
+
+        // Feed the same stream once edge-by-edge, once in ragged batches
+        // (including an empty one); every sink must produce identical
+        // output, counts and checksums.
+        macro_rules! both {
+            ($mk:expr, $extract:expr) => {{
+                let mut per_edge = $mk;
+                for &(u, v) in &edges {
+                    per_edge.accept(u, v);
+                }
+                let mut batched = $mk;
+                batched.push_batch(&edges[..33]);
+                batched.push_batch(&[]);
+                batched.push_batch(&edges[33..34]);
+                batched.push_batch(&edges[34..]);
+                assert_eq!(per_edge.finish().unwrap(), batched.finish().unwrap());
+                let a = $extract(per_edge);
+                let b = $extract(batched);
+                assert_eq!(a, b);
+            }};
+        }
+
+        both!(CountingSink::new(), |s: CountingSink| s.count());
+        both!(ChecksumSink::new(), |s: ChecksumSink| s.checksum());
+        both!(TextSink::new(Vec::new()), |s: TextSink<Vec<u8>>| s.w);
+        both!(BinarySink::new(Vec::new()), |s: BinarySink<Vec<u8>>| s.w);
+        // CompressedSink: grab the encoded bytes before `finish` drops
+        // the writer.
+        {
+            let mut per_edge = CompressedSink::new(Vec::new(), 100).unwrap();
+            for &(u, v) in &edges {
+                per_edge.accept(u, v);
+            }
+            let mut batched = CompressedSink::new(Vec::new(), 100).unwrap();
+            batched.push_batch(&edges[..33]);
+            batched.push_batch(&[]);
+            batched.push_batch(&edges[33..]);
+            let a = per_edge.enc.take().unwrap().finish().unwrap().0;
+            let b = batched.enc.take().unwrap().finish().unwrap().0;
+            assert_eq!(a, b);
+            assert_eq!(per_edge.finish().unwrap(), batched.finish().unwrap());
+        }
+        both!(
+            DegreeStatsSink::new(100, true),
+            |s: DegreeStatsSink| format!("{:?}", s.stats())
+        );
+        both!(
+            TeeSink::new(CountingSink::new(), ChecksumSink::new()),
+            |s: TeeSink<CountingSink, ChecksumSink>| (s.a.count(), s.b.checksum())
+        );
     }
 
     #[test]

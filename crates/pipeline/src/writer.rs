@@ -106,6 +106,11 @@ fn format_sink(path: &Path, format: ShardFormat, n: u64) -> io::Result<Box<dyn E
 }
 
 /// Stream one PE into a shard file; returns its manifest entry.
+///
+/// Runs on the batched path: the generator fills a worker-local batch
+/// buffer ([`kagen_core::streaming::BATCH_EDGES`] edges) and the sink
+/// consumes whole slices — checksum folding and format encoding happen
+/// in tight loops, with one virtual call per batch instead of per edge.
 fn write_shard<G: StreamingGenerator + ?Sized>(
     gen: &G,
     pe: usize,
@@ -115,9 +120,12 @@ fn write_shard<G: StreamingGenerator + ?Sized>(
     let file = shard_file_name(pe, format);
     let mut sink = format_sink(&dir.join(&file), format, gen.num_vertices())?;
     let mut checksum = 0u64;
-    gen.stream_pe(pe, &mut |u, v| {
-        checksum = checksum_step(checksum, u, v);
-        sink.accept(u, v);
+    let mut buf = Vec::with_capacity(kagen_core::streaming::BATCH_EDGES);
+    gen.stream_pe_batched(pe, &mut buf, &mut |edges| {
+        for &(u, v) in edges {
+            checksum = checksum_step(checksum, u, v);
+        }
+        sink.push_batch(edges);
     });
     let edges = sink.finish()?;
     Ok(ShardInfo {

@@ -45,6 +45,17 @@ impl SplitMix64 {
     pub fn new(seed: u64) -> Self {
         SplitMix64 { state: seed }
     }
+
+    /// Stream for element `position` of a block identified by `block_seed`:
+    /// `SplitMix64::new(mix2(block_seed, position))` in one call.
+    ///
+    /// This is the hot-path seeding scheme of the batched generators: one
+    /// (expensive) hashed seed per *block* of elements, one (cheap) `mix2`
+    /// per element — instead of a hashed seed per element.
+    #[inline(always)]
+    pub fn at(block_seed: u64, position: u64) -> Self {
+        SplitMix64::new(mix2(block_seed, position))
+    }
 }
 
 impl Rng64 for SplitMix64 {

@@ -19,6 +19,10 @@
 //!   soft-rhg        -n <vertices> -d <avg-deg> -g <gamma> -T <temperature>
 //!   ba              -n <vertices> -d <edges-per-vertex>
 //!   rmat            -n <vertices=2^k> -m <edges>
+//!                   --rmat-levels <k>  multi-level descent tables: one
+//!                                      alias draw per k recursion levels
+//!                                      (default 8; 0 = plain per-level
+//!                                      descent, the pre-table instance)
 //!   sbm             -n <vertices> -b <blocks> --p-in <p> --p-out <p>
 //!
 //! common options:
@@ -72,6 +76,7 @@ struct Options {
     blocks: usize,
     p_in: f64,
     p_out: f64,
+    rmat_levels: u32,
     seed: u64,
     chunks: usize,
     threads: usize,
@@ -102,6 +107,7 @@ fn parse() -> Options {
         blocks: 2,
         p_in: 0.01,
         p_out: 0.001,
+        rmat_levels: 8,
         seed: 1,
         chunks: 64,
         threads: 0,
@@ -148,6 +154,7 @@ fn parse() -> Options {
             "-b" => o.blocks = next(&mut args).parse().unwrap_or_else(|_| usage()),
             "--p-in" => o.p_in = next(&mut args).parse().unwrap_or_else(|_| usage()),
             "--p-out" => o.p_out = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--rmat-levels" => o.rmat_levels = next(&mut args).parse().unwrap_or_else(|_| usage()),
             "-s" => o.seed = next(&mut args).parse().unwrap_or_else(|_| usage()),
             "-c" => o.chunks = next(&mut args).parse().unwrap_or_else(|_| usage()),
             "-t" => o.threads = next(&mut args).parse().unwrap_or_else(|_| usage()),
@@ -265,9 +272,10 @@ fn build_generator(o: &Options) -> (Box<dyn StreamingGenerator>, String) {
                 Box::new(
                     Rmat::new(scale, o.m)
                         .with_seed(o.seed)
-                        .with_chunks(o.chunks),
+                        .with_chunks(o.chunks)
+                        .with_table_levels(o.rmat_levels),
                 ),
-                format!("scale={scale} m={}", o.m),
+                format!("scale={scale} m={} levels={}", o.m, o.rmat_levels),
             )
         }
         "sbm" => (
@@ -423,7 +431,7 @@ fn run_stream(o: &Options) {
             }
         };
         let started = std::time::Instant::now();
-        let merger = ExternalMerge::new(dir.join("runs"), o.merge_budget);
+        let merger = ExternalMerge::new(dir.join("runs"), o.merge_budget).with_threads(o.threads);
         let mut sink = TeeSink::new(
             out_sink,
             o.stats
