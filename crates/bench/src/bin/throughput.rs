@@ -9,12 +9,23 @@
 //!   seed hashing and hoisted descent dispatch.
 //!
 //! ```text
-//! throughput [--quick] [--reps N] [--out PATH]
+//! throughput [--quick] [--reps N] [--out PATH] [--max-workers W]
 //!
-//!   --quick      tiny sizes (CI smoke: seconds, not minutes)
-//!   --reps N     repetitions per measurement, best-of (default 3)
-//!   --out PATH   JSON output (default BENCH_throughput.json)
+//!   --quick          tiny sizes (CI smoke: seconds, not minutes)
+//!   --reps N         repetitions per measurement, best-of (default 3)
+//!   --out PATH       JSON output (default BENCH_throughput.json)
+//!   --max-workers W  cap of the multi-worker scaling sweep
+//!                    (default: available cores)
 //! ```
+//!
+//! Besides the single-core per-edge/batched comparison, the harness runs
+//! a **multi-worker scaling sweep** (the paper's §8 scaling experiments,
+//! emulated in-process): the PE range is split into `W` contiguous rank
+//! ranges — the identical plan the `kagen_cluster` multi-process
+//! launcher uses — and executed on `W` threads via
+//! [`kagen_runtime::run_rank_ranges`]. *Strong* points keep the instance
+//! fixed as `W` grows; *weak* points scale the edge count linearly with
+//! `W` (the paper's weak-scaling setup, Figs. 7–18).
 //!
 //! The JSON is machine-readable so future PRs have a trajectory to beat;
 //! the paper's headline metric (§8.6.1) is exactly this rate.
@@ -174,10 +185,133 @@ fn measure<G: StreamingGenerator + ?Sized>(
     }
 }
 
+/// One point of the multi-worker scaling sweep.
+struct ScalingPoint {
+    name: &'static str,
+    /// `strong` (fixed instance) or `weak` (edges ∝ workers).
+    mode: &'static str,
+    workers: usize,
+    edges: u64,
+    secs: f64,
+    /// Aggregate edges/sec over the whole pool.
+    eps: f64,
+}
+
+/// Best-of-`reps` wall time of the instance executed as `workers` rank
+/// ranges on `workers` threads — the in-process twin of
+/// `kagen launch --workers W`, sharing its plan via
+/// [`kagen_runtime::run_rank_ranges`].
+fn time_rank_ranges<G: StreamingGenerator + Sync + ?Sized>(
+    gen: &G,
+    workers: usize,
+    reps: u32,
+) -> (u64, f64) {
+    // Plan and pool are built once, outside the timed region — pool
+    // setup must not bias the sweep against higher worker counts. (The
+    // vendored rayon shim still spawns scoped threads per operation;
+    // with the real registry crate this hoist removes the spawns too.)
+    let plan = kagen_runtime::split_ranges(gen.num_chunks(), workers);
+    let pool = kagen_runtime::thread_pool(plan.len().max(1));
+    let run_range = |pes: std::ops::Range<usize>| {
+        let mut acc = 0u64;
+        let mut count = 0u64;
+        let mut buf = Vec::with_capacity(BATCH_EDGES);
+        for pe in pes {
+            gen.stream_pe_batched(pe, &mut buf, &mut |batch| {
+                for &(u, v) in batch {
+                    acc ^= u.wrapping_add(v.rotate_left(17));
+                }
+                count += batch.len() as u64;
+            });
+        }
+        black_box(acc);
+        count
+    };
+    let mut edges = 0u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let counts: Vec<u64> = pool.install(|| {
+            use rayon::prelude::*;
+            plan.clone().into_par_iter().map(&run_range).collect()
+        });
+        best = best.min(start.elapsed().as_secs_f64().max(1e-9));
+        edges = counts.iter().sum();
+    }
+    (edges, best)
+}
+
+/// Worker counts of the sweep: powers of two up to `max`, plus `max`.
+fn worker_counts(max: usize) -> Vec<usize> {
+    let mut counts = Vec::new();
+    let mut w = 1;
+    while w <= max {
+        counts.push(w);
+        w *= 2;
+    }
+    if counts.last() != Some(&max) {
+        counts.push(max);
+    }
+    counts
+}
+
+/// The §8-style scaling sweep: strong (fixed `m`) and weak (`m` per
+/// worker) points for an R-MAT instance across worker counts.
+fn scaling_sweep(
+    scale: u32,
+    m: u64,
+    chunks: usize,
+    max_workers: usize,
+    reps: u32,
+) -> Vec<ScalingPoint> {
+    let mut points = Vec::new();
+    for workers in worker_counts(max_workers) {
+        // Strong scaling: the instance is fixed, workers grow.
+        let gen = Rmat::new(scale, m)
+            .with_seed(1)
+            .with_chunks(chunks)
+            .with_table_levels(8);
+        let (edges, secs) = time_rank_ranges(&gen, workers, reps);
+        points.push(ScalingPoint {
+            name: "rmat_table8",
+            mode: "strong",
+            workers,
+            edges,
+            secs,
+            eps: edges as f64 / secs,
+        });
+        // Weak scaling: per-worker edge count is fixed, the instance
+        // grows with the pool (the paper's setup).
+        let gen = Rmat::new(scale, m * workers as u64)
+            .with_seed(1)
+            .with_chunks(chunks)
+            .with_table_levels(8);
+        let (edges, secs) = time_rank_ranges(&gen, workers, reps);
+        points.push(ScalingPoint {
+            name: "rmat_table8",
+            mode: "weak",
+            workers,
+            edges,
+            secs,
+            eps: edges as f64 / secs,
+        });
+        let last = points.len() - 2;
+        eprintln!(
+            "scaling w={workers:<3} strong {:>7.1} Meps   weak {:>7.1} Meps",
+            points[last].eps / 1e6,
+            points[last + 1].eps / 1e6,
+        );
+    }
+    points
+}
+
 fn main() {
     let mut quick = false;
     let mut reps = 3u32;
     let mut out = String::from("BENCH_throughput.json");
+    let mut max_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -194,6 +328,15 @@ fn main() {
                 }
             }
             "--out" => out = args.next().expect("--out needs a path"),
+            "--max-workers" => {
+                max_workers = match args.next().map(|v| v.parse()) {
+                    Some(Ok(w)) if w >= 1 => w,
+                    _ => {
+                        eprintln!("throughput: --max-workers needs an integer >= 1");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => {
                 eprintln!("throughput: unknown flag '{other}'");
                 std::process::exit(2);
@@ -287,17 +430,41 @@ fn main() {
         "rmat batched(table) vs per-edge(plain): {rmat_ratio:.2}x (target >= 3x at scale 20)"
     );
 
+    // Multi-worker scaling sweep (paper §8): edges/sec vs worker count
+    // over the rank-range plan shared with `kagen launch`. The plan
+    // cannot hand out more ranks than chunks, so worker counts beyond
+    // the chunk count would silently run `chunks` threads while being
+    // recorded as more — cap the sweep instead of recording fiction.
+    if max_workers > chunks {
+        eprintln!("scaling sweep: capping --max-workers {max_workers} at {chunks} chunks");
+        max_workers = chunks;
+    }
+    eprintln!("scaling sweep: 1..{max_workers} workers, rank-range plan over {chunks} chunks");
+    let scaling = scaling_sweep(scale, m, chunks, max_workers, reps);
+
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"kagen-throughput/v1\",\n");
+    json.push_str("  \"schema\": \"kagen-throughput/v2\",\n");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"repetitions\": {reps},");
     let _ = writeln!(json, "  \"chunks\": {chunks},");
     let _ = writeln!(json, "  \"batch_edges\": {BATCH_EDGES},");
+    let _ = writeln!(json, "  \"max_workers\": {max_workers},");
     let _ = writeln!(
         json,
         "  \"rmat_table_batched_vs_plain_per_edge\": {rmat_ratio:.3},"
     );
+    json.push_str("  \"scaling\": [\n");
+    for (i, p) in scaling.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"mode\": \"{}\", \"workers\": {}, \"edges\": {}, \
+             \"seconds\": {:.6}, \"eps\": {:.0}}}",
+            p.name, p.mode, p.workers, p.edges, p.secs, p.eps
+        );
+        json.push_str(if i + 1 < scaling.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str("    {\n");

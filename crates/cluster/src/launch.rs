@@ -1,0 +1,334 @@
+//! The coordinator: plan ranks, supervise workers, maintain the ledger,
+//! federate the final manifest.
+//!
+//! The coordinator never generates an edge itself. It spawns workers
+//! (separate OS processes via [`ProcessRunner`], or plain function calls
+//! via [`InProcessRunner`]), records each rank's outcome in the ledger
+//! after it finishes, and — once every PE's shard is done — validates
+//! the per-shard checksums and writes the federated `manifest.json`. A
+//! failed or killed worker leaves its PEs `pending`; a later
+//! [`resume`](LaunchOptions::resume) launch re-plans exactly the missing
+//! or invalid PEs and reuses everything else.
+
+use crate::ledger::{Ledger, RankStatus};
+use crate::plan::{plan_ranks, plan_repairs, RankTask};
+use crate::worker::{run_worker, FailureInjection};
+use kagen_core::streaming::StreamingGenerator;
+use kagen_pipeline::{validate_shard, Manifest, PartialManifest, RunHeader, ShardFormat};
+use std::collections::HashSet;
+use std::collections::VecDeque;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// How the coordinator executes one rank task. The two implementations
+/// — a re-exec'd OS process and an in-process function call — run the
+/// identical worker code path ([`run_worker`]); the trait exists so
+/// supervision, ledger and resume logic can be tested (and used on one
+/// machine) without process-spawn overhead, and so tests can inject
+/// failures deterministically.
+pub trait WorkerRunner: Sync {
+    /// Execute `task`, returning the shard infos it produced.
+    /// An `Err` marks the rank failed; its PEs stay pending.
+    fn run(&self, task: &RankTask) -> io::Result<Vec<kagen_pipeline::ShardInfo>>;
+}
+
+/// Spawn `exe worker <args> --pe-range a..b --rank r` as a child
+/// process, wait for it, and collect its partial manifest.
+pub struct ProcessRunner {
+    /// Binary to execute (normally `std::env::current_exe()` — the
+    /// launcher re-execs itself).
+    pub exe: PathBuf,
+    /// Everything the worker needs except the PE range and rank: the
+    /// model name, its parameters, seed, chunks, format, shard dir.
+    pub worker_args: Vec<String>,
+    /// Shard directory (to read partial manifests back).
+    pub dir: PathBuf,
+}
+
+impl WorkerRunner for ProcessRunner {
+    fn run(&self, task: &RankTask) -> io::Result<Vec<kagen_pipeline::ShardInfo>> {
+        let status = std::process::Command::new(&self.exe)
+            .arg("worker")
+            .args(&self.worker_args)
+            .arg("--pe-range")
+            .arg(format!("{}..{}", task.pe_begin, task.pe_end))
+            .arg("--rank")
+            .arg(task.rank.to_string())
+            .status()?;
+        if !status.success() {
+            return Err(io::Error::other(format!(
+                "worker rank {} (PEs {}..{}) exited with {status}",
+                task.rank, task.pe_begin, task.pe_end
+            )));
+        }
+        let part = PartialManifest::load(&self.dir, task.pe_begin as u64, task.pe_end as u64)?;
+        // The ledger takes over as the record; drop the part file.
+        std::fs::remove_file(self.dir.join(PartialManifest::file_name(
+            task.pe_begin as u64,
+            task.pe_end as u64,
+        )))
+        .ok();
+        Ok(part.shards)
+    }
+}
+
+/// Run the worker code path in this process — same bytes on disk, no
+/// fork/exec. Carries an optional failure injection per PE for
+/// supervision and resume tests.
+pub struct InProcessRunner<'a> {
+    /// The generator every worker derives its slice from.
+    pub gen: &'a dyn StreamingGenerator,
+    /// Shard directory.
+    pub dir: PathBuf,
+    /// Shard format.
+    pub format: ShardFormat,
+    /// Worker threads per task (0 = all cores, 1 = serial).
+    pub threads: usize,
+    /// PEs whose generation should abort the owning task (tests).
+    pub fail_pes: HashSet<usize>,
+}
+
+impl<'a> InProcessRunner<'a> {
+    /// Runner for `gen` writing `format` shards into `dir`, serial per
+    /// task, no injected failures.
+    pub fn new(
+        gen: &'a dyn StreamingGenerator,
+        dir: impl Into<PathBuf>,
+        format: ShardFormat,
+    ) -> Self {
+        InProcessRunner {
+            gen,
+            dir: dir.into(),
+            format,
+            threads: 1,
+            fail_pes: HashSet::new(),
+        }
+    }
+}
+
+impl WorkerRunner for InProcessRunner<'_> {
+    fn run(&self, task: &RankTask) -> io::Result<Vec<kagen_pipeline::ShardInfo>> {
+        let inject = FailureInjection {
+            fail_before_pe: task.pes().find(|pe| self.fail_pes.contains(pe)),
+        };
+        let shards = run_worker(
+            self.gen,
+            &self.dir,
+            self.format,
+            task.pes(),
+            self.threads,
+            inject,
+        )?;
+        std::fs::remove_file(self.dir.join(PartialManifest::file_name(
+            task.pe_begin as u64,
+            task.pe_end as u64,
+        )))
+        .ok();
+        Ok(shards)
+    }
+}
+
+/// Coordinator knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct LaunchOptions {
+    /// Maximum concurrently running workers (and the fresh-run rank
+    /// count).
+    pub workers: usize,
+    /// Resume an interrupted/failed/corrupted run instead of starting
+    /// fresh: reuse every shard that still validates, regenerate the
+    /// rest.
+    pub resume: bool,
+    /// Re-read and checksum-validate every shard written by this
+    /// launch before federating the final manifest (reused shards were
+    /// already validated during resume planning). The end-to-end
+    /// integrity guarantee; skip for very large runs where
+    /// generation-time checksums are trusted.
+    pub validate: bool,
+}
+
+impl Default for LaunchOptions {
+    fn default() -> Self {
+        LaunchOptions {
+            workers: 1,
+            resume: false,
+            validate: true,
+        }
+    }
+}
+
+/// What a launch did, beyond the manifest it produced.
+#[derive(Clone, Debug)]
+pub struct LaunchReport {
+    /// The federated manifest (also written to `manifest.json`).
+    pub manifest: Manifest,
+    /// Tasks actually spawned by this launch, in plan order.
+    pub spawned: Vec<RankTask>,
+    /// PEs regenerated by this launch.
+    pub regenerated_pes: Vec<usize>,
+    /// Shards reused from the previous run (resume only).
+    pub reused_shards: u64,
+    /// PEs whose existing shards failed resume-time validation and were
+    /// regenerated (subset of `regenerated_pes`).
+    pub invalidated_pes: Vec<usize>,
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Prepare the ledger and task list for this launch (fresh or resume).
+fn prepare(
+    dir: &Path,
+    header: &RunHeader,
+    opts: &LaunchOptions,
+    format: ShardFormat,
+) -> io::Result<(Ledger, Vec<RankTask>, Vec<usize>)> {
+    if !opts.resume {
+        if Ledger::exists(dir) {
+            return Err(invalid(format!(
+                "{} already contains a run ledger; resume it or remove the directory",
+                dir.display()
+            )));
+        }
+        let tasks = plan_ranks(header.chunks as usize, opts.workers);
+        let ledger = Ledger::new(header.clone(), opts.workers, &tasks);
+        return Ok((ledger, tasks, Vec::new()));
+    }
+
+    let mut ledger = Ledger::load(dir)?;
+    if ledger.header != *header {
+        return Err(invalid(format!(
+            "resume parameter mismatch: ledger was written by `{} {}` seed {} chunks {} \
+             format {}, this launch is `{} {}` seed {} chunks {} format {}",
+            ledger.header.model,
+            ledger.header.params,
+            ledger.header.seed,
+            ledger.header.chunks,
+            ledger.header.format,
+            header.model,
+            header.params,
+            header.seed,
+            header.chunks,
+            header.format,
+        )));
+    }
+    // Re-verify every shard the ledger believes is done: a deleted,
+    // truncated or corrupted file flips its PE back to pending.
+    let mut invalidated = Vec::new();
+    for info in ledger.done_shards() {
+        if validate_shard(dir, format, &info).is_err() {
+            invalidated.push(info.pe as usize);
+            ledger.invalidate_shard(info.pe as usize);
+        }
+    }
+    let tasks = plan_repairs(&ledger.missing_pes(), opts.workers);
+    ledger.workers = opts.workers;
+    ledger.set_plan(&tasks);
+    Ok((ledger, tasks, invalidated))
+}
+
+/// Run a full coordinated launch: plan → supervise workers (at most
+/// `opts.workers` concurrently) → ledger after every completion →
+/// validate → federate `manifest.json`.
+///
+/// On worker failure the launch finishes the remaining tasks, persists
+/// the ledger, and returns an error naming the failed ranks — the run
+/// directory is then resumable.
+pub fn launch(
+    dir: &Path,
+    header: &RunHeader,
+    opts: &LaunchOptions,
+    runner: &dyn WorkerRunner,
+) -> io::Result<LaunchReport> {
+    let format = ShardFormat::parse(&header.format)
+        .ok_or_else(|| invalid(format!("unknown shard format '{}'", header.format)))?;
+    std::fs::create_dir_all(dir)?;
+    let (mut ledger, tasks, invalidated_pes) = prepare(dir, header, opts, format)?;
+    let reused_shards = header.chunks - ledger.missing_pes().len() as u64;
+    let regenerated_pes: Vec<usize> = ledger.missing_pes();
+    ledger.save(dir)?;
+
+    // Supervise: a shared queue drained by `workers` supervisor
+    // threads; the coordinator thread serializes ledger updates, saving
+    // after every rank so a killed coordinator stays resumable.
+    let queue: Mutex<VecDeque<RankTask>> = Mutex::new(tasks.iter().cloned().collect());
+    let (tx, rx) = mpsc::channel::<(usize, io::Result<Vec<kagen_pipeline::ShardInfo>>)>();
+    let supervisors = opts.workers.min(tasks.len()).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..supervisors {
+            let tx = tx.clone();
+            let queue = &queue;
+            scope.spawn(move || {
+                loop {
+                    // Pop in its own statement: a `while let` scrutinee
+                    // would keep the MutexGuard alive across
+                    // `runner.run()` and serialize every worker.
+                    let task = queue.lock().unwrap().pop_front();
+                    let Some(task) = task else { return };
+                    let result = runner.run(&task);
+                    if tx.send((task.rank, result)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (rank, result) in rx {
+            match result {
+                Ok(shards) => ledger.record_rank_done(rank, shards),
+                Err(e) => {
+                    eprintln!("kagen launch: rank {rank} failed: {e}");
+                    ledger.record_rank_failed(rank);
+                }
+            }
+            // Persist progress immediately; surface IO errors after the
+            // scope (a failed save must not strand worker threads).
+            if let Err(e) = ledger.save(dir) {
+                eprintln!("kagen launch: ledger save failed: {e}");
+            }
+        }
+    });
+
+    let failed: Vec<usize> = ledger
+        .ranks
+        .iter()
+        .filter(|r| r.status == RankStatus::Failed)
+        .map(|r| r.rank)
+        .collect();
+    if !failed.is_empty() {
+        return Err(io::Error::other(format!(
+            "{} of {} ranks failed ({:?}); the run is resumable",
+            failed.len(),
+            ledger.ranks.len(),
+            failed
+        )));
+    }
+
+    let shards = ledger.done_shards();
+    if opts.validate {
+        // Only the shards written by *this* launch need the post-run
+        // re-read; reused shards were already validated in `prepare`,
+        // and their bytes cannot have changed since.
+        let fresh: std::collections::HashSet<usize> = regenerated_pes.iter().copied().collect();
+        for info in shards.iter().filter(|i| fresh.contains(&(i.pe as usize))) {
+            validate_shard(dir, format, info).map_err(|e| {
+                invalid(format!(
+                    "post-run validation failed for shard {} — resume to regenerate it: {e}",
+                    info.pe
+                ))
+            })?;
+        }
+    }
+    let manifest = header.clone().federate(shards).map_err(invalid)?;
+    manifest.save(dir)?;
+
+    Ok(LaunchReport {
+        manifest,
+        spawned: tasks,
+        regenerated_pes,
+        reused_shards,
+        invalidated_pes,
+    })
+}

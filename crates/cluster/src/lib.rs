@@ -1,0 +1,367 @@
+//! # kagen-cluster
+//!
+//! Multi-process distributed runs for the communication-free generators
+//! — the ROADMAP's "MPI-style launcher mapping ranks to chunk ranges"
+//! without MPI, because the paper makes it unnecessary: every PE's
+//! output is a pure function of `(seed, params, pe id)`, so workers need
+//! a *plan*, not a network.
+//!
+//! * [`plan`] — split the PE range into contiguous rank ranges
+//!   (fresh runs) or coalesce missing PEs into repair tasks (resume).
+//! * [`worker`] — the worker body: generate a PE range into shard files
+//!   plus a partial manifest; shared verbatim between `kagen worker`
+//!   subprocesses and the in-process runner.
+//! * [`ledger`] — `ledger.json`: per-shard state with generation-time
+//!   checksums and per-rank status, rewritten atomically after every
+//!   rank, so an interrupted run resumes instead of restarting.
+//! * [`launch`] — the coordinator: supervise up to W concurrent workers
+//!   ([`ProcessRunner`] re-execs the `kagen` binary, [`InProcessRunner`]
+//!   calls the same code in-process), validate shard checksums, federate
+//!   partial manifests into the final `manifest.json` — byte-identical
+//!   to a single-process `kagen stream` run of the same instance.
+//!
+//! ## Quickstart (in-process runner)
+//!
+//! ```
+//! use kagen_core::prelude::*;
+//! use kagen_cluster::{launch, InProcessRunner, LaunchOptions};
+//! use kagen_pipeline::{InstanceMeta, ShardFormat};
+//!
+//! let gen = GnmUndirected::new(500, 3000).with_seed(3).with_chunks(8);
+//! let dir = std::env::temp_dir().join("kagen_cluster_doc");
+//! # std::fs::remove_dir_all(&dir).ok();
+//! let meta = InstanceMeta {
+//!     model: "gnm_undirected".into(),
+//!     params: "n=500 m=3000".into(),
+//!     seed: 3,
+//! };
+//! let header = meta.header(&gen, ShardFormat::Compressed);
+//! let runner = InProcessRunner::new(&gen, &dir, ShardFormat::Compressed);
+//! let opts = LaunchOptions { workers: 3, ..Default::default() };
+//! let report = launch(&dir, &header, &opts, &runner).unwrap();
+//! assert_eq!(report.manifest.chunks, 8);
+//! assert_eq!(report.spawned.len(), 3);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+pub mod launch;
+pub mod ledger;
+pub mod plan;
+pub mod worker;
+
+pub use launch::{
+    launch, InProcessRunner, LaunchOptions, LaunchReport, ProcessRunner, WorkerRunner,
+};
+pub use ledger::{Ledger, RankRecord, RankStatus, ShardState, LEDGER_FILE};
+pub use plan::{plan_ranks, plan_repairs, RankTask};
+pub use worker::{run_worker, FailureInjection};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kagen_core::prelude::*;
+    use kagen_pipeline::{InstanceMeta, Manifest, ShardFormat, StreamConfig};
+    use std::collections::HashSet;
+    use std::path::PathBuf;
+
+    fn test_gen() -> GnmUndirected {
+        GnmUndirected::new(400, 3000).with_seed(11).with_chunks(6)
+    }
+
+    fn meta() -> InstanceMeta {
+        InstanceMeta {
+            model: "gnm_undirected".into(),
+            params: "n=400 m=3000".into(),
+            seed: 11,
+        }
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("kagen_cluster_{tag}"));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    /// A cluster launch federates a manifest byte-identical to the
+    /// single-process `write_sharded` run of the same instance.
+    #[test]
+    fn federated_manifest_equals_single_process_run() {
+        let gen = test_gen();
+        let single = tmp("single");
+        kagen_pipeline::write_sharded(
+            &gen,
+            &meta(),
+            &StreamConfig::new(&single, ShardFormat::Compressed),
+        )
+        .unwrap();
+        let expect = std::fs::read_to_string(single.join("manifest.json")).unwrap();
+
+        for workers in [1usize, 3, 4, 8] {
+            let dir = tmp(&format!("fed{workers}"));
+            let header = meta().header(&gen, ShardFormat::Compressed);
+            let runner = InProcessRunner::new(&gen, &dir, ShardFormat::Compressed);
+            let opts = LaunchOptions {
+                workers,
+                ..Default::default()
+            };
+            let report = launch(&dir, &header, &opts, &runner).unwrap();
+            let got = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+            assert_eq!(got, expect, "workers={workers}");
+            assert_eq!(report.regenerated_pes.len(), 6);
+            assert_eq!(report.reused_shards, 0);
+            // Shard files themselves are byte-identical too.
+            for s in &report.manifest.shards {
+                let a = std::fs::read(single.join(&s.file)).unwrap();
+                let b = std::fs::read(dir.join(&s.file)).unwrap();
+                assert_eq!(a, b, "workers={workers} shard {}", s.pe);
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        std::fs::remove_dir_all(&single).ok();
+    }
+
+    /// A failed rank leaves the run resumable; resume regenerates only
+    /// the failed rank's PEs and the final manifest matches a clean run.
+    #[test]
+    fn failed_rank_resumes_without_touching_done_shards() {
+        let gen = test_gen();
+        let dir = tmp("resume_fail");
+        let header = meta().header(&gen, ShardFormat::Compressed);
+
+        // Rank owning PE 3 dies before writing it.
+        let mut runner = InProcessRunner::new(&gen, &dir, ShardFormat::Compressed);
+        runner.fail_pes = HashSet::from([3]);
+        let opts = LaunchOptions {
+            workers: 3,
+            ..Default::default()
+        };
+        let err = launch(&dir, &header, &opts, &runner).unwrap_err();
+        assert!(err.to_string().contains("resumable"), "{err}");
+        assert!(!dir.join("manifest.json").exists());
+
+        let ledger = Ledger::load(&dir).unwrap();
+        assert!(ledger.missing_pes().contains(&3));
+        let done_before: Vec<u64> = ledger.done_shards().iter().map(|s| s.pe).collect();
+        assert!(!done_before.is_empty(), "other ranks should have finished");
+
+        // Resume with a healthy runner: only the missing PEs are spawned.
+        let runner = InProcessRunner::new(&gen, &dir, ShardFormat::Compressed);
+        let opts = LaunchOptions {
+            workers: 3,
+            resume: true,
+            validate: true,
+        };
+        let report = launch(&dir, &header, &opts, &runner).unwrap();
+        assert_eq!(report.reused_shards, done_before.len() as u64);
+        for pe in &done_before {
+            assert!(
+                !report.regenerated_pes.contains(&(*pe as usize)),
+                "resume must not regenerate done shard {pe}"
+            );
+        }
+        // The result matches a clean single-process run.
+        let single = tmp("resume_fail_single");
+        let expect = kagen_pipeline::write_sharded(
+            &gen,
+            &meta(),
+            &StreamConfig::new(&single, ShardFormat::Compressed),
+        )
+        .unwrap();
+        assert_eq!(report.manifest, expect);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&single).ok();
+    }
+
+    /// Corrupting and deleting shards flips exactly those PEs back to
+    /// pending on resume.
+    #[test]
+    fn resume_regenerates_exactly_invalid_shards() {
+        let gen = test_gen();
+        let dir = tmp("resume_corrupt");
+        let header = meta().header(&gen, ShardFormat::Compressed);
+        let runner = InProcessRunner::new(&gen, &dir, ShardFormat::Compressed);
+        let opts = LaunchOptions {
+            workers: 2,
+            ..Default::default()
+        };
+        let first = launch(&dir, &header, &opts, &runner).unwrap();
+
+        // Corrupt shard 1 (flip a payload byte), delete shard 4.
+        let corrupt = dir.join(&first.manifest.shards[1].file);
+        let mut bytes = std::fs::read(&corrupt).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&corrupt, bytes).unwrap();
+        std::fs::remove_file(dir.join(&first.manifest.shards[4].file)).unwrap();
+
+        let report = launch(
+            &dir,
+            &header,
+            &LaunchOptions {
+                workers: 2,
+                resume: true,
+                validate: true,
+            },
+            &runner,
+        )
+        .unwrap();
+        assert_eq!(report.regenerated_pes, vec![1, 4]);
+        let mut invalidated = report.invalidated_pes.clone();
+        invalidated.sort_unstable();
+        assert_eq!(invalidated, vec![1, 4]);
+        assert_eq!(report.reused_shards, 4);
+        // Two non-contiguous repairs → two one-PE tasks.
+        assert_eq!(report.spawned.len(), 2);
+        assert_eq!(report.manifest, first.manifest);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Resuming a complete, healthy run spawns nothing and rewrites the
+    /// same manifest.
+    #[test]
+    fn resume_of_healthy_run_is_a_no_op() {
+        let gen = test_gen();
+        let dir = tmp("resume_noop");
+        let header = meta().header(&gen, ShardFormat::Compressed);
+        let runner = InProcessRunner::new(&gen, &dir, ShardFormat::Compressed);
+        let first = launch(
+            &dir,
+            &header,
+            &LaunchOptions {
+                workers: 3,
+                ..Default::default()
+            },
+            &runner,
+        )
+        .unwrap();
+        let report = launch(
+            &dir,
+            &header,
+            &LaunchOptions {
+                workers: 3,
+                resume: true,
+                validate: true,
+            },
+            &runner,
+        )
+        .unwrap();
+        assert!(report.spawned.is_empty());
+        assert_eq!(report.reused_shards, 6);
+        assert_eq!(report.manifest, first.manifest);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A fresh launch refuses to clobber an existing ledger, and resume
+    /// refuses mismatched parameters.
+    #[test]
+    fn ledger_guards_against_clobber_and_mismatch() {
+        let gen = test_gen();
+        let dir = tmp("guards");
+        let header = meta().header(&gen, ShardFormat::Compressed);
+        let runner = InProcessRunner::new(&gen, &dir, ShardFormat::Compressed);
+        let opts = LaunchOptions {
+            workers: 2,
+            ..Default::default()
+        };
+        launch(&dir, &header, &opts, &runner).unwrap();
+
+        let err = launch(&dir, &header, &opts, &runner).unwrap_err();
+        assert!(err.to_string().contains("ledger"), "{err}");
+
+        let mut other = header.clone();
+        other.seed = 999;
+        let err = launch(
+            &dir,
+            &other,
+            &LaunchOptions {
+                workers: 2,
+                resume: true,
+                validate: true,
+            },
+            &runner,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("mismatch"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Supervisors must execute tasks concurrently — regression test
+    /// for holding the queue lock across `runner.run()`, which silently
+    /// serialized every worker. Each task blocks until *both* tasks are
+    /// inside `run()`; with serialized supervisors the first task times
+    /// out and the launch fails.
+    #[test]
+    fn supervisors_run_tasks_concurrently() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::time::{Duration, Instant};
+
+        struct Rendezvous<'a> {
+            inner: InProcessRunner<'a>,
+            inside: AtomicUsize,
+        }
+        impl WorkerRunner for Rendezvous<'_> {
+            fn run(&self, task: &RankTask) -> std::io::Result<Vec<kagen_pipeline::ShardInfo>> {
+                self.inside.fetch_add(1, Ordering::SeqCst);
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while self.inside.load(Ordering::SeqCst) < 2 {
+                    if Instant::now() > deadline {
+                        return Err(std::io::Error::other(
+                            "workers are serialized: the second task never entered run()",
+                        ));
+                    }
+                    std::thread::yield_now();
+                }
+                self.inner.run(task)
+            }
+        }
+
+        let gen = GnmUndirected::new(100, 600).with_seed(2).with_chunks(2);
+        let dir = tmp("concurrent");
+        let meta = InstanceMeta {
+            model: "gnm_undirected".into(),
+            params: String::new(),
+            seed: 2,
+        };
+        let header = meta.header(&gen, ShardFormat::Compressed);
+        let runner = Rendezvous {
+            inner: InProcessRunner::new(&gen, &dir, ShardFormat::Compressed),
+            inside: AtomicUsize::new(0),
+        };
+        let opts = LaunchOptions {
+            workers: 2,
+            ..Default::default()
+        };
+        let report = launch(&dir, &header, &opts, &runner)
+            .expect("both tasks must run concurrently under 2 workers");
+        assert_eq!(report.spawned.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The federated manifest round-trips through `Manifest::load` like
+    /// any single-process manifest (tools downstream cannot tell runs
+    /// apart).
+    #[test]
+    fn federated_manifest_loads_like_any_other() {
+        let gen = test_gen();
+        let dir = tmp("load");
+        let header = meta().header(&gen, ShardFormat::Compressed);
+        let runner = InProcessRunner::new(&gen, &dir, ShardFormat::Compressed);
+        let report = launch(
+            &dir,
+            &header,
+            &LaunchOptions {
+                workers: 4,
+                ..Default::default()
+            },
+            &runner,
+        )
+        .unwrap();
+        let loaded = Manifest::load(&dir).unwrap();
+        assert_eq!(loaded, report.manifest);
+        let reader = kagen_pipeline::ShardReader::open(&dir).unwrap();
+        let mut count = 0u64;
+        reader.stream(&mut |_, _| count += 1).unwrap();
+        assert_eq!(count, report.manifest.edges);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,139 @@
+//! Rank planning: which PEs does each worker process own?
+//!
+//! The plan is nothing more than [`kagen_runtime::split_ranges`] — the
+//! same contiguous, balanced partition the in-process pool uses — lifted
+//! to a list of [`RankTask`]s the supervisor can spawn, retry and record
+//! in the ledger. On resume, the plan is instead computed from the set of
+//! *missing* PEs: contiguous gaps coalesce into one task each, so a
+//! single corrupt shard becomes a single one-PE worker, not a full rank
+//! re-run.
+
+use std::ops::Range;
+
+/// One unit of worker work: a contiguous PE range to generate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RankTask {
+    /// Position in the current spawn plan (also the ledger `rank` id).
+    pub rank: usize,
+    /// First PE of the range.
+    pub pe_begin: usize,
+    /// One past the last PE.
+    pub pe_end: usize,
+}
+
+impl RankTask {
+    /// The task's PE range.
+    pub fn pes(&self) -> Range<usize> {
+        self.pe_begin..self.pe_end
+    }
+}
+
+/// The fresh-run plan: split `0..chunks` into at most `workers`
+/// contiguous, balanced rank ranges.
+pub fn plan_ranks(chunks: usize, workers: usize) -> Vec<RankTask> {
+    kagen_runtime::split_ranges(chunks, workers)
+        .into_iter()
+        .enumerate()
+        .map(|(rank, r)| RankTask {
+            rank,
+            pe_begin: r.start,
+            pe_end: r.end,
+        })
+        .collect()
+}
+
+/// The resume plan: coalesce an ascending list of missing PEs into one
+/// task per contiguous range, then split any range larger than
+/// `ceil(missing / workers)` so that up to `workers` tasks exist — a
+/// single corrupt shard still becomes a single one-PE worker, while a
+/// mostly-failed run (one big contiguous gap) keeps the full worker
+/// parallelism instead of resuming on one process.
+pub fn plan_repairs(missing_pes: &[usize], workers: usize) -> Vec<RankTask> {
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    for &pe in missing_pes {
+        match ranges.last_mut() {
+            Some((_, end)) if *end == pe => *end = pe + 1,
+            _ => ranges.push((pe, pe + 1)),
+        }
+    }
+    let target = missing_pes.len().div_ceil(workers.max(1)).max(1);
+    let mut tasks: Vec<RankTask> = Vec::new();
+    for (begin, end) in ranges {
+        let mut lo = begin;
+        while lo < end {
+            let hi = (lo + target).min(end);
+            tasks.push(RankTask {
+                rank: tasks.len(),
+                pe_begin: lo,
+                pe_end: hi,
+            });
+            lo = hi;
+        }
+    }
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_plan_partitions_all_pes() {
+        let plan = plan_ranks(64, 3);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan[0].pe_begin, 0);
+        assert_eq!(plan.last().unwrap().pe_end, 64);
+        for pair in plan.windows(2) {
+            assert_eq!(pair[0].pe_end, pair[1].pe_begin);
+        }
+    }
+
+    #[test]
+    fn more_workers_than_pes_yields_one_pe_tasks() {
+        let plan = plan_ranks(3, 8);
+        assert_eq!(plan.len(), 3);
+        assert!(plan.iter().all(|t| t.pe_end - t.pe_begin == 1));
+    }
+
+    #[test]
+    fn repairs_coalesce_contiguous_gaps() {
+        assert_eq!(plan_repairs(&[], 4), vec![]);
+        let tasks = plan_repairs(&[2, 3, 4, 7, 9, 10], 1);
+        assert_eq!(
+            tasks,
+            vec![
+                RankTask {
+                    rank: 0,
+                    pe_begin: 2,
+                    pe_end: 5
+                },
+                RankTask {
+                    rank: 1,
+                    pe_begin: 7,
+                    pe_end: 8
+                },
+                RankTask {
+                    rank: 2,
+                    pe_begin: 9,
+                    pe_end: 11
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn repairs_split_large_gaps_across_workers() {
+        // A mostly-failed run: one big contiguous gap must be split so
+        // every worker gets a share, not resumed by a single task.
+        let missing: Vec<usize> = (0..64).collect();
+        let tasks = plan_repairs(&missing, 8);
+        assert_eq!(tasks.len(), 8);
+        assert!(tasks.iter().all(|t| t.pe_end - t.pe_begin == 8));
+        assert_eq!(tasks[0].pes(), 0..8);
+        assert_eq!(tasks[7].pes(), 56..64);
+        // Scattered one-PE damage still yields one-PE tasks.
+        let tasks = plan_repairs(&[3, 17, 40], 8);
+        assert_eq!(tasks.len(), 3);
+        assert!(tasks.iter().all(|t| t.pe_end - t.pe_begin == 1));
+    }
+}

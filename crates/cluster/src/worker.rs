@@ -1,0 +1,170 @@
+//! The worker side of a multi-process run: generate a contiguous PE
+//! range into shard files and record the slice as a partial manifest.
+//!
+//! This is the code path behind `kagen worker` — but it is a plain
+//! library function, so the in-process runner (tests, examples, single
+//! machine runs without process overhead) executes *exactly* the same
+//! logic. A worker never reads the ledger and never talks to its
+//! siblings: its output is a pure function of `(generator, pe range,
+//! format)`, which is the whole point of the paper.
+
+use kagen_core::streaming::StreamingGenerator;
+use kagen_pipeline::{write_shard, PartialManifest, ShardFormat, ShardInfo};
+use std::io;
+use std::ops::Range;
+use std::path::Path;
+
+/// Failure-injection hook for supervision tests: abort before writing
+/// shard `pe`, leaving earlier shards of the range behind — the
+/// footprint of a worker killed mid-run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FailureInjection {
+    /// Abort (with an error) immediately before generating this PE.
+    pub fail_before_pe: Option<usize>,
+}
+
+impl FailureInjection {
+    /// Read the injection from the environment (`KAGEN_WORKER_FAIL_PE`)
+    /// — how the `kagen worker` subcommand picks it up in integration
+    /// tests without a dedicated CLI flag.
+    pub fn from_env() -> FailureInjection {
+        FailureInjection {
+            fail_before_pe: std::env::var("KAGEN_WORKER_FAIL_PE")
+                .ok()
+                .and_then(|v| v.parse().ok()),
+        }
+    }
+}
+
+/// Generate every shard of `pes` into `dir` on `threads` worker threads
+/// (0 = all cores; multi-process launches default to 1 so W workers use
+/// W cores), then persist the slice as `part-<a>-<b>.json`. Returns the
+/// shard infos in PE order.
+///
+/// The partial manifest is written only after *every* shard of the range
+/// is on disk — its existence is the worker's completion record.
+pub fn run_worker(
+    gen: &dyn StreamingGenerator,
+    dir: &Path,
+    format: ShardFormat,
+    pes: Range<usize>,
+    threads: usize,
+    inject: FailureInjection,
+) -> io::Result<Vec<ShardInfo>> {
+    std::fs::create_dir_all(dir)?;
+    let (begin, end) = (pes.start, pes.end);
+    let results: Vec<io::Result<ShardInfo>> =
+        kagen_runtime::run_chunks(end - begin, threads, |i| {
+            let pe = begin + i;
+            if inject.fail_before_pe == Some(pe) {
+                return Err(io::Error::other(format!("injected failure before PE {pe}")));
+            }
+            write_shard(gen, pe, dir, format)
+        });
+    let mut shards = Vec::with_capacity(results.len());
+    for r in results {
+        shards.push(r?);
+    }
+    let part = PartialManifest {
+        pe_begin: begin as u64,
+        pe_end: end as u64,
+        shards: shards.clone(),
+    };
+    part.save(dir)?;
+    Ok(shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kagen_core::prelude::*;
+    use kagen_pipeline::{validate_shard, PartialManifest};
+
+    #[test]
+    fn worker_writes_its_range_and_partial_manifest() {
+        let gen = GnmUndirected::new(200, 1200).with_seed(5).with_chunks(6);
+        let dir = std::env::temp_dir().join("kagen_worker_range");
+        std::fs::remove_dir_all(&dir).ok();
+        let shards = run_worker(
+            &gen,
+            &dir,
+            ShardFormat::Compressed,
+            2..5,
+            1,
+            FailureInjection::default(),
+        )
+        .unwrap();
+        assert_eq!(shards.iter().map(|s| s.pe).collect::<Vec<_>>(), [2, 3, 4]);
+        for info in &shards {
+            validate_shard(&dir, ShardFormat::Compressed, info).unwrap();
+        }
+        let part = PartialManifest::load(&dir, 2, 5).unwrap();
+        assert_eq!(part.shards, shards);
+        // PEs outside the range were never touched.
+        assert!(!dir.join("shard-00000.kgc").exists());
+        assert!(!dir.join("shard-00005.kgc").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_failure_leaves_no_partial_manifest() {
+        let gen = GnmUndirected::new(200, 1200).with_seed(5).with_chunks(6);
+        let dir = std::env::temp_dir().join("kagen_worker_fail");
+        std::fs::remove_dir_all(&dir).ok();
+        let err = run_worker(
+            &gen,
+            &dir,
+            ShardFormat::Compressed,
+            0..6,
+            1,
+            FailureInjection {
+                fail_before_pe: Some(3),
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        // Earlier shards may exist (killed mid-run), but the completion
+        // record must not.
+        assert!(PartialManifest::load(&dir, 0, 6).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn worker_shards_match_single_process_writer() {
+        // A worker writing PEs [a, b) produces byte-identical shard
+        // files to the single-process write_sharded run.
+        let gen = GnmDirected::new(300, 2400).with_seed(9).with_chunks(4);
+        let whole = std::env::temp_dir().join("kagen_worker_whole");
+        let slice = std::env::temp_dir().join("kagen_worker_slice");
+        std::fs::remove_dir_all(&whole).ok();
+        std::fs::remove_dir_all(&slice).ok();
+        let meta = kagen_pipeline::InstanceMeta {
+            model: "gnm_directed".into(),
+            params: String::new(),
+            seed: 9,
+        };
+        let manifest = kagen_pipeline::write_sharded(
+            &gen,
+            &meta,
+            &kagen_pipeline::StreamConfig::new(&whole, ShardFormat::Compressed),
+        )
+        .unwrap();
+        let shards = run_worker(
+            &gen,
+            &slice,
+            ShardFormat::Compressed,
+            1..3,
+            1,
+            FailureInjection::default(),
+        )
+        .unwrap();
+        for info in &shards {
+            assert_eq!(manifest.shards[info.pe as usize], *info);
+            let a = std::fs::read(whole.join(&info.file)).unwrap();
+            let b = std::fs::read(slice.join(&info.file)).unwrap();
+            assert_eq!(a, b, "shard {} differs", info.pe);
+        }
+        std::fs::remove_dir_all(&whole).ok();
+        std::fs::remove_dir_all(&slice).ok();
+    }
+}

@@ -16,12 +16,19 @@
 //!   written concurrently on the `kagen-runtime` pool, plus a
 //!   `manifest.json` recording model, params, seed, per-shard edge counts
 //!   and checksums. Shard bytes are independent of the thread count.
-//! * [`reader`] — stream shards back (validating the checksums) or
-//!   reassemble an [`EdgeList`](kagen_graph::EdgeList).
-//! * [`merge`] — bounded-memory external merge: sorted runs + k-way
-//!   merge reproduce `generate_undirected` / `generate_directed` exactly,
-//!   with peak memory set by an explicit edge budget instead of the
-//!   instance size.
+//!   [`write_shard`] is the single-PE building block the multi-process
+//!   cluster workers reuse.
+//! * [`reader`] — stream shards back (validating the checksums),
+//!   [`validate_shard`] against recorded info (the resume-time integrity
+//!   check), or reassemble an [`EdgeList`](kagen_graph::EdgeList).
+//! * [`manifest`] — manifest (de)serialization, plus the multi-process
+//!   pieces: [`PartialManifest`] (one worker's slice) and
+//!   [`RunHeader::federate`] (parts → final manifest, identical to the
+//!   single-process constructor).
+//! * [`merge`] — bounded-memory external merge: shard-level parallel
+//!   reading forms sorted runs, a k-way merge reproduces
+//!   `generate_undirected` / `generate_directed` exactly, with peak
+//!   memory set by an explicit edge budget instead of the instance size.
 //!
 //! ## Quickstart
 //!
@@ -66,14 +73,16 @@ pub mod reader;
 pub mod sink;
 pub mod writer;
 
-pub use manifest::{Manifest, ShardInfo, MANIFEST_FILE};
+pub use manifest::{Manifest, PartialManifest, RunHeader, ShardInfo, MANIFEST_FILE};
 pub use merge::{ExternalMerge, MergeStats};
-pub use reader::ShardReader;
+pub use reader::{stream_shard_file, validate_shard, ShardReader};
 pub use sink::{
     checksum_step, BinarySink, ChecksumSink, CompressedSink, CountingSink, DegreeStatsSink,
     EdgeSink, FnSink, TeeSink, TextSink,
 };
-pub use writer::{shard_file_name, write_sharded, InstanceMeta, ShardFormat, StreamConfig};
+pub use writer::{
+    shard_file_name, write_shard, write_sharded, InstanceMeta, ShardFormat, StreamConfig,
+};
 
 use kagen_core::streaming::StreamingGenerator;
 use std::io;

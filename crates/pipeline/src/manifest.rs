@@ -3,10 +3,20 @@
 //! and checksums) so shards can be validated and reassembled later —
 //! including by tools that never saw the generator.
 //!
+//! Multi-process runs (`kagen_cluster`) split the PE range across worker
+//! processes; each worker records its slice as a [`PartialManifest`]
+//! (`part-<a>-<b>.json`) and the coordinator *federates* the parts into
+//! the final `manifest.json` with [`RunHeader::federate`] — byte-identical
+//! to what a single-process [`crate::write_sharded`] run would have
+//! written, because every field is a pure function of `(model, params,
+//! seed, format)` plus the per-shard infos.
+//!
 //! Serialization is hand-rolled (the build environment vendors no serde):
 //! [`Manifest::to_json`] emits canonical JSON and [`Manifest::from_json`]
 //! parses the subset of JSON that `to_json` produces (objects, arrays,
-//! strings with escapes, unsigned integers, booleans).
+//! strings with escapes, unsigned integers, booleans). The parser lives
+//! in the public [`json`] module so sibling crates (the cluster ledger)
+//! can reuse it.
 
 use std::fmt::Write as _;
 use std::io;
@@ -27,6 +37,126 @@ pub struct ShardInfo {
     /// Order-dependent checksum of the shard's edge stream
     /// (see `kagen_pipeline::sink::checksum_step`).
     pub checksum: u64,
+}
+
+impl ShardInfo {
+    /// Serialize as a single-line JSON object (the form every manifest
+    /// flavor and the cluster ledger embed).
+    pub fn to_json_inline(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(s, "{{\"pe\": {}, \"file\": ", self.pe);
+        push_str_value(&mut s, &self.file);
+        let _ = write!(
+            s,
+            ", \"edges\": {}, \"checksum\": {}}}",
+            self.edges, self.checksum
+        );
+        s
+    }
+
+    /// Parse from a JSON value (inverse of [`ShardInfo::to_json_inline`]).
+    pub fn from_json_value(value: &json::Value, what: &str) -> Result<ShardInfo, String> {
+        let obj = value.as_obj(what)?;
+        Ok(ShardInfo {
+            pe: obj.get("pe")?.as_u64("pe")?,
+            file: obj.get("file")?.as_str("file")?.to_string(),
+            edges: obj.get("edges")?.as_u64("edges")?,
+            checksum: obj.get("checksum")?.as_u64("checksum")?,
+        })
+    }
+}
+
+/// The run-identity fields of a [`Manifest`] — everything known *before*
+/// any shard is written. A multi-worker coordinator carries a header
+/// through the run and [federates](RunHeader::federate) it with the
+/// collected per-shard infos at the end; the single-process writer uses
+/// the same constructor, so both paths produce identical manifests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunHeader {
+    /// Model name (e.g. `rmat`, `gnm_undirected`).
+    pub model: String,
+    /// Human-readable parameter string.
+    pub params: String,
+    /// Instance seed.
+    pub seed: u64,
+    /// Vertex count.
+    pub n: u64,
+    /// Whether the edges are directed.
+    pub directed: bool,
+    /// Number of logical PEs == number of shards.
+    pub chunks: u64,
+    /// Shard format name (`edge-list`, `binary`, `compressed`).
+    pub format: String,
+}
+
+impl RunHeader {
+    /// Combine the header with per-shard infos into the final manifest.
+    ///
+    /// The shards may arrive in any order (workers finish when they
+    /// finish); they are sorted by PE and verified to cover exactly
+    /// `0..chunks`, each PE once — a gap, duplicate or out-of-range shard
+    /// is an error, not a silently wrong manifest.
+    pub fn federate(self, mut shards: Vec<ShardInfo>) -> Result<Manifest, String> {
+        shards.sort_by_key(|s| s.pe);
+        if shards.len() as u64 != self.chunks {
+            return Err(format!(
+                "federation: {} shards for {} chunks",
+                shards.len(),
+                self.chunks
+            ));
+        }
+        for (i, s) in shards.iter().enumerate() {
+            if s.pe != i as u64 {
+                return Err(format!(
+                    "federation: expected shard for PE {i}, found PE {} (gap or duplicate)",
+                    s.pe
+                ));
+            }
+        }
+        let edges = shards.iter().map(|s| s.edges).sum();
+        Ok(Manifest {
+            model: self.model,
+            params: self.params,
+            seed: self.seed,
+            n: self.n,
+            directed: self.directed,
+            chunks: self.chunks,
+            format: self.format,
+            edges,
+            shards,
+        })
+    }
+
+    /// Parse the header fields out of a JSON object that embeds them
+    /// (a manifest or a cluster ledger).
+    pub fn from_json_obj(obj: &json::Obj<'_>) -> Result<RunHeader, String> {
+        Ok(RunHeader {
+            model: obj.get("model")?.as_str("model")?.to_string(),
+            params: obj.get("params")?.as_str("params")?.to_string(),
+            seed: obj.get("seed")?.as_u64("seed")?,
+            n: obj.get("n")?.as_u64("n")?,
+            directed: obj.get("directed")?.as_bool("directed")?,
+            chunks: obj.get("chunks")?.as_u64("chunks")?,
+            format: obj.get("format")?.as_str("format")?.to_string(),
+        })
+    }
+
+    /// Append the header fields to a JSON object body, one per line at
+    /// two-space indentation, each line ending in `,` (callers append
+    /// their own fields after).
+    pub fn push_json_fields(&self, s: &mut String) {
+        let _ = write!(s, "  \"model\": ");
+        push_str_value(s, &self.model);
+        let _ = write!(s, ",\n  \"params\": ");
+        push_str_value(s, &self.params);
+        let _ = write!(s, ",\n  \"seed\": {},", self.seed);
+        let _ = write!(s, "\n  \"n\": {},", self.n);
+        let _ = write!(s, "\n  \"directed\": {},", self.directed);
+        let _ = write!(s, "\n  \"chunks\": {},", self.chunks);
+        let _ = write!(s, "\n  \"format\": ");
+        push_str_value(s, &self.format);
+        s.push_str(",\n");
+    }
 }
 
 /// Metadata of a complete sharded run.
@@ -68,39 +198,52 @@ fn escape_into(out: &mut String, s: &str) {
     }
 }
 
+/// Serialize a shard list as an indented JSON array under key `name`,
+/// closing bracket included but no trailing newline or comma.
+fn push_shards_field(s: &mut String, name: &str, shards: &[ShardInfo]) {
+    let _ = writeln!(s, "  \"{name}\": [");
+    for (i, sh) in shards.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {}{}",
+            sh.to_json_inline(),
+            if i + 1 < shards.len() { ",\n" } else { "\n" }
+        );
+    }
+    s.push_str("  ]");
+}
+
+fn parse_shards_field(obj: &json::Obj<'_>, name: &str) -> Result<Vec<ShardInfo>, String> {
+    let mut shards = Vec::new();
+    for (i, sh) in obj.get(name)?.as_arr(name)?.iter().enumerate() {
+        shards.push(ShardInfo::from_json_value(sh, &format!("{name}[{i}]"))?);
+    }
+    Ok(shards)
+}
+
 impl Manifest {
+    /// The run-identity fields, for comparing against a ledger or a
+    /// resumed run's parameters.
+    pub fn header(&self) -> RunHeader {
+        RunHeader {
+            model: self.model.clone(),
+            params: self.params.clone(),
+            seed: self.seed,
+            n: self.n,
+            directed: self.directed,
+            chunks: self.chunks,
+            format: self.format.clone(),
+        }
+    }
+
     /// Serialize to pretty-printed JSON.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        let _ = write!(s, "  \"model\": ");
-        push_str_value(&mut s, &self.model);
-        let _ = write!(s, ",\n  \"params\": ");
-        push_str_value(&mut s, &self.params);
-        let _ = write!(s, ",\n  \"seed\": {},", self.seed);
-        let _ = write!(s, "\n  \"n\": {},", self.n);
-        let _ = write!(s, "\n  \"directed\": {},", self.directed);
-        let _ = write!(s, "\n  \"chunks\": {},", self.chunks);
-        let _ = write!(s, "\n  \"format\": ");
-        push_str_value(&mut s, &self.format);
-        let _ = write!(s, ",\n  \"edges\": {},", self.edges);
-        s.push_str("\n  \"shards\": [\n");
-        for (i, sh) in self.shards.iter().enumerate() {
-            let _ = write!(s, "    {{\"pe\": {}, \"file\": ", sh.pe);
-            push_str_value(&mut s, &sh.file);
-            let _ = write!(
-                s,
-                ", \"edges\": {}, \"checksum\": {}}}{}",
-                sh.edges,
-                sh.checksum,
-                if i + 1 < self.shards.len() {
-                    ",\n"
-                } else {
-                    "\n"
-                }
-            );
-        }
-        s.push_str("  ]\n}\n");
+        self.header().push_json_fields(&mut s);
+        let _ = writeln!(s, "  \"edges\": {},", self.edges);
+        push_shards_field(&mut s, "shards", &self.shards);
+        s.push_str("\n}\n");
         s
     }
 
@@ -108,27 +251,17 @@ impl Manifest {
     pub fn from_json(text: &str) -> Result<Manifest, String> {
         let value = json::parse(text)?;
         let obj = value.as_obj("manifest")?;
-        let shards_value = obj.get("shards")?;
-        let mut shards = Vec::new();
-        for (i, sh) in shards_value.as_arr("shards")?.iter().enumerate() {
-            let sh = sh.as_obj(&format!("shards[{i}]"))?;
-            shards.push(ShardInfo {
-                pe: sh.get("pe")?.as_u64("pe")?,
-                file: sh.get("file")?.as_str("file")?.to_string(),
-                edges: sh.get("edges")?.as_u64("edges")?,
-                checksum: sh.get("checksum")?.as_u64("checksum")?,
-            });
-        }
+        let header = RunHeader::from_json_obj(&obj)?;
         Ok(Manifest {
-            model: obj.get("model")?.as_str("model")?.to_string(),
-            params: obj.get("params")?.as_str("params")?.to_string(),
-            seed: obj.get("seed")?.as_u64("seed")?,
-            n: obj.get("n")?.as_u64("n")?,
-            directed: obj.get("directed")?.as_bool("directed")?,
-            chunks: obj.get("chunks")?.as_u64("chunks")?,
-            format: obj.get("format")?.as_str("format")?.to_string(),
+            model: header.model,
+            params: header.params,
+            seed: header.seed,
+            n: header.n,
+            directed: header.directed,
+            chunks: header.chunks,
+            format: header.format,
             edges: obj.get("edges")?.as_u64("edges")?,
-            shards,
+            shards: parse_shards_field(&obj, "shards")?,
         })
     }
 
@@ -144,14 +277,93 @@ impl Manifest {
     }
 }
 
-fn push_str_value(out: &mut String, s: &str) {
+/// One worker's slice of a multi-process run: the shards it wrote for
+/// its contiguous PE range `pe_begin..pe_end`. Workers persist this as
+/// `part-<a>-<b>.json` in the shard directory; the coordinator collects
+/// the parts, validates them, and federates the final [`Manifest`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartialManifest {
+    /// First PE of the worker's range.
+    pub pe_begin: u64,
+    /// One past the last PE of the worker's range.
+    pub pe_end: u64,
+    /// Shard infos for exactly the PEs in `pe_begin..pe_end`, in order.
+    pub shards: Vec<ShardInfo>,
+}
+
+impl PartialManifest {
+    /// File name a worker for `pe_begin..pe_end` writes — unique per
+    /// task because task ranges never overlap within one run.
+    pub fn file_name(pe_begin: u64, pe_end: u64) -> String {
+        format!("part-{pe_begin:05}-{pe_end:05}.json")
+    }
+
+    /// Serialize to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"pe_begin\": {},", self.pe_begin);
+        let _ = writeln!(s, "  \"pe_end\": {},", self.pe_end);
+        push_shards_field(&mut s, "shards", &self.shards);
+        s.push_str("\n}\n");
+        s
+    }
+
+    /// Parse from JSON (inverse of [`PartialManifest::to_json`]).
+    pub fn from_json(text: &str) -> Result<PartialManifest, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_obj("partial manifest")?;
+        let part = PartialManifest {
+            pe_begin: obj.get("pe_begin")?.as_u64("pe_begin")?,
+            pe_end: obj.get("pe_end")?.as_u64("pe_end")?,
+            shards: parse_shards_field(&obj, "shards")?,
+        };
+        // Compare without materializing the range — the file is
+        // untrusted input, and a corrupt `pe_end` must come back as a
+        // parse error, not an absurd allocation.
+        let count_ok = part.pe_end.checked_sub(part.pe_begin) == Some(part.shards.len() as u64);
+        let pes_ok = part
+            .shards
+            .iter()
+            .zip(part.pe_begin..)
+            .all(|(s, pe)| s.pe == pe);
+        if !count_ok || !pes_ok {
+            let got: Vec<u64> = part.shards.iter().map(|s| s.pe).collect();
+            return Err(format!(
+                "partial manifest {}..{} covers PEs {got:?}",
+                part.pe_begin, part.pe_end
+            ));
+        }
+        Ok(part)
+    }
+
+    /// Write `part-<a>-<b>.json` into `dir`; returns the path.
+    pub fn save(&self, dir: &Path) -> io::Result<std::path::PathBuf> {
+        let path = dir.join(Self::file_name(self.pe_begin, self.pe_end));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Load and validate a worker's partial manifest from `dir`.
+    pub fn load(dir: &Path, pe_begin: u64, pe_end: u64) -> io::Result<PartialManifest> {
+        let text = std::fs::read_to_string(dir.join(Self::file_name(pe_begin, pe_end)))?;
+        PartialManifest::from_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Append `s` as a JSON string literal (quotes and escapes included) —
+/// the one escaper every manifest flavor and the cluster ledger share.
+pub fn push_str_value(out: &mut String, s: &str) {
     out.push('"');
     escape_into(out, s);
     out.push('"');
 }
 
-mod json {
-    //! Minimal JSON parser for the manifest subset.
+pub mod json {
+    //! Minimal JSON parser for the manifest subset (objects, arrays,
+    //! strings with escapes, unsigned integers, booleans) — public so
+    //! the cluster ledger and other sibling metadata files reuse one
+    //! parser instead of growing their own.
 
     /// A parsed JSON value.
     #[derive(Clone, Debug)]
@@ -477,6 +689,65 @@ mod tests {
         assert!(Manifest::from_json("{").is_err());
         assert!(Manifest::from_json("[1, 2").is_err());
         assert!(Manifest::from_json("{\"a\": 1} trailing").is_err());
+    }
+
+    #[test]
+    fn federate_accepts_out_of_order_parts_and_matches_direct_build() {
+        let m = sample();
+        let mut shards = m.shards.clone();
+        shards.reverse(); // workers finish in any order
+        let federated = m.header().federate(shards).unwrap();
+        assert_eq!(federated, m);
+        assert_eq!(federated.to_json(), m.to_json());
+    }
+
+    #[test]
+    fn federate_rejects_gaps_duplicates_and_wrong_counts() {
+        let m = sample();
+        // Missing shard.
+        let err = m.header().federate(m.shards[..1].to_vec()).unwrap_err();
+        assert!(err.contains("1 shards for 2 chunks"), "{err}");
+        // Duplicate PE.
+        let dup = vec![m.shards[0].clone(), m.shards[0].clone()];
+        let err = m.header().federate(dup).unwrap_err();
+        assert!(err.contains("gap or duplicate"), "{err}");
+        // Out-of-range PE.
+        let mut wild = m.shards.clone();
+        wild[1].pe = 7;
+        let err = m.header().federate(wild).unwrap_err();
+        assert!(err.contains("gap or duplicate"), "{err}");
+    }
+
+    #[test]
+    fn partial_manifest_roundtrip() {
+        let m = sample();
+        let part = PartialManifest {
+            pe_begin: 0,
+            pe_end: 2,
+            shards: m.shards.clone(),
+        };
+        let back = PartialManifest::from_json(&part.to_json()).unwrap();
+        assert_eq!(back, part);
+
+        let dir = std::env::temp_dir().join("kagen_partial_manifest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = part.save(&dir).unwrap();
+        assert_eq!(path.file_name().unwrap(), "part-00000-00002.json");
+        let loaded = PartialManifest::load(&dir, 0, 2).unwrap();
+        assert_eq!(loaded, part);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partial_manifest_rejects_range_mismatch() {
+        let m = sample();
+        let part = PartialManifest {
+            pe_begin: 3,
+            pe_end: 5, // but the shards are PEs 0 and 1
+            shards: m.shards.clone(),
+        };
+        let err = PartialManifest::from_json(&part.to_json()).unwrap_err();
+        assert!(err.contains("covers PEs"), "{err}");
     }
 
     #[test]

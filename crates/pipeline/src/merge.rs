@@ -5,14 +5,17 @@
 //! edge at once — exactly what the streaming pipeline exists to avoid.
 //! This module replaces it with the classic external-memory pattern:
 //!
-//! 1. **Run formation** — stream the shards, buffering at most
-//!    `budget_edges` edges; each full buffer is canonicalized (undirected
-//!    edges re-oriented to `(min,max)`), split into one piece per worker,
-//!    and the pieces are sorted, locally deduplicated and spilled as
-//!    sorted *runs* in the compressed shard codec **in parallel** on the
-//!    rayon thread pool (sorted runs delta-compress to a few bytes per
-//!    edge). Parallel piece-sorting produces more, shorter runs than one
-//!    big sort — the k-way merge absorbs them at one heap entry each.
+//! 1. **Run formation with shard-level parallel reading** — the shard
+//!    list is split into one contiguous group per reader worker; every
+//!    worker concurrently streams *its own shards* (decode, checksum
+//!    validation and canonicalization all run in parallel), buffering at
+//!    most `budget_edges / workers` edges. Each full local buffer is
+//!    canonicalized (undirected edges re-oriented to `(min,max)`),
+//!    sorted, locally deduplicated and spilled as sorted *runs* in the
+//!    compressed shard codec (sorted runs delta-compress to a few bytes
+//!    per edge). With enough threads this is one reader per shard; when
+//!    there are fewer shards than threads, the leftover threads sort
+//!    each spill as concurrent in-place pieces instead.
 //! 2. **K-way merge** — the runs are merged with a binary heap of one
 //!    cursor per run; cross-PE duplicates of undirected edges become
 //!    adjacent in the merged order and are dropped on the fly. The merge
@@ -21,8 +24,10 @@
 //!
 //! Peak memory is `budget_edges` × 16 bytes plus one decoder per run,
 //! independent of the instance's edge count. The output equals
-//! `generate_undirected` / `generate_directed` edge-for-edge — run count
-//! and thread count never change the merged stream.
+//! `generate_undirected` / `generate_directed` edge-for-edge — the k-way
+//! merge of sorted runs yields the fully sorted stream no matter how the
+//! runs were partitioned, so run count and thread count never change the
+//! merged stream.
 
 use crate::reader::ShardReader;
 use crate::sink::EdgeSink;
@@ -30,7 +35,17 @@ use kagen_graph::io::{CompressedEdgeReader, CompressedEdgeWriter};
 use std::collections::BinaryHeap;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+
+/// What one reader worker brings back from run formation.
+struct ReaderReport {
+    /// Spilled run files, in spill order.
+    runs: Vec<PathBuf>,
+    /// Edges this worker read from its shards.
+    edges_in: u64,
+    /// High-water mark of the worker's local buffer.
+    max_buffered: usize,
+}
 
 /// Statistics of one external merge.
 #[derive(Clone, Debug, Default)]
@@ -83,6 +98,10 @@ impl Ord for HeapEntry {
     }
 }
 
+/// Batch size of the merged output stream (edges per `push_batch`) —
+/// the pipeline-wide batching granularity.
+const OUT_BATCH_EDGES: usize = kagen_core::streaming::BATCH_EDGES;
+
 /// Minimum edges per parallel spill piece: below this, sorting is cheaper
 /// than thread handoff and extra run files.
 const MIN_PIECE_EDGES: usize = 1 << 15;
@@ -104,10 +123,6 @@ fn dedup_in_place(s: &mut [(u64, u64)]) -> usize {
     w + 1
 }
 
-/// Batch size of the merged output stream (edges per `push_batch`) —
-/// the pipeline-wide batching granularity.
-const OUT_BATCH_EDGES: usize = kagen_core::streaming::BATCH_EDGES;
-
 /// The external merge driver.
 pub struct ExternalMerge {
     budget_edges: usize,
@@ -127,33 +142,43 @@ impl ExternalMerge {
         }
     }
 
-    /// Bound the worker threads of parallel run formation
+    /// Bound the reader workers of parallel run formation
     /// (`0` = all cores).
     pub fn with_threads(mut self, threads: usize) -> ExternalMerge {
         self.threads = threads;
         self
     }
 
-    /// Worker count for a buffer of `len` edges.
-    fn spill_workers(&self, len: usize) -> usize {
-        let max = if self.threads == 0 {
+    /// The effective thread budget (`0` = all cores).
+    fn threads_cap(&self) -> usize {
+        if self.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
         } else {
             self.threads
-        };
-        max.min(len.div_ceil(MIN_PIECE_EDGES)).max(1)
+        }
     }
 
-    /// Sort the buffered edges and spill them as sorted runs: the buffer
-    /// is split into one **in-place** piece per worker (disjoint
-    /// `chunks_mut` slices — no copy, peak memory stays at the budget)
-    /// and the pieces are sorted, deduplicated and encoded concurrently,
-    /// each into its own run file.
-    fn spill(
-        &self,
-        pool: &rayon::ThreadPool,
+    /// Reader worker count: never more workers than threads, shards, or
+    /// budgeted edges (every worker must own at least one shard and at
+    /// least one buffered edge).
+    fn reader_workers(&self, shards: usize) -> usize {
+        self.threads_cap().min(shards).min(self.budget_edges).max(1)
+    }
+
+    /// Sort, dedup and spill one worker's local buffer as one or more
+    /// run files. When the worker has spare thread budget
+    /// (`piece_threads > 1`, i.e. fewer shards than cores) and the
+    /// buffer is large, it is split into disjoint in-place pieces
+    /// sorted, deduplicated and encoded concurrently — no copy, peak
+    /// memory stays at the budget. Each piece becomes its own run; the
+    /// k-way merge absorbs them at one heap entry each.
+    fn spill_local(
+        run_dir: &Path,
+        worker: usize,
+        seq: usize,
+        piece_threads: usize,
         buf: &mut Vec<(u64, u64)>,
         undirected: bool,
         runs: &mut Vec<PathBuf>,
@@ -161,41 +186,118 @@ impl ExternalMerge {
         if buf.is_empty() {
             return Ok(());
         }
-        let workers = self.spill_workers(buf.len());
-        let piece_len = buf.len().div_ceil(workers);
-        let base = runs.len();
-        let pieces: Vec<(PathBuf, &mut [(u64, u64)])> = buf
+        let pieces = piece_threads
+            .min(buf.len().div_ceil(MIN_PIECE_EDGES))
+            .max(1);
+        let piece_len = buf.len().div_ceil(pieces);
+        let jobs: Vec<(PathBuf, &mut [(u64, u64)])> = buf
             .chunks_mut(piece_len)
             .enumerate()
             .map(|(i, piece)| {
-                let path = self.run_dir.join(format!("run-{:05}.kgc", base + i));
+                let path = run_dir.join(format!("run-w{worker:03}-{seq:05}-p{i:02}.kgc"));
                 (path, piece)
             })
             .collect();
-        let results: Vec<io::Result<PathBuf>> = pool.install(|| {
-            use rayon::prelude::*;
-            pieces
-                .into_par_iter()
-                .map(|(path, piece)| {
-                    piece.sort_unstable();
-                    let len = if undirected {
-                        dedup_in_place(piece)
-                    } else {
-                        piece.len()
-                    };
-                    let mut enc =
-                        CompressedEdgeWriter::new(BufWriter::new(File::create(&path)?), 0)?;
-                    enc.push_slice(&piece[..len])?;
-                    enc.finish()?;
-                    Ok(path)
-                })
+        let results: Vec<io::Result<PathBuf>> = if jobs.len() == 1 {
+            jobs.into_iter()
+                .map(|(path, piece)| Self::encode_piece(path, piece, undirected))
                 .collect()
-        });
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = jobs
+                    .into_iter()
+                    .map(|(path, piece)| {
+                        scope.spawn(move || Self::encode_piece(path, piece, undirected))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+        };
         for r in results {
             runs.push(r?);
         }
         buf.clear();
         Ok(())
+    }
+
+    /// Sort + dedup + varint-encode one in-place piece into `path`.
+    fn encode_piece(
+        path: PathBuf,
+        piece: &mut [(u64, u64)],
+        undirected: bool,
+    ) -> io::Result<PathBuf> {
+        piece.sort_unstable();
+        let len = if undirected {
+            dedup_in_place(piece)
+        } else {
+            piece.len()
+        };
+        let mut enc = CompressedEdgeWriter::new(BufWriter::new(File::create(&path)?), 0)?;
+        enc.push_slice(&piece[..len])?;
+        enc.finish()?;
+        Ok(path)
+    }
+
+    /// One reader worker: stream the shards in `shard_range`, buffering
+    /// at most `local_budget` edges, spilling sorted runs as the buffer
+    /// fills. Checksum validation happens inside `stream_shard`, so the
+    /// integrity pass parallelizes along with the decode.
+    fn read_and_spill(
+        &self,
+        reader: &ShardReader,
+        worker: usize,
+        shard_range: std::ops::Range<usize>,
+        local_budget: usize,
+        piece_threads: usize,
+        undirected: bool,
+    ) -> io::Result<ReaderReport> {
+        let mut report = ReaderReport {
+            runs: Vec::new(),
+            edges_in: 0,
+            max_buffered: 0,
+        };
+        let mut buf: Vec<(u64, u64)> = Vec::with_capacity(local_budget);
+        let mut spill_err: Option<io::Error> = None;
+        let mut seq = 0usize;
+        for shard in shard_range {
+            let mut on_edge = |u: u64, v: u64| {
+                if spill_err.is_some() {
+                    return;
+                }
+                report.edges_in += 1;
+                let e = if undirected && u > v { (v, u) } else { (u, v) };
+                buf.push(e);
+                report.max_buffered = report.max_buffered.max(buf.len());
+                if buf.len() >= local_budget {
+                    if let Err(e) = Self::spill_local(
+                        &self.run_dir,
+                        worker,
+                        seq,
+                        piece_threads,
+                        &mut buf,
+                        undirected,
+                        &mut report.runs,
+                    ) {
+                        spill_err = Some(e);
+                    }
+                    seq += 1;
+                }
+            };
+            reader.stream_shard(shard, &mut on_edge)?;
+            if let Some(e) = spill_err.take() {
+                return Err(e);
+            }
+        }
+        Self::spill_local(
+            &self.run_dir,
+            worker,
+            seq,
+            piece_threads,
+            &mut buf,
+            undirected,
+            &mut report.runs,
+        )?;
+        Ok(report)
     }
 
     /// Merge every shard of `reader` into `out`, deduplicating cross-PE
@@ -208,35 +310,44 @@ impl ExternalMerge {
         std::fs::create_dir_all(&self.run_dir)?;
         let mut stats = MergeStats::default();
         let mut runs: Vec<PathBuf> = Vec::new();
-        // One pool for the whole merge — spills may fire many times.
-        let pool = kagen_runtime::thread_pool(self.threads);
 
-        // Phase 1: bounded buffer → sorted runs.
-        {
-            let mut buf: Vec<(u64, u64)> = Vec::with_capacity(self.budget_edges);
-            let mut spill_err: Option<io::Error> = None;
-            for shard in 0..reader.manifest().shards.len() {
-                let budget = self.budget_edges;
-                let mut on_edge = |u: u64, v: u64| {
-                    if spill_err.is_some() {
-                        return;
-                    }
-                    stats.edges_in += 1;
-                    let e = if undirected && u > v { (v, u) } else { (u, v) };
-                    buf.push(e);
-                    stats.max_buffered = stats.max_buffered.max(buf.len());
-                    if buf.len() >= budget {
-                        if let Err(e) = self.spill(&pool, &mut buf, undirected, &mut runs) {
-                            spill_err = Some(e);
-                        }
-                    }
-                };
-                reader.stream_shard(shard, &mut on_edge)?;
-                if let Some(e) = spill_err.take() {
-                    return Err(e);
-                }
+        // Phase 1: shard-level parallel reading → sorted runs. The shard
+        // list is split into one contiguous group per reader worker and
+        // the groups stream concurrently, each within its slice of the
+        // edge budget — the budget bounds the *sum* of the local buffers.
+        let shard_count = reader.manifest().shards.len();
+        if shard_count > 0 {
+            let workers = self.reader_workers(shard_count);
+            let local_budget = (self.budget_edges / workers).max(1);
+            // Threads left over when shards < cores go into sorting:
+            // each worker may split its spills into this many pieces.
+            let piece_threads = self.threads_cap().div_ceil(workers);
+            let groups = kagen_runtime::split_ranges(shard_count, workers);
+            let reports: Vec<io::Result<ReaderReport>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = groups
+                    .into_iter()
+                    .enumerate()
+                    .map(|(worker, group)| {
+                        scope.spawn(move || {
+                            self.read_and_spill(
+                                reader,
+                                worker,
+                                group,
+                                local_budget,
+                                piece_threads,
+                                undirected,
+                            )
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for r in reports {
+                let report = r?;
+                stats.edges_in += report.edges_in;
+                stats.max_buffered += report.max_buffered;
+                runs.extend(report.runs);
             }
-            self.spill(&pool, &mut buf, undirected, &mut runs)?;
         }
         stats.runs = runs.len();
 
@@ -353,11 +464,11 @@ mod tests {
     }
 
     #[test]
-    fn parallel_run_formation_matches_sequential() {
-        // Enough buffered edges (> MIN_PIECE_EDGES per worker) that the
-        // spill actually splits into parallel pieces; the merged stream
-        // must be identical to the single-threaded one and to the in-RAM
-        // merge.
+    fn parallel_shard_reading_matches_sequential() {
+        // Run formation reads shards in parallel, one contiguous shard
+        // group per worker, each with its slice of the budget. The
+        // merged stream must be identical for every worker count —
+        // including more workers than shards — and to the in-RAM merge.
         let gen = GnmUndirected::new(2000, 120_000)
             .with_seed(4)
             .with_chunks(8);
@@ -376,9 +487,9 @@ mod tests {
         )
         .unwrap();
         let reader = ShardReader::open(&dir).unwrap();
-        let mut outputs = Vec::new();
         let mut run_counts = Vec::new();
-        for threads in [1usize, 4] {
+        let mut edges_in = Vec::new();
+        for threads in [1usize, 4, 8, 16] {
             let mut edges = Vec::new();
             let mut sink = FnSink::new(|u, v| edges.push((u, v)));
             let stats = ExternalMerge::new(dir.join("runs"), 1 << 20)
@@ -387,13 +498,58 @@ mod tests {
                 .unwrap();
             sink.finish().unwrap();
             assert_eq!(edges, expect.edges, "threads={threads}");
+            assert!(
+                stats.max_buffered <= 1 << 20,
+                "budget violated at threads={threads}"
+            );
             run_counts.push(stats.runs);
-            outputs.push(edges);
+            edges_in.push(stats.edges_in);
         }
-        assert_eq!(outputs[0], outputs[1]);
         assert!(
-            run_counts[1] > run_counts[0],
-            "4 workers must spill more, shorter runs ({run_counts:?})"
+            edges_in.iter().all(|&e| e == edges_in[0]),
+            "edge intake must not depend on worker count ({edges_in:?})"
+        );
+        // One run per reader worker here (the budget slice never fills):
+        // 1, 4, 8, and 8 again (workers are capped at the shard count).
+        assert_eq!(run_counts, vec![1, 4, 8, 8]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn few_shards_many_threads_still_sort_in_parallel() {
+        // 2 shards but 8 threads: reader parallelism is capped at 2, so
+        // the spare thread budget must go into piece-parallel sorting —
+        // more runs than shards, identical merged output.
+        let gen = GnmUndirected::new(3000, 200_000)
+            .with_seed(6)
+            .with_chunks(2);
+        let expect = generate_undirected(&gen);
+        let dir = std::env::temp_dir().join("kagen_merge_pieces");
+        std::fs::remove_dir_all(&dir).ok();
+        let meta = InstanceMeta {
+            model: "gnm_undirected".into(),
+            params: String::new(),
+            seed: 6,
+        };
+        write_sharded(
+            &gen,
+            &meta,
+            &StreamConfig::new(&dir, ShardFormat::Compressed),
+        )
+        .unwrap();
+        let reader = ShardReader::open(&dir).unwrap();
+        let mut edges = Vec::new();
+        let mut sink = FnSink::new(|u, v| edges.push((u, v)));
+        let stats = ExternalMerge::new(dir.join("runs"), 1 << 20)
+            .with_threads(8)
+            .merge(&reader, &mut sink)
+            .unwrap();
+        sink.finish().unwrap();
+        assert_eq!(edges, expect.edges);
+        assert!(
+            stats.runs > 2,
+            "piece sorting must produce more runs than shards ({})",
+            stats.runs
         );
         std::fs::remove_dir_all(&dir).ok();
     }

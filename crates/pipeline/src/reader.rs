@@ -2,7 +2,7 @@
 //! memory (validating the manifest checksums as it goes), or reassemble
 //! the whole instance into an [`EdgeList`] when it fits.
 
-use crate::manifest::Manifest;
+use crate::manifest::{Manifest, ShardInfo};
 use crate::sink::checksum_step;
 use crate::writer::ShardFormat;
 use kagen_graph::io::CompressedEdgeReader;
@@ -58,11 +58,7 @@ impl ShardReader {
             checksum = checksum_step(checksum, u, v);
             emit(u, v);
         };
-        match self.format {
-            ShardFormat::EdgeList => stream_text(&path, &mut counted_emit)?,
-            ShardFormat::Binary => stream_binary(&path, &mut counted_emit)?,
-            ShardFormat::Compressed => stream_compressed(&path, &mut counted_emit)?,
-        }
+        stream_shard_file(&path, self.format, &mut counted_emit)?;
         if count != info.edges {
             return Err(invalid(format!(
                 "shard {}: {count} edges on disk, {} in manifest",
@@ -99,6 +95,47 @@ impl ShardReader {
         self.stream(&mut |u, v| edges.push((u, v)))?;
         Ok(EdgeList::new(self.manifest.n, edges))
     }
+}
+
+/// Stream one shard *file* (no manifest required) through `emit`.
+pub fn stream_shard_file(
+    path: &Path,
+    format: ShardFormat,
+    emit: &mut dyn FnMut(u64, u64),
+) -> io::Result<()> {
+    match format {
+        ShardFormat::EdgeList => stream_text(path, emit),
+        ShardFormat::Binary => stream_binary(path, emit),
+        ShardFormat::Compressed => stream_compressed(path, emit),
+    }
+}
+
+/// Re-read the shard described by `info` from `dir` and verify its edge
+/// count and checksum. This is the resume-time integrity check: a
+/// missing, truncated, corrupted or reordered shard comes back as an
+/// error; `Ok(())` means the bytes on disk still produce exactly the
+/// edge stream recorded at generation time.
+pub fn validate_shard(dir: &Path, format: ShardFormat, info: &ShardInfo) -> io::Result<()> {
+    let path = dir.join(&info.file);
+    let mut count = 0u64;
+    let mut checksum = 0u64;
+    stream_shard_file(&path, format, &mut |u, v| {
+        count += 1;
+        checksum = checksum_step(checksum, u, v);
+    })?;
+    if count != info.edges {
+        return Err(invalid(format!(
+            "shard {}: {count} edges on disk, {} expected",
+            info.file, info.edges
+        )));
+    }
+    if checksum != info.checksum {
+        return Err(invalid(format!(
+            "shard {}: checksum mismatch (corrupt or reordered)",
+            info.file
+        )));
+    }
+    Ok(())
 }
 
 fn stream_text(path: &Path, emit: &mut dyn FnMut(u64, u64)) -> io::Result<()> {

@@ -4,7 +4,7 @@
 //! them together, and peak memory per worker equal to the generator's
 //! state (no edge vector exists anywhere on this path).
 
-use crate::manifest::{Manifest, ShardInfo};
+use crate::manifest::{Manifest, RunHeader, ShardInfo};
 use crate::sink::{checksum_step, BinarySink, CompressedSink, EdgeSink, TextSink};
 use kagen_core::streaming::StreamingGenerator;
 use std::fs::File;
@@ -96,6 +96,27 @@ pub struct InstanceMeta {
     pub seed: u64,
 }
 
+impl InstanceMeta {
+    /// The run-identity header for `gen` written as `format` shards —
+    /// the fields every flavor of manifest (and the cluster ledger)
+    /// agree on.
+    pub fn header<G: StreamingGenerator + ?Sized>(
+        &self,
+        gen: &G,
+        format: ShardFormat,
+    ) -> RunHeader {
+        RunHeader {
+            model: self.model.clone(),
+            params: self.params.clone(),
+            seed: self.seed,
+            n: gen.num_vertices(),
+            directed: gen.directed(),
+            chunks: gen.num_chunks() as u64,
+            format: format.name().to_string(),
+        }
+    }
+}
+
 fn format_sink(path: &Path, format: ShardFormat, n: u64) -> io::Result<Box<dyn EdgeSink>> {
     let file = BufWriter::new(File::create(path)?);
     Ok(match format {
@@ -111,7 +132,7 @@ fn format_sink(path: &Path, format: ShardFormat, n: u64) -> io::Result<Box<dyn E
 /// buffer ([`kagen_core::streaming::BATCH_EDGES`] edges) and the sink
 /// consumes whole slices — checksum folding and format encoding happen
 /// in tight loops, with one virtual call per batch instead of per edge.
-fn write_shard<G: StreamingGenerator + ?Sized>(
+pub fn write_shard<G: StreamingGenerator + ?Sized>(
     gen: &G,
     pe: usize,
     dir: &Path,
@@ -156,17 +177,12 @@ pub fn write_sharded<G: StreamingGenerator + ?Sized>(
     for r in results {
         shards.push(r?);
     }
-    let manifest = Manifest {
-        model: meta.model.clone(),
-        params: meta.params.clone(),
-        seed: meta.seed,
-        n: gen.num_vertices(),
-        directed: gen.directed(),
-        chunks: gen.num_chunks() as u64,
-        format: cfg.format.name().to_string(),
-        edges: shards.iter().map(|s| s.edges).sum(),
-        shards,
-    };
+    // Same constructor the multi-process coordinator uses — the two
+    // paths cannot drift apart structurally.
+    let manifest = meta
+        .header(gen, cfg.format)
+        .federate(shards)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     manifest.save(&cfg.dir)?;
     Ok(manifest)
 }

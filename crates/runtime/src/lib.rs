@@ -8,7 +8,10 @@
 //! shared-memory thread pool and the code path is identical to what MPI
 //! ranks would run (see DESIGN.md, substitutions).
 //!
-//! * [`pe`] — run `k` logical PEs on `t` threads, optionally timing each.
+//! * [`pe`] — run `k` logical PEs on `t` threads, optionally timing each;
+//!   [`split_ranges`] is the rank plan shared with the multi-process
+//!   `kagen_cluster` launcher, and [`run_rank_ranges`] executes it
+//!   in-process (one task per rank range instead of per PE).
 //! * [`scaling`] — weak/strong scaling harness: the *emulated parallel
 //!   time* of a P-PE run is `max_i t_i`, which equals the wall time on a
 //!   machine with ≥ P cores (plus startup) for communication-free programs.
@@ -21,5 +24,5 @@ pub mod pe;
 pub mod scaling;
 
 pub use comm::Communicator;
-pub use pe::{run_chunks, run_chunks_timed, thread_pool};
+pub use pe::{run_chunks, run_chunks_timed, run_rank_ranges, split_ranges, thread_pool};
 pub use scaling::{PeTiming, ScalingPoint};

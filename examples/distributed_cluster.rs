@@ -12,14 +12,22 @@
 //!    threads, even on "different machines" (separate processes would
 //!    behave identically) — the merged instance never changes;
 //! 3. cross-rank overlap (an undirected edge between two ranks' vertices)
-//!    is generated redundantly *and identically* by both owners.
+//!    is generated redundantly *and identically* by both owners;
+//! 4. the real deal: `kagen_cluster::launch` supervises workers over a
+//!    rank plan with a resumable shard ledger — a killed worker costs
+//!    only its own shards, and the federated manifest is identical to a
+//!    single-process run. (`kagen launch` does the same with OS
+//!    processes instead of the in-process runner used here.)
 //!
 //! ```text
 //! cargo run --release --example distributed_cluster
 //! ```
 
+use kagen_repro::cluster::{launch, InProcessRunner, LaunchOptions};
 use kagen_repro::core::{generate_parallel, Generator, GnmUndirected, Rgg2d};
 use kagen_repro::graph::merge_pe_edges;
+use kagen_repro::pipeline::{InstanceMeta, ShardFormat};
+use std::collections::HashSet;
 
 fn main() {
     let ranks = 32; // pretend this is an MPI job with 32 ranks
@@ -94,4 +102,47 @@ fn main() {
         rgg.num_chunks(),
         total_vertices
     );
+
+    // --- 4. The launcher: supervision, ledger, resume --------------------
+    let dir = std::env::temp_dir().join("kagen_example_cluster");
+    std::fs::remove_dir_all(&dir).ok();
+    let meta = InstanceMeta {
+        model: "gnm_undirected".into(),
+        params: format!("n={n} m={m}"),
+        seed: 1234,
+    };
+    let header = meta.header(&gen, ShardFormat::Compressed);
+
+    // A worker is killed before writing PE 11 — the launch fails but
+    // records every other rank's shards in the ledger.
+    let mut runner = InProcessRunner::new(&gen, &dir, ShardFormat::Compressed);
+    runner.fail_pes = HashSet::from([11]);
+    let opts = LaunchOptions {
+        workers: 4,
+        ..Default::default()
+    };
+    let err = launch(&dir, &header, &opts, &runner).expect_err("a rank was killed");
+    println!("launch with a killed rank: {err}");
+
+    // Resume regenerates only the missing shards and federates the
+    // manifest — identical to what one process would have written.
+    let runner = InProcessRunner::new(&gen, &dir, ShardFormat::Compressed);
+    let report = launch(
+        &dir,
+        &header,
+        &LaunchOptions {
+            workers: 4,
+            resume: true,
+            validate: true,
+        },
+        &runner,
+    )
+    .expect("resume completes the run");
+    println!(
+        "resume: regenerated {:?}, reused {} shards -> federated manifest, {} per-PE edges \
+         (cross-rank copies included)",
+        report.regenerated_pes, report.reused_shards, report.manifest.edges
+    );
+    assert_eq!(report.manifest.chunks, ranks as u64);
+    std::fs::remove_dir_all(&dir).ok();
 }

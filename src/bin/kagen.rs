@@ -1,9 +1,12 @@
 //! `kagen` — command-line graph generation, mirroring the reference
-//! KaGen application, plus the bounded-memory streaming pipeline.
+//! KaGen application, plus the bounded-memory streaming pipeline and the
+//! multi-process cluster launcher.
 //!
 //! ```text
 //! kagen <model> [options]            materialize, merge in RAM, write one file
 //! kagen stream <model> [options]     stream shards to disk, RAM stays O(state)
+//! kagen launch <model> [options]     spawn worker processes, federate manifest
+//! kagen worker <model> [options]     one rank of a launch (spawned by `launch`)
 //!
 //! models:
 //!   gnm_directed    -n <vertices> -m <edges>
@@ -49,6 +52,31 @@
 //! `--merge external` additionally produces the canonical merged edge
 //! list via sorted runs + k-way merge, using at most the edge budget of
 //! RAM.
+//!
+//! launch-mode options:
+//!   --shard-dir <dir>     shard output directory           (required)
+//!   --workers <w>         concurrent worker processes      (default: cores)
+//!   -f <format>           edge-list | binary | compressed  (default compressed)
+//!   -t <threads>          threads per worker               (default 1)
+//!   --resume              reuse valid shards of an interrupted/corrupted
+//!                         run; regenerate only missing or invalid shards
+//!   --no-validate         skip the post-run checksum re-read
+//!
+//! Launch mode splits the PE range into contiguous rank ranges and
+//! re-execs this binary as `kagen worker` child processes, one per rank
+//! (at most --workers at a time). Each worker writes its shard slice
+//! plus a partial manifest; the coordinator maintains ledger.json
+//! (per-shard state + per-rank status), validates shard checksums, and
+//! federates the final manifest.json — byte-identical to `kagen stream`
+//! of the same instance. A killed worker or corrupted shard is repaired
+//! by `--resume`, which regenerates exactly the damaged shards.
+//!
+//! worker-mode options (normally set by `launch`):
+//!   --shard-dir <dir>     shard output directory           (required)
+//!   --pe-range <a..b>     contiguous PE range to generate  (required)
+//!   --rank <r>            rank id, for log lines only
+//!   -f <format>           edge-list | binary | compressed  (default compressed)
+//!   -t <threads>          worker threads                   (default 1)
 //! ```
 
 use kagen_repro::core::prelude::*;
@@ -61,10 +89,34 @@ use kagen_repro::pipeline::{
     ShardFormat, ShardReader, StreamConfig, TeeSink, TextSink,
 };
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+
+/// Which front-end path a `kagen` invocation takes.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// `kagen <model>` — generate, merge in RAM, write one file.
+    Materialize,
+    /// `kagen stream <model>` — shard files + manifest, bounded memory.
+    Stream,
+    /// `kagen launch <model>` — coordinator of a multi-process run.
+    Launch,
+    /// `kagen worker <model>` — one rank of a launch.
+    Worker,
+}
+
+impl Mode {
+    fn name(&self) -> &'static str {
+        match self {
+            Mode::Materialize => "kagen <model>",
+            Mode::Stream => "kagen stream",
+            Mode::Launch => "kagen launch",
+            Mode::Worker => "kagen worker",
+        }
+    }
+}
 
 struct Options {
-    stream: bool,
+    mode: Mode,
     model: String,
     n: u64,
     m: u64,
@@ -84,8 +136,13 @@ struct Options {
     format: Option<String>,
     stats: bool,
     shard_dir: Option<String>,
-    merge: String,
-    merge_budget: usize,
+    merge: Option<String>,
+    merge_budget: Option<usize>,
+    workers: Option<usize>,
+    resume: bool,
+    no_validate: bool,
+    pe_range: Option<(usize, usize)>,
+    rank: Option<usize>,
 }
 
 fn usage() -> ! {
@@ -95,7 +152,7 @@ fn usage() -> ! {
 
 fn parse() -> Options {
     let mut o = Options {
-        stream: false,
+        mode: Mode::Materialize,
         model: String::new(),
         n: 1 << 12,
         m: 1 << 15,
@@ -115,8 +172,13 @@ fn parse() -> Options {
         format: None,
         stats: false,
         shard_dir: None,
-        merge: "none".into(),
-        merge_budget: 1 << 22,
+        merge: None,
+        merge_budget: None,
+        workers: None,
+        resume: false,
+        no_validate: false,
+        pe_range: None,
+        rank: None,
     };
     let mut args = std::env::args().skip(1);
     let Some(mut model) = args.next() else {
@@ -134,8 +196,13 @@ fn parse() -> Options {
         );
         std::process::exit(0);
     }
-    if model == "stream" {
-        o.stream = true;
+    match model.as_str() {
+        "stream" => o.mode = Mode::Stream,
+        "launch" => o.mode = Mode::Launch,
+        "worker" => o.mode = Mode::Worker,
+        _ => {}
+    }
+    if o.mode != Mode::Materialize {
         model = args.next().unwrap_or_else(|| usage());
     }
     o.model = model;
@@ -162,19 +229,123 @@ fn parse() -> Options {
             "-f" => o.format = Some(next(&mut args)),
             "--stats" => o.stats = true,
             "--shard-dir" => o.shard_dir = Some(next(&mut args)),
-            "--merge" => o.merge = next(&mut args),
+            "--merge" => o.merge = Some(next(&mut args)),
             "--merge-budget" => {
-                o.merge_budget = next(&mut args).parse().unwrap_or_else(|_| usage())
+                o.merge_budget = Some(next(&mut args).parse().unwrap_or_else(|_| usage()))
             }
+            "--workers" => o.workers = Some(next(&mut args).parse().unwrap_or_else(|_| usage())),
+            "--resume" => o.resume = true,
+            "--no-validate" => o.no_validate = true,
+            "--pe-range" => {
+                let spec = next(&mut args);
+                let Some((a, b)) = spec.split_once("..") else {
+                    eprintln!("kagen worker: --pe-range wants `a..b`, got '{spec}'");
+                    std::process::exit(2);
+                };
+                let a = a.parse().unwrap_or_else(|_| usage());
+                let b = b.parse().unwrap_or_else(|_| usage());
+                o.pe_range = Some((a, b));
+            }
+            "--rank" => o.rank = Some(next(&mut args).parse().unwrap_or_else(|_| usage())),
             _ => usage(),
         }
     }
-    // Stream-only flags must not be silently ignored in materialized mode.
-    if !o.stream && (o.shard_dir.is_some() || o.merge != "none" || o.merge_budget != (1 << 22)) {
-        eprintln!("kagen: --shard-dir/--merge/--merge-budget require `kagen stream <model>`");
-        std::process::exit(2);
-    }
+    validate(&o);
     o
+}
+
+/// Reject invalid flag combinations up front — *before* any generation
+/// starts or any worker process is spawned, for every mode. A typo'd
+/// launch must fail in microseconds, not after W workers wrote shards.
+fn validate(o: &Options) {
+    let mode = o.mode;
+    let fail = |msg: String| -> ! {
+        eprintln!("{}: {msg}", mode.name());
+        std::process::exit(2);
+    };
+    // Which flags each mode accepts.
+    let reject = |present: bool, flag: &str, wanted: &str| {
+        if present {
+            fail(format!("{flag} requires {wanted}"));
+        }
+    };
+    match mode {
+        Mode::Materialize => {
+            reject(
+                o.shard_dir.is_some(),
+                "--shard-dir",
+                "`kagen stream|launch|worker`",
+            );
+            reject(o.merge.is_some(), "--merge", "`kagen stream`");
+            reject(o.merge_budget.is_some(), "--merge-budget", "`kagen stream`");
+            reject(o.workers.is_some(), "--workers", "`kagen launch`");
+            reject(o.resume, "--resume", "`kagen launch`");
+            reject(o.no_validate, "--no-validate", "`kagen launch`");
+            reject(o.pe_range.is_some(), "--pe-range", "`kagen worker`");
+            reject(o.rank.is_some(), "--rank", "`kagen worker`");
+        }
+        Mode::Stream => {
+            reject(o.workers.is_some(), "--workers", "`kagen launch`");
+            reject(o.resume, "--resume", "`kagen launch`");
+            reject(o.no_validate, "--no-validate", "`kagen launch`");
+            reject(o.pe_range.is_some(), "--pe-range", "`kagen worker`");
+            reject(o.rank.is_some(), "--rank", "`kagen worker`");
+            if o.shard_dir.is_none() {
+                fail("--shard-dir is required".into());
+            }
+            let merge = o.merge.as_deref().unwrap_or("none");
+            if !matches!(merge, "none" | "external") {
+                fail(format!("unknown merge mode '{merge}'"));
+            }
+            if o.output.is_some() && merge != "external" {
+                fail("-o requires --merge external (shards go to --shard-dir)".into());
+            }
+        }
+        Mode::Launch | Mode::Worker => {
+            reject(o.merge.is_some(), "--merge", "`kagen stream`");
+            reject(o.merge_budget.is_some(), "--merge-budget", "`kagen stream`");
+            reject(
+                o.output.is_some(),
+                "-o",
+                "`kagen stream --merge external` or `kagen <model>`",
+            );
+            reject(o.stats, "--stats", "`kagen <model>` or `kagen stream`");
+            if o.shard_dir.is_none() {
+                fail("--shard-dir is required".into());
+            }
+            if mode == Mode::Launch {
+                reject(
+                    o.pe_range.is_some(),
+                    "--pe-range",
+                    "`kagen worker` (launch plans ranks itself)",
+                );
+                reject(o.rank.is_some(), "--rank", "`kagen worker`");
+                if o.workers == Some(0) {
+                    fail("--workers must be >= 1".into());
+                }
+            } else {
+                reject(o.workers.is_some(), "--workers", "`kagen launch`");
+                reject(o.resume, "--resume", "`kagen launch`");
+                reject(o.no_validate, "--no-validate", "`kagen launch`");
+                let Some((a, b)) = o.pe_range else {
+                    fail("--pe-range is required".into());
+                };
+                if a >= b || b > o.chunks {
+                    fail(format!(
+                        "--pe-range {a}..{b} is not a non-empty sub-range of 0..{} (-c)",
+                        o.chunks
+                    ));
+                }
+            }
+            // Shard format must parse *here*, not inside W spawned
+            // workers.
+            if let Some(name) = o.format.as_deref() {
+                if ShardFormat::parse(name).is_none() {
+                    fail(format!("unknown shard format '{name}'"));
+                }
+            }
+        }
+    }
 }
 
 /// Build the selected generator; every model supports streaming.
@@ -378,16 +549,9 @@ fn run_stream(o: &Options) {
             std::process::exit(2);
         }),
     };
-    // Reject a bad merge mode *before* spending time generating shards.
-    if !matches!(o.merge.as_str(), "none" | "external") {
-        eprintln!("kagen stream: unknown merge mode '{}'", o.merge);
-        std::process::exit(2);
-    }
-    // `-o` names the merged output; without a merge there is none.
-    if o.output.is_some() && o.merge != "external" {
-        eprintln!("kagen stream: -o requires --merge external (shards go to --shard-dir)");
-        std::process::exit(2);
-    }
+    // Merge-mode/-o combinations were already rejected in `validate`.
+    let merge = o.merge.as_deref().unwrap_or("none");
+    let merge_budget = o.merge_budget.unwrap_or(1 << 22);
     let (gen, params) = build_generator(o);
     let meta = InstanceMeta {
         model: o.model.clone(),
@@ -409,7 +573,7 @@ fn run_stream(o: &Options) {
         write_time.as_secs_f64()
     );
 
-    if o.merge == "external" {
+    if merge == "external" {
         // Merge; with --stats, tee a degree accumulator off the merge
         // output so the shards are read only once and the reported
         // degrees are the canonical instance's.
@@ -431,7 +595,7 @@ fn run_stream(o: &Options) {
             }
         };
         let started = std::time::Instant::now();
-        let merger = ExternalMerge::new(dir.join("runs"), o.merge_budget).with_threads(o.threads);
+        let merger = ExternalMerge::new(dir.join("runs"), merge_budget).with_threads(o.threads);
         let mut sink = TeeSink::new(
             out_sink,
             o.stats
@@ -491,11 +655,154 @@ fn print_degree_summary(n: u64, m: u64, deg: &DegreeStatsSink, label: &str) {
     }
 }
 
+/// The worker-facing flags that re-create this generator in a child
+/// process: every model parameter plus seed, chunks, format, threads and
+/// the shard directory. Extra model flags are harmless — the parser
+/// accepts the full union and `build_generator` reads what the model
+/// needs.
+fn worker_args(o: &Options, shard_dir: &str, format: ShardFormat) -> Vec<String> {
+    let mut args: Vec<String> = vec![
+        o.model.clone(),
+        "-n".into(),
+        o.n.to_string(),
+        "-m".into(),
+        o.m.to_string(),
+        "-p".into(),
+        o.p.to_string(),
+        "-d".into(),
+        o.d.to_string(),
+        "-g".into(),
+        o.gamma.to_string(),
+        "-T".into(),
+        o.temperature.to_string(),
+        "-b".into(),
+        o.blocks.to_string(),
+        "--p-in".into(),
+        o.p_in.to_string(),
+        "--p-out".into(),
+        o.p_out.to_string(),
+        "--rmat-levels".into(),
+        o.rmat_levels.to_string(),
+        "-s".into(),
+        o.seed.to_string(),
+        "-c".into(),
+        o.chunks.to_string(),
+        "-t".into(),
+        o.threads.max(1).to_string(),
+        "-f".into(),
+        format.name().into(),
+        "--shard-dir".into(),
+        shard_dir.into(),
+    ];
+    if let Some(r) = o.r {
+        args.push("-r".into());
+        args.push(r.to_string());
+    }
+    args
+}
+
+/// Coordinator mode: plan ranks, spawn `kagen worker` children, keep the
+/// ledger, federate the manifest. See `kagen_cluster` for the library
+/// behind this.
+fn run_launch(o: &Options) {
+    let shard_dir = o.shard_dir.as_deref().expect("validated");
+    let format = o
+        .format
+        .as_deref()
+        .map(|name| ShardFormat::parse(name).expect("validated"))
+        .unwrap_or(ShardFormat::Compressed);
+    let workers = o.workers.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    let (gen, params) = build_generator(o);
+    let meta = InstanceMeta {
+        model: o.model.clone(),
+        params,
+        seed: o.seed,
+    };
+    let header = meta.header(gen.as_ref(), format);
+    let exe = std::env::current_exe().expect("cannot locate own binary for re-exec");
+    let runner = kagen_repro::cluster::ProcessRunner {
+        exe,
+        worker_args: worker_args(o, shard_dir, format),
+        dir: PathBuf::from(shard_dir),
+    };
+    let opts = kagen_repro::cluster::LaunchOptions {
+        workers,
+        resume: o.resume,
+        validate: !o.no_validate,
+    };
+    let started = std::time::Instant::now();
+    match kagen_repro::cluster::launch(Path::new(shard_dir), &header, &opts, &runner) {
+        Ok(report) => {
+            // Keep this line machine-parseable: the integration tests
+            // and CI assert on `regenerated=[..] reused=N`.
+            eprintln!(
+                "kagen launch: {} ranks spawned, regenerated={:?} reused={} -> {} edges, \
+                 federated manifest in {:.3}s",
+                report.spawned.len(),
+                report.regenerated_pes,
+                report.reused_shards,
+                report.manifest.edges,
+                started.elapsed().as_secs_f64()
+            );
+        }
+        Err(e) => {
+            eprintln!("kagen launch: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Worker mode: generate one contiguous PE range into shard files plus a
+/// partial manifest. Spawned by `kagen launch`; usable by hand for
+/// running ranks on separate machines over a shared filesystem.
+fn run_worker(o: &Options) {
+    let shard_dir = o.shard_dir.as_deref().expect("validated");
+    let format = o
+        .format
+        .as_deref()
+        .map(|name| ShardFormat::parse(name).expect("validated"))
+        .unwrap_or(ShardFormat::Compressed);
+    let (a, b) = o.pe_range.expect("validated");
+    let (gen, _params) = build_generator(o);
+    let inject = kagen_repro::cluster::FailureInjection::from_env();
+    let started = std::time::Instant::now();
+    match kagen_repro::cluster::run_worker(
+        gen.as_ref(),
+        Path::new(shard_dir),
+        format,
+        a..b,
+        o.threads.max(1),
+        inject,
+    ) {
+        Ok(shards) => {
+            let edges: u64 = shards.iter().map(|s| s.edges).sum();
+            eprintln!(
+                "kagen worker{}: PEs {a}..{b} -> {} shards, {edges} edges in {:.3}s",
+                o.rank.map(|r| format!(" rank {r}")).unwrap_or_default(),
+                shards.len(),
+                started.elapsed().as_secs_f64()
+            );
+        }
+        Err(e) => {
+            eprintln!(
+                "kagen worker{}: {e}",
+                o.rank.map(|r| format!(" rank {r}")).unwrap_or_default()
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let o = parse();
-    if o.stream {
-        run_stream(&o);
-    } else {
-        run_materialized(&o);
+    match o.mode {
+        Mode::Materialize => run_materialized(&o),
+        Mode::Stream => run_stream(&o),
+        Mode::Launch => run_launch(&o),
+        Mode::Worker => run_worker(&o),
     }
 }

@@ -25,6 +25,7 @@
 //! ```
 
 pub use kagen_baselines as baselines;
+pub use kagen_cluster as cluster;
 pub use kagen_core as core;
 pub use kagen_delaunay as delaunay;
 pub use kagen_dist as dist;

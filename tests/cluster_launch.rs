@@ -1,0 +1,343 @@
+//! Multi-process integration tests of `kagen launch` / `kagen worker`:
+//! real child processes, real shard files, real resume.
+//!
+//! The acceptance bar (ISSUE 3): a multi-process launch produces a
+//! federated `manifest.json` **byte-identical** to a single-process
+//! `kagen stream` run of the same `(seed, params)`, and `--resume` after
+//! a killed worker or corrupted/deleted shard regenerates only the
+//! damaged shards.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const KAGEN: &str = env!("CARGO_BIN_EXE_kagen");
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kagen_it_cluster_{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Run the kagen binary; returns (success, stderr).
+fn kagen(args: &[&str], envs: &[(&str, &str)]) -> (bool, String) {
+    let mut cmd = Command::new(KAGEN);
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("cannot spawn kagen");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// The stderr summary line of a successful launch, e.g.
+/// `kagen launch: 2 ranks spawned, regenerated=[2, 6] reused=6 -> ...`.
+fn launch_summary(stderr: &str) -> &str {
+    stderr
+        .lines()
+        .find(|l| l.contains("federated manifest"))
+        .unwrap_or_else(|| panic!("no launch summary in stderr:\n{stderr}"))
+}
+
+fn model_args(dir: &str) -> Vec<String> {
+    [
+        "gnm_undirected",
+        "-n",
+        "3000",
+        "-m",
+        "24000",
+        "-c",
+        "8",
+        "-s",
+        "42",
+        "--shard-dir",
+        dir,
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+fn read_manifest(dir: &std::path::Path) -> String {
+    std::fs::read_to_string(dir.join("manifest.json")).expect("missing manifest.json")
+}
+
+#[test]
+fn launch_matches_stream_byte_for_byte() {
+    let launch_dir = tmp("fed_launch");
+    let stream_dir = tmp("fed_stream");
+
+    let mut args: Vec<String> = vec!["launch".into()];
+    args.extend(model_args(launch_dir.to_str().unwrap()));
+    args.extend(["--workers".into(), "3".into()]);
+    let (ok, stderr) = kagen(&args.iter().map(|s| s.as_str()).collect::<Vec<_>>(), &[]);
+    assert!(ok, "launch failed:\n{stderr}");
+    assert!(stderr.contains("3 ranks spawned"), "{stderr}");
+
+    let mut args: Vec<String> = vec!["stream".into()];
+    args.extend(model_args(stream_dir.to_str().unwrap()));
+    let (ok, stderr) = kagen(&args.iter().map(|s| s.as_str()).collect::<Vec<_>>(), &[]);
+    assert!(ok, "stream failed:\n{stderr}");
+
+    assert_eq!(
+        read_manifest(&launch_dir),
+        read_manifest(&stream_dir),
+        "federated manifest must be byte-identical to the single-process run"
+    );
+    // Every shard file byte-identical too.
+    for entry in std::fs::read_dir(&stream_dir).unwrap() {
+        let name = entry.unwrap().file_name();
+        let name = name.to_str().unwrap();
+        if name.starts_with("shard-") {
+            let a = std::fs::read(stream_dir.join(name)).unwrap();
+            let b = std::fs::read(launch_dir.join(name)).unwrap();
+            assert_eq!(a, b, "shard {name} differs between launch and stream");
+        }
+    }
+    // The launch dir additionally holds the ledger; no partial
+    // manifests survive a successful run.
+    assert!(launch_dir.join("ledger.json").exists());
+    assert!(!std::fs::read_dir(&launch_dir).unwrap().any(|e| e
+        .unwrap()
+        .file_name()
+        .to_str()
+        .unwrap()
+        .starts_with("part-")));
+
+    std::fs::remove_dir_all(&launch_dir).ok();
+    std::fs::remove_dir_all(&stream_dir).ok();
+}
+
+#[test]
+fn killed_worker_is_resumable_and_resume_spawns_only_missing_ranges() {
+    let dir = tmp("killed");
+    let mut args: Vec<String> = vec!["launch".into()];
+    args.extend(model_args(dir.to_str().unwrap()));
+    args.extend(["--workers".into(), "3".into()]);
+    let argv: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+
+    // The worker owning PE 4 (rank 1, PEs 2..5 for 8 chunks / 3
+    // workers) writes PEs 2 and 3, then dies before PE 4 — so it never
+    // reports a partial manifest and all three of its PEs stay pending.
+    let (ok, stderr) = kagen(&argv, &[("KAGEN_WORKER_FAIL_PE", "4")]);
+    assert!(!ok, "launch must fail when a worker dies:\n{stderr}");
+    assert!(stderr.contains("resumable"), "{stderr}");
+    assert!(!dir.join("manifest.json").exists());
+    assert!(dir.join("ledger.json").exists());
+
+    // Resume without the injection: only the dead rank's PEs re-run.
+    let mut resume_args = args.clone();
+    resume_args.push("--resume".into());
+    let (ok, stderr) = kagen(
+        &resume_args.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &[],
+    );
+    assert!(ok, "resume failed:\n{stderr}");
+    let summary = launch_summary(&stderr);
+    assert!(
+        summary.contains("regenerated=[2, 3, 4]") && summary.contains("reused=5"),
+        "resume must regenerate exactly the dead worker's range: {summary}"
+    );
+
+    // And the result matches a fresh single-process run.
+    let stream_dir = tmp("killed_stream");
+    let mut args: Vec<String> = vec!["stream".into()];
+    args.extend(model_args(stream_dir.to_str().unwrap()));
+    let (ok, _) = kagen(&args.iter().map(|s| s.as_str()).collect::<Vec<_>>(), &[]);
+    assert!(ok);
+    assert_eq!(read_manifest(&dir), read_manifest(&stream_dir));
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&stream_dir).ok();
+}
+
+#[test]
+fn resume_regenerates_exactly_corrupted_and_deleted_shards() {
+    let dir = tmp("repair");
+    let mut args: Vec<String> = vec!["launch".into()];
+    args.extend(model_args(dir.to_str().unwrap()));
+    args.extend(["--workers".into(), "3".into()]);
+    let argv: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+    let (ok, stderr) = kagen(&argv, &[]);
+    assert!(ok, "launch failed:\n{stderr}");
+    let before = read_manifest(&dir);
+
+    // Corrupt shard 2's payload; delete shard 6 outright.
+    let corrupt = dir.join("shard-00002.kgc");
+    let mut bytes = std::fs::read(&corrupt).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    std::fs::write(&corrupt, bytes).unwrap();
+    std::fs::remove_file(dir.join("shard-00006.kgc")).unwrap();
+
+    let mut resume_args = args.clone();
+    resume_args.push("--resume".into());
+    let (ok, stderr) = kagen(
+        &resume_args.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &[],
+    );
+    assert!(ok, "resume failed:\n{stderr}");
+    let summary = launch_summary(&stderr);
+    assert!(
+        summary.contains("regenerated=[2, 6]") && summary.contains("reused=6"),
+        "resume must regenerate exactly the damaged shards: {summary}"
+    );
+    assert!(
+        summary.contains("2 ranks spawned"),
+        "two non-contiguous repairs want two one-PE workers: {summary}"
+    );
+    assert_eq!(
+        read_manifest(&dir),
+        before,
+        "manifest must be restored bit-for-bit"
+    );
+
+    // A second resume finds nothing to do.
+    let (ok, stderr) = kagen(
+        &resume_args.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &[],
+    );
+    assert!(ok, "idempotent resume failed:\n{stderr}");
+    assert!(
+        launch_summary(&stderr).contains("regenerated=[] reused=8"),
+        "{stderr}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The acceptance criterion verbatim: for EVERY model, a multi-process
+/// launch federates a manifest with per-shard checksums identical to a
+/// single-process `kagen stream` run of the same `(seed, params)`.
+#[test]
+fn every_model_federates_identically_to_stream() {
+    let models: &[&[&str]] = &[
+        &["gnm_directed", "-n", "400", "-m", "2000"],
+        &["gnm_undirected", "-n", "400", "-m", "2000"],
+        &["gnp_directed", "-n", "400", "-p", "0.01"],
+        &["gnp_undirected", "-n", "400", "-p", "0.01"],
+        &["rgg2d", "-n", "300"],
+        &["rgg3d", "-n", "300"],
+        &["rdg2d", "-n", "300"],
+        &["rdg3d", "-n", "200"],
+        &["rhg", "-n", "300", "-d", "6", "-g", "2.9"],
+        &["srhg", "-n", "300", "-d", "6", "-g", "2.9"],
+        &["soft-rhg", "-n", "300", "-d", "6", "-g", "2.9", "-T", "0.4"],
+        &["ba", "-n", "400", "-d", "4"],
+        &["rmat", "-n", "512", "-m", "4000"],
+        &[
+            "sbm", "-n", "400", "-b", "3", "--p-in", "0.02", "--p-out", "0.002",
+        ],
+    ];
+    for model in models {
+        let name = model[0];
+        let launch_dir = tmp(&format!("all_{name}_launch"));
+        let stream_dir = tmp(&format!("all_{name}_stream"));
+        let common = ["-c", "5", "-s", "9"];
+
+        let mut args = vec!["launch"];
+        args.extend_from_slice(model);
+        args.extend_from_slice(&common);
+        args.extend([
+            "--shard-dir",
+            launch_dir.to_str().unwrap(),
+            "--workers",
+            "3",
+        ]);
+        let (ok, stderr) = kagen(&args, &[]);
+        assert!(ok, "{name} launch failed:\n{stderr}");
+
+        let mut args = vec!["stream"];
+        args.extend_from_slice(model);
+        args.extend_from_slice(&common);
+        args.extend(["--shard-dir", stream_dir.to_str().unwrap()]);
+        let (ok, stderr) = kagen(&args, &[]);
+        assert!(ok, "{name} stream failed:\n{stderr}");
+
+        assert_eq!(
+            read_manifest(&launch_dir),
+            read_manifest(&stream_dir),
+            "{name}: federated manifest differs from single-process stream"
+        );
+        std::fs::remove_dir_all(&launch_dir).ok();
+        std::fs::remove_dir_all(&stream_dir).ok();
+    }
+}
+
+#[test]
+fn launch_rejects_invalid_flags_before_spawning_workers() {
+    let dir = tmp("reject");
+    let dir_s = dir.to_str().unwrap();
+    for (args, needle) in [
+        (
+            vec![
+                "launch",
+                "gnm_undirected",
+                "--shard-dir",
+                dir_s,
+                "--merge",
+                "external",
+            ],
+            "--merge requires",
+        ),
+        (
+            vec![
+                "launch",
+                "gnm_undirected",
+                "--shard-dir",
+                dir_s,
+                "--pe-range",
+                "0..4",
+            ],
+            "--pe-range requires",
+        ),
+        (
+            vec![
+                "launch",
+                "gnm_undirected",
+                "--shard-dir",
+                dir_s,
+                "-f",
+                "metis",
+            ],
+            "unknown shard format",
+        ),
+        (
+            vec![
+                "launch",
+                "gnm_undirected",
+                "--shard-dir",
+                dir_s,
+                "--workers",
+                "0",
+            ],
+            "--workers must be",
+        ),
+        (vec!["launch", "gnm_undirected"], "--shard-dir is required"),
+        (
+            vec!["worker", "gnm_undirected", "--shard-dir", dir_s],
+            "--pe-range is required",
+        ),
+        (
+            vec![
+                "worker",
+                "gnm_undirected",
+                "--shard-dir",
+                dir_s,
+                "--pe-range",
+                "5..3",
+            ],
+            "not a non-empty sub-range",
+        ),
+    ] {
+        let (ok, stderr) = kagen(&args, &[]);
+        assert!(!ok, "{args:?} must be rejected");
+        assert!(stderr.contains(needle), "{args:?}: {stderr}");
+        assert!(
+            !dir.exists(),
+            "{args:?} must be rejected before anything is written"
+        );
+    }
+}
