@@ -33,9 +33,16 @@
 use kagen_core::prelude::*;
 use kagen_core::streaming::BATCH_EDGES;
 use kagen_pipeline::{BinarySink, EdgeSink};
+use kagen_util::alloc::CountingAlloc;
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
+
+/// Counting allocator: every model's *peak allocation during streaming*
+/// is recorded next to its edges/s — the portable per-model stand-in
+/// for peak RSS.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 struct Measurement {
     name: &'static str,
@@ -49,6 +56,11 @@ struct Measurement {
     /// per-edge `accept` vs `push_batch`.
     sink_per_edge_secs: f64,
     sink_batched_secs: f64,
+    /// Peak bytes allocated during one batched streaming pass (counting
+    /// allocator high-water above the pre-pass baseline): the working
+    /// set of the generator — for the spatial family, the frontier of
+    /// the cell cursor, NOT the edge count.
+    peak_alloc_bytes: u64,
 }
 
 impl Measurement {
@@ -151,6 +163,25 @@ fn time_batched<G: StreamingGenerator + ?Sized>(gen: &G, reps: u32) -> (u64, f64
     (edges, best)
 }
 
+/// Peak allocation of one batched streaming pass over the whole
+/// instance, measured with the counting allocator (batch buffer
+/// pre-reserved outside the window; the consumer keeps only a checksum).
+fn measure_peak_alloc<G: StreamingGenerator + ?Sized>(gen: &G) -> u64 {
+    let mut buf = Vec::with_capacity(BATCH_EDGES);
+    let mut acc = 0u64;
+    let peak = CountingAlloc::peak_during(|| {
+        for pe in 0..gen.num_chunks() {
+            gen.stream_pe_batched(pe, &mut buf, &mut |batch| {
+                for &(u, v) in batch {
+                    acc ^= u.wrapping_add(v.rotate_left(17));
+                }
+            });
+        }
+    });
+    black_box(acc);
+    peak
+}
+
 fn measure<G: StreamingGenerator + ?Sized>(
     name: &'static str,
     model: &'static str,
@@ -163,8 +194,9 @@ fn measure<G: StreamingGenerator + ?Sized>(
     assert_eq!(edges_a, edges_b, "{name}: batched path lost edges");
     let sink_per_edge_secs = time_sink_per_edge(gen, reps);
     let sink_batched_secs = time_sink_batched(gen, reps);
+    let peak_alloc_bytes = measure_peak_alloc(gen);
     eprintln!(
-        "{name:<16} {edges:>10} edges   per-edge {pe:>7.1} Meps   batched {ba:>7.1} Meps ({sp:.2}x)   sink {spe:>7.1} -> {sba:>7.1} Meps ({ssp:.2}x)",
+        "{name:<16} {edges:>10} edges   per-edge {pe:>7.1} Meps   batched {ba:>7.1} Meps ({sp:.2}x)   sink {spe:>7.1} -> {sba:>7.1} Meps ({ssp:.2}x)   peak {peak:>8} B",
         edges = edges_a,
         pe = edges_a as f64 / per_edge_secs / 1e6,
         ba = edges_a as f64 / batched_secs / 1e6,
@@ -172,6 +204,7 @@ fn measure<G: StreamingGenerator + ?Sized>(
         spe = edges_a as f64 / sink_per_edge_secs / 1e6,
         sba = edges_a as f64 / sink_batched_secs / 1e6,
         ssp = sink_per_edge_secs / sink_batched_secs,
+        peak = peak_alloc_bytes,
     );
     Measurement {
         name,
@@ -182,6 +215,7 @@ fn measure<G: StreamingGenerator + ?Sized>(
         batched_secs,
         sink_per_edge_secs,
         sink_batched_secs,
+        peak_alloc_bytes,
     }
 }
 
@@ -420,6 +454,70 @@ fn main() {
         reps,
     ));
 
+    // The spatial/hyperbolic family (native cell-cursor streaming since
+    // the unified-core rework): slower per edge than the index-based
+    // generators, so smaller instances — the interesting column is
+    // peak_alloc_bytes, which must track the cell frontier, not the
+    // edge count.
+    let (rgg_n, rgg3_n, rdg_n, rhg_n, soft_n) = if quick {
+        (1u64 << 12, 1u64 << 11, 1u64 << 10, 1u64 << 12, 1u64 << 10)
+    } else {
+        (1u64 << 16, 1u64 << 14, 1u64 << 13, 1u64 << 15, 1u64 << 12)
+    };
+    let spatial_chunks = 16usize;
+    results.push(measure(
+        "rgg2d",
+        "rgg2d",
+        format!("n={rgg_n} r=threshold"),
+        &Rgg2d::new(rgg_n, Rgg2d::threshold_radius(rgg_n, 1))
+            .with_seed(1)
+            .with_chunks(spatial_chunks),
+        reps,
+    ));
+    results.push(measure(
+        "rgg3d",
+        "rgg3d",
+        format!("n={rgg3_n} r=threshold"),
+        &Rgg3d::new(rgg3_n, Rgg3d::threshold_radius(rgg3_n, 1))
+            .with_seed(1)
+            .with_chunks(spatial_chunks),
+        reps,
+    ));
+    results.push(measure(
+        "rdg2d",
+        "rdg2d",
+        format!("n={rdg_n}"),
+        &Rdg2d::new(rdg_n).with_seed(1).with_chunks(spatial_chunks),
+        reps,
+    ));
+    results.push(measure(
+        "rhg",
+        "rhg",
+        format!("n={rhg_n} d=8 gamma=2.8"),
+        &Rhg::new(rhg_n, 8.0, 2.8)
+            .with_seed(1)
+            .with_chunks(spatial_chunks),
+        reps,
+    ));
+    results.push(measure(
+        "srhg",
+        "srhg",
+        format!("n={rhg_n} d=8 gamma=2.8"),
+        &Srhg::new(rhg_n, 8.0, 2.8)
+            .with_seed(1)
+            .with_chunks(spatial_chunks),
+        reps,
+    ));
+    results.push(measure(
+        "soft_rhg",
+        "soft-rhg",
+        format!("n={soft_n} d=8 gamma=2.8 T=0.5"),
+        &SoftRhg::new(soft_n, 8.0, 2.8, 0.5)
+            .with_seed(1)
+            .with_chunks(spatial_chunks),
+        reps,
+    ));
+
     // The acceptance ratio: fastest batched R-MAT path (table descent,
     // the CLI default) against the per-edge-seeded plain descent — the
     // seed repository's hot path.
@@ -444,7 +542,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"kagen-throughput/v2\",\n");
+    json.push_str("  \"schema\": \"kagen-throughput/v3\",\n");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"repetitions\": {reps},");
     let _ = writeln!(json, "  \"chunks\": {chunks},");
@@ -489,9 +587,10 @@ fn main() {
         );
         let _ = writeln!(
             json,
-            "      \"sink_speedup\": {:.3}",
+            "      \"sink_speedup\": {:.3},",
             r.sink_per_edge_secs / r.sink_batched_secs
         );
+        let _ = writeln!(json, "      \"peak_alloc_bytes\": {}", r.peak_alloc_bytes);
         json.push_str(if i + 1 < results.len() {
             "    },\n"
         } else {

@@ -14,13 +14,16 @@ use crate::ledger::{Ledger, RankStatus};
 use crate::plan::{plan_ranks, plan_repairs, RankTask};
 use crate::worker::{run_worker, FailureInjection};
 use kagen_core::streaming::StreamingGenerator;
-use kagen_pipeline::{validate_shard, Manifest, PartialManifest, RunHeader, ShardFormat};
+use kagen_pipeline::{
+    validate_shard, validate_shard_sampled, Manifest, PartialManifest, RunHeader, ShardFormat,
+};
 use std::collections::HashSet;
 use std::collections::VecDeque;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 /// How the coordinator executes one rank task. The two implementations
 /// — a re-exec'd OS process and an in-process function call — run the
@@ -112,6 +115,7 @@ impl WorkerRunner for InProcessRunner<'_> {
     fn run(&self, task: &RankTask) -> io::Result<Vec<kagen_pipeline::ShardInfo>> {
         let inject = FailureInjection {
             fail_before_pe: task.pes().find(|pe| self.fail_pes.contains(pe)),
+            fail_once_marker: None,
         };
         let shards = run_worker(
             self.gen,
@@ -130,6 +134,48 @@ impl WorkerRunner for InProcessRunner<'_> {
     }
 }
 
+/// Restart blocks fully decoded per shard by sampled validation.
+pub const SAMPLED_BLOCKS: usize = 4;
+
+/// Ceiling of the exponential retry backoff: late attempts of a
+/// persistent fault must not park a supervisor slot for hours.
+pub const MAX_RETRY_BACKOFF: Duration = Duration::from_secs(30);
+
+/// How shards are verified against their recorded state — both when a
+/// resume decides which existing shards to reuse, and after a launch
+/// before the manifest is federated.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ValidateMode {
+    /// Re-read every byte and compare the full edge-stream checksum —
+    /// the end-to-end integrity guarantee, and the default.
+    #[default]
+    Full,
+    /// Fast path for huge runs: size/structure checks plus
+    /// [`SAMPLED_BLOCKS`] fully decoded, checksum-verified restart
+    /// blocks per shard (see
+    /// [`kagen_pipeline::validate_shard_sampled`]). Cuts resume latency
+    /// from O(edges) to O(blocks); corruption inside an unsampled block
+    /// can escape it.
+    Sampled,
+    /// Skip the post-run validation entirely (generation-time checksums
+    /// are trusted). Resume-time reuse decisions still run the full
+    /// re-read — reusing a shard nobody ever re-checked would silently
+    /// break the byte-identity guarantee.
+    None,
+}
+
+impl ValidateMode {
+    /// Parse the CLI spelling.
+    pub fn parse(name: &str) -> Option<ValidateMode> {
+        match name {
+            "full" => Some(ValidateMode::Full),
+            "sampled" => Some(ValidateMode::Sampled),
+            "none" => Some(ValidateMode::None),
+            _ => None,
+        }
+    }
+}
+
 /// Coordinator knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct LaunchOptions {
@@ -140,12 +186,18 @@ pub struct LaunchOptions {
     /// fresh: reuse every shard that still validates, regenerate the
     /// rest.
     pub resume: bool,
-    /// Re-read and checksum-validate every shard written by this
-    /// launch before federating the final manifest (reused shards were
-    /// already validated during resume planning). The end-to-end
-    /// integrity guarantee; skip for very large runs where
-    /// generation-time checksums are trusted.
-    pub validate: bool,
+    /// Shard validation policy (resume-time reuse checks and the
+    /// post-run re-read).
+    pub validate: ValidateMode,
+    /// In-launch retry budget per rank: a failed rank is re-queued (with
+    /// exponential backoff) up to this many extra attempts before it
+    /// counts as failed and leaves its PEs for `--resume`. 0 (the
+    /// default) preserves the retry-on-resume-only behavior.
+    pub retries: u64,
+    /// Base delay of the exponential retry backoff: attempt `k` (1-based
+    /// among retries) sleeps `retry_backoff · 2^(k−1)` before
+    /// re-spawning.
+    pub retry_backoff: Duration,
 }
 
 impl Default for LaunchOptions {
@@ -153,7 +205,9 @@ impl Default for LaunchOptions {
         LaunchOptions {
             workers: 1,
             resume: false,
-            validate: true,
+            validate: ValidateMode::Full,
+            retries: 0,
+            retry_backoff: Duration::from_millis(500),
         }
     }
 }
@@ -215,10 +269,19 @@ fn prepare(
         )));
     }
     // Re-verify every shard the ledger believes is done: a deleted,
-    // truncated or corrupted file flips its PE back to pending.
+    // truncated or corrupted file flips its PE back to pending. With
+    // `ValidateMode::Sampled` this is the resume fast path — a
+    // structural walk plus sampled block checksums instead of a full
+    // re-read per shard.
     let mut invalidated = Vec::new();
     for info in ledger.done_shards() {
-        if validate_shard(dir, format, &info).is_err() {
+        let ok = match opts.validate {
+            ValidateMode::Sampled => {
+                validate_shard_sampled(dir, format, &info, SAMPLED_BLOCKS).is_ok()
+            }
+            ValidateMode::Full | ValidateMode::None => validate_shard(dir, format, &info).is_ok(),
+        };
+        if !ok {
             invalidated.push(info.pe as usize);
             ledger.invalidate_shard(info.pe as usize);
         }
@@ -252,35 +315,108 @@ pub fn launch(
 
     // Supervise: a shared queue drained by `workers` supervisor
     // threads; the coordinator thread serializes ledger updates, saving
-    // after every rank so a killed coordinator stays resumable.
-    let queue: Mutex<VecDeque<RankTask>> = Mutex::new(tasks.iter().cloned().collect());
-    let (tx, rx) = mpsc::channel::<(usize, io::Result<Vec<kagen_pipeline::ShardInfo>>)>();
+    // after every rank so a killed coordinator stays resumable. A
+    // failed rank re-enters the queue up to `opts.retries` times (the
+    // supervisor that picks the retry up sleeps the exponential backoff
+    // first), so a transient fault never costs a manual `--resume`.
+    // `outstanding` counts tasks not yet finally done/failed; it — not
+    // queue emptiness — decides when supervisors may exit, because a
+    // failure being processed by the coordinator may yet respawn.
+    struct Supervision {
+        queue: VecDeque<(RankTask, u64)>,
+        outstanding: usize,
+    }
+    let sup = Mutex::new(Supervision {
+        queue: tasks.iter().cloned().map(|t| (t, 0u64)).collect(),
+        outstanding: tasks.len(),
+    });
+    let wake = Condvar::new();
+    type RankOutcome = (RankTask, u64, io::Result<Vec<kagen_pipeline::ShardInfo>>);
+    let (tx, rx) = mpsc::channel::<RankOutcome>();
     let supervisors = opts.workers.min(tasks.len()).max(1);
     std::thread::scope(|scope| {
         for _ in 0..supervisors {
             let tx = tx.clone();
-            let queue = &queue;
-            scope.spawn(move || {
-                loop {
-                    // Pop in its own statement: a `while let` scrutinee
-                    // would keep the MutexGuard alive across
-                    // `runner.run()` and serialize every worker.
-                    let task = queue.lock().unwrap().pop_front();
-                    let Some(task) = task else { return };
-                    let result = runner.run(&task);
-                    if tx.send((task.rank, result)).is_err() {
-                        return;
+            let (sup, wake) = (&sup, &wake);
+            scope.spawn(move || loop {
+                let popped = {
+                    let mut guard = sup.lock().unwrap();
+                    loop {
+                        if let Some(entry) = guard.queue.pop_front() {
+                            break Some(entry);
+                        }
+                        if guard.outstanding == 0 {
+                            break None;
+                        }
+                        guard = wake.wait(guard).unwrap();
                     }
+                    // The guard drops here: `runner.run` must never hold
+                    // the queue lock, or every worker serializes.
+                };
+                let Some((task, attempt)) = popped else {
+                    return;
+                };
+                if attempt > 0 {
+                    // Exponential backoff with a hard cap: an uncapped
+                    // doubling would park this supervisor slot for hours
+                    // on late attempts of a persistent fault.
+                    let backoff = opts
+                        .retry_backoff
+                        .saturating_mul(1u32 << (attempt - 1).min(16) as u32)
+                        .min(MAX_RETRY_BACKOFF);
+                    std::thread::sleep(backoff);
+                }
+                // A panicking runner must not strand the run: with the
+                // outstanding-count shutdown, an unwinding supervisor
+                // would leave its task counted forever and deadlock the
+                // remaining supervisors on the condvar. Convert the
+                // panic into a rank failure — the same footprint a
+                // crashed worker *process* has.
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| runner.run(&task)))
+                        .unwrap_or_else(|panic| {
+                            let msg = panic
+                                .downcast_ref::<String>()
+                                .map(String::as_str)
+                                .or_else(|| panic.downcast_ref::<&str>().copied())
+                                .unwrap_or("worker panicked");
+                            Err(io::Error::other(format!("worker panicked: {msg}")))
+                        });
+                if tx.send((task, attempt, result)).is_err() {
+                    return;
                 }
             });
         }
         drop(tx);
-        for (rank, result) in rx {
+        for (task, attempt, result) in rx {
+            let rank = task.rank;
+            let mut finished = true;
             match result {
                 Ok(shards) => ledger.record_rank_done(rank, shards),
+                Err(e) if attempt < opts.retries => {
+                    eprintln!(
+                        "kagen launch: rank {rank} failed (attempt {} of {}), retrying: {e}",
+                        attempt + 1,
+                        opts.retries + 1
+                    );
+                    ledger.record_rank_retry(rank);
+                    finished = false;
+                }
                 Err(e) => {
                     eprintln!("kagen launch: rank {rank} failed: {e}");
                     ledger.record_rank_failed(rank);
+                }
+            }
+            {
+                let mut guard = sup.lock().unwrap();
+                if finished {
+                    guard.outstanding -= 1;
+                    if guard.outstanding == 0 {
+                        wake.notify_all();
+                    }
+                } else {
+                    guard.queue.push_back((task, attempt + 1));
+                    wake.notify_one();
                 }
             }
             // Persist progress immediately; surface IO errors after the
@@ -307,13 +443,17 @@ pub fn launch(
     }
 
     let shards = ledger.done_shards();
-    if opts.validate {
+    if opts.validate != ValidateMode::None {
         // Only the shards written by *this* launch need the post-run
-        // re-read; reused shards were already validated in `prepare`,
+        // check; reused shards were already validated in `prepare`,
         // and their bytes cannot have changed since.
         let fresh: std::collections::HashSet<usize> = regenerated_pes.iter().copied().collect();
         for info in shards.iter().filter(|i| fresh.contains(&(i.pe as usize))) {
-            validate_shard(dir, format, info).map_err(|e| {
+            match opts.validate {
+                ValidateMode::Sampled => validate_shard_sampled(dir, format, info, SAMPLED_BLOCKS),
+                _ => validate_shard(dir, format, info),
+            }
+            .map_err(|e| {
                 invalid(format!(
                     "post-run validation failed for shard {} — resume to regenerate it: {e}",
                     info.pe

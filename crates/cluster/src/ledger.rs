@@ -142,6 +142,16 @@ impl Ledger {
         r.attempts += 1;
     }
 
+    /// Record a failed attempt that the supervisor will retry in-launch:
+    /// the attempt counts, but the rank goes back to pending instead of
+    /// failed (so a coordinator killed mid-retry resumes it like any
+    /// other unfinished rank).
+    pub fn record_rank_retry(&mut self, rank: usize) {
+        let r = &mut self.ranks[rank];
+        r.status = RankStatus::Pending;
+        r.attempts += 1;
+    }
+
     /// Mark a shard pending again (failed resume-time validation).
     pub fn invalidate_shard(&mut self, pe: usize) {
         self.shards[pe] = ShardState::Pending;

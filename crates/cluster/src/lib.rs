@@ -50,7 +50,8 @@ pub mod plan;
 pub mod worker;
 
 pub use launch::{
-    launch, InProcessRunner, LaunchOptions, LaunchReport, ProcessRunner, WorkerRunner,
+    launch, InProcessRunner, LaunchOptions, LaunchReport, ProcessRunner, ValidateMode,
+    WorkerRunner, SAMPLED_BLOCKS,
 };
 pub use ledger::{Ledger, RankRecord, RankStatus, ShardState, LEDGER_FILE};
 pub use plan::{plan_ranks, plan_repairs, RankTask};
@@ -149,7 +150,8 @@ mod tests {
         let opts = LaunchOptions {
             workers: 3,
             resume: true,
-            validate: true,
+            validate: ValidateMode::Full,
+            ..Default::default()
         };
         let report = launch(&dir, &header, &opts, &runner).unwrap();
         assert_eq!(report.reused_shards, done_before.len() as u64);
@@ -200,7 +202,8 @@ mod tests {
             &LaunchOptions {
                 workers: 2,
                 resume: true,
-                validate: true,
+                validate: ValidateMode::Full,
+                ..Default::default()
             },
             &runner,
         )
@@ -240,7 +243,8 @@ mod tests {
             &LaunchOptions {
                 workers: 3,
                 resume: true,
-                validate: true,
+                validate: ValidateMode::Full,
+                ..Default::default()
             },
             &runner,
         )
@@ -276,7 +280,8 @@ mod tests {
             &LaunchOptions {
                 workers: 2,
                 resume: true,
-                validate: true,
+                validate: ValidateMode::Full,
+                ..Default::default()
             },
             &runner,
         )
@@ -334,6 +339,182 @@ mod tests {
         let report = launch(&dir, &header, &opts, &runner)
             .expect("both tasks must run concurrently under 2 workers");
         assert_eq!(report.spawned.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A transient rank failure is rescued by the in-launch retry
+    /// budget: the launch succeeds without `--resume`, the ledger
+    /// records the extra attempt, and the manifest is byte-identical to
+    /// a clean run.
+    #[test]
+    fn transient_failures_are_retried_in_launch() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::time::Duration;
+
+        /// Fails every rank's first attempt, succeeds afterwards.
+        struct Flaky<'a> {
+            inner: InProcessRunner<'a>,
+            first_attempts: Mutex<HashSet<usize>>,
+            failures: AtomicU64,
+        }
+        use std::sync::Mutex;
+        impl WorkerRunner for Flaky<'_> {
+            fn run(&self, task: &RankTask) -> std::io::Result<Vec<kagen_pipeline::ShardInfo>> {
+                if self.first_attempts.lock().unwrap().insert(task.rank) {
+                    self.failures.fetch_add(1, Ordering::SeqCst);
+                    return Err(std::io::Error::other("transient fault"));
+                }
+                self.inner.run(task)
+            }
+        }
+
+        let gen = test_gen();
+        let dir = tmp("retry");
+        let header = meta().header(&gen, ShardFormat::Compressed);
+        let runner = Flaky {
+            inner: InProcessRunner::new(&gen, &dir, ShardFormat::Compressed),
+            first_attempts: Mutex::new(HashSet::new()),
+            failures: AtomicU64::new(0),
+        };
+
+        let opts = LaunchOptions {
+            workers: 3,
+            retries: 1,
+            retry_backoff: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let report = launch(&dir, &header, &opts, &runner).expect("retries must rescue the run");
+        assert_eq!(runner.failures.load(Ordering::SeqCst), 3);
+        let ledger = Ledger::load(&dir).unwrap();
+        for r in &ledger.ranks {
+            assert_eq!(r.attempts, 2, "rank {}: one failure + one success", r.rank);
+            assert_eq!(r.status, RankStatus::Done);
+        }
+
+        // Byte-identical to a clean single-process run.
+        let single = tmp("retry_single");
+        let expect = kagen_pipeline::write_sharded(
+            &gen,
+            &meta(),
+            &StreamConfig::new(&single, ShardFormat::Compressed),
+        )
+        .unwrap();
+        assert_eq!(report.manifest, expect);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&single).ok();
+    }
+
+    /// A fault that outlives the retry budget still fails the launch
+    /// (resumable), with every attempt on the ledger.
+    #[test]
+    fn exhausted_retry_budget_leaves_run_resumable() {
+        let gen = test_gen();
+        let dir = tmp("retry_exhausted");
+        let header = meta().header(&gen, ShardFormat::Compressed);
+        let mut runner = InProcessRunner::new(&gen, &dir, ShardFormat::Compressed);
+        runner.fail_pes = HashSet::from([3]); // permanent fault on PE 3's rank
+        let opts = LaunchOptions {
+            workers: 3,
+            retries: 2,
+            retry_backoff: std::time::Duration::from_millis(1),
+            ..Default::default()
+        };
+        let err = launch(&dir, &header, &opts, &runner).unwrap_err();
+        assert!(err.to_string().contains("resumable"), "{err}");
+        let ledger = Ledger::load(&dir).unwrap();
+        let failed: Vec<_> = ledger
+            .ranks
+            .iter()
+            .filter(|r| r.status == RankStatus::Failed)
+            .collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].attempts, 3, "initial attempt + 2 retries");
+        assert!(ledger.missing_pes().contains(&3));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A panicking runner must fail its rank (resumably), not deadlock
+    /// the supervision — regression test for the outstanding-count
+    /// shutdown: an unwinding supervisor used to leave its task counted
+    /// forever, hanging the remaining supervisors on the condvar.
+    #[test]
+    fn panicking_runner_fails_rank_instead_of_deadlocking() {
+        struct Panicky<'a> {
+            inner: InProcessRunner<'a>,
+        }
+        impl WorkerRunner for Panicky<'_> {
+            fn run(&self, task: &RankTask) -> std::io::Result<Vec<kagen_pipeline::ShardInfo>> {
+                if task.pes().contains(&3) {
+                    panic!("degenerate configuration on rank {}", task.rank);
+                }
+                self.inner.run(task)
+            }
+        }
+
+        let gen = test_gen();
+        let dir = tmp("panic");
+        let header = meta().header(&gen, ShardFormat::Compressed);
+        let runner = Panicky {
+            inner: InProcessRunner::new(&gen, &dir, ShardFormat::Compressed),
+        };
+        let err = launch(
+            &dir,
+            &header,
+            &LaunchOptions {
+                workers: 3,
+                ..Default::default()
+            },
+            &runner,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("resumable"), "{err}");
+        let ledger = Ledger::load(&dir).unwrap();
+        assert!(ledger.missing_pes().contains(&3));
+        // Healthy ranks completed despite the sibling's panic.
+        assert!(!ledger.done_shards().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Sampled validation drives resume reuse decisions: valid shards
+    /// are reused, a truncated one is regenerated.
+    #[test]
+    fn sampled_resume_detects_truncation_and_reuses_the_rest() {
+        let gen = test_gen();
+        let dir = tmp("sampled_resume");
+        let header = meta().header(&gen, ShardFormat::Compressed);
+        let runner = InProcessRunner::new(&gen, &dir, ShardFormat::Compressed);
+        let first = launch(
+            &dir,
+            &header,
+            &LaunchOptions {
+                workers: 2,
+                ..Default::default()
+            },
+            &runner,
+        )
+        .unwrap();
+
+        // Truncate shard 2 (size mismatch — sampled validation catches
+        // it structurally).
+        let victim = dir.join(&first.manifest.shards[2].file);
+        let bytes = std::fs::read(&victim).unwrap();
+        std::fs::write(&victim, &bytes[..bytes.len() - 2]).unwrap();
+
+        let report = launch(
+            &dir,
+            &header,
+            &LaunchOptions {
+                workers: 2,
+                resume: true,
+                validate: ValidateMode::Sampled,
+                ..Default::default()
+            },
+            &runner,
+        )
+        .unwrap();
+        assert_eq!(report.regenerated_pes, vec![2]);
+        assert_eq!(report.reused_shards, 5);
+        assert_eq!(report.manifest, first.manifest);
         std::fs::remove_dir_all(&dir).ok();
     }
 

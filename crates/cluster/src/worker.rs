@@ -17,21 +17,30 @@ use std::path::Path;
 /// Failure-injection hook for supervision tests: abort before writing
 /// shard `pe`, leaving earlier shards of the range behind — the
 /// footprint of a worker killed mid-run.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct FailureInjection {
     /// Abort (with an error) immediately before generating this PE.
     pub fail_before_pe: Option<usize>,
+    /// Transient-fault mode for retry tests: if this marker file does
+    /// not exist, create it and fail the worker at entry; once the
+    /// marker exists every later attempt proceeds normally — a fault
+    /// that heals on retry.
+    pub fail_once_marker: Option<std::path::PathBuf>,
 }
 
 impl FailureInjection {
-    /// Read the injection from the environment (`KAGEN_WORKER_FAIL_PE`)
-    /// — how the `kagen worker` subcommand picks it up in integration
-    /// tests without a dedicated CLI flag.
+    /// Read the injection from the environment (`KAGEN_WORKER_FAIL_PE`,
+    /// `KAGEN_WORKER_FAIL_ONCE=<marker path>`) — how the `kagen worker`
+    /// subcommand picks it up in integration tests without a dedicated
+    /// CLI flag.
     pub fn from_env() -> FailureInjection {
         FailureInjection {
             fail_before_pe: std::env::var("KAGEN_WORKER_FAIL_PE")
                 .ok()
                 .and_then(|v| v.parse().ok()),
+            fail_once_marker: std::env::var("KAGEN_WORKER_FAIL_ONCE")
+                .ok()
+                .map(std::path::PathBuf::from),
         }
     }
 }
@@ -52,6 +61,14 @@ pub fn run_worker(
     inject: FailureInjection,
 ) -> io::Result<Vec<ShardInfo>> {
     std::fs::create_dir_all(dir)?;
+    if let Some(marker) = &inject.fail_once_marker {
+        if !marker.exists() {
+            std::fs::write(marker, b"failed once\n")?;
+            return Err(io::Error::other(
+                "injected transient failure (first attempt)",
+            ));
+        }
+    }
     let (begin, end) = (pes.start, pes.end);
     let results: Vec<io::Result<ShardInfo>> =
         kagen_runtime::run_chunks(end - begin, threads, |i| {
@@ -119,6 +136,7 @@ mod tests {
             1,
             FailureInjection {
                 fail_before_pe: Some(3),
+                ..Default::default()
             },
         )
         .unwrap_err();

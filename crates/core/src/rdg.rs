@@ -18,7 +18,7 @@ use crate::{Generator, PeGraph};
 use kagen_delaunay::{circumcircle2, circumsphere3, Delaunay2, Delaunay3};
 use kagen_geometry::cell_points::cell_points;
 use kagen_geometry::grid::levels_for_min_side;
-use kagen_geometry::{CellGrid, CountTree, Point};
+use kagen_geometry::{CellGrid, CellRangeCursor, CountTree, FrontierCache, FrontierStats, Point};
 use std::collections::HashSet;
 
 /// Shared implementation for both dimensions.
@@ -110,6 +110,169 @@ impl<const D: usize> Rdg<D> {
             out_pts.push(Point(c));
             out_ids.push(first + k as u64);
         }
+    }
+
+    /// Per-cell-group streaming (§6 over the cell cursor): for every
+    /// non-empty local cell, triangulate the cell plus a halo of
+    /// surrounding rings (grown until the same certification
+    /// [`Generator::generate_pe`] uses — no center simplex touches the
+    /// artificial hull, every center simplex' circumsphere lies strictly
+    /// inside cell+halo — so the center's simplices are exactly the
+    /// global periodic Delaunay's), then emit only the edges the center
+    /// cell *owns*: the normalized edge `(x, y)` belongs to the cell
+    /// holding `x` if `x` is PE-local, else to the cell holding `y`.
+    /// Ownership is a pure function of the ids, so each edge with a
+    /// local endpoint is emitted exactly once per PE without any cross-
+    /// cell dedup state; memory is one cell group, never the per-PE
+    /// edge count. Halo cell points are served by a frontier cache
+    /// (distance-1 cells are retained across adjacent groups, anything
+    /// farther is recomputed — the paper's recomputation trade).
+    pub(crate) fn stream_cells(&self, pe: usize, emit: &mut impl FnMut(u64, u64)) -> FrontierStats {
+        let inst = self.instance();
+        let grid = &inst.grid;
+        let g = grid.cells_per_dim() as i64;
+        let side = grid.cell_side();
+        let cells_per_chunk_bits = D as u32 * (grid.levels() - inst.chunk_bits);
+        let lo = (pe as u64) << cells_per_chunk_bits;
+        let hi = (pe as u64 + 1) << cells_per_chunk_bits;
+        let cursor = CellRangeCursor::new(grid, &inst.tree, lo, hi);
+        let pe_ids = cursor.first_id()..cursor.end_id();
+        let max_halo = (g - 1).clamp(1, 16);
+        // Cached halo cells, keyed by (wrapped cell, replica offset);
+        // values are translated points with their global ids.
+        type HaloCache<const D: usize> = FrontierCache<(u64, [i64; D]), (Vec<Point<D>>, Vec<u64>)>;
+        let mut cache: HaloCache<D> = FrontierCache::new();
+        let mut owned: Vec<(u64, u64)> = Vec::new();
+
+        cursor.for_cells(&mut |cell, count, first| {
+            cache.advance(cell);
+            if count == 0 {
+                return;
+            }
+            let center = grid.coords_of(cell);
+            let cell_ids = first..first + count;
+            // Group buffers: center points first, then halo rings.
+            let mut pts: Vec<Point<D>> = Vec::new();
+            let mut ids: Vec<u64> = Vec::new();
+            cell_points(grid, self.seed, cell, count, &mut pts);
+            ids.extend(first..first + count);
+            let n_center = pts.len();
+            cache.note_external(n_center as u64);
+
+            let mut halo_seen: HashSet<(u64, [i64; D])> = HashSet::new();
+            let mut h: i64 = 0;
+            loop {
+                h += 1;
+                if h > max_halo {
+                    panic!(
+                        "RDG halo exceeded {max_halo} rings — degenerate configuration \
+                         (n too small for the chunk count?)"
+                    );
+                }
+                // Ring h: cells at Chebyshev distance exactly h around
+                // the center cell, wrapped on the torus.
+                let lo_c: Vec<i64> = (0..D).map(|i| center[i] as i64 - h).collect();
+                let hi_c: Vec<i64> = (0..D).map(|i| center[i] as i64 + h).collect();
+                enumerate_ring::<D>(&lo_c, &hi_c, &mut |raw| {
+                    let mut wrapped = [0u64; D];
+                    let mut offset = [0i64; D];
+                    for i in 0..D {
+                        let mut x = raw[i];
+                        let mut o = 0i64;
+                        while x < 0 {
+                            x += g;
+                            o -= 1;
+                        }
+                        while x >= g {
+                            x -= g;
+                            o += 1;
+                        }
+                        wrapped[i] = x as u64;
+                        offset[i] = o;
+                    }
+                    let m = grid.morton_of(wrapped);
+                    if !halo_seen.insert((m, offset)) {
+                        return;
+                    }
+                    // Direct neighbors are re-requested by adjacent
+                    // center cells; anything farther retires at once
+                    // (recomputed on the rare deep-halo group).
+                    let retire = if offset == [0i64; D] && h == 1 {
+                        cursor.last_referencing_center(m)
+                    } else {
+                        cell
+                    };
+                    let (hpts, hids) = cache.get((m, offset), retire, || {
+                        let mut hpts = Vec::new();
+                        let mut hids = Vec::new();
+                        self.cell_with_offset(&inst, wrapped, offset, &mut hpts, &mut hids);
+                        (hpts, hids)
+                    });
+                    pts.extend_from_slice(hpts);
+                    ids.extend_from_slice(hids);
+                });
+
+                // Triangulate the group and certify the center's
+                // simplices against the full periodic point set.
+                let region_lo: Vec<f64> = (0..D)
+                    .map(|i| (center[i] as i64 - h) as f64 * side)
+                    .collect();
+                let region_hi: Vec<f64> = (0..D)
+                    .map(|i| (center[i] as i64 + 1 + h) as f64 * side)
+                    .collect();
+                let (edges, converged) = match D {
+                    2 => {
+                        let coords: Vec<[f64; 2]> = pts.iter().map(|p| [p.0[0], p.0[1]]).collect();
+                        let dt = Delaunay2::new(&coords);
+                        let ok = check2(&dt, n_center, &region_lo, &region_hi);
+                        (extract_edges2(&dt, n_center), ok)
+                    }
+                    3 => {
+                        let coords: Vec<[f64; 3]> =
+                            pts.iter().map(|p| [p.0[0], p.0[1], p.0[2]]).collect();
+                        let dt = Delaunay3::new(&coords);
+                        let ok = check3(&dt, n_center, &region_lo, &region_hi);
+                        (extract_edges3(&dt, n_center), ok)
+                    }
+                    _ => unreachable!(),
+                };
+                if !converged {
+                    continue;
+                }
+
+                // Ownership: normalized (x, y) belongs to this cell iff
+                // x is one of its vertices, or x is not PE-local at all
+                // and y is one of its vertices.
+                owned.clear();
+                for (a, b) in edges {
+                    let (ga, gb) = (ids[a as usize], ids[b as usize]);
+                    let (x, y) = (ga.min(gb), ga.max(gb));
+                    if x == y {
+                        continue; // a point meeting its own replica
+                    }
+                    if cell_ids.contains(&x) || (!pe_ids.contains(&x) && cell_ids.contains(&y)) {
+                        owned.push((x, y));
+                    }
+                }
+                owned.sort_unstable();
+                owned.dedup();
+                for &(x, y) in &owned {
+                    emit(x, y);
+                }
+                return;
+            }
+        });
+        cache.stats()
+    }
+
+    /// Stream PE `pe`'s edges and report the frontier accounting (halo
+    /// cells held across groups) — the hook the memory tests use.
+    pub fn stream_pe_instrumented(
+        &self,
+        pe: usize,
+        emit: &mut impl FnMut(u64, u64),
+    ) -> FrontierStats {
+        self.stream_cells(pe, emit)
     }
 }
 

@@ -17,8 +17,7 @@
 use crate::{Generator, PeGraph};
 use kagen_geometry::cell_points::cell_points;
 use kagen_geometry::grid::levels_for_min_side;
-use kagen_geometry::{CellGrid, CountTree, Point};
-use std::collections::BTreeMap;
+use kagen_geometry::{CellGrid, CellRangeCursor, CountTree, FrontierCache, FrontierStats, Point};
 
 /// Shared implementation for both dimensions.
 #[derive(Clone, Debug)]
@@ -111,18 +110,91 @@ impl<const D: usize> Rgg<D> {
         self.seed
     }
 
-    /// Generate one cell (points + global id of its first vertex).
-    fn cell_content(
+    /// The PE's aligned Morton cell range `[lo, hi)`.
+    fn cell_range(&self, grid: &CellGrid<D>, b: u32, pe: usize) -> (u64, u64) {
+        let cells_per_chunk_bits = D as u32 * (grid.levels() - b);
+        let lo = (pe as u64) << cells_per_chunk_bits;
+        let hi = (pe as u64 + 1) << cells_per_chunk_bits;
+        (lo, hi)
+    }
+
+    /// The cell-cursor streaming core: walk the PE's cells in Morton
+    /// order, regenerate each cell's points on demand from
+    /// `(seed, cell)`, and enumerate candidate pairs over the 3^d
+    /// neighborhood. The frontier cache retains a neighbor cell only
+    /// until the last center cell that can reference it has passed, so
+    /// memory is bounded by the active cell neighborhood — never by the
+    /// PE's edge count.
+    ///
+    /// The emitted stream is edge-for-edge identical to
+    /// [`Generator::generate_pe`]'s `edges` (which is built on this very
+    /// function): within-cell pairs first, then the 3^d neighbors in
+    /// enumeration order; local–local cell pairs are processed once (at
+    /// the smaller Morton rank), local–halo pairs always (the neighbor
+    /// PE emits its own copy; merge deduplicates).
+    pub(crate) fn stream_cells(&self, pe: usize, emit: &mut impl FnMut(u64, u64)) -> FrontierStats {
+        let (grid, tree, b) = self.count_tree();
+        let (lo, hi) = self.cell_range(&grid, b, pe);
+        let cursor = CellRangeCursor::new(&grid, &tree, lo, hi);
+        let r2 = self.radius * self.radius;
+        let mut cache: FrontierCache<u64, (u64, Vec<Point<D>>)> = FrontierCache::new();
+        let gen_cell = |cell: u64| {
+            let count = tree.leaf_count(cell);
+            let first = tree.prefix_before(cell);
+            let mut pts = Vec::new();
+            cell_points(&grid, self.seed, cell, count, &mut pts);
+            (first, pts)
+        };
+        cursor.for_cells(&mut |cell, count, first| {
+            cache.advance(cell);
+            if count == 0 {
+                return;
+            }
+            // The center's points leave the cache: once a cell has been
+            // the center, no later center references it (pairs with
+            // larger Morton neighbors were processed here and now).
+            let (_, pts) = cache.take(cell, || {
+                let mut pts = Vec::new();
+                cell_points(&grid, self.seed, cell, count, &mut pts);
+                (first, pts)
+            });
+            cache.note_external(pts.len() as u64);
+            // Within-cell pairs.
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    if pts[i].dist2(&pts[j]) <= r2 {
+                        emit(first + i as u64, first + j as u64);
+                    }
+                }
+            }
+            grid.for_neighbors(grid.coords_of(cell), false, &mut |ncoords, _| {
+                let ncell = grid.morton_of(ncoords);
+                if ncell == cell || (cursor.contains(ncell) && ncell < cell) {
+                    return;
+                }
+                let retire = cursor.last_referencing_center(ncell);
+                let (nfirst, npts) = cache.get(ncell, retire, || gen_cell(ncell));
+                for (i, p) in pts.iter().enumerate() {
+                    for (j, q) in npts.iter().enumerate() {
+                        if p.dist2(q) <= r2 {
+                            emit(first + i as u64, *nfirst + j as u64);
+                        }
+                    }
+                }
+            });
+        });
+        cache.stats()
+    }
+
+    /// Stream PE `pe`'s edges and report the frontier accounting — the
+    /// hook the memory-regression tests use to prove the working set
+    /// stays bounded by the cell neighborhood.
+    pub fn stream_pe_instrumented(
         &self,
-        grid: &CellGrid<D>,
-        tree: &CountTree<D>,
-        morton: u64,
-    ) -> (u64, Vec<Point<D>>) {
-        let count = tree.leaf_count(morton);
-        let first_id = tree.prefix_before(morton);
-        let mut pts = Vec::new();
-        cell_points(grid, self.seed, morton, count, &mut pts);
-        (first_id, pts)
+        pe: usize,
+        emit: &mut impl FnMut(u64, u64),
+    ) -> FrontierStats {
+        self.stream_cells(pe, emit)
     }
 }
 
@@ -142,33 +214,21 @@ impl<const D: usize> Generator for Rgg<D> {
 
     fn generate_pe(&self, pe: usize) -> PeGraph {
         let (grid, tree, b) = self.count_tree();
-        let cells_per_chunk_bits = D as u32 * (grid.levels() - b);
-        let lo = (pe as u64) << cells_per_chunk_bits;
-        let hi = (pe as u64 + 1) << cells_per_chunk_bits;
+        let (lo, hi) = self.cell_range(&grid, b, pe);
+        let cursor = CellRangeCursor::new(&grid, &tree, lo, hi);
 
         let mut out = PeGraph {
             pe,
             ..PeGraph::default()
         };
+        out.vertex_begin = cursor.first_id();
+        out.vertex_end = cursor.end_id();
 
-        // 1. Generate local cells with ids from a running Morton prefix.
-        let mut local: BTreeMap<u64, (u64, Vec<Point<D>>)> = BTreeMap::new();
-        let mut next_id = tree.prefix_before(lo);
-        out.vertex_begin = next_id;
-        {
-            let mut counts: Vec<(u64, u64)> = Vec::new();
-            tree.for_leaf_counts(lo, hi, &mut |cell, c| counts.push((cell, c)));
-            for (cell, c) in counts {
-                let mut pts = Vec::new();
-                cell_points(&grid, self.seed, cell, c, &mut pts);
-                local.insert(cell, (next_id, pts));
-                next_id += c;
-            }
-        }
-        out.vertex_end = next_id;
-
-        // Record coordinates of local vertices.
-        for (&_cell, (first, pts)) in &local {
+        // Coordinates of local vertices (ids from the running Morton
+        // prefix the cursor carries).
+        cursor.for_cells(&mut |cell, count, first| {
+            let mut pts = Vec::new();
+            cell_points(&grid, self.seed, cell, count, &mut pts);
             for (k, p) in pts.iter().enumerate() {
                 let id = first + k as u64;
                 match D {
@@ -177,69 +237,13 @@ impl<const D: usize> Generator for Rgg<D> {
                     _ => unreachable!(),
                 }
             }
-        }
+        });
 
-        // 2. Halo cells: all out-of-chunk neighbors of local cells,
-        //    recomputed deterministically.
-        let mut halo: BTreeMap<u64, (u64, Vec<Point<D>>)> = BTreeMap::new();
-        for &cell in local.keys() {
-            let coords = grid.coords_of(cell);
-            grid.for_neighbors(coords, false, &mut |ncoords, _| {
-                let ncell = grid.morton_of(ncoords);
-                if !(lo..hi).contains(&ncell) && !halo.contains_key(&ncell) {
-                    halo.insert(ncell, self.cell_content(&grid, &tree, ncell));
-                }
-            });
-        }
-
-        // 3. Edges: compare each local cell with its 3^d neighborhood.
-        let r2 = self.radius * self.radius;
-        let emit =
-            |a_id: u64, a: &Point<D>, b_id: u64, b: &Point<D>, edges: &mut Vec<(u64, u64)>| {
-                if a.dist2(b) <= r2 {
-                    edges.push((a_id, b_id));
-                }
-            };
+        // Edges through the identical cell-cursor walk the streaming
+        // path uses — materializing changes the container, never the
+        // stream.
         let mut edges = Vec::new();
-        for (&cell, (first, pts)) in &local {
-            let coords = grid.coords_of(cell);
-            // Within-cell pairs.
-            for i in 0..pts.len() {
-                for j in (i + 1)..pts.len() {
-                    emit(
-                        first + i as u64,
-                        &pts[i],
-                        first + j as u64,
-                        &pts[j],
-                        &mut edges,
-                    );
-                }
-            }
-            grid.for_neighbors(coords, false, &mut |ncoords, _| {
-                let ncell = grid.morton_of(ncoords);
-                if ncell == cell {
-                    return;
-                }
-                if let Some((nfirst, npts)) = local.get(&ncell) {
-                    // Local–local: process each unordered cell pair once.
-                    if ncell > cell {
-                        for (i, p) in pts.iter().enumerate() {
-                            for (j, q) in npts.iter().enumerate() {
-                                emit(first + i as u64, p, nfirst + j as u64, q, &mut edges);
-                            }
-                        }
-                    }
-                } else if let Some((nfirst, npts)) = halo.get(&ncell) {
-                    // Local–halo: always process (the neighbor PE emits its
-                    // own copy; merge deduplicates).
-                    for (i, p) in pts.iter().enumerate() {
-                        for (j, q) in npts.iter().enumerate() {
-                            emit(first + i as u64, p, nfirst + j as u64, q, &mut edges);
-                        }
-                    }
-                }
-            });
-        }
+        self.stream_cells(pe, &mut |u, v| edges.push((u, v)));
         out.edges = edges;
         out
     }

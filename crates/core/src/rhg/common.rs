@@ -16,6 +16,7 @@
 
 use kagen_dist::{binomial, multinomial};
 use kagen_geometry::hyperbolic::{PrePoint, RhgSpace};
+use kagen_geometry::{FrontierCache, FrontierStats};
 use kagen_util::seed::stream;
 use kagen_util::{derive_seed, Mt64, Rng64};
 use std::collections::HashMap;
@@ -135,25 +136,138 @@ impl RhgInstance {
             .collect()
     }
 
-    /// Call `f(cell)` for every cell of annulus `i` overlapping the angular
-    /// interval `[lo, hi]` (handles wrap-around; each cell at most once).
-    pub fn cells_overlapping(&self, i: usize, lo: f64, hi: f64, f: &mut impl FnMut(u64)) {
+    /// The cells of annulus `i` overlapping the angular interval
+    /// `[lo, hi]`, as `(first, count)` of the wrapped sequence
+    /// `first, first+1, …` (mod `ann_cells[i]`). Each cell appears at
+    /// most once; a full-circle interval covers every cell.
+    pub fn overlap_range(&self, i: usize, lo: f64, hi: f64) -> (u64, u64) {
         let cells = self.ann_cells[i];
         let width = self.cell_width(i);
         if hi - lo >= std::f64::consts::TAU - 1e-12 {
-            for c in 0..cells {
-                f(c);
-            }
-            return;
+            return (0, cells);
         }
         let lo_wrapped = lo.rem_euclid(std::f64::consts::TAU);
         let first = (lo_wrapped / width) as u64 % cells;
         let span = hi - lo;
         let count = ((span / width) as u64 + 2).min(cells);
+        (first, count)
+    }
+
+    /// Call `f(cell)` for every cell of annulus `i` overlapping the angular
+    /// interval `[lo, hi]` (handles wrap-around; each cell at most once).
+    pub fn cells_overlapping(&self, i: usize, lo: f64, hi: f64, f: &mut impl FnMut(u64)) {
+        let cells = self.ann_cells[i];
+        let (first, count) = self.overlap_range(i, lo, hi);
         for k in 0..count {
             f((first + k) % cells);
         }
     }
+}
+
+/// Rank span of one local annulus in the query-stream sweep: local
+/// sweep position `(annulus i, sector cell k)` maps to the monotone rank
+/// `i · RANK_SPAN + k`, so retire ranks order totally across annuli.
+/// Lookahead windows never exceed one full annulus of cells, which stays
+/// far below the span.
+const RANK_SPAN: u64 = 1 << 40;
+
+/// The streaming, query-centric neighborhood pass shared by the
+/// threshold ([`crate::rhg::Rhg`]) and binomial
+/// ([`crate::rhg::SoftRhg`]) generators: iterate the PE's local vertices
+/// in global-id order (annulus-major, cell-major — exactly how ids are
+/// assigned), run each vertex's Δθ-bounded query through a
+/// [`FrontierCache`] of recomputable cells, and emit `(v, u)` pairs with
+/// `u` ascending per vertex. The concatenation is *identical* — order
+/// included — to the sorted edge list the in-memory generators build,
+/// while memory stays bounded by the active query window: a cached cell
+/// retires as soon as the sweep has moved one lookahead window past it,
+/// and is transparently recomputed if a later annulus queries it again.
+///
+/// Parameters: `dt(v, j)` is the angular query half-width of vertex `v`
+/// into annulus `j` (Eq. 8 for the threshold model, the enlarged-radius
+/// variant for the soft model); `dt_max(i, j)` an upper bound of `dt`
+/// over all `v` in annulus `i` (for retire lookaheads — a wrong bound
+/// costs recomputation, never correctness); `adjacent(u, v)` the exact
+/// pair rule.
+pub(crate) fn stream_pe_queries(
+    inst: &RhgInstance,
+    chunks: usize,
+    pe: usize,
+    dt_max: &impl Fn(usize, usize) -> f64,
+    dt: &impl Fn(&PrePoint, usize) -> f64,
+    adjacent: &impl Fn(&PrePoint, &PrePoint) -> bool,
+    emit: &mut impl FnMut(u64, u64),
+) -> FrontierStats {
+    let tau = std::f64::consts::TAU;
+    let (lo, hi) = (
+        tau * pe as f64 / chunks as f64,
+        tau * (pe as f64 + 1.0) / chunks as f64,
+    );
+    let annuli = inst.num_annuli();
+    let mut cache: FrontierCache<(usize, u64), Vec<PrePoint>> = FrontierCache::new();
+    let mut locals: Vec<PrePoint> = Vec::new();
+    let mut nbrs: Vec<u64> = Vec::new();
+
+    for i in 0..annuli {
+        if inst.ann_counts[i] == 0 {
+            continue;
+        }
+        let w_i = inst.cell_width(i);
+        // Lookahead (in local-cell ranks) after which a fetched cell of
+        // annulus `j` can no longer be touched by this annulus' sweep:
+        // the touching vertices span at most one target cell plus two
+        // query half-widths.
+        let lookahead = |j: usize| -> u64 {
+            let span = inst.cell_width(j) + 2.0 * dt_max(i, j);
+            (span / w_i).ceil() as u64 + 2
+        };
+        let (first, count) = inst.overlap_range(i, lo, hi);
+        for k in 0..count {
+            let now = i as u64 * RANK_SPAN + k;
+            cache.advance(now);
+            let c = (first + k) % inst.ann_cells[i];
+            // The local cell is also a query target of nearby vertices
+            // (its own annulus and others), so it lives in the cache
+            // like any other cell; copy the points out to iterate while
+            // the cache serves the queries.
+            locals.clear();
+            locals.extend_from_slice(
+                cache.get((i, c), now + lookahead(i), || inst.cell_points(i, c)),
+            );
+            cache.note_external(locals.len() as u64);
+            for v in locals.iter().filter(|p| p.theta >= lo && p.theta < hi) {
+                nbrs.clear();
+                for j in 0..annuli {
+                    if inst.ann_counts[j] == 0 {
+                        continue;
+                    }
+                    let d = dt(v, j);
+                    let (jfirst, jcount) = inst.overlap_range(j, v.theta - d, v.theta + d);
+                    let retire = now + lookahead(j);
+                    for kk in 0..jcount {
+                        let cc = (jfirst + kk) % inst.ann_cells[j];
+                        for u in cache.get((j, cc), retire, || inst.cell_points(j, cc)) {
+                            if u.id != v.id && adjacent(u, v) {
+                                // Local–local pairs once (id order); the
+                                // other endpoint's PE emits cross pairs
+                                // from its side, dedup happens on merge.
+                                let u_local = u.theta >= lo && u.theta < hi;
+                                if !u_local || u.id > v.id {
+                                    nbrs.push(u.id);
+                                }
+                            }
+                        }
+                    }
+                }
+                nbrs.sort_unstable();
+                nbrs.dedup();
+                for &u in &nbrs {
+                    emit(v.id, u);
+                }
+            }
+        }
+    }
+    cache.stats()
 }
 
 /// A per-PE cache of generated cells (local and recomputed remote ones).

@@ -8,9 +8,10 @@
 //! the paper's inward/outward search recomputation, realized through the
 //! deterministic cell scheme of [`super::common`].
 
-use super::common::{CellCache, RhgInstance};
+use super::common::{stream_pe_queries, CellCache, RhgInstance};
 use crate::{Generator, PeGraph};
 use kagen_geometry::hyperbolic::PrePoint;
+use kagen_geometry::FrontierStats;
 
 /// Random hyperbolic graph (threshold model), in-memory generator.
 #[derive(Clone, Debug)]
@@ -77,6 +78,43 @@ impl Rhg {
                 }
             }
         }
+    }
+}
+
+impl Rhg {
+    /// The native streaming pass: the same Δθ-bounded queries as
+    /// [`Generator::generate_pe`], but through the evicting frontier
+    /// cache of [`stream_pe_queries`] — the emitted stream equals the
+    /// in-memory generator's sorted edge list edge-for-edge, with memory
+    /// bounded by the active query window instead of every recomputed
+    /// cell.
+    pub(crate) fn stream_query(&self, pe: usize, emit: &mut impl FnMut(u64, u64)) -> FrontierStats {
+        let inst = self.instance();
+        let cosh_r = inst.space.cosh_r;
+        stream_pe_queries(
+            &inst,
+            self.chunks,
+            pe,
+            &|i, j| {
+                inst.space.delta_theta(
+                    inst.space.bounds[i].max(1e-12),
+                    inst.space.bounds[j].max(1e-12),
+                )
+            },
+            &|v, j| inst.space.delta_theta(v.r, inst.space.bounds[j].max(1e-12)),
+            &|u, v| v.is_adjacent(u, cosh_r),
+            emit,
+        )
+    }
+
+    /// Stream PE `pe`'s edges and report the frontier accounting — the
+    /// hook the memory-regression tests use.
+    pub fn stream_pe_instrumented(
+        &self,
+        pe: usize,
+        emit: &mut impl FnMut(u64, u64),
+    ) -> FrontierStats {
+        self.stream_query(pe, emit)
     }
 }
 

@@ -27,9 +27,10 @@
 //! a documented approximation of the ideal model; its error bound is
 //! checked statistically in the tests.
 
-use super::common::{CellCache, RhgInstance};
+use super::common::{stream_pe_queries, CellCache, RhgInstance};
 use crate::{Generator, PeGraph};
 use kagen_geometry::hyperbolic::PrePoint;
+use kagen_geometry::FrontierStats;
 use kagen_util::seed::stream;
 use kagen_util::{derive_seed, splitmix::mix64};
 
@@ -156,6 +157,35 @@ impl SoftRhg {
             }
         }
     }
+
+    /// The native streaming pass: the truncated-radius queries of
+    /// [`Generator::generate_pe`] through the evicting frontier cache of
+    /// [`stream_pe_queries`] — identical output (order included), memory
+    /// bounded by the active query window.
+    pub(crate) fn stream_query(&self, pe: usize, emit: &mut impl FnMut(u64, u64)) -> FrontierStats {
+        let inst = self.instance();
+        let r_eff = self.effective_radius(&inst);
+        let cosh_r_eff = r_eff.cosh();
+        stream_pe_queries(
+            &inst,
+            self.chunks,
+            pe,
+            &|i, j| {
+                inst.space.delta_theta_at(
+                    inst.space.bounds[i].max(1e-12),
+                    inst.space.bounds[j].max(1e-12),
+                    r_eff,
+                    cosh_r_eff,
+                )
+            },
+            &|v, j| {
+                inst.space
+                    .delta_theta_at(v.r, inst.space.bounds[j].max(1e-12), r_eff, cosh_r_eff)
+            },
+            &|u, v| self.pair_connected(&inst, u, v),
+            emit,
+        )
+    }
 }
 
 impl Generator for SoftRhg {
@@ -214,7 +244,11 @@ impl Generator for SoftRhg {
         for v in &locals {
             self.query_neighbors(&inst, &mut cache, r_eff, cosh_r_eff, v, &mut |u| {
                 if !local_ids.contains(&u.id) || u.id > v.id {
-                    edges.push((v.id.min(u.id), v.id.max(u.id)));
+                    // Oriented local-first, like the threshold Rhg: the
+                    // sorted result is then exactly the order the native
+                    // streaming pass emits (normalization happens on
+                    // merge, as for every undirected generator).
+                    edges.push((v.id, u.id));
                 }
             });
         }

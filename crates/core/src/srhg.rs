@@ -49,9 +49,14 @@ struct Request {
 /// Per-PE generation statistics (see [`Srhg::generate_pe_stats`]).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SrhgPeStats {
-    /// Points generated in total (replicated globals + extended sector).
-    /// This is *throughput*, not memory: a true streaming run emits them
-    /// and lets them go.
+    /// Distinct points generated: replicated globals plus each
+    /// activated extended-sector cell counted **once** (a cell whose
+    /// requests cannot reach any owned node — beyond the Δθ reach past
+    /// the sector — is never generated at all). Recomputations of the
+    /// same cell across later annulus sweeps are deliberately *not*
+    /// double-counted: this is the instance-level point count the
+    /// `abl-mem` table compares against the query generator's held
+    /// state; the recomputation cost shows up in wall-clock, not here.
     pub generated_points: u64,
     /// Peak *live* state of the sweep: replicated global points plus the
     /// largest simultaneous active-request window summed over annuli —
@@ -142,182 +147,255 @@ impl Generator for Srhg {
     }
 }
 
+/// One contributor annulus' generation cursor during a single-annulus
+/// sweep: its cells over the extended sector, walked in linear angular
+/// order and activated just before the sweep can first need them.
+struct Contrib {
+    /// Contributor annulus index.
+    i: usize,
+    /// Total cells of the annulus.
+    cells: u64,
+    /// First cell of the extended-sector sequence.
+    first: u64,
+    /// Cells in the sequence.
+    count: u64,
+    /// Linear angular position of the sequence's first cell (may be
+    /// negative — the pre-extension of sector 0 sits below zero in
+    /// linear coordinates; requests themselves are clipped in wrapped
+    /// coordinates).
+    pos0: f64,
+    /// Cell width.
+    w: f64,
+    /// Upper bound of this annulus' request half-width into the swept
+    /// annulus (Δθ at the annulus' lower radius).
+    dt_max: f64,
+    /// Next unactivated cell index.
+    next: u64,
+}
+
 impl Srhg {
-    /// Like [`Generator::generate_pe`], additionally returning
-    /// [`SrhgPeStats`]. This implementation *emulates* the streaming sweep
-    /// in memory (it materializes the tokens it would stream), so its own
-    /// allocation is not the interesting number — `peak_state` reports
-    /// what a true streaming run must hold, which is what the `abl-mem`
-    /// experiment compares against the query-centric
-    /// [`crate::rhg::Rhg::generate_pe_stats`] footprint.
-    #[allow(clippy::needless_range_loop)] // annulus index feeds several arrays
-    pub fn generate_pe_stats(&self, pe: usize) -> (PeGraph, SrhgPeStats) {
+    /// The request-centric sweep (§7.2), processed **one annulus at a
+    /// time with sliding request insertion** — the native streaming
+    /// form. Per swept annulus, contributor cells (its own and every
+    /// lower streaming annulus' extended-sector cells, regenerated on
+    /// demand — the paper's recomputation trick) are activated just
+    /// before the node sweep can first need their requests, and expired
+    /// requests are dropped at cell boundaries, so the live state is the
+    /// replicated global annuli plus the active-request windows — the
+    /// exact two terms of [`SrhgPeStats::peak_state`] — never the PE's
+    /// full request multiset.
+    ///
+    /// `emit` receives every edge incident to a sector-owned vertex,
+    /// normalized `(min, max)`, in deterministic sweep order (globals
+    /// first, then per swept annulus, per node, neighbors ascending);
+    /// as a *set* it equals [`Generator::generate_pe`]'s list (which is
+    /// this sweep, sorted). `on_local` is called once per sector-owned
+    /// vertex.
+    pub(crate) fn sweep(
+        &self,
+        pe: usize,
+        emit: &mut impl FnMut(u64, u64),
+        mut on_local: Option<&mut dyn FnMut(&PrePoint)>,
+    ) -> SrhgPeStats {
         let inst = self.instance();
         let tau = std::f64::consts::TAU;
         let width = tau / self.chunks as f64;
         let (lo, hi) = (width * pe as f64, width * (pe as f64 + 1.0));
         let cosh_r = inst.space.cosh_r;
+        let annuli = inst.num_annuli();
         let first_stream = Self::first_streaming(&inst, self.chunks);
 
+        // ---- Global phase -------------------------------------------------
+        // All global-annulus points, regenerated on every PE; pairs are
+        // distributed by angular ownership of the smaller-id endpoint.
+        let mut globals: Vec<(usize, PrePoint)> = Vec::new();
+        for i in 0..first_stream {
+            for c in 0..inst.ann_cells[i] {
+                for p in inst.cell_points(i, c) {
+                    globals.push((i, p));
+                }
+            }
+        }
+        let mut generated_points = globals.len() as u64;
+        for (_, u) in &globals {
+            if u.theta < lo || u.theta >= hi {
+                continue;
+            }
+            if let Some(f) = on_local.as_deref_mut() {
+                f(u);
+            }
+            for (_, w) in &globals {
+                if u.id < w.id && u.is_adjacent(w, cosh_r) {
+                    emit(u.id, w.id);
+                }
+            }
+        }
+
+        // ---- Sweep each streaming annulus, one at a time ------------------
+        let mut peak_active_total = 0u64;
+        let mut clipped: Vec<(f64, f64)> = Vec::new();
+        let mut greqs: Vec<Request> = Vec::new();
+        let mut nbrs: Vec<(u64, u64)> = Vec::new();
+        for j in first_stream..annuli {
+            if inst.ann_counts[j] == 0 {
+                continue;
+            }
+            let w_j = inst.cell_width(j);
+            let b_j = inst.space.bounds[j].max(1e-12);
+
+            // Requests of the replicated globals, clipped to the local
+            // sector (this is what spreads the work of hubs over all
+            // PEs), inserted by begin as the sweep reaches them.
+            greqs.clear();
+            for &(ui, ref u) in &globals {
+                let dt = inst.space.delta_theta(u.r, b_j);
+                clipped.clear();
+                clip_interval(u.theta - dt, u.theta + dt, lo, hi, &mut clipped);
+                for &(a, b) in &clipped {
+                    greqs.push(Request {
+                        begin: a,
+                        end: b,
+                        ann: ui,
+                        p: *u,
+                    });
+                }
+            }
+            greqs.sort_by(|a, b| a.begin.total_cmp(&b.begin));
+            let mut gnext = 0usize;
+
+            // Contributor cursors over the extended sector (one chunk on
+            // each side — the symmetric version of the paper's final
+            // phase), one per streaming annulus at or below j.
+            let mut contribs: Vec<Contrib> = Vec::new();
+            for i in first_stream..=j {
+                if inst.ann_counts[i] == 0 {
+                    continue;
+                }
+                let w_i = inst.cell_width(i);
+                let (first, count) = inst.overlap_range(i, lo - width, hi + width);
+                let lo_ext = lo - width;
+                let wrapped = lo_ext.rem_euclid(tau);
+                let pos0 = lo_ext - (wrapped - first as f64 * w_i);
+                contribs.push(Contrib {
+                    i,
+                    cells: inst.ann_cells[i],
+                    first,
+                    count,
+                    pos0,
+                    w: w_i,
+                    dt_max: inst.space.delta_theta(inst.space.bounds[i].max(1e-12), b_j),
+                    next: 0,
+                });
+            }
+
+            let mut active: Vec<Request> = Vec::new();
+            let mut max_active_j = 0u64;
+            let (n_first, n_count) = inst.overlap_range(j, lo, hi);
+            let n_pos0 = lo - (lo.rem_euclid(tau) - n_first as f64 * w_j);
+            for kn in 0..n_count {
+                let cn = (n_first + kn) % inst.ann_cells[j];
+                // Batch expiry at the cell boundary (§7.2.1): expired
+                // requests are dropped once per cell, not per node.
+                let cell_lo = cn as f64 * w_j;
+                active.retain(|r| r.end >= cell_lo);
+                // Activate every contributor cell the nodes of this cell
+                // could need: anything whose earliest possible request
+                // start lies at or before the cell's end.
+                let cell_hi_linear = n_pos0 + (kn + 1) as f64 * w_j;
+                for cb in contribs.iter_mut() {
+                    while cb.next < cb.count
+                        && cb.pos0 + cb.next as f64 * cb.w - cb.dt_max <= cell_hi_linear
+                    {
+                        let cc = (cb.first + cb.next) % cb.cells;
+                        cb.next += 1;
+                        let pts = inst.cell_points(cb.i, cc);
+                        if cb.i == j {
+                            generated_points += pts.len() as u64;
+                        }
+                        for p in pts {
+                            let dt = inst.space.delta_theta(p.r, b_j);
+                            clipped.clear();
+                            clip_interval(p.theta - dt, p.theta + dt, lo, hi, &mut clipped);
+                            for &(a, b) in &clipped {
+                                active.push(Request {
+                                    begin: a,
+                                    end: b,
+                                    ann: cb.i,
+                                    p,
+                                });
+                            }
+                        }
+                    }
+                }
+                // Nodes: owned sector only (boundary cells also hold the
+                // neighbor sector's points).
+                for v in inst
+                    .cell_points(j, cn)
+                    .iter()
+                    .filter(|p| p.theta >= lo && p.theta < hi)
+                {
+                    if let Some(f) = on_local.as_deref_mut() {
+                        f(v);
+                    }
+                    while gnext < greqs.len() && greqs[gnext].begin <= v.theta {
+                        active.push(greqs[gnext]);
+                        gnext += 1;
+                    }
+                    max_active_j = max_active_j.max(active.len() as u64);
+                    nbrs.clear();
+                    for r in &active {
+                        // Exact interval containment (activation may run
+                        // ahead of a request's start).
+                        if r.begin > v.theta || r.end < v.theta {
+                            continue;
+                        }
+                        let u = &r.p;
+                        if u.id == v.id {
+                            continue;
+                        }
+                        // Emission rule: once globally per encounter
+                        // direction.
+                        let em = if r.ann < j { true } else { u.id < v.id };
+                        if em && u.is_adjacent(v, cosh_r) {
+                            nbrs.push((u.id.min(v.id), u.id.max(v.id)));
+                        }
+                    }
+                    nbrs.sort_unstable();
+                    nbrs.dedup();
+                    for &(a, b) in &nbrs {
+                        emit(a, b);
+                    }
+                }
+            }
+            // Report what an interleaved sweep would hold at once: every
+            // annulus' window (Lemma 17's bound).
+            peak_active_total += max_active_j;
+        }
+
+        SrhgPeStats {
+            generated_points,
+            peak_state: globals.len() as u64 + peak_active_total,
+        }
+    }
+
+    /// Like [`Generator::generate_pe`], additionally returning
+    /// [`SrhgPeStats`] — the sweep's materialized form: collect the
+    /// streamed edges, sort, dedup. `peak_state` reports what the
+    /// streaming run holds, which is what the `abl-mem` experiment
+    /// compares against the query-centric
+    /// [`crate::rhg::Rhg::generate_pe_stats`] footprint.
+    pub fn generate_pe_stats(&self, pe: usize) -> (PeGraph, SrhgPeStats) {
         let mut out = PeGraph {
             pe,
             ..PeGraph::default()
         };
         let mut edges: Vec<(u64, u64)> = Vec::new();
-
-        // ---- Global phase -------------------------------------------------
-        // All global-annulus points, regenerated on every PE.
-        let mut globals: Vec<PrePoint> = Vec::new();
-        for i in 0..first_stream {
-            for c in 0..inst.ann_cells[i] {
-                globals.extend(inst.cell_points(i, c));
-            }
-        }
-        // Global–global pairs, distributed by angular ownership of the
-        // smaller-id endpoint.
-        for u in &globals {
-            if u.theta < lo || u.theta >= hi {
-                continue;
-            }
-            for w in &globals {
-                if u.id < w.id && u.is_adjacent(w, cosh_r) {
-                    edges.push((u.id, w.id));
-                }
-            }
-        }
-
-        // ---- Collect requests per streaming annulus ----------------------
-        let annuli = inst.num_annuli();
-        let mut requests: Vec<Vec<Request>> = vec![Vec::new(); annuli];
-        let mut clipped = Vec::new();
-
-        // Requests of global points, clipped to the local sector (this is
-        // what spreads the work of hubs over all PEs).
-        for u in &globals {
-            let u_ann = {
-                // Annulus from the radius (bounds are sorted).
-                let mut a = 0;
-                while a + 1 < annuli && inst.space.bounds[a + 1] < u.r {
-                    a += 1;
-                }
-                a
-            };
-            for (j, reqs) in requests.iter_mut().enumerate().skip(first_stream) {
-                if j < u_ann {
-                    continue;
-                }
-                let dt = inst.space.delta_theta(u.r, inst.space.bounds[j].max(1e-12));
-                clipped.clear();
-                clip_interval(u.theta - dt, u.theta + dt, lo, hi, &mut clipped);
-                for &(a, b) in &clipped {
-                    reqs.push(Request {
-                        begin: a,
-                        end: b,
-                        ann: u_ann,
-                        p: *u,
-                    });
-                }
-            }
-        }
-
-        // Streaming points of the extended sector (one chunk on each side:
-        // the symmetric version of the paper's final phase).
-        let mut generated_points = globals.len() as u64;
-        let mut nodes: Vec<Vec<PrePoint>> = vec![Vec::new(); annuli];
-        for i in first_stream..annuli {
-            if inst.ann_counts[i] == 0 {
-                continue;
-            }
-            let mut cells = Vec::new();
-            inst.cells_overlapping(i, lo - width, hi + width, &mut |c| cells.push(c));
-            for c in cells {
-                let cell_pts = inst.cell_points(i, c);
-                generated_points += cell_pts.len() as u64;
-                for p in cell_pts {
-                    // Nodes: owned sector only.
-                    if p.theta >= lo && p.theta < hi {
-                        nodes[i].push(p);
-                    }
-                    // Requests into every annulus at or above i.
-                    for (j, reqs) in requests.iter_mut().enumerate().skip(i) {
-                        let dt = inst.space.delta_theta(p.r, inst.space.bounds[j].max(1e-12));
-                        clipped.clear();
-                        clip_interval(p.theta - dt, p.theta + dt, lo, hi, &mut clipped);
-                        for &(a, b) in &clipped {
-                            reqs.push(Request {
-                                begin: a,
-                                end: b,
-                                ann: i,
-                                p,
-                            });
-                        }
-                    }
-                }
-            }
-        }
-
-        // ---- Sweep each streaming annulus ---------------------------------
-        let mut peak_active_total = 0u64;
-        for j in first_stream..annuli {
-            let reqs = &mut requests[j];
-            let ns = &mut nodes[j];
-            if ns.is_empty() || reqs.is_empty() {
-                continue;
-            }
-            reqs.sort_by(|a, b| a.begin.total_cmp(&b.begin));
-            ns.sort_by(|a, b| a.theta.total_cmp(&b.theta));
-            let cell_w = inst.cell_width(j);
-            let mut active: Vec<Request> = Vec::new();
-            let mut max_active_j = 0u64;
-            let mut next = 0usize;
-            let mut current_cell = u64::MAX;
-            for v in ns.iter() {
-                // Batch compaction at cell boundaries (§7.2.1): expired
-                // requests are dropped once per cell, not per node.
-                let cell = (v.theta / cell_w) as u64;
-                if cell != current_cell {
-                    current_cell = cell;
-                    let cell_lo = cell as f64 * cell_w;
-                    active.retain(|r| r.end >= cell_lo);
-                }
-                while next < reqs.len() && reqs[next].begin <= v.theta {
-                    active.push(reqs[next]);
-                    next += 1;
-                }
-                max_active_j = max_active_j.max(active.len() as u64);
-                for r in &active {
-                    if r.end < v.theta {
-                        continue; // expired within the cell
-                    }
-                    let u = &r.p;
-                    if u.id == v.id {
-                        continue;
-                    }
-                    // Emission rule: once globally per encounter direction.
-                    let emit = if r.ann < j { true } else { u.id < v.id };
-                    if emit && u.is_adjacent(v, cosh_r) {
-                        edges.push((u.id.min(v.id), u.id.max(v.id)));
-                    }
-                }
-            }
-            // The interleaved sweep holds every annulus' window at once.
-            peak_active_total += max_active_j;
-        }
-
-        // Local vertices: sector-owned points of every annulus.
         let mut locals: Vec<PrePoint> = Vec::new();
-        for i in 0..first_stream {
-            locals.extend(
-                globals
-                    .iter()
-                    .filter(|p| p.theta >= lo && p.theta < hi)
-                    .filter(|p| p.r >= inst.space.bounds[i] && p.r < inst.space.bounds[i + 1])
-                    .copied(),
-            );
-        }
-        for ns in &nodes {
-            locals.extend(ns.iter().copied());
-        }
+        let stats = self.sweep(
+            pe,
+            &mut |u, v| edges.push((u, v)),
+            Some(&mut |p| locals.push(*p)),
+        );
         locals.sort_by_key(|p| p.id);
         locals.dedup_by_key(|p| p.id);
         for v in &locals {
@@ -325,14 +403,9 @@ impl Srhg {
         }
         out.vertex_begin = locals.first().map_or(0, |p| p.id);
         out.vertex_end = locals.last().map_or(0, |p| p.id + 1);
-
         edges.sort_unstable();
         edges.dedup();
         out.edges = edges;
-        let stats = SrhgPeStats {
-            generated_points,
-            peak_state: globals.len() as u64 + peak_active_total,
-        };
         (out, stats)
     }
 }

@@ -6,10 +6,20 @@
 //! instead of materializing a [`PeGraph`](crate::PeGraph), so a PE's memory footprint is
 //! its generator state (cells, counts, PRNGs) — not its output. For the
 //! index-based generators (ER, BA, R-MAT, SBM) the state is O(log)-sized;
-//! for RGG it is the current cell neighborhood.
+//! for the spatial/hyperbolic family it is the active cell neighborhood
+//! of the cell-cursor core (`kagen_geometry::cell_stream`): the current
+//! cell group plus an evicting frontier of recomputable cells (RGG/RDG),
+//! the active query window (RHG/soft RHG), or replicated globals plus
+//! the active-request windows (sRHG).
 //!
-//! Every implementation is *output-identical* to `generate_pe` (asserted
-//! in tests): streaming changes the delivery, never the instance.
+//! Every implementation emits exactly `generate_pe`'s edge *set* in a
+//! deterministic, chunk-stable order (asserted in tests): streaming
+//! changes the delivery, never the instance. All generators except RDG
+//! and sRHG preserve `generate_pe`'s edge *order* too; those two emit in
+//! generation-sweep order (per cell group / per sweep annulus), because
+//! reproducing the materialized path's globally sorted order would
+//! require buffering the very output the streaming path exists to
+//! avoid.
 
 use crate::ba::BarabasiAlbert;
 use crate::er::{GnmDirected, GnmUndirected, GnpDirected, GnpUndirected};
@@ -93,8 +103,11 @@ pub type BatchEmit<'a> = dyn FnMut(&[(u64, u64)]) + 'a;
 
 /// Edge-streaming extension of [`Generator`].
 pub trait StreamingGenerator: Generator {
-    /// Emit every edge PE `pe` is responsible for, in the same order
-    /// `generate_pe` would store them.
+    /// Emit every edge PE `pe` is responsible for — exactly
+    /// `generate_pe`'s edge set, in a deterministic order that is stable
+    /// across thread counts and batch sizes (for most generators it is
+    /// `generate_pe`'s order; RDG and sRHG stream in generation-sweep
+    /// order, see the module docs).
     fn stream_pe(&self, pe: usize, emit: &mut dyn FnMut(u64, u64));
 
     /// Emit PE `pe`'s edges in batches: `buf` is a caller-provided
@@ -153,18 +166,6 @@ macro_rules! batched_via_stream_edges {
             let mut b = Batcher::new(buf, emit);
             self.stream_edges(pe, &mut |u: u64, v: u64| b.push(u, v));
             b.finish();
-        }
-    };
-}
-
-/// Fallback used by generators whose natural implementation materializes
-/// intermediate structure anyway (Delaunay meshes, hyperbolic sweeps).
-macro_rules! materializing_stream {
-    () => {
-        fn stream_pe(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
-            for (u, v) in self.generate_pe(pe).edges {
-                emit(u, v);
-            }
         }
     };
 }
@@ -245,23 +246,81 @@ impl StreamingGenerator for StochasticBlockModel {
 }
 
 impl<const D: usize> StreamingGenerator for Rgg<D> {
-    materializing_stream!();
+    /// Cell-cursor streaming (§5): Morton walk with an evicting frontier
+    /// of recomputable cells — memory is the active 3^d neighborhood,
+    /// the stream is edge-for-edge `generate_pe`'s.
+    fn stream_pe(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
+        self.stream_cells(pe, &mut |u, v| emit(u, v));
+    }
+
+    fn stream_pe_batched(&self, pe: usize, buf: &mut Vec<(u64, u64)>, emit: &mut BatchEmit) {
+        let mut b = Batcher::new(buf, emit);
+        self.stream_cells(pe, &mut |u, v| b.push(u, v));
+        b.finish();
+    }
 }
 
 impl<const D: usize> StreamingGenerator for Rdg<D> {
-    materializing_stream!();
+    /// Per-cell-group triangulation (§6): each local cell is
+    /// triangulated with its certified halo rings and emits only the
+    /// edges it owns — memory is one cell group plus the distance-1
+    /// halo frontier. The stream is ordered cell-by-cell (sorted within
+    /// a cell); as a set it equals `generate_pe`'s sorted list.
+    fn stream_pe(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
+        self.stream_cells(pe, &mut |u, v| emit(u, v));
+    }
+
+    fn stream_pe_batched(&self, pe: usize, buf: &mut Vec<(u64, u64)>, emit: &mut BatchEmit) {
+        let mut b = Batcher::new(buf, emit);
+        self.stream_cells(pe, &mut |u, v| b.push(u, v));
+        b.finish();
+    }
 }
 
 impl StreamingGenerator for Rhg {
-    materializing_stream!();
+    /// Streaming Δθ queries (§7.1) over the evicting frontier cache —
+    /// memory is the active query window, the stream is edge-for-edge
+    /// `generate_pe`'s sorted list.
+    fn stream_pe(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
+        self.stream_query(pe, &mut |u, v| emit(u, v));
+    }
+
+    fn stream_pe_batched(&self, pe: usize, buf: &mut Vec<(u64, u64)>, emit: &mut BatchEmit) {
+        let mut b = Batcher::new(buf, emit);
+        self.stream_query(pe, &mut |u, v| b.push(u, v));
+        b.finish();
+    }
 }
 
 impl StreamingGenerator for Srhg {
-    materializing_stream!();
+    /// The request-centric sweep (§7.2) with sliding request insertion —
+    /// live state is replicated globals + active-request windows. The
+    /// stream is emitted in sweep order: as a set it equals
+    /// `generate_pe`'s (sorted) list; cross-PE duplicates deduplicate on
+    /// merge as for every undirected generator.
+    fn stream_pe(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
+        self.sweep(pe, &mut |u, v| emit(u, v), None);
+    }
+
+    fn stream_pe_batched(&self, pe: usize, buf: &mut Vec<(u64, u64)>, emit: &mut BatchEmit) {
+        let mut b = Batcher::new(buf, emit);
+        self.sweep(pe, &mut |u, v| b.push(u, v), None);
+        b.finish();
+    }
 }
 
 impl StreamingGenerator for SoftRhg {
-    materializing_stream!();
+    /// Streaming truncated-radius queries (§9 soft model) over the
+    /// evicting frontier cache; edge-for-edge `generate_pe`'s list.
+    fn stream_pe(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
+        self.stream_query(pe, &mut |u, v| emit(u, v));
+    }
+
+    fn stream_pe_batched(&self, pe: usize, buf: &mut Vec<(u64, u64)>, emit: &mut BatchEmit) {
+        let mut b = Batcher::new(buf, emit);
+        self.stream_query(pe, &mut |u, v| b.push(u, v));
+        b.finish();
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +337,32 @@ mod tests {
             assert_eq!(gen.count_pe(pe) as usize, materialized.len());
         }
         assert_batched_matches(gen);
+    }
+
+    /// Like [`assert_stream_matches`], for generators whose native
+    /// stream order is the generation sweep, not `generate_pe`'s sorted
+    /// list: the streams must be equal as *sets* (and duplicate-free),
+    /// and the batched path must equal the per-edge stream exactly.
+    fn assert_stream_set_matches<G: StreamingGenerator>(gen: &G) {
+        for pe in 0..gen.num_chunks().min(5) {
+            let materialized = gen.generate_pe(pe).edges;
+            let mut streamed = Vec::new();
+            gen.stream_pe(pe, &mut |u, v| streamed.push((u, v)));
+            assert_eq!(gen.count_pe(pe) as usize, streamed.len());
+            let mut sorted = streamed.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), streamed.len(), "PE {pe}: duplicate edges");
+            let mut reference = materialized;
+            reference.sort_unstable();
+            assert_eq!(reference, sorted, "PE {pe}: edge sets differ");
+            // Batched delivery must reproduce the per-edge stream
+            // edge-for-edge (order included).
+            let mut buf = Vec::with_capacity(7);
+            let mut batched = Vec::new();
+            gen.stream_pe_batched(pe, &mut buf, &mut |edges| batched.extend_from_slice(edges));
+            assert_eq!(streamed, batched, "PE {pe}: batched order differs");
+        }
     }
 
     /// The batched path must yield edge-for-edge the same stream as
@@ -352,9 +437,9 @@ mod tests {
 
     #[test]
     fn spatial_and_hyperbolic_streams() {
-        assert_stream_matches(&Rdg2d::new(200).with_seed(9).with_chunks(4));
+        assert_stream_set_matches(&Rdg2d::new(200).with_seed(9).with_chunks(4));
         assert_stream_matches(&Rhg::new(300, 6.0, 2.8).with_seed(10).with_chunks(4));
-        assert_stream_matches(&Srhg::new(300, 6.0, 2.8).with_seed(10).with_chunks(4));
+        assert_stream_set_matches(&Srhg::new(300, 6.0, 2.8).with_seed(10).with_chunks(4));
         assert_stream_matches(
             &SoftRhg::new(300, 6.0, 2.8, 0.4)
                 .with_seed(11)
@@ -396,10 +481,45 @@ mod tests {
     }
 
     #[test]
-    fn batched_default_covers_materializing_generators() {
-        // Generators relying on the default (buffered) batched path.
-        assert_batched_matches(&Rgg2d::new(200, 0.1).with_seed(8).with_chunks(4));
-        assert_batched_matches(&Rhg::new(200, 6.0, 2.8).with_seed(10).with_chunks(4));
+    fn spatial_streams_across_chunk_counts() {
+        // Every spatial/hyperbolic generator, at three chunk counts,
+        // through both the per-edge and batched entry points: the
+        // streamed edge set must equal `generate_pe`'s for every PE
+        // (order included where the generator preserves it).
+        for chunks in [1usize, 3, 8] {
+            assert_stream_matches(&Rgg2d::new(300, 0.07).with_seed(8).with_chunks(chunks));
+            assert_stream_matches(&Rgg3d::new(250, 0.14).with_seed(8).with_chunks(chunks));
+            assert_stream_set_matches(&Rdg2d::new(250).with_seed(9).with_chunks(chunks));
+            assert_stream_matches(&Rhg::new(300, 6.0, 2.8).with_seed(10).with_chunks(chunks));
+            assert_stream_set_matches(&Srhg::new(300, 6.0, 2.8).with_seed(10).with_chunks(chunks));
+            assert_stream_matches(
+                &SoftRhg::new(250, 6.0, 2.8, 0.4)
+                    .with_seed(11)
+                    .with_chunks(chunks),
+            );
+        }
+        // 3D Delaunay is the most expensive group pass; one chunked and
+        // one unchunked instance cover it.
+        assert_stream_set_matches(&Rdg3d::new(200).with_seed(9).with_chunks(1));
+        assert_stream_set_matches(&Rdg3d::new(200).with_seed(9).with_chunks(8));
+    }
+
+    #[test]
+    fn spatial_streams_agree_between_generators() {
+        // The RHG family samples one instance per seed: the *streamed*
+        // union across PEs must agree between the query-centric and
+        // request-centric generators, exactly like the materialized
+        // paths do.
+        let rhg = Rhg::new(400, 7.0, 2.7).with_seed(13).with_chunks(4);
+        let srhg = Srhg::new(400, 7.0, 2.7).with_seed(13).with_chunks(4);
+        let collect = |gen: &dyn StreamingGenerator| {
+            let mut edges = Vec::new();
+            gen.stream_all(&mut |u, v| edges.push((u.min(v), u.max(v))));
+            edges.sort_unstable();
+            edges.dedup();
+            edges
+        };
+        assert_eq!(collect(&rhg), collect(&srhg));
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! The cell-cursor streaming core shared by the spatial and hyperbolic
+//! generators.
+//!
+//! The paper generates geometric graphs cell by cell over a
+//! pseudorandomized grid: any PE can *recompute* any cell's points from
+//! `(seed, cell)`, so the working set of a streaming pass never needs to
+//! exceed the neighborhood of the cell currently being processed. This
+//! module provides the two pieces every such pass shares:
+//!
+//! * [`FrontierCache`] — a regenerate-on-miss cell cache with
+//!   retire-rank eviction. Callers tag each cached cell with the last
+//!   sweep position that can still reference it; [`FrontierCache::advance`]
+//!   evicts everything behind the sweep. Eviction is *purely* a memory
+//!   policy: a cell fetched after its eviction is transparently
+//!   regenerated (the paper's recomputation trick), so any retire
+//!   estimate — even a wrong one — yields the identical edge stream.
+//! * [`CellRangeCursor`] — a walk over a PE's Morton cell range that
+//!   carries the running global-id prefix, so vertex ids fall out of the
+//!   traversal without a second count-tree query per cell.
+//!
+//! Together they replace the per-PE materialization the RGG/RDG/RHG
+//! family used before: memory becomes O(active cell neighborhood), not
+//! O(per-PE edges).
+
+use crate::counts::CountTree;
+use crate::grid::CellGrid;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Memory accounting of a [`FrontierCache`] (the `abl-mem`-style
+/// footprint proxy: every held point carries its precomputed terms).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrontierStats {
+    /// Cells generated over the whole pass, counting regenerations — the
+    /// paper's recomputation cost.
+    pub generated_cells: u64,
+    /// Points currently held.
+    pub live_points: u64,
+    /// High-water mark of held points — the quantity that must stay
+    /// bounded by the cell neighborhood for the streaming claim to hold.
+    pub peak_points: u64,
+}
+
+/// Cache values report how many points they hold so the cache can keep
+/// its high-water accounting without knowing the value type.
+pub trait Weighted {
+    /// Number of points (or equivalent units) this value holds.
+    fn weight(&self) -> u64;
+}
+
+impl<T> Weighted for Vec<T> {
+    fn weight(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+impl<T> Weighted for (u64, Vec<T>) {
+    fn weight(&self) -> u64 {
+        self.1.len() as u64
+    }
+}
+
+impl<A, B> Weighted for (Vec<A>, Vec<B>) {
+    fn weight(&self) -> u64 {
+        self.0.len() as u64
+    }
+}
+
+/// A regenerate-on-miss cell cache with retire-rank eviction.
+///
+/// Each entry carries a `retire` rank: the last sweep position (caller
+/// defined, monotone over the pass) that may still reference it.
+/// [`FrontierCache::advance`] drops every entry whose rank has passed. A
+/// later fetch of an evicted key simply regenerates it — correctness
+/// never depends on the retire estimate, only the memory/recompute trade
+/// does.
+pub struct FrontierCache<K, V> {
+    map: HashMap<K, (u64, V)>,
+    stats: FrontierStats,
+    /// Points the caller currently holds outside the cache (the taken
+    /// center cell); included in every peak update so the reported
+    /// high-water covers the full working set, not just cached cells.
+    external: u64,
+}
+
+impl<K: Eq + Hash + Copy, V: Weighted> FrontierCache<K, V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        FrontierCache {
+            map: HashMap::new(),
+            stats: FrontierStats::default(),
+            external: 0,
+        }
+    }
+
+    fn bump_peak(&mut self) {
+        self.stats.peak_points = self
+            .stats
+            .peak_points
+            .max(self.stats.live_points + self.external);
+    }
+
+    /// Fetch `key`, generating it with `gen` on a miss. `retire` extends
+    /// the entry's lifetime (ranks only ever grow — a re-fetch from a
+    /// later sweep position keeps the cell alive longer).
+    pub fn get(&mut self, key: K, retire: u64, gen: impl FnOnce() -> V) -> &V {
+        let stats = &mut self.stats;
+        let external = self.external;
+        let entry = self.map.entry(key).or_insert_with(|| {
+            let v = gen();
+            stats.generated_cells += 1;
+            stats.live_points += v.weight();
+            // The peak can only move on an insertion; count the
+            // caller's externally held points too.
+            stats.peak_points = stats.peak_points.max(stats.live_points + external);
+            (0, v)
+        });
+        entry.0 = entry.0.max(retire);
+        &entry.1
+    }
+
+    /// Remove and return `key` (generating it if absent) — for the
+    /// center cell of a pass, whose points the caller iterates while
+    /// fetching neighbors from the cache.
+    pub fn take(&mut self, key: K, gen: impl FnOnce() -> V) -> V {
+        match self.map.remove(&key) {
+            Some((_, v)) => {
+                self.stats.live_points -= v.weight();
+                v
+            }
+            None => {
+                self.stats.generated_cells += 1;
+                gen()
+            }
+        }
+    }
+
+    /// Evict every entry whose retire rank is behind `now`.
+    pub fn advance(&mut self, now: u64) {
+        let stats = &mut self.stats;
+        self.map.retain(|_, (retire, v)| {
+            let keep = *retire >= now;
+            if !keep {
+                stats.live_points -= v.weight();
+            }
+            keep
+        });
+    }
+
+    /// Drop everything (e.g. at an annulus boundary of a hyperbolic
+    /// sweep).
+    pub fn clear(&mut self) {
+        self.stats.live_points = 0;
+        self.map.clear();
+    }
+
+    /// Current accounting. `live_points` excludes values handed out via
+    /// [`FrontierCache::take`].
+    pub fn stats(&self) -> FrontierStats {
+        self.stats
+    }
+
+    /// Record the points the caller holds outside the cache (the taken
+    /// center cell) — included in every peak update until the next call
+    /// replaces it, so the reported high-water covers the full working
+    /// set while neighbor fetches grow the frontier.
+    pub fn note_external(&mut self, points: u64) {
+        self.external = points;
+        self.bump_peak();
+    }
+}
+
+impl<K: Eq + Hash + Copy, V: Weighted> Default for FrontierCache<K, V> {
+    fn default() -> Self {
+        FrontierCache::new()
+    }
+}
+
+/// A walk over one PE's aligned Morton cell range carrying the running
+/// global-id prefix: the communication-free vertex ids of §5.1 fall out
+/// of the traversal (one `prefix_before` for the range start, then a
+/// running sum), instead of one O(levels·2^d) tree query per cell.
+pub struct CellRangeCursor<'a, const D: usize> {
+    grid: &'a CellGrid<D>,
+    tree: &'a CountTree<D>,
+    lo: u64,
+    hi: u64,
+}
+
+impl<'a, const D: usize> CellRangeCursor<'a, D> {
+    /// Cursor over the Morton cell range `[lo, hi)`.
+    pub fn new(grid: &'a CellGrid<D>, tree: &'a CountTree<D>, lo: u64, hi: u64) -> Self {
+        CellRangeCursor { grid, tree, lo, hi }
+    }
+
+    /// The range's first global vertex id.
+    pub fn first_id(&self) -> u64 {
+        self.tree.prefix_before(self.lo)
+    }
+
+    /// One past the range's last global vertex id.
+    pub fn end_id(&self) -> u64 {
+        if self.hi == self.tree.num_leaves() {
+            self.tree.total()
+        } else {
+            self.tree.prefix_before(self.hi)
+        }
+    }
+
+    /// Visit every cell of the range in Morton order as
+    /// `f(cell, count, first_id)`, where `first_id` is the global id of
+    /// the cell's first vertex.
+    pub fn for_cells(&self, f: &mut impl FnMut(u64, u64, u64)) {
+        let mut next_id = self.first_id();
+        self.tree
+            .for_leaf_counts(self.lo, self.hi, &mut |cell, count| {
+                f(cell, count, next_id);
+                next_id += count;
+            });
+    }
+
+    /// Whether `cell` lies inside the range.
+    pub fn contains(&self, cell: u64) -> bool {
+        (self.lo..self.hi).contains(&cell)
+    }
+
+    /// The retire rank of `cell` for a center-cell sweep over this
+    /// range: the largest in-range Morton rank among `cell` and its 3^d
+    /// neighborhood — the last center cell whose pair enumeration can
+    /// reference it. Cells outside every in-range neighborhood retire
+    /// immediately (rank 0).
+    pub fn last_referencing_center(&self, cell: u64) -> u64 {
+        let mut last = if self.contains(cell) { cell } else { 0 };
+        self.grid
+            .for_neighbors(self.grid.coords_of(cell), false, &mut |ncoords, _| {
+                let ncell = self.grid.morton_of(ncoords);
+                if self.contains(ncell) {
+                    last = last.max(ncell);
+                }
+            });
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_regenerates_after_eviction() {
+        let mut cache: FrontierCache<u64, Vec<u32>> = FrontierCache::new();
+        let mut gens = 0;
+        let fetch = |cache: &mut FrontierCache<u64, Vec<u32>>, k: u64, retire: u64| {
+            let mut local = 0;
+            let v = cache
+                .get(k, retire, || {
+                    local += 1;
+                    vec![k as u32; 3]
+                })
+                .clone();
+            (v, local)
+        };
+        let (v1, g1) = fetch(&mut cache, 7, 2);
+        gens += g1;
+        let (v2, g2) = fetch(&mut cache, 7, 1);
+        gens += g2;
+        assert_eq!(v1, v2);
+        assert_eq!(gens, 1, "second fetch must hit");
+        // The retire rank was extended to 2 by the first fetch; rank 2
+        // keeps it, rank 3 evicts it.
+        cache.advance(2);
+        let (_, g3) = fetch(&mut cache, 7, 5);
+        assert_eq!(g3, 0, "rank 2 entry must survive advance(2)");
+        cache.advance(6);
+        let (v4, g4) = fetch(&mut cache, 7, 9);
+        assert_eq!(g4, 1, "evicted entry must regenerate");
+        assert_eq!(v4, v1, "regeneration must be deterministic");
+    }
+
+    #[test]
+    fn cache_accounts_points() {
+        let mut cache: FrontierCache<u64, Vec<u32>> = FrontierCache::new();
+        cache.get(1, 10, || vec![0; 5]);
+        cache.get(2, 10, || vec![0; 7]);
+        assert_eq!(cache.stats().live_points, 12);
+        assert_eq!(cache.stats().peak_points, 12);
+        assert_eq!(cache.stats().generated_cells, 2);
+        cache.advance(11);
+        assert_eq!(cache.stats().live_points, 0);
+        assert_eq!(cache.stats().peak_points, 12, "peak is a high-water mark");
+        let taken = cache.take(3, || vec![0; 2]);
+        assert_eq!(taken.len(), 2);
+        assert_eq!(cache.stats().generated_cells, 3);
+    }
+
+    #[test]
+    fn take_removes_cached_entry() {
+        let mut cache: FrontierCache<u64, Vec<u32>> = FrontierCache::new();
+        cache.get(4, 9, || vec![1, 2]);
+        let v = cache.take(4, || unreachable!("must come from the cache"));
+        assert_eq!(v, vec![1, 2]);
+        assert_eq!(cache.stats().live_points, 0);
+        let mut regenerated = false;
+        cache.get(4, 9, || {
+            regenerated = true;
+            vec![1, 2]
+        });
+        assert!(regenerated, "take must remove the entry");
+    }
+
+    #[test]
+    fn cursor_ids_match_tree_prefixes() {
+        let grid: CellGrid<2> = CellGrid::new(3);
+        let tree: CountTree<2> = CountTree::new(11, 500, 3);
+        let cursor = CellRangeCursor::new(&grid, &tree, 16, 48);
+        assert_eq!(cursor.first_id(), tree.prefix_before(16));
+        assert_eq!(cursor.end_id(), tree.prefix_before(48));
+        let mut seen = Vec::new();
+        cursor.for_cells(&mut |cell, count, first| seen.push((cell, count, first)));
+        assert_eq!(seen.len(), 32);
+        for &(cell, count, first) in &seen {
+            assert_eq!(first, tree.prefix_before(cell), "cell {cell}");
+            assert_eq!(count, tree.leaf_count(cell), "cell {cell}");
+        }
+        // Full range: end_id is the total.
+        let full = CellRangeCursor::new(&grid, &tree, 0, tree.num_leaves());
+        assert_eq!(full.end_id(), 500);
+    }
+
+    #[test]
+    fn last_referencing_center_is_max_in_range_neighbor() {
+        let grid: CellGrid<2> = CellGrid::new(3);
+        let tree: CountTree<2> = CountTree::new(1, 100, 3);
+        let cursor = CellRangeCursor::new(&grid, &tree, 0, 64);
+        for cell in 0..64u64 {
+            let mut expect = cell;
+            grid.for_neighbors(grid.coords_of(cell), false, &mut |nc, _| {
+                expect = expect.max(grid.morton_of(nc));
+            });
+            assert_eq!(cursor.last_referencing_center(cell), expect, "cell {cell}");
+        }
+        // A restricted range clamps to in-range neighbors only.
+        let half = CellRangeCursor::new(&grid, &tree, 0, 32);
+        for cell in 0..64u64 {
+            let got = half.last_referencing_center(cell);
+            assert!(got < 32 || (cell < 32 && got == cell) || got == 0);
+        }
+    }
+}

@@ -11,16 +11,22 @@
 //!   partitioning of `n` points over the grid with subtree-seeded PRNGs, so
 //!   any PE can derive the content of any cell without communication;
 //! * [`cell_points`] — deterministic per-cell point generation;
+//! * [`cell_stream`] — the cell-cursor streaming core: a
+//!   regenerate-on-miss frontier cache with retire-rank eviction plus a
+//!   Morton cell-range cursor, so spatial generators stream edges with
+//!   memory bounded by the active cell neighborhood;
 //! * [`hyperbolic`] — the hyperbolic plane toolbox of §7 (radial sampling,
 //!   distance, Δθ bounds, trig-free adjacency via precomputation, annuli).
 
 pub mod cell_points;
+pub mod cell_stream;
 pub mod counts;
 pub mod grid;
 pub mod hyperbolic;
 pub mod morton;
 pub mod point;
 
+pub use cell_stream::{CellRangeCursor, FrontierCache, FrontierStats};
 pub use counts::CountTree;
 pub use grid::CellGrid;
 pub use point::Point;

@@ -4,8 +4,36 @@
 use crate::EdgeList;
 use std::io::{self, BufRead, BufWriter, Read, Write};
 
-/// Magic prefix of the compressed edge-stream format (version 1).
-pub const COMPRESSED_MAGIC: [u8; 8] = *b"KGSHRD01";
+/// Magic prefix of the compressed edge-stream format (version 2:
+/// restart blocks with per-block checksums — random access and sampled
+/// validation without decoding the whole stream).
+pub const COMPRESSED_MAGIC: [u8; 8] = *b"KGSHRD02";
+
+/// Edges per restart block of the compressed format. Delta encoding
+/// restarts at every block boundary, so any block can be decoded (and
+/// validated) standalone given its byte offset.
+pub const COMPRESSED_BLOCK_EDGES: u64 = 4096;
+
+/// Step function of the order-dependent edge checksum used both for the
+/// per-block checksums of the compressed format and (via
+/// `kagen_pipeline::checksum_step`) for the manifest's shard checksums:
+/// an FNV-style mix of the running value with both endpoints.
+#[inline]
+pub fn edge_checksum_step(acc: u64, u: u64, v: u64) -> u64 {
+    let mut h = acc ^ u.rotate_left(17) ^ v.wrapping_mul(0x9E3779B97F4A7C15);
+    h = h.wrapping_mul(0x100000001b3);
+    h ^ (h >> 29)
+}
+
+/// Encoded length of a varint in bytes.
+pub fn varint_len(mut x: u128) -> u64 {
+    let mut len = 1;
+    while x >= 0x80 {
+        x >>= 7;
+        len += 1;
+    }
+    len
+}
 
 /// Encode `x` as a LEB128 varint (7 bits per byte, MSB = continuation).
 pub fn write_varint<W: Write>(w: &mut W, mut x: u128) -> io::Result<()> {
@@ -69,18 +97,28 @@ fn unzigzag(z: u128) -> i128 {
     ((z >> 1) as i128) ^ -((z & 1) as i128)
 }
 
-/// Streaming encoder of the compressed edge format: a `KGSHRD01` magic,
-/// the vertex count, then one zigzag-varint **delta pair** per edge
-/// (`u − prev_u`, `v − prev_v`). Sorted or spatially clustered streams
-/// compress to a few bytes per edge; arbitrary streams still round-trip.
+/// Streaming encoder of the compressed edge format: a `KGSHRD02` magic,
+/// the vertex count, then **restart blocks** of at most
+/// [`COMPRESSED_BLOCK_EDGES`] edges. Each block is
+/// `varint(edge_count) · varint(payload_len) · u64-LE checksum ·
+/// payload`, where the payload holds one zigzag-varint **delta pair**
+/// per edge (`u − prev_u`, `v − prev_v`) with `prev` restarting at
+/// `(0, 0)` — so any block decodes standalone given its offset, and the
+/// per-block checksum ([`edge_checksum_step`] folded over the block's
+/// edges) lets validators sample blocks instead of re-reading the whole
+/// shard. Sorted or spatially clustered streams compress to a few bytes
+/// per edge; arbitrary streams still round-trip.
 pub struct CompressedEdgeWriter<W: Write> {
     w: W,
     prev_u: u64,
     prev_v: u64,
     count: u64,
-    /// Reusable encode buffer of [`CompressedEdgeWriter::push_slice`]:
-    /// whole batches varint-encode here, then leave in one `write_all`.
+    block_count: u64,
+    block_checksum: u64,
+    /// Pending block payload; at most one block (~152 KiB) is ever
+    /// buffered.
     scratch: Vec<u8>,
+    header: Vec<u8>,
 }
 
 impl<W: Write> CompressedEdgeWriter<W> {
@@ -93,40 +131,62 @@ impl<W: Write> CompressedEdgeWriter<W> {
             prev_u: 0,
             prev_v: 0,
             count: 0,
+            block_count: 0,
+            block_checksum: 0,
             scratch: Vec::new(),
+            header: Vec::new(),
         })
+    }
+
+    #[inline]
+    fn encode_edge(&mut self, u: u64, v: u64) {
+        // Writing into a Vec cannot fail; unwrap keeps the loop tight.
+        write_varint(&mut self.scratch, zigzag(u as i128 - self.prev_u as i128)).unwrap();
+        write_varint(&mut self.scratch, zigzag(v as i128 - self.prev_v as i128)).unwrap();
+        self.prev_u = u;
+        self.prev_v = v;
+        self.block_checksum = edge_checksum_step(self.block_checksum, u, v);
+        self.block_count += 1;
+        self.count += 1;
+    }
+
+    fn flush_block(&mut self) -> io::Result<()> {
+        if self.block_count == 0 {
+            return Ok(());
+        }
+        self.header.clear();
+        write_varint(&mut self.header, self.block_count as u128).unwrap();
+        write_varint(&mut self.header, self.scratch.len() as u128).unwrap();
+        self.w.write_all(&self.header)?;
+        self.w.write_all(&self.block_checksum.to_le_bytes())?;
+        self.w.write_all(&self.scratch)?;
+        self.scratch.clear();
+        self.block_count = 0;
+        self.block_checksum = 0;
+        self.prev_u = 0;
+        self.prev_v = 0;
+        Ok(())
     }
 
     /// Append one edge.
     #[inline]
     pub fn push(&mut self, u: u64, v: u64) -> io::Result<()> {
-        write_varint(&mut self.w, zigzag(u as i128 - self.prev_u as i128))?;
-        write_varint(&mut self.w, zigzag(v as i128 - self.prev_v as i128))?;
-        self.prev_u = u;
-        self.prev_v = v;
-        self.count += 1;
+        self.encode_edge(u, v);
+        if self.block_count == COMPRESSED_BLOCK_EDGES {
+            self.flush_block()?;
+        }
         Ok(())
     }
 
-    /// Append a whole slice of edges: varint-encode into the reusable
-    /// scratch buffer (infallible — it is memory), then hand the bytes
-    /// to the writer in one `write_all` per internal chunk. Byte-
-    /// identical to pushing the edges one at a time; arbitrarily large
-    /// slices keep the scratch buffer bounded (the encode is chunked at
-    /// 4096 edges, ≤ ~152 KiB of scratch).
+    /// Append a whole slice of edges — byte-identical to pushing them
+    /// one at a time (both feed the same block state machine); the
+    /// pending-block buffer bounds memory regardless of slice length.
     pub fn push_slice(&mut self, edges: &[(u64, u64)]) -> io::Result<()> {
-        for chunk in edges.chunks(4096) {
-            self.scratch.clear();
-            for &(u, v) in chunk {
-                // Writing into a Vec cannot fail; unwrap keeps the loop
-                // tight.
-                write_varint(&mut self.scratch, zigzag(u as i128 - self.prev_u as i128)).unwrap();
-                write_varint(&mut self.scratch, zigzag(v as i128 - self.prev_v as i128)).unwrap();
-                self.prev_u = u;
-                self.prev_v = v;
+        for &(u, v) in edges {
+            self.encode_edge(u, v);
+            if self.block_count == COMPRESSED_BLOCK_EDGES {
+                self.flush_block()?;
             }
-            self.count += chunk.len() as u64;
-            self.w.write_all(&self.scratch)?;
         }
         Ok(())
     }
@@ -136,8 +196,10 @@ impl<W: Write> CompressedEdgeWriter<W> {
         self.count
     }
 
-    /// Flush and return the underlying writer and the edge count.
+    /// Flush (including the final ragged block) and return the
+    /// underlying writer and the edge count.
     pub fn finish(mut self) -> io::Result<(W, u64)> {
+        self.flush_block()?;
         self.w.flush()?;
         Ok((self.w, self.count))
     }
@@ -150,6 +212,12 @@ pub struct CompressedEdgeReader<R: BufRead> {
     n: u64,
     prev_u: u64,
     prev_v: u64,
+    /// Edges left in the current block (0 = at a block boundary).
+    remaining: u64,
+    /// The current block's stored checksum, verified at the block
+    /// boundary — reads are self-validating even without a manifest.
+    expected_checksum: u64,
+    running_checksum: u64,
 }
 
 impl<R: BufRead> CompressedEdgeReader<R> {
@@ -160,7 +228,7 @@ impl<R: BufRead> CompressedEdgeReader<R> {
         if magic != COMPRESSED_MAGIC {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                "not a KGSHRD01 compressed edge stream",
+                "not a KGSHRD02 compressed edge stream",
             ));
         }
         let mut n_bytes = [0u8; 8];
@@ -170,6 +238,9 @@ impl<R: BufRead> CompressedEdgeReader<R> {
             n: u64::from_le_bytes(n_bytes),
             prev_u: 0,
             prev_v: 0,
+            remaining: 0,
+            expected_checksum: 0,
+            running_checksum: 0,
         })
     }
 
@@ -180,8 +251,39 @@ impl<R: BufRead> CompressedEdgeReader<R> {
 
     /// Decode the next edge; `Ok(None)` at end of stream.
     pub fn next_edge(&mut self) -> io::Result<Option<(u64, u64)>> {
+        if self.remaining == 0 {
+            // Block boundary: read the next block header (or clean EOF).
+            let Some(count) = read_varint(&mut self.r)? else {
+                return Ok(None);
+            };
+            let Some(_len) = read_varint(&mut self.r)? else {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "block header truncated after edge count",
+                ));
+            };
+            let mut checksum = [0u8; 8];
+            self.r.read_exact(&mut checksum)?;
+            let count = u64::try_from(count).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "block edge count overflows u64")
+            })?;
+            if count == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "empty compressed block",
+                ));
+            }
+            self.remaining = count;
+            self.prev_u = 0;
+            self.prev_v = 0;
+            self.expected_checksum = u64::from_le_bytes(checksum);
+            self.running_checksum = 0;
+        }
         let Some(zu) = read_varint(&mut self.r)? else {
-            return Ok(None);
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "block truncated mid-payload",
+            ));
         };
         let Some(zv) = read_varint(&mut self.r)? else {
             return Err(io::Error::new(
@@ -199,8 +301,53 @@ impl<R: BufRead> CompressedEdgeReader<R> {
         };
         self.prev_u = u;
         self.prev_v = v;
+        self.running_checksum = edge_checksum_step(self.running_checksum, u, v);
+        self.remaining -= 1;
+        if self.remaining == 0 && self.running_checksum != self.expected_checksum {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "block checksum mismatch (corrupt block)",
+            ));
+        }
         Ok(Some((u, v)))
     }
+}
+
+/// Decode one standalone restart-block payload (`count` edges, deltas
+/// starting from `(0, 0)`), returning the folded
+/// [`edge_checksum_step`] checksum. Errors on truncation, trailing
+/// bytes, or deltas outside the u64 id range — the single decoder
+/// shared by [`CompressedEdgeReader`] consumers that random-access
+/// blocks (e.g. sampled shard validation).
+pub fn decode_block(payload: &[u8], count: u64) -> io::Result<u64> {
+    let mut cursor = payload;
+    let (mut prev_u, mut prev_v) = (0i128, 0i128);
+    let mut checksum = 0u64;
+    for _ in 0..count {
+        let (Some(zu), Some(zv)) = (read_varint(&mut cursor)?, read_varint(&mut cursor)?) else {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "block truncated mid-payload",
+            ));
+        };
+        let u = prev_u + unzigzag(zu);
+        let v = prev_v + unzigzag(zv);
+        let (Ok(uu), Ok(vv)) = (u64::try_from(u), u64::try_from(v)) else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "edge delta decodes outside the u64 vertex-id range",
+            ));
+        };
+        checksum = edge_checksum_step(checksum, uu, vv);
+        (prev_u, prev_v) = (u, v);
+    }
+    if !cursor.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "block has trailing bytes",
+        ));
+    }
+    Ok(checksum)
 }
 
 /// Write a whole edge list in the compressed varint+delta format.
@@ -484,6 +631,81 @@ mod tests {
         write_varint(&mut buf, 1).unwrap(); // zigzag(-1)
         write_varint(&mut buf, 0).unwrap(); // zigzag(0)
         assert!(read_compressed(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn compressed_multi_block_roundtrip() {
+        // Cross several restart-block boundaries, including a ragged
+        // final block; deltas restart per block so the stream must still
+        // round-trip exactly.
+        let m = COMPRESSED_BLOCK_EDGES as usize * 2 + 1234;
+        let edges: Vec<(u64, u64)> = (0..m as u64).map(|i| (i / 3, (i * 7) % 5000)).collect();
+        let el = EdgeList::new(5000, edges);
+        let mut buf = Vec::new();
+        write_compressed(&mut buf, &el).unwrap();
+        assert_eq!(read_compressed(&buf[..]).unwrap(), el);
+
+        // Byte identity between push and push_slice across block
+        // boundaries.
+        let mut per_edge = CompressedEdgeWriter::new(Vec::new(), 5000).unwrap();
+        for &(u, v) in &el.edges {
+            per_edge.push(u, v).unwrap();
+        }
+        let (a, _) = per_edge.finish().unwrap();
+        let mut sliced = CompressedEdgeWriter::new(Vec::new(), 5000).unwrap();
+        sliced.push_slice(&el.edges).unwrap();
+        let (b, _) = sliced.finish().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compressed_reader_verifies_block_checksums() {
+        // Corrupting the stored block checksum (metadata the decoded
+        // stream wouldn't otherwise notice) must fail the read: the
+        // format is self-validating without a manifest.
+        let el = EdgeList::new(100, (0..500u64).map(|i| (i % 100, (i + 1) % 100)).collect());
+        let mut buf = Vec::new();
+        write_compressed(&mut buf, &el).unwrap();
+        // Bytes 16.. : varint(count), varint(len), then the checksum.
+        let mut r = &buf[16..];
+        let c = read_varint(&mut r).unwrap().unwrap();
+        let l = read_varint(&mut r).unwrap().unwrap();
+        let checksum_at = 16 + (varint_len(c) + varint_len(l)) as usize;
+        let mut corrupt = buf.clone();
+        corrupt[checksum_at] ^= 0x01;
+        assert!(read_compressed(&corrupt[..]).is_err());
+        // A payload flip is caught by the same check.
+        let mut corrupt = buf.clone();
+        corrupt[checksum_at + 9] ^= 0x01;
+        assert!(read_compressed(&corrupt[..]).is_err());
+        // The pristine stream still round-trips.
+        assert_eq!(read_compressed(&buf[..]).unwrap(), el);
+    }
+
+    #[test]
+    fn compressed_block_headers_are_walkable() {
+        // The block headers alone must reproduce the edge count: this is
+        // what sampled shard validation's structural walk relies on.
+        let m = COMPRESSED_BLOCK_EDGES as usize + 77;
+        let el = EdgeList::new(
+            100,
+            (0..m as u64).map(|i| (i % 100, (i + 1) % 100)).collect(),
+        );
+        let mut buf = Vec::new();
+        write_compressed(&mut buf, &el).unwrap();
+        let mut r = &buf[16..];
+        let mut total = 0u64;
+        let mut blocks = 0;
+        while let Some(count) = read_varint(&mut r).unwrap() {
+            let len = read_varint(&mut r).unwrap().unwrap() as usize;
+            let mut ck = [0u8; 8];
+            r.read_exact(&mut ck).unwrap();
+            r = &r[len..];
+            total += count as u64;
+            blocks += 1;
+        }
+        assert_eq!(total, m as u64);
+        assert_eq!(blocks, 2);
     }
 
     #[test]

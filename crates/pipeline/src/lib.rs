@@ -75,7 +75,7 @@ pub mod writer;
 
 pub use manifest::{Manifest, PartialManifest, RunHeader, ShardInfo, MANIFEST_FILE};
 pub use merge::{ExternalMerge, MergeStats};
-pub use reader::{stream_shard_file, validate_shard, ShardReader};
+pub use reader::{stream_shard_file, validate_shard, validate_shard_sampled, ShardReader};
 pub use sink::{
     checksum_step, BinarySink, ChecksumSink, CompressedSink, CountingSink, DegreeStatsSink,
     EdgeSink, FnSink, TeeSink, TextSink,

@@ -138,6 +138,164 @@ pub fn validate_shard(dir: &Path, format: ShardFormat, info: &ShardInfo) -> io::
     Ok(())
 }
 
+/// Fast-path shard validation: a size/structure check plus
+/// `sample_blocks` fully decoded (and checksum-verified) restart blocks,
+/// instead of [`validate_shard`]'s full re-read.
+///
+/// * **binary** — exact: the file length must equal `16 · edges`
+///   (metadata only, no read).
+/// * **compressed** — walk the block headers (seeking over payloads),
+///   verify the header-derived edge total against the manifest, then
+///   decode `sample_blocks` evenly spaced blocks and verify their
+///   stored per-block checksums. O(blocks + samples·block) instead of
+///   O(edges).
+/// * **edge-list** — text has no sampled structure; falls back to the
+///   full re-read.
+///
+/// Sampled validation catches deletion, truncation, reordering of whole
+/// blocks and any corruption inside a sampled block; a flipped byte in
+/// an *unsampled* compressed block can escape it — that is the
+/// documented latency trade, and why the full re-read stays the
+/// default.
+pub fn validate_shard_sampled(
+    dir: &Path,
+    format: ShardFormat,
+    info: &ShardInfo,
+    sample_blocks: usize,
+) -> io::Result<()> {
+    let path = dir.join(&info.file);
+    match format {
+        ShardFormat::Binary => {
+            let len = std::fs::metadata(&path)?.len();
+            if len != info.edges * 16 {
+                return Err(invalid(format!(
+                    "shard {}: {len} bytes on disk, {} expected for {} edges",
+                    info.file,
+                    info.edges * 16,
+                    info.edges
+                )));
+            }
+            Ok(())
+        }
+        ShardFormat::EdgeList => validate_shard(dir, format, info),
+        ShardFormat::Compressed => validate_compressed_sampled(&path, info, sample_blocks),
+    }
+}
+
+/// Walk every restart block of an open compressed shard positioned
+/// right after the 16-byte file header. `on_block(index, count,
+/// checksum, reader)` returns whether it consumed the payload itself
+/// (`len` bytes); otherwise the walk seeks over it. Returns
+/// `(blocks, total_edges, end_pos)`. Memory is O(1) — the huge-run fast
+/// path must not materialize per-block metadata.
+fn walk_blocks(
+    r: &mut BufReader<File>,
+    file: &str,
+    mut on_block: impl FnMut(u64, u64, u64, u64, &mut BufReader<File>) -> io::Result<bool>,
+) -> io::Result<(u64, u64, u64)> {
+    use kagen_graph::io::{read_varint, varint_len};
+    let mut pos = 16u64;
+    let mut blocks = 0u64;
+    let mut total = 0u64;
+    while let Some(count) = read_varint(r)? {
+        let Some(len) = read_varint(r)? else {
+            return Err(invalid(format!("shard {file}: block header truncated")));
+        };
+        let mut ck = [0u8; 8];
+        r.read_exact(&mut ck)?;
+        let (Ok(count), Ok(len)) = (u64::try_from(count), u64::try_from(len)) else {
+            return Err(invalid(format!("shard {file}: block header overflows u64")));
+        };
+        if count == 0 {
+            return Err(invalid(format!("shard {file}: empty block")));
+        }
+        pos += varint_len(count as u128) + varint_len(len as u128) + 8;
+        total = total
+            .checked_add(count)
+            .ok_or_else(|| invalid(format!("shard {file}: edge total overflows")))?;
+        if !on_block(blocks, count, len, u64::from_le_bytes(ck), r)? {
+            r.seek_relative(
+                i64::try_from(len)
+                    .map_err(|_| invalid(format!("shard {file}: implausible block length")))?,
+            )?;
+        }
+        pos += len;
+        blocks += 1;
+    }
+    Ok((blocks, total, pos))
+}
+
+fn validate_compressed_sampled(
+    path: &Path,
+    info: &ShardInfo,
+    sample_blocks: usize,
+) -> io::Result<()> {
+    use kagen_graph::io::{decode_block, COMPRESSED_MAGIC};
+    use std::io::Seek;
+    let open = |path: &Path| -> io::Result<BufReader<File>> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if magic != COMPRESSED_MAGIC {
+            return Err(invalid(format!(
+                "shard {}: not a compressed edge stream",
+                info.file
+            )));
+        }
+        let mut n_bytes = [0u8; 8];
+        r.read_exact(&mut n_bytes)?;
+        Ok(r)
+    };
+
+    // Pass 1 — structural walk, headers only, O(1) memory.
+    let mut r = open(path)?;
+    let (blocks, total, pos) = walk_blocks(&mut r, &info.file, |_, _, _, _, _| Ok(false))?;
+    if total != info.edges {
+        return Err(invalid(format!(
+            "shard {}: {total} edges in block headers, {} in manifest",
+            info.file, info.edges
+        )));
+    }
+    // The walk's end position must be the exact file size: seeking does
+    // not notice a truncated final payload, the byte count does.
+    let file_len = std::fs::metadata(path)?.len();
+    if pos != file_len {
+        return Err(invalid(format!(
+            "shard {}: {file_len} bytes on disk, {pos} accounted by block headers",
+            info.file
+        )));
+    }
+
+    // Pass 2 — decode the evenly spaced sample blocks in stream order
+    // and verify their stored checksums.
+    let picks = sample_blocks.min(blocks as usize) as u64;
+    if picks == 0 {
+        return Ok(());
+    }
+    let mut next_sample = 0u64;
+    let mut payload = Vec::new();
+    let mut r = open(path)?;
+    r.seek(io::SeekFrom::Start(16))?;
+    walk_blocks(&mut r, &info.file, |idx, count, len, checksum, r| {
+        if next_sample >= picks || idx != next_sample * blocks / picks {
+            return Ok(false);
+        }
+        next_sample += 1;
+        payload.resize(len as usize, 0);
+        r.read_exact(&mut payload)?;
+        let got = decode_block(&payload, count)
+            .map_err(|e| invalid(format!("shard {}: sampled block: {e}", info.file)))?;
+        if got != checksum {
+            return Err(invalid(format!(
+                "shard {}: sampled block checksum mismatch (corrupt)",
+                info.file
+            )));
+        }
+        Ok(true)
+    })?;
+    Ok(())
+}
+
 fn stream_text(path: &Path, emit: &mut dyn FnMut(u64, u64)) -> io::Result<()> {
     let r = BufReader::new(File::open(path)?);
     for (lineno, line) in r.lines().enumerate() {
@@ -241,6 +399,93 @@ mod tests {
         let reader = ShardReader::open(&dir).unwrap();
         let err = reader.read_all().unwrap_err();
         assert!(err.to_string().contains("checksum"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sampled_validation_accepts_valid_shards_of_every_format() {
+        // Enough edges for multiple compressed restart blocks per shard.
+        let gen = GnmDirected::new(2000, 20_000).with_seed(3).with_chunks(2);
+        for (format, tag) in [
+            (ShardFormat::EdgeList, "s_text"),
+            (ShardFormat::Binary, "s_bin"),
+            (ShardFormat::Compressed, "s_comp"),
+        ] {
+            let dir = std::env::temp_dir().join(format!("kagen_sampled_{tag}"));
+            std::fs::remove_dir_all(&dir).ok();
+            let meta = InstanceMeta {
+                model: "gnm_directed".into(),
+                params: String::new(),
+                seed: 3,
+            };
+            let manifest = write_sharded(&gen, &meta, &StreamConfig::new(&dir, format)).unwrap();
+            for info in &manifest.shards {
+                validate_shard_sampled(&dir, format, info, 4).unwrap();
+                // Degenerate sample counts behave.
+                validate_shard_sampled(&dir, format, info, 0).unwrap();
+                validate_shard_sampled(&dir, format, info, 1000).unwrap();
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn sampled_validation_catches_structural_damage() {
+        let gen = GnmDirected::new(2000, 20_000).with_seed(5).with_chunks(2);
+        let dir = std::env::temp_dir().join("kagen_sampled_damage");
+        std::fs::remove_dir_all(&dir).ok();
+        let meta = InstanceMeta {
+            model: "gnm_directed".into(),
+            params: String::new(),
+            seed: 5,
+        };
+        let manifest = write_sharded(
+            &gen,
+            &meta,
+            &StreamConfig::new(&dir, ShardFormat::Compressed),
+        )
+        .unwrap();
+        let info = manifest.shards.iter().find(|s| s.edges > 0).unwrap();
+        let path = dir.join(&info.file);
+        let pristine = std::fs::read(&path).unwrap();
+
+        // Truncation: the last block's payload ends early.
+        std::fs::write(&path, &pristine[..pristine.len() - 3]).unwrap();
+        assert!(validate_shard_sampled(&dir, ShardFormat::Compressed, info, 2).is_err());
+
+        // Corruption inside the first (always sampled) block: the
+        // per-block checksum catches it even when the varints stay
+        // well-formed.
+        let mut corrupt = pristine.clone();
+        corrupt[40] ^= 0x01;
+        std::fs::write(&path, &corrupt).unwrap();
+        assert!(validate_shard_sampled(&dir, ShardFormat::Compressed, info, 2).is_err());
+
+        // Deletion.
+        std::fs::remove_file(&path).unwrap();
+        assert!(validate_shard_sampled(&dir, ShardFormat::Compressed, info, 2).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sampled_validation_checks_binary_size_exactly() {
+        let gen = GnmDirected::new(500, 3000).with_seed(7).with_chunks(1);
+        let dir = std::env::temp_dir().join("kagen_sampled_binsize");
+        std::fs::remove_dir_all(&dir).ok();
+        let meta = InstanceMeta {
+            model: "gnm_directed".into(),
+            params: String::new(),
+            seed: 7,
+        };
+        let manifest =
+            write_sharded(&gen, &meta, &StreamConfig::new(&dir, ShardFormat::Binary)).unwrap();
+        let info = &manifest.shards[0];
+        validate_shard_sampled(&dir, ShardFormat::Binary, info, 4).unwrap();
+        let path = dir.join(&info.file);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0u8; 16]);
+        std::fs::write(&path, bytes).unwrap();
+        assert!(validate_shard_sampled(&dir, ShardFormat::Binary, info, 4).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -76,13 +76,12 @@ impl<S: EdgeSink + ?Sized> EdgeSink for Box<S> {
     }
 }
 
-/// Step function of the order-dependent shard checksum (FNV-style mix of
-/// the running value with both endpoints).
+/// Step function of the order-dependent shard checksum — the same mix
+/// the compressed format's per-block checksums use
+/// ([`kagen_graph::io::edge_checksum_step`]).
 #[inline]
 pub fn checksum_step(acc: u64, u: u64, v: u64) -> u64 {
-    let mut h = acc ^ u.rotate_left(17) ^ v.wrapping_mul(0x9E3779B97F4A7C15);
-    h = h.wrapping_mul(0x100000001b3);
-    h ^ (h >> 29)
+    kagen_graph::io::edge_checksum_step(acc, u, v)
 }
 
 /// Counts edges; the cheapest possible sink.

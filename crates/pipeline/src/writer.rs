@@ -18,7 +18,7 @@ pub enum ShardFormat {
     EdgeList,
     /// Raw little-endian `u64` pairs.
     Binary,
-    /// Varint+delta compressed (`KGSHRD01`).
+    /// Varint+delta compressed (`KGSHRD02`).
     Compressed,
 }
 

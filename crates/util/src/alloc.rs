@@ -1,0 +1,81 @@
+//! A counting global allocator for memory-profile measurements.
+//!
+//! Tracks live bytes and a resettable high-water mark, so a test binary
+//! or benchmark can attribute peak allocation to one measured region —
+//! the per-model stand-in for peak RSS (process RSS is a high-water
+//! mark over the whole run and cannot be reset). Install it with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: kagen_util::alloc::CountingAlloc = CountingAlloc;
+//! ```
+//!
+//! The counters are process-global; callers measuring a region must
+//! ensure no concurrent allocation-heavy work runs during it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Delegates to [`System`], counting live bytes and their high-water
+/// mark.
+pub struct CountingAlloc;
+
+static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
+static PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates to `System`; the counters are plain atomics.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let live = LIVE_BYTES.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, p: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(p, layout) };
+        LIVE_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    // Forward realloc to the system fast path (the trait's default
+    // would degrade every Vec regrowth to alloc+copy+dealloc, skewing
+    // timed measurements in binaries that install this allocator).
+    unsafe fn realloc(&self, p: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let q = unsafe { System.realloc(p, layout, new_size) };
+        if !q.is_null() {
+            let live = if new_size >= layout.size() {
+                LIVE_BYTES.fetch_add(new_size - layout.size(), Ordering::Relaxed) + new_size
+                    - layout.size()
+            } else {
+                LIVE_BYTES.fetch_sub(layout.size() - new_size, Ordering::Relaxed)
+                    - (layout.size() - new_size)
+            };
+            PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+        }
+        q
+    }
+}
+
+impl CountingAlloc {
+    /// Reset the high-water mark to the current live size and return
+    /// that baseline.
+    pub fn reset_peak() -> usize {
+        let live = LIVE_BYTES.load(Ordering::Relaxed);
+        PEAK_BYTES.store(live, Ordering::Relaxed);
+        live
+    }
+
+    /// Peak bytes allocated above `baseline` since the last reset.
+    pub fn peak_above(baseline: usize) -> u64 {
+        PEAK_BYTES.load(Ordering::Relaxed).saturating_sub(baseline) as u64
+    }
+
+    /// Peak bytes allocated while `f` runs, above the entry baseline.
+    pub fn peak_during(f: impl FnOnce()) -> u64 {
+        let baseline = Self::reset_peak();
+        f();
+        Self::peak_above(baseline)
+    }
+}

@@ -21,6 +21,7 @@
 //!   sampling and float conversion helpers,
 //! * [`seed`] — the seed-derivation scheme tying it all together.
 
+pub mod alloc;
 pub mod hash;
 pub mod mt;
 pub mod rng;

@@ -23,7 +23,7 @@
 //! cargo run --release --example distributed_cluster
 //! ```
 
-use kagen_repro::cluster::{launch, InProcessRunner, LaunchOptions};
+use kagen_repro::cluster::{launch, InProcessRunner, LaunchOptions, ValidateMode};
 use kagen_repro::core::{generate_parallel, Generator, GnmUndirected, Rgg2d};
 use kagen_repro::graph::merge_pe_edges;
 use kagen_repro::pipeline::{InstanceMeta, ShardFormat};
@@ -133,7 +133,8 @@ fn main() {
         &LaunchOptions {
             workers: 4,
             resume: true,
-            validate: true,
+            validate: ValidateMode::Full,
+            ..Default::default()
         },
         &runner,
     )

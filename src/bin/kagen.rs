@@ -60,7 +60,16 @@
 //!   -t <threads>          threads per worker               (default 1)
 //!   --resume              reuse valid shards of an interrupted/corrupted
 //!                         run; regenerate only missing or invalid shards
-//!   --no-validate         skip the post-run checksum re-read
+//!   --retries <budget>    in-launch retry budget per rank: transient
+//!                         worker failures are respawned (exponential
+//!                         backoff) up to <budget> times before the rank
+//!                         counts as failed          (default 0)
+//!   --validate <mode>     full | sampled | none     (default full)
+//!                         sampled = size/structure walk + 4 decoded,
+//!                         checksum-verified blocks per shard — the
+//!                         resume fast path for huge runs; none skips
+//!                         the post-run re-read only
+//!   --no-validate         alias for --validate none
 //!
 //! Launch mode splits the PE range into contiguous rank ranges and
 //! re-execs this binary as `kagen worker` child processes, one per rank
@@ -141,6 +150,8 @@ struct Options {
     workers: Option<usize>,
     resume: bool,
     no_validate: bool,
+    validate: Option<String>,
+    retries: Option<u64>,
     pe_range: Option<(usize, usize)>,
     rank: Option<usize>,
 }
@@ -177,6 +188,8 @@ fn parse() -> Options {
         workers: None,
         resume: false,
         no_validate: false,
+        validate: None,
+        retries: None,
         pe_range: None,
         rank: None,
     };
@@ -236,6 +249,8 @@ fn parse() -> Options {
             "--workers" => o.workers = Some(next(&mut args).parse().unwrap_or_else(|_| usage())),
             "--resume" => o.resume = true,
             "--no-validate" => o.no_validate = true,
+            "--validate" => o.validate = Some(next(&mut args)),
+            "--retries" => o.retries = Some(next(&mut args).parse().unwrap_or_else(|_| usage())),
             "--pe-range" => {
                 let spec = next(&mut args);
                 let Some((a, b)) = spec.split_once("..") else {
@@ -281,6 +296,8 @@ fn validate(o: &Options) {
             reject(o.workers.is_some(), "--workers", "`kagen launch`");
             reject(o.resume, "--resume", "`kagen launch`");
             reject(o.no_validate, "--no-validate", "`kagen launch`");
+            reject(o.validate.is_some(), "--validate", "`kagen launch`");
+            reject(o.retries.is_some(), "--retries", "`kagen launch`");
             reject(o.pe_range.is_some(), "--pe-range", "`kagen worker`");
             reject(o.rank.is_some(), "--rank", "`kagen worker`");
         }
@@ -288,6 +305,8 @@ fn validate(o: &Options) {
             reject(o.workers.is_some(), "--workers", "`kagen launch`");
             reject(o.resume, "--resume", "`kagen launch`");
             reject(o.no_validate, "--no-validate", "`kagen launch`");
+            reject(o.validate.is_some(), "--validate", "`kagen launch`");
+            reject(o.retries.is_some(), "--retries", "`kagen launch`");
             reject(o.pe_range.is_some(), "--pe-range", "`kagen worker`");
             reject(o.rank.is_some(), "--rank", "`kagen worker`");
             if o.shard_dir.is_none() {
@@ -323,10 +342,20 @@ fn validate(o: &Options) {
                 if o.workers == Some(0) {
                     fail("--workers must be >= 1".into());
                 }
+                if let Some(name) = o.validate.as_deref() {
+                    if kagen_repro::cluster::ValidateMode::parse(name).is_none() {
+                        fail(format!("unknown validate mode '{name}'"));
+                    }
+                    if o.no_validate && name != "none" {
+                        fail(format!("--no-validate conflicts with --validate {name}"));
+                    }
+                }
             } else {
                 reject(o.workers.is_some(), "--workers", "`kagen launch`");
                 reject(o.resume, "--resume", "`kagen launch`");
                 reject(o.no_validate, "--no-validate", "`kagen launch`");
+                reject(o.validate.is_some(), "--validate", "`kagen launch`");
+                reject(o.retries.is_some(), "--retries", "`kagen launch`");
                 let Some((a, b)) = o.pe_range else {
                     fail("--pe-range is required".into());
                 };
@@ -729,10 +758,20 @@ fn run_launch(o: &Options) {
         worker_args: worker_args(o, shard_dir, format),
         dir: PathBuf::from(shard_dir),
     };
+    let validate = if o.no_validate {
+        kagen_repro::cluster::ValidateMode::None
+    } else {
+        o.validate
+            .as_deref()
+            .map(|name| kagen_repro::cluster::ValidateMode::parse(name).expect("validated"))
+            .unwrap_or_default()
+    };
     let opts = kagen_repro::cluster::LaunchOptions {
         workers,
         resume: o.resume,
-        validate: !o.no_validate,
+        validate,
+        retries: o.retries.unwrap_or(0),
+        ..Default::default()
     };
     let started = std::time::Instant::now();
     match kagen_repro::cluster::launch(Path::new(shard_dir), &header, &opts, &runner) {

@@ -266,6 +266,98 @@ fn every_model_federates_identically_to_stream() {
     }
 }
 
+/// `--retries` rescues a transient worker fault in-launch: the first
+/// worker attempt fails (fail-once marker), the respawn succeeds, and
+/// the run completes without any `--resume` — byte-identical to a clean
+/// stream run.
+#[test]
+fn transient_worker_failure_is_retried_with_budget() {
+    let dir = tmp("retry_cli");
+    let marker = std::env::temp_dir().join("kagen_it_retry_marker");
+    std::fs::remove_file(&marker).ok();
+
+    let mut args: Vec<String> = vec!["launch".into()];
+    args.extend(model_args(dir.to_str().unwrap()));
+    args.extend([
+        "--workers".into(),
+        "2".into(),
+        "--retries".into(),
+        "2".into(),
+    ]);
+    let (ok, stderr) = kagen(
+        &args.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &[("KAGEN_WORKER_FAIL_ONCE", marker.to_str().unwrap())],
+    );
+    assert!(
+        ok,
+        "launch with --retries must survive the fault:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("retrying: "),
+        "the retry must be reported: {stderr}"
+    );
+    assert!(dir.join("manifest.json").exists());
+
+    let stream_dir = tmp("retry_cli_stream");
+    let mut args: Vec<String> = vec!["stream".into()];
+    args.extend(model_args(stream_dir.to_str().unwrap()));
+    let (ok, _) = kagen(&args.iter().map(|s| s.as_str()).collect::<Vec<_>>(), &[]);
+    assert!(ok);
+    assert_eq!(read_manifest(&dir), read_manifest(&stream_dir));
+
+    // Without a budget the same fault fails the launch (resumable).
+    let dir2 = tmp("retry_cli_nobudget");
+    std::fs::remove_file(&marker).ok();
+    let mut args: Vec<String> = vec!["launch".into()];
+    args.extend(model_args(dir2.to_str().unwrap()));
+    args.extend(["--workers".into(), "2".into()]);
+    let (ok, stderr) = kagen(
+        &args.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &[("KAGEN_WORKER_FAIL_ONCE", marker.to_str().unwrap())],
+    );
+    assert!(!ok, "without --retries the fault must fail the launch");
+    assert!(stderr.contains("resumable"), "{stderr}");
+
+    std::fs::remove_file(&marker).ok();
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dir2).ok();
+    std::fs::remove_dir_all(&stream_dir).ok();
+}
+
+/// `--validate sampled` resumes a damaged run: a truncated shard is
+/// caught by the structural walk and regenerated, valid shards are
+/// reused without the full re-read.
+#[test]
+fn sampled_validation_resume_via_cli() {
+    let dir = tmp("sampled_cli");
+    let mut args: Vec<String> = vec!["launch".into()];
+    args.extend(model_args(dir.to_str().unwrap()));
+    args.extend(["--workers".into(), "2".into()]);
+    let argv: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+    let (ok, stderr) = kagen(&argv, &[]);
+    assert!(ok, "launch failed:\n{stderr}");
+    let before = read_manifest(&dir);
+
+    let victim = dir.join("shard-00005.kgc");
+    let bytes = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &bytes[..bytes.len() - 2]).unwrap();
+
+    let mut resume_args = args.clone();
+    resume_args.extend(["--resume".into(), "--validate".into(), "sampled".into()]);
+    let (ok, stderr) = kagen(
+        &resume_args.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &[],
+    );
+    assert!(ok, "sampled resume failed:\n{stderr}");
+    let summary = launch_summary(&stderr);
+    assert!(
+        summary.contains("regenerated=[5] reused=7"),
+        "sampled resume must regenerate exactly the truncated shard: {summary}"
+    );
+    assert_eq!(read_manifest(&dir), before);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn launch_rejects_invalid_flags_before_spawning_workers() {
     let dir = tmp("reject");
@@ -316,6 +408,40 @@ fn launch_rejects_invalid_flags_before_spawning_workers() {
             "--workers must be",
         ),
         (vec!["launch", "gnm_undirected"], "--shard-dir is required"),
+        (
+            vec![
+                "launch",
+                "gnm_undirected",
+                "--shard-dir",
+                dir_s,
+                "--validate",
+                "maybe",
+            ],
+            "unknown validate mode",
+        ),
+        (
+            vec![
+                "launch",
+                "gnm_undirected",
+                "--shard-dir",
+                dir_s,
+                "--no-validate",
+                "--validate",
+                "full",
+            ],
+            "--no-validate conflicts",
+        ),
+        (
+            vec![
+                "stream",
+                "gnm_undirected",
+                "--shard-dir",
+                dir_s,
+                "--retries",
+                "2",
+            ],
+            "--retries requires",
+        ),
         (
             vec!["worker", "gnm_undirected", "--shard-dir", dir_s],
             "--pe-range is required",

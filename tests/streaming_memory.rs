@@ -1,0 +1,118 @@
+//! Peak-allocation regression tests for the cell-cursor streaming core:
+//! the per-PE working set of the spatial/hyperbolic generators must stay
+//! **sublinear in the per-PE edge count** — the whole point of replacing
+//! the materializing fallback. Two instruments:
+//!
+//! * a counting global allocator (every byte allocated during a
+//!   `stream_pe` pass, high-water above the pre-pass baseline), and
+//! * the frontier cache's own `peak_points` accounting
+//!   (`stream_pe_instrumented`).
+//!
+//! Everything runs inside a single `#[test]` so no sibling test's
+//! allocations pollute the high-water mark.
+
+use kagen_repro::core::prelude::*;
+use kagen_util::alloc::CountingAlloc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Peak bytes allocated while `f` runs, above the entry baseline.
+fn alloc_peak_during(f: impl FnOnce()) -> u64 {
+    CountingAlloc::peak_during(f)
+}
+
+#[test]
+fn streaming_working_set_is_sublinear_in_per_pe_edges() {
+    // ---- RGG, counting allocator ------------------------------------
+    // Fixed radius ⇒ fixed grid; growing n grows the per-PE edge count
+    // ~quadratically (denser cells) while the frontier holds only the
+    // active cell neighborhood (~linear in n). The allocator sees
+    // everything: frontier cache, per-cell vectors, count-tree
+    // transients.
+    let run_rgg = |n: u64| -> (u64, u64) {
+        let gen = Rgg2d::new(n, 0.05).with_seed(3).with_chunks(4);
+        let mut edges = 0u64;
+        let peak = alloc_peak_during(|| {
+            gen.stream_pe(0, &mut |_, _| edges += 1);
+        });
+        (edges, peak)
+    };
+    let (edges_small, peak_small) = run_rgg(8_000);
+    let (edges_large, peak_large) = run_rgg(32_000);
+    let edge_ratio = edges_large as f64 / edges_small as f64;
+    let peak_ratio = peak_large as f64 / peak_small.max(1) as f64;
+    assert!(edge_ratio > 10.0, "edge growth too small: {edge_ratio}");
+    assert!(
+        peak_ratio * 2.0 < edge_ratio,
+        "RGG streaming peak allocation must grow much slower than edges: \
+         peak {peak_small} -> {peak_large} bytes (x{peak_ratio:.1}), \
+         edges {edges_small} -> {edges_large} (x{edge_ratio:.1})"
+    );
+    // Absolute bound: far below the materialized edge list (16 B/edge).
+    assert!(
+        peak_large * 8 < edges_large * 16,
+        "peak {peak_large} B is not small against {} B of materialized edges",
+        edges_large * 16
+    );
+
+    // ---- RGG, frontier accounting -----------------------------------
+    // The cache's own high-water mark tells the same story in points.
+    let frontier_rgg = |n: u64| -> (u64, u64) {
+        let gen = Rgg2d::new(n, 0.05).with_seed(3).with_chunks(4);
+        let mut edges = 0u64;
+        let stats = gen.stream_pe_instrumented(0, &mut |_, _| edges += 1);
+        (edges, stats.peak_points)
+    };
+    let (e1, p1) = frontier_rgg(2_000);
+    let (e2, p2) = frontier_rgg(32_000);
+    assert!(e2 > 100 * e1, "edges must explode: {e1} -> {e2}");
+    assert!(
+        p2 < 40 * p1.max(1),
+        "RGG frontier points must stay ~linear in n: {p1} -> {p2} \
+         while edges went {e1} -> {e2}"
+    );
+
+    // ---- RHG, frontier accounting -----------------------------------
+    // Growing n grows the per-PE edge count linearly; the query-window
+    // frontier grows distinctly slower (the Δθ windows shrink with R).
+    let frontier_rhg = |n: u64| -> (u64, u64) {
+        let gen = Rhg::new(n, 8.0, 2.8).with_seed(3).with_chunks(8);
+        let mut edges = 0u64;
+        let stats = gen.stream_pe_instrumented(0, &mut |_, _| edges += 1);
+        (edges, stats.peak_points)
+    };
+    let (h1, q1) = frontier_rhg(4_000);
+    let (h2, q2) = frontier_rhg(64_000);
+    let edge_ratio = h2 as f64 / h1 as f64;
+    let peak_ratio = q2 as f64 / q1.max(1) as f64;
+    assert!(edge_ratio > 8.0, "edge growth too small: {edge_ratio}");
+    assert!(
+        peak_ratio * 2.0 < edge_ratio,
+        "RHG streaming frontier must grow much slower than edges: \
+         peak {q1} -> {q2} points (x{peak_ratio:.1}), \
+         edges {h1} -> {h2} (x{edge_ratio:.1})"
+    );
+
+    // ---- RHG, counting allocator: flat against degree growth --------
+    // Same n, heavier instance (per-PE edges grow with the average
+    // degree): the full working set must stay far below the
+    // materialized edge list.
+    let run_rhg_alloc = |deg: f64| -> (u64, u64) {
+        let gen = Rhg::new(30_000, deg, 2.8).with_seed(3).with_chunks(8);
+        let mut edges = 0u64;
+        let peak = alloc_peak_during(|| {
+            gen.stream_pe(0, &mut |_, _| edges += 1);
+        });
+        (edges, peak)
+    };
+    let (d1_edges, _) = run_rhg_alloc(6.0);
+    let (d2_edges, d2_peak) = run_rhg_alloc(24.0);
+    assert!(d2_edges > 2 * d1_edges);
+    assert!(
+        d2_peak * 2 < d2_edges * 16,
+        "RHG streaming peak {d2_peak} B is not small against {} B of \
+         materialized edges",
+        d2_edges * 16
+    );
+}
