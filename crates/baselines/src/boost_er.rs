@@ -7,6 +7,11 @@
 //! costs grow with `n` independent of `m`. That structure-building is
 //! exactly why Boost's time-per-edge rises with `n` in Fig. 6 while
 //! KaGen's stays flat: KaGen emits a plain edge list.
+//!
+//! This baseline deliberately stays on the *per-edge* skip path
+//! ([`bernoulli_sample`], one `ln` per edge) — it is the comparison
+//! point the block-batched skip kernel is measured against, so it must
+//! keep paying the historical per-edge cost.
 
 use kagen_graph::EdgeList;
 use kagen_sampling::bernoulli_sample;

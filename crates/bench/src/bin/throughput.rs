@@ -30,6 +30,7 @@
 //! The JSON is machine-readable so future PRs have a trajectory to beat;
 //! the paper's headline metric (§8.6.1) is exactly this rate.
 
+use kagen_core::er::GnpLeaves;
 use kagen_core::prelude::*;
 use kagen_core::streaming::BATCH_EDGES;
 use kagen_pipeline::{BinarySink, EdgeSink};
@@ -51,6 +52,10 @@ struct Measurement {
     edges: u64,
     per_edge_secs: f64,
     batched_secs: f64,
+    /// The two delivery paths produced the identical edge stream
+    /// (edge count + xor-fold checksum compared every run); a `false`
+    /// still emits JSON, and CI fails on it.
+    paths_checksum_match: bool,
     /// Writer-boundary timings: the instance streamed into a boxed
     /// `BinarySink` (the `kagen stream` shard path, minus the file) via
     /// per-edge `accept` vs `push_batch`.
@@ -77,25 +82,30 @@ impl Measurement {
     }
 }
 
-/// Best-of-`reps` wall time of one full instance streamed per edge.
-fn time_per_edge<G: StreamingGenerator + ?Sized>(gen: &G, reps: u32) -> (u64, f64) {
+/// Best-of-`reps` wall time of one full instance streamed per edge;
+/// returns the xor-fold checksum of the stream along with it.
+fn time_per_edge<G: StreamingGenerator + ?Sized>(gen: &G, reps: u32) -> (u64, f64, u64) {
     let mut edges = 0u64;
     let mut best = f64::INFINITY;
+    let mut checksum = 0u64;
     for _ in 0..reps {
         let mut acc = 0u64;
         let mut count = 0u64;
         let start = Instant::now();
         for pe in 0..gen.num_chunks() {
             gen.stream_pe(pe, &mut |u, v| {
-                acc ^= u.wrapping_add(v.rotate_left(17));
+                // Order-sensitive fold: a reordered or swapped-pair
+                // stream must not collide, or the batched-vs-per-edge
+                // equality below proves less than it claims.
+                acc = acc.rotate_left(1) ^ u.wrapping_add(v.rotate_left(17));
                 count += 1;
             });
         }
         best = best.min(start.elapsed().as_secs_f64().max(1e-9));
-        black_box(acc);
+        checksum = black_box(acc);
         edges = count;
     }
-    (edges, best)
+    (edges, best, checksum)
 }
 
 /// The sink the writer-boundary measurements stream into: the binary
@@ -139,10 +149,12 @@ fn time_sink_batched<G: StreamingGenerator + ?Sized>(gen: &G, reps: u32) -> f64 
     best
 }
 
-/// Best-of-`reps` wall time of one full instance streamed in batches.
-fn time_batched<G: StreamingGenerator + ?Sized>(gen: &G, reps: u32) -> (u64, f64) {
+/// Best-of-`reps` wall time of one full instance streamed in batches;
+/// returns the xor-fold checksum of the stream along with it.
+fn time_batched<G: StreamingGenerator + ?Sized>(gen: &G, reps: u32) -> (u64, f64, u64) {
     let mut edges = 0u64;
     let mut best = f64::INFINITY;
+    let mut checksum = 0u64;
     let mut buf = Vec::with_capacity(BATCH_EDGES);
     for _ in 0..reps {
         let mut acc = 0u64;
@@ -151,16 +163,16 @@ fn time_batched<G: StreamingGenerator + ?Sized>(gen: &G, reps: u32) -> (u64, f64
         for pe in 0..gen.num_chunks() {
             gen.stream_pe_batched(pe, &mut buf, &mut |batch| {
                 for &(u, v) in batch {
-                    acc ^= u.wrapping_add(v.rotate_left(17));
+                    acc = acc.rotate_left(1) ^ u.wrapping_add(v.rotate_left(17));
                 }
                 count += batch.len() as u64;
             });
         }
         best = best.min(start.elapsed().as_secs_f64().max(1e-9));
-        black_box(acc);
+        checksum = black_box(acc);
         edges = count;
     }
-    (edges, best)
+    (edges, best, checksum)
 }
 
 /// Peak allocation of one batched streaming pass over the whole
@@ -189,9 +201,20 @@ fn measure<G: StreamingGenerator + ?Sized>(
     gen: &G,
     reps: u32,
 ) -> Measurement {
-    let (edges_a, per_edge_secs) = time_per_edge(gen, reps);
-    let (edges_b, batched_secs) = time_batched(gen, reps);
-    assert_eq!(edges_a, edges_b, "{name}: batched path lost edges");
+    let (edges_a, per_edge_secs, acc_a) = time_per_edge(gen, reps);
+    let (edges_b, batched_secs, acc_b) = time_batched(gen, reps);
+    // The batched delivery must be the identical stream, not merely the
+    // same count — the rotate-xor fold is order- and content-sensitive.
+    // A divergence is *recorded*, not panicked on: the JSON must still
+    // be written so the CI assertion on `paths_checksum_match` is a
+    // live check rather than one that can never observe a false.
+    let paths_checksum_match = edges_a == edges_b && acc_a == acc_b;
+    if !paths_checksum_match {
+        eprintln!(
+            "{name}: BATCHED PATH DIVERGES from per-edge \
+             ({edges_a} vs {edges_b} edges, checksums {acc_a:#x} vs {acc_b:#x})"
+        );
+    }
     let sink_per_edge_secs = time_sink_per_edge(gen, reps);
     let sink_batched_secs = time_sink_batched(gen, reps);
     let peak_alloc_bytes = measure_peak_alloc(gen);
@@ -213,6 +236,7 @@ fn measure<G: StreamingGenerator + ?Sized>(
         edges: edges_a,
         per_edge_secs,
         batched_secs,
+        paths_checksum_match,
         sink_per_edge_secs,
         sink_batched_secs,
         peak_alloc_bytes,
@@ -444,6 +468,30 @@ fn main() {
             .with_chunks(chunks),
         reps,
     ));
+    // The per-edge Algorithm-D G(n,p) baseline (binomial counts +
+    // Vitter Method D per leaf — the pre-skip-kernel path, kept in-tree
+    // behind `GnpLeaves::AlgoD`): the comparison point the batched skip
+    // kernel is measured against.
+    results.push(measure(
+        "gnp_directed_algoD",
+        "gnp_directed",
+        format!("n={n} p={p_directed:.3e} leaves=algo-d"),
+        &GnpDirected::new(n, p_directed)
+            .with_seed(1)
+            .with_chunks(chunks)
+            .with_leaves(GnpLeaves::AlgoD),
+        reps,
+    ));
+    results.push(measure(
+        "gnp_undirected_algoD",
+        "gnp_undirected",
+        format!("n={n} p={p_undirected:.3e} leaves=algo-d"),
+        &GnpUndirected::new(n, p_undirected)
+            .with_seed(1)
+            .with_chunks(chunks)
+            .with_leaves(GnpLeaves::AlgoD),
+        reps,
+    ));
     results.push(measure(
         "ba_d8",
         "ba",
@@ -528,6 +576,23 @@ fn main() {
         "rmat batched(table) vs per-edge(plain): {rmat_ratio:.2}x (target >= 3x at scale 20)"
     );
 
+    // The ER acceptance ratios: the batched geometric-skip G(n,p) path
+    // (the CLI default) against the per-edge Algorithm-D baseline.
+    // Throughput is normalized per *edge* (the instances are distinct
+    // same-distribution samples, so edge counts differ slightly).
+    let by_name = |needle: &str| results.iter().find(|r| r.name == needle).unwrap();
+    let er_ratio = |skip: &str, algod: &str| {
+        let s = by_name(skip);
+        let d = by_name(algod);
+        (s.edges as f64 / s.batched_secs) / (d.edges as f64 / d.per_edge_secs)
+    };
+    let er_directed_ratio = er_ratio("gnp_directed", "gnp_directed_algoD");
+    let er_undirected_ratio = er_ratio("gnp_undirected", "gnp_undirected_algoD");
+    eprintln!(
+        "er skip-batched vs per-edge algo-D: directed {er_directed_ratio:.2}x, \
+         undirected {er_undirected_ratio:.2}x (target >= 2x at scale 20)"
+    );
+
     // Multi-worker scaling sweep (paper §8): edges/sec vs worker count
     // over the rank-range plan shared with `kagen launch`. The plan
     // cannot hand out more ranks than chunks, so worker counts beyond
@@ -540,17 +605,41 @@ fn main() {
     eprintln!("scaling sweep: 1..{max_workers} workers, rank-range plan over {chunks} chunks");
     let scaling = scaling_sweep(scale, m, chunks, max_workers, reps);
 
+    // A 1-core box clamps the sweep to a single point; downstream
+    // consumers reading the curve must see that it is degenerate rather
+    // than mistake it for a flat scaling result.
+    let detected_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let degenerate_sweep = max_workers <= 1;
+    if degenerate_sweep {
+        eprintln!(
+            "scaling sweep is DEGENERATE (one point): {detected_cores} core(s) detected — \
+             re-run on a multi-core box for a real curve"
+        );
+    }
+
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"kagen-throughput/v3\",\n");
+    json.push_str("  \"schema\": \"kagen-throughput/v4\",\n");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"repetitions\": {reps},");
     let _ = writeln!(json, "  \"chunks\": {chunks},");
     let _ = writeln!(json, "  \"batch_edges\": {BATCH_EDGES},");
+    let _ = writeln!(json, "  \"detected_cores\": {detected_cores},");
     let _ = writeln!(json, "  \"max_workers\": {max_workers},");
+    let _ = writeln!(json, "  \"degenerate_sweep\": {degenerate_sweep},");
     let _ = writeln!(
         json,
         "  \"rmat_table_batched_vs_plain_per_edge\": {rmat_ratio:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"er_skip_batched_vs_algoD_per_edge_directed\": {er_directed_ratio:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"er_skip_batched_vs_algoD_per_edge_undirected\": {er_undirected_ratio:.3},"
     );
     json.push_str("  \"scaling\": [\n");
     for (i, p) in scaling.iter().enumerate() {
@@ -575,6 +664,11 @@ fn main() {
         let _ = writeln!(json, "      \"batched_seconds\": {:.6},", r.batched_secs);
         let _ = writeln!(json, "      \"batched_eps\": {:.0},", r.batched_eps());
         let _ = writeln!(json, "      \"speedup\": {:.3},", r.speedup());
+        let _ = writeln!(
+            json,
+            "      \"paths_checksum_match\": {},",
+            r.paths_checksum_match
+        );
         let _ = writeln!(
             json,
             "      \"sink_per_edge_eps\": {:.0},",

@@ -134,7 +134,8 @@ impl WorkerRunner for InProcessRunner<'_> {
     }
 }
 
-/// Restart blocks fully decoded per shard by sampled validation.
+/// Default restart blocks fully decoded per shard by sampled validation
+/// (`--validate sampled` without an explicit `=K`).
 pub const SAMPLED_BLOCKS: usize = 4;
 
 /// Ceiling of the exponential retry backoff: late attempts of a
@@ -150,13 +151,15 @@ pub enum ValidateMode {
     /// the end-to-end integrity guarantee, and the default.
     #[default]
     Full,
-    /// Fast path for huge runs: size/structure checks plus
-    /// [`SAMPLED_BLOCKS`] fully decoded, checksum-verified restart
-    /// blocks per shard (see
+    /// Fast path for huge runs: size/structure checks plus `K` fully
+    /// decoded, checksum-verified restart blocks per shard (see
     /// [`kagen_pipeline::validate_shard_sampled`]). Cuts resume latency
-    /// from O(edges) to O(blocks); corruption inside an unsampled block
-    /// can escape it.
-    Sampled,
+    /// from O(edges) to O(blocks + K·block); corruption inside an
+    /// *unsampled* block can escape it — `K` is the operator's knob on
+    /// that trade (`sampled=K` on the CLI; a `K` at or above the shard's
+    /// block count decodes every block, i.e. full per-block coverage at
+    /// a fraction of the full re-read's cost).
+    Sampled(usize),
     /// Skip the post-run validation entirely (generation-time checksums
     /// are trusted). Resume-time reuse decisions still run the full
     /// re-read — reusing a shard nobody ever re-checked would silently
@@ -165,15 +168,67 @@ pub enum ValidateMode {
 }
 
 impl ValidateMode {
-    /// Parse the CLI spelling.
+    /// Parse the CLI spelling: `full`, `none`, `sampled`, or
+    /// `sampled=K` (K ≥ 1 decoded blocks per shard).
     pub fn parse(name: &str) -> Option<ValidateMode> {
         match name {
             "full" => Some(ValidateMode::Full),
-            "sampled" => Some(ValidateMode::Sampled),
+            "sampled" => Some(ValidateMode::Sampled(SAMPLED_BLOCKS)),
             "none" => Some(ValidateMode::None),
-            _ => None,
+            _ => {
+                let k = name.strip_prefix("sampled=")?.parse().ok()?;
+                (k >= 1).then_some(ValidateMode::Sampled(k))
+            }
         }
     }
+}
+
+/// Validate `shards` (each against its recorded [`ShardInfo`]) in
+/// parallel — one contiguous group per worker thread, like the merge's
+/// reader workers — and return `(pe, cause)` for every failure,
+/// ascending by PE. Sampled validation is per-shard independent work
+/// (header walks + a few decoded blocks), so it parallelizes
+/// embarrassingly; the full re-read benefits identically.
+fn validate_shards_parallel(
+    dir: &Path,
+    format: ShardFormat,
+    shards: &[kagen_pipeline::ShardInfo],
+    validate: ValidateMode,
+    workers: usize,
+) -> Vec<(usize, io::Error)> {
+    let check = |info: &kagen_pipeline::ShardInfo| -> io::Result<()> {
+        match validate {
+            ValidateMode::Sampled(k) => validate_shard_sampled(dir, format, info, k),
+            ValidateMode::Full | ValidateMode::None => validate_shard(dir, format, info),
+        }
+    };
+    let failures_in = |shards: &[kagen_pipeline::ShardInfo]| {
+        shards
+            .iter()
+            .filter_map(|i| check(i).err().map(|e| (i.pe as usize, e)))
+            .collect::<Vec<_>>()
+    };
+    let workers = workers.clamp(1, shards.len().max(1));
+    let mut failed: Vec<(usize, io::Error)> = if workers <= 1 {
+        failures_in(shards)
+    } else {
+        let groups = kagen_runtime::split_ranges(shards.len(), workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .map(|range| {
+                    let shards = &shards[range];
+                    scope.spawn(move || failures_in(shards))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        })
+    };
+    failed.sort_by_key(|(pe, _)| *pe);
+    failed
 }
 
 /// Coordinator knobs.
@@ -272,19 +327,19 @@ fn prepare(
     // truncated or corrupted file flips its PE back to pending. With
     // `ValidateMode::Sampled` this is the resume fast path — a
     // structural walk plus sampled block checksums instead of a full
-    // re-read per shard.
+    // re-read per shard. Shards are independent, so the check runs on
+    // one thread per worker.
     let mut invalidated = Vec::new();
-    for info in ledger.done_shards() {
-        let ok = match opts.validate {
-            ValidateMode::Sampled => {
-                validate_shard_sampled(dir, format, &info, SAMPLED_BLOCKS).is_ok()
-            }
-            ValidateMode::Full | ValidateMode::None => validate_shard(dir, format, &info).is_ok(),
-        };
-        if !ok {
-            invalidated.push(info.pe as usize);
-            ledger.invalidate_shard(info.pe as usize);
-        }
+    for (pe, cause) in validate_shards_parallel(
+        dir,
+        format,
+        &ledger.done_shards(),
+        opts.validate,
+        opts.workers,
+    ) {
+        eprintln!("kagen launch: shard {pe} failed resume validation, regenerating: {cause}");
+        ledger.invalidate_shard(pe);
+        invalidated.push(pe);
     }
     let tasks = plan_repairs(&ledger.missing_pes(), opts.workers);
     ledger.workers = opts.workers;
@@ -448,17 +503,19 @@ pub fn launch(
         // check; reused shards were already validated in `prepare`,
         // and their bytes cannot have changed since.
         let fresh: std::collections::HashSet<usize> = regenerated_pes.iter().copied().collect();
-        for info in shards.iter().filter(|i| fresh.contains(&(i.pe as usize))) {
-            match opts.validate {
-                ValidateMode::Sampled => validate_shard_sampled(dir, format, info, SAMPLED_BLOCKS),
-                _ => validate_shard(dir, format, info),
-            }
-            .map_err(|e| {
-                invalid(format!(
-                    "post-run validation failed for shard {} — resume to regenerate it: {e}",
-                    info.pe
-                ))
-            })?;
+        let to_check: Vec<kagen_pipeline::ShardInfo> = shards
+            .iter()
+            .filter(|i| fresh.contains(&(i.pe as usize)))
+            .cloned()
+            .collect();
+        let bad = validate_shards_parallel(dir, format, &to_check, opts.validate, opts.workers);
+        if let Some((pe, cause)) = bad.first() {
+            let pes: Vec<usize> = bad.iter().map(|(pe, _)| *pe).collect();
+            return Err(invalid(format!(
+                "post-run validation failed for shard{} {pes:?} — resume to regenerate \
+                 (shard {pe}: {cause})",
+                if pes.len() > 1 { "s" } else { "" },
+            )));
         }
     }
     let manifest = header.clone().federate(shards).map_err(invalid)?;

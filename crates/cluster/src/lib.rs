@@ -506,7 +506,7 @@ mod tests {
             &LaunchOptions {
                 workers: 2,
                 resume: true,
-                validate: ValidateMode::Sampled,
+                validate: ValidateMode::Sampled(SAMPLED_BLOCKS),
                 ..Default::default()
             },
             &runner,
@@ -515,6 +515,100 @@ mod tests {
         assert_eq!(report.regenerated_pes, vec![2]);
         assert_eq!(report.reused_shards, 5);
         assert_eq!(report.manifest, first.manifest);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn validate_mode_parse_spellings() {
+        assert_eq!(ValidateMode::parse("full"), Some(ValidateMode::Full));
+        assert_eq!(ValidateMode::parse("none"), Some(ValidateMode::None));
+        assert_eq!(
+            ValidateMode::parse("sampled"),
+            Some(ValidateMode::Sampled(SAMPLED_BLOCKS))
+        );
+        assert_eq!(
+            ValidateMode::parse("sampled=1"),
+            Some(ValidateMode::Sampled(1))
+        );
+        assert_eq!(
+            ValidateMode::parse("sampled=4096"),
+            Some(ValidateMode::Sampled(4096))
+        );
+        assert_eq!(ValidateMode::parse("sampled=0"), None);
+        assert_eq!(ValidateMode::parse("sampled="), None);
+        assert_eq!(ValidateMode::parse("sampled=x"), None);
+        assert_eq!(ValidateMode::parse("samples"), None);
+    }
+
+    /// The `sampled=K` knob is a real coverage dial: a payload flip in
+    /// a block the default K=4 spacing never decodes slips through
+    /// (the documented trade), while a K at the shard's block count
+    /// catches it — without a full re-read.
+    #[test]
+    fn sampled_k_controls_unsampled_block_coverage() {
+        // One shard, many restart blocks: 6 chunks over enough edges
+        // that shard 0 holds > 16 blocks.
+        let gen = kagen_core::GnmUndirected::new(6000, 400_000)
+            .with_seed(9)
+            .with_chunks(6);
+        let dir = tmp("sampled_k");
+        let header = InstanceMeta {
+            model: "gnm_undirected".into(),
+            params: "n=6000 m=400000".into(),
+            seed: 9,
+        }
+        .header(&gen, ShardFormat::Compressed);
+        let runner = InProcessRunner::new(&gen, &dir, ShardFormat::Compressed);
+        let report = launch(
+            &dir,
+            &header,
+            &LaunchOptions {
+                workers: 2,
+                ..Default::default()
+            },
+            &runner,
+        )
+        .unwrap();
+        let info = report
+            .manifest
+            .shards
+            .iter()
+            .max_by_key(|s| s.edges)
+            .unwrap();
+        let blocks = info.edges.div_ceil(kagen_pipeline::COMPRESSED_BLOCK_EDGES) as usize;
+        assert!(blocks > 16, "need many blocks, got {blocks}");
+        // Flip one byte inside a block that the evenly spaced K=4 picks
+        // (indices k·blocks/4 — 0, B/4, B/2, 3B/4) never decode, leaving
+        // the varint structure intact: ~1/8 into the payload bytes lands
+        // mid-payload of a block near index B/8.
+        let path = dir.join(&info.file);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let offset = 16 + (bytes.len() - 16) / 8;
+        bytes[offset] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let sampled_4 = kagen_pipeline::validate_shard_sampled(
+            &dir,
+            ShardFormat::Compressed,
+            info,
+            SAMPLED_BLOCKS,
+        );
+        let sampled_all =
+            kagen_pipeline::validate_shard_sampled(&dir, ShardFormat::Compressed, info, blocks);
+        let full = kagen_pipeline::validate_shard(&dir, ShardFormat::Compressed, info);
+        assert!(full.is_err(), "full re-read must always catch the flip");
+        assert!(
+            sampled_all.is_err(),
+            "K = block count decodes every block and must catch the flip"
+        );
+        // The flipped block evades the default picks in this layout; if
+        // this ever starts failing the constant picks moved — the
+        // documented trade (not a guarantee) is just that low K *can*
+        // miss payload corruption.
+        assert!(
+            sampled_4.is_ok(),
+            "expected the K=4 spacing to miss a mid-payload flip in this layout"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

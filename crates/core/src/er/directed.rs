@@ -1,10 +1,10 @@
 //! Directed G(n,m) and G(n,p) (§4.1, §4.3).
 
-use super::MonotoneEdgeDecoder;
+use super::{GnpLeaves, MonotoneEdgeDecoder};
 use crate::{Generator, PeGraph};
 use kagen_dist::binomial;
-use kagen_sampling::vitter::sample_sorted;
-use kagen_sampling::DistributedSampler;
+use kagen_sampling::vitter::{sample_sorted, sample_sorted_batched};
+use kagen_sampling::{bernoulli_sample, bernoulli_sample_batched, DistributedSampler};
 use kagen_util::seed::stream;
 use kagen_util::{derive_seed, Mt64};
 
@@ -126,10 +126,14 @@ impl Generator for GnmDirected {
 }
 
 impl GnmDirected {
-    /// Emit PE `pe`'s edges without materializing them (§9 streaming).
-    /// Generic over the consumer so concrete callers (the batched path,
-    /// `generate_pe`) monomorphize with no per-edge virtual dispatch.
-    pub(crate) fn stream_edges<F: FnMut(u64, u64) + ?Sized>(&self, pe: usize, emit: &mut F) {
+    /// One body for both delivery shapes — `BATCHED` only selects the
+    /// leaf kernel (block-treated Method D vs per-draw), so the PE walk
+    /// and decode can never drift apart between the two paths.
+    fn stream_edges_impl<const BATCHED: bool, F: FnMut(u64, u64) + ?Sized>(
+        &self,
+        pe: usize,
+        emit: &mut F,
+    ) {
         let Some(sampler) = self.sampler() else {
             return;
         };
@@ -137,10 +141,30 @@ impl GnmDirected {
         // Sample indices arrive sorted across the PE's blocks: decode
         // rows incrementally instead of a u128 division per edge.
         let mut dec = MonotoneEdgeDecoder::new(self.n);
-        sampler.sample_range(lo, hi, &mut |idx| {
+        let mut on_idx = |idx: u128| {
             let (u, v) = dec.decode(idx);
             emit(u, v);
-        });
+        };
+        if BATCHED {
+            sampler.sample_range_batched(lo, hi, &mut on_idx);
+        } else {
+            sampler.sample_range(lo, hi, &mut on_idx);
+        }
+    }
+
+    /// Emit PE `pe`'s edges without materializing them (§9 streaming).
+    /// Generic over the consumer so concrete callers (the batched path,
+    /// `generate_pe`) monomorphize with no per-edge virtual dispatch.
+    pub(crate) fn stream_edges<F: FnMut(u64, u64) + ?Sized>(&self, pe: usize, emit: &mut F) {
+        self.stream_edges_impl::<false, F>(pe, emit);
+    }
+
+    /// Block-treated [`Self::stream_edges`]: the identical edge stream,
+    /// with every leaf's Method D uniforms served from a block-buffered
+    /// PRNG (see `sample_sorted_batched`). `emit` is monomorphic so the
+    /// whole decode-and-push loop inlines into the caller's batcher.
+    pub(crate) fn stream_edges_batched<F: FnMut(u64, u64)>(&self, pe: usize, emit: &mut F) {
+        self.stream_edges_impl::<true, F>(pe, emit);
     }
 }
 
@@ -152,6 +176,7 @@ pub struct GnpDirected {
     p: f64,
     seed: u64,
     chunks: usize,
+    leaves: GnpLeaves,
 }
 
 impl GnpDirected {
@@ -163,6 +188,7 @@ impl GnpDirected {
             p,
             seed: 1,
             chunks: 64,
+            leaves: GnpLeaves::default(),
         }
     }
 
@@ -176,6 +202,13 @@ impl GnpDirected {
     pub fn with_chunks(mut self, chunks: usize) -> Self {
         assert!(chunks >= 1);
         self.chunks = chunks;
+        self
+    }
+
+    /// Select the leaf-sampling algorithm (part of the instance
+    /// definition — see [`GnpLeaves`]).
+    pub fn with_leaves(mut self, leaves: GnpLeaves) -> Self {
+        self.leaves = leaves;
         self
     }
 }
@@ -204,34 +237,87 @@ impl Generator for GnpDirected {
 }
 
 impl GnpDirected {
-    /// Emit PE `pe`'s edges without materializing them (§9 streaming).
-    /// Generic over the consumer — see [`GnmDirected::stream_edges`].
-    pub(crate) fn stream_edges<F: FnMut(u64, u64) + ?Sized>(&self, pe: usize, emit: &mut F) {
+    /// The leaf decomposition shared by every G(n,p) path (and by the
+    /// GPGPU backend): `(universe, blocks)`, or `None` when the instance
+    /// is empty. Identical for both leaf samplers, so `AlgoD` keeps
+    /// reproducing pre-swap instances.
+    fn leaf_plan(&self) -> Option<(u128, u64)> {
         let universe = (self.n as u128) * (self.n as u128).saturating_sub(1);
         if universe == 0 || self.p == 0.0 {
-            return;
+            return None;
         }
         let expected = ((universe as f64) * self.p) as u64;
-        let blocks = er_blocks(universe, expected.max(1));
+        Some((universe, er_blocks(universe, expected.max(1))))
+    }
+
+    /// One body for both delivery shapes — `BATCHED` only selects the
+    /// leaf kernels (blocked skip conversion / block-treated Method D
+    /// vs their per-draw forms), so the leaf walk, seeding and decode
+    /// can never drift apart between the two paths.
+    fn stream_edges_impl<const BATCHED: bool, F: FnMut(u64, u64) + ?Sized>(
+        &self,
+        pe: usize,
+        emit: &mut F,
+    ) {
+        let Some((universe, blocks)) = self.leaf_plan() else {
+            return;
+        };
         let (lo, hi) = pe_block_range(blocks, self.chunks, pe);
         // Blocks are visited in order and samples are sorted within each,
         // so the whole PE's index stream is sorted: one incremental
         // decoder replaces the per-edge u128 division.
         let mut dec = MonotoneEdgeDecoder::new(self.n);
         for b in lo..hi {
-            // The per-chunk edge count is "predetermined": a binomial over
-            // the chunk universe, seeded by the chunk id (§4.3).
             let start = universe * b as u128 / blocks as u128;
             let end = universe * (b + 1) as u128 / blocks as u128;
-            let len = end - start;
-            let mut count_rng = Mt64::new(derive_seed(self.seed, &[stream::COUNT, b]));
-            let count = binomial(&mut count_rng, len, self.p);
-            let mut sample_rng = Mt64::new(derive_seed(self.seed, &[stream::SAMPLE, b]));
-            sample_sorted(&mut sample_rng, len as u64, count, &mut |i| {
+            let len = (end - start) as u64; // leaves are <= 2^44 (er_blocks)
+            let mut on_idx = |i: u64| {
                 let (u, v) = dec.decode(start + i as u128);
                 emit(u, v);
-            });
+            };
+            match self.leaves {
+                GnpLeaves::Skip => {
+                    // Geometric skip sampling: one uniform per edge from
+                    // the leaf-seeded PRNG, no count draw needed.
+                    let mut rng = Mt64::new(derive_seed(self.seed, &[stream::SAMPLE, b]));
+                    if BATCHED {
+                        bernoulli_sample_batched(&mut rng, len, self.p, &mut |idxs| {
+                            for &i in idxs {
+                                on_idx(i);
+                            }
+                        });
+                    } else {
+                        bernoulli_sample(&mut rng, len, self.p, &mut on_idx);
+                    }
+                }
+                GnpLeaves::AlgoD => {
+                    // The historical path: a "predetermined" binomial
+                    // count over the chunk universe (§4.3), then Vitter D.
+                    let mut count_rng = Mt64::new(derive_seed(self.seed, &[stream::COUNT, b]));
+                    let count = binomial(&mut count_rng, len as u128, self.p);
+                    let mut sample_rng = Mt64::new(derive_seed(self.seed, &[stream::SAMPLE, b]));
+                    if BATCHED {
+                        sample_sorted_batched(&mut sample_rng, len, count, &mut on_idx);
+                    } else {
+                        sample_sorted(&mut sample_rng, len, count, &mut on_idx);
+                    }
+                }
+            }
         }
+    }
+
+    /// Emit PE `pe`'s edges without materializing them (§9 streaming).
+    /// Generic over the consumer — see [`GnmDirected::stream_edges`].
+    pub(crate) fn stream_edges<F: FnMut(u64, u64) + ?Sized>(&self, pe: usize, emit: &mut F) {
+        self.stream_edges_impl::<false, F>(pe, emit);
+    }
+
+    /// Block-batched [`Self::stream_edges`]: skips drawn and converted
+    /// in blocks (`bernoulli_sample_batched`), indices decoded in a
+    /// monomorphic loop — the identical edge stream, delivered off the
+    /// per-edge `ln` bound.
+    pub(crate) fn stream_edges_batched<F: FnMut(u64, u64)>(&self, pe: usize, emit: &mut F) {
+        self.stream_edges_impl::<true, F>(pe, emit);
     }
 }
 
@@ -321,6 +407,85 @@ mod tests {
         let a = generate_directed(&GnpDirected::new(150, 0.05).with_seed(9).with_chunks(1));
         let b = generate_directed(&GnpDirected::new(150, 0.05).with_seed(9).with_chunks(13));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gnp_leaf_samplers_define_distinct_instances() {
+        // Same distribution, different PRNG walk: the two leaf samplers
+        // must not silently alias each other.
+        let skip = generate_directed(&GnpDirected::new(200, 0.05).with_seed(3));
+        let algo_d = generate_directed(
+            &GnpDirected::new(200, 0.05)
+                .with_seed(3)
+                .with_leaves(GnpLeaves::AlgoD),
+        );
+        assert_ne!(skip.edges, algo_d.edges);
+        // Both stay simple and in range.
+        for el in [&skip, &algo_d] {
+            assert!(!el.has_self_loops());
+            assert!(!el.has_out_of_range());
+        }
+    }
+
+    #[test]
+    fn gnp_algo_d_mean_edge_count() {
+        // The back-compat sampler keeps drawing correct G(n,p).
+        let n = 300u64;
+        let p = 0.01;
+        let reps = 40;
+        let total: usize = (0..reps)
+            .map(|seed| {
+                generate_directed(
+                    &GnpDirected::new(n, p)
+                        .with_seed(seed)
+                        .with_leaves(GnpLeaves::AlgoD),
+                )
+                .edges
+                .len()
+            })
+            .sum();
+        let mean = total as f64 / reps as f64;
+        let expect = (n * (n - 1)) as f64 * p;
+        assert!(
+            (mean - expect).abs() / expect < 0.05,
+            "mean {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn gnp_algo_d_chunk_invariance() {
+        let a = generate_directed(
+            &GnpDirected::new(150, 0.05)
+                .with_seed(9)
+                .with_leaves(GnpLeaves::AlgoD)
+                .with_chunks(1),
+        );
+        let b = generate_directed(
+            &GnpDirected::new(150, 0.05)
+                .with_seed(9)
+                .with_leaves(GnpLeaves::AlgoD)
+                .with_chunks(13),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gnp_batched_equals_per_edge_both_samplers() {
+        // The block-batched fill must reproduce the per-edge stream
+        // bit-for-bit under both leaf samplers.
+        for leaves in [GnpLeaves::Skip, GnpLeaves::AlgoD] {
+            let gen = GnpDirected::new(400, 0.03)
+                .with_seed(5)
+                .with_chunks(7)
+                .with_leaves(leaves);
+            for pe in 0..7 {
+                let mut a = Vec::new();
+                gen.stream_edges(pe, &mut |u: u64, v: u64| a.push((u, v)));
+                let mut b = Vec::new();
+                gen.stream_edges_batched(pe, &mut |u, v| b.push((u, v)));
+                assert_eq!(a, b, "leaves={leaves:?} pe={pe}");
+            }
+        }
     }
 
     #[test]

@@ -12,6 +12,26 @@ mod undirected;
 pub use directed::{GnmDirected, GnpDirected};
 pub use undirected::{GnmUndirected, GnpUndirected};
 
+/// Leaf-sampling algorithm of the G(n,p) generators.
+///
+/// The default is geometric skip sampling (Batagelj–Brandes): one
+/// uniform per emitted edge, converted by the block-batched kernel
+/// (`kagen_dist::geometric`) on the batched path. `AlgoD` reproduces the
+/// pre-skip-kernel instances (per-leaf binomial count + Vitter Method D)
+/// for anyone holding manifests generated before the kernel swap; it is
+/// also the bench harness's "per-edge Algorithm D" comparison point.
+/// Both samplers draw G(n,p) exactly — every pair kept independently
+/// with probability `p` — they just walk different PRNG streams, so the
+/// two settings produce different (equally valid) fixed-seed instances.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GnpLeaves {
+    /// Geometric skip sampling over each leaf block (the default).
+    #[default]
+    Skip,
+    /// Binomial count + Vitter Method D per leaf (the historical path).
+    AlgoD,
+}
+
 /// Leaf-block granularity of the directed ER universe decomposition.
 ///
 /// Public so accelerator backends (see `kagen-gpgpu`) replicate the exact
@@ -132,6 +152,122 @@ impl MonotoneEdgeDecoder {
     }
 }
 
+/// Row/offset splitter over fixed-length `u64` rows via a float
+/// reciprocal estimate with an exact integer fixup — stateless, O(1)
+/// per index. The estimate is almost always exact or ±1 (one f64
+/// rounding each from the cast and the reciprocal); when it is further
+/// off — f64 granularity at the top of the `u64` range with tiny rows —
+/// the split falls back to the exact division. Intermediate products
+/// use `u128` so `row · len` cannot overflow near `u64::MAX` universes.
+///
+/// This is the chunk-decode counterpart of [`MonotoneRowSplitter`]: the
+/// monotone splitter wins when consecutive indices usually stay within
+/// a row (the directed universe), the reciprocal splitter wins when
+/// gaps hop many rows at once (skip-sampled chunks).
+#[derive(Clone, Copy, Debug)]
+pub struct RowSplitter64 {
+    len: u64,
+    inv: f64,
+}
+
+impl RowSplitter64 {
+    /// Splitter over rows of `len` indices (`len ≥ 1`).
+    #[inline]
+    pub fn new(len: u64) -> Self {
+        debug_assert!(len >= 1);
+        RowSplitter64 {
+            len,
+            inv: 1.0 / len as f64,
+        }
+    }
+
+    /// Split `t` into `(row, offset)`.
+    #[inline(always)]
+    pub fn split(&self, t: u64) -> (u64, u64) {
+        let est = (t as f64 * self.inv) as u64;
+        let len = self.len as u128;
+        let t128 = t as u128;
+        let below = est as u128 * len;
+        let row = if below > t128 {
+            if below - len <= t128 {
+                est - 1
+            } else {
+                t / self.len
+            }
+        } else if below + len <= t128 {
+            if below + 2 * len > t128 {
+                est + 1
+            } else {
+                t / self.len
+            }
+        } else {
+            est
+        };
+        // row = ⌊t / len⌋, so row · len ≤ t: no overflow.
+        (row, t - row * self.len)
+    }
+}
+
+/// Incremental decoder for *sorted* lower-triangle indices — the
+/// monotone counterpart of [`triangle_index_to_pair`]: rows (values of
+/// `u`) only grow, so the decoder advances the row by addition and falls
+/// back to the float inversion only when a gap skips many rows at once.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MonotoneTriangleDecoder {
+    /// Current row `u`; `below = u(u−1)/2` indices precede it.
+    row: u64,
+    below: u128,
+    primed: bool,
+}
+
+impl MonotoneTriangleDecoder {
+    /// Linear row advances per decode before falling back to the float
+    /// inversion (rows grow, so sparse streams skip many rows per gap).
+    const MAX_LINEAR_ROWS: u32 = 8;
+
+    /// Decoder positioned before the first row.
+    #[inline]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn reseat(&mut self, t: u128) {
+        let (u, _) = triangle_index_to_pair(t);
+        self.row = u;
+        self.below = (u as u128) * (u as u128 - 1) / 2;
+    }
+
+    /// Decode `t` into `(u, v)` with `v < u`; indices must arrive in
+    /// non-decreasing order.
+    #[inline]
+    pub fn decode(&mut self, t: u128) -> (u64, u64) {
+        debug_assert!(!self.primed || t >= self.below);
+        if !self.primed {
+            self.primed = true;
+            self.reseat(t);
+        }
+        // Gap too wide for the linear advance to pay off? Rows only
+        // grow, so `row · MAX` underestimates the span of the next MAX
+        // rows — reseat conservatively, without first burning the
+        // linear iterations.
+        if t - self.below >= (self.row as u128) << 3 {
+            self.reseat(t);
+        }
+        let mut steps = 0u32;
+        while t - self.below >= self.row as u128 {
+            if steps >= Self::MAX_LINEAR_ROWS {
+                self.reseat(t);
+                break;
+            }
+            self.below += self.row as u128;
+            self.row += 1;
+            steps += 1;
+        }
+        (self.row, (t - self.below) as u64)
+    }
+}
+
 /// Map a lower-triangle index `t ∈ [0, s(s−1)/2)` to the pair `(u, v)`
 /// with `0 ≤ v < u < s` (diagonal chunks of the undirected scheme).
 #[inline]
@@ -206,6 +342,56 @@ mod tests {
             assert!(seen.insert((u, v)));
         }
         assert_eq!(seen.len() as u128, (s as u128) * (s as u128 - 1) / 2);
+    }
+
+    #[test]
+    fn row_splitter64_matches_division() {
+        for &len in &[1u64, 2, 3, 7, 1000, 16384, u32::MAX as u64 + 7] {
+            let sp = RowSplitter64::new(len);
+            // Dense small range plus boundary-heavy probes across the
+            // u64 range.
+            for t in 0..(len.min(200) * 3) {
+                assert_eq!(sp.split(t), (t / len, t % len), "t={t} len={len}");
+            }
+            let mut t = 1u64;
+            while t < u64::MAX / 2 {
+                for probe in [t - 1, t, t + 1] {
+                    assert_eq!(
+                        sp.split(probe),
+                        (probe / len, probe % len),
+                        "t={probe} len={len}"
+                    );
+                }
+                t = t.saturating_mul(3) + 1;
+            }
+            for probe in [u64::MAX, u64::MAX - 1, u64::MAX / 2] {
+                assert_eq!(sp.split(probe), (probe / len, probe % len));
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_triangle_decoder_matches_inversion() {
+        // Dense scan.
+        let s = 40u64;
+        let mut dec = MonotoneTriangleDecoder::new();
+        for t in 0..(s as u128) * (s as u128 - 1) / 2 {
+            assert_eq!(dec.decode(t), triangle_index_to_pair(t), "{t}");
+        }
+        // Sparse jumps (forcing the reseat fallback) and a deep first
+        // index.
+        let universe = (1u128 << 40) * ((1u128 << 40) - 1) / 2;
+        let mut dec = MonotoneTriangleDecoder::new();
+        let mut t = 3u128;
+        let mut step = 1u128;
+        while t < universe {
+            assert_eq!(dec.decode(t), triangle_index_to_pair(t), "{t}");
+            t += step;
+            step = (step * 5 + 1) % (universe / 7);
+        }
+        let mut dec = MonotoneTriangleDecoder::new();
+        let deep = universe - 2;
+        assert_eq!(dec.decode(deep), triangle_index_to_pair(deep));
     }
 
     #[test]

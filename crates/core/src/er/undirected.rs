@@ -13,10 +13,11 @@
 //! All variates are drawn from recursion-node-seeded PRNGs, so every PE
 //! reconstructs identical counts along its paths.
 
-use super::{triangle_index_to_pair, MonotoneRowSplitter};
+use super::{GnpLeaves, MonotoneTriangleDecoder, RowSplitter64};
 use crate::{Generator, PeGraph};
 use kagen_dist::{binomial, hypergeometric};
-use kagen_sampling::vitter::sample_sorted;
+use kagen_sampling::vitter::{sample_sorted, sample_sorted_batched};
+use kagen_sampling::{bernoulli_sample, bernoulli_sample_batched};
 use kagen_util::seed::{stream, SeedTree};
 use kagen_util::{derive_seed, Mt64};
 
@@ -123,9 +124,28 @@ impl<F: FnMut(u64, u64, u64)> Recursion<'_, F> {
     }
 }
 
+/// The universe size of chunk `(i, j)` as a `u64` (asserted to fit:
+/// chunk spans are bounded by the Q×Q decomposition).
+fn chunk_universe(grid: &ChunkMatrix, i: u64, j: u64) -> u64 {
+    let universe = if i == j {
+        let s = grid.span(i, i + 1) as u128;
+        s * s.saturating_sub(1) / 2
+    } else {
+        grid.span(i, i + 1) as u128 * grid.span(j, j + 1) as u128
+    };
+    assert!(
+        universe <= u64::MAX as u128,
+        "chunk too large: raise chunks"
+    );
+    universe as u64
+}
+
 /// Sample the `count` edges of chunk `(i, j)` — identical on both owning
-/// PEs because the PRNG is seeded by the chunk id alone.
-fn sample_chunk<F: FnMut(u64, u64) + ?Sized>(
+/// PEs because the PRNG is seeded by the chunk id alone. `BATCHED`
+/// selects the block-treated Method D (same edges, buffered uniforms);
+/// the index consumers stay monomorphic either way, so the decode loops
+/// inline into the caller's batcher.
+fn sample_chunk_impl<const BATCHED: bool, F: FnMut(u64, u64) + ?Sized>(
     grid: &ChunkMatrix,
     seed: u64,
     i: u64,
@@ -134,34 +154,83 @@ fn sample_chunk<F: FnMut(u64, u64) + ?Sized>(
     emit: &mut F,
 ) {
     let mut rng = Mt64::new(derive_seed(seed, &[stream::SAMPLE, i, j]));
+    let universe = chunk_universe(grid, i, j);
     let row_start = grid.start(i);
     if i == j {
-        let s = grid.span(i, i + 1) as u128;
-        let universe = s * s.saturating_sub(1) / 2;
-        assert!(
-            universe <= u64::MAX as u128,
-            "chunk too large: raise chunks"
-        );
-        sample_sorted(&mut rng, universe as u64, count, &mut |t| {
-            let (u, v) = triangle_index_to_pair(t as u128);
+        // Sorted samples: advance the triangle row incrementally.
+        let mut dec = MonotoneTriangleDecoder::new();
+        let mut on_t = |t: u64| {
+            let (u, v) = dec.decode(t as u128);
             emit(row_start + u, row_start + v);
-        });
+        };
+        if BATCHED {
+            sample_sorted_batched(&mut rng, universe, count, &mut on_t);
+        } else {
+            sample_sorted(&mut rng, universe, count, &mut on_t);
+        }
     } else {
-        let si = grid.span(i, i + 1) as u128;
-        let sj = grid.span(j, j + 1) as u128;
-        let universe = si * sj;
-        assert!(
-            universe <= u64::MAX as u128,
-            "chunk too large: raise chunks"
-        );
         let col_start = grid.start(j);
-        // Samples arrive sorted: advance the row incrementally instead
-        // of dividing per edge.
-        let mut rows = MonotoneRowSplitter::new(sj);
-        sample_sorted(&mut rng, universe as u64, count, &mut |t| {
-            let (row, off) = rows.split(t as u128);
+        // Reciprocal row split: sampled gaps hop many rows at once, so
+        // the O(1) estimate beats a monotone advance.
+        let rows = RowSplitter64::new(grid.span(j, j + 1));
+        let mut on_t = |t: u64| {
+            let (row, off) = rows.split(t);
             emit(row_start + row, col_start + off);
-        });
+        };
+        if BATCHED {
+            sample_sorted_batched(&mut rng, universe, count, &mut on_t);
+        } else {
+            sample_sorted(&mut rng, universe, count, &mut on_t);
+        }
+    }
+}
+
+/// Skip-sample chunk `(i, j)` of a G(n,p) instance: every pair kept with
+/// probability `p` via geometric skips from the chunk-seeded PRNG —
+/// identical on both owning PEs. `BATCHED` selects the block-converted
+/// kernel; the edge stream is bit-identical either way.
+fn skip_chunk_impl<const BATCHED: bool, F: FnMut(u64, u64) + ?Sized>(
+    grid: &ChunkMatrix,
+    seed: u64,
+    p: f64,
+    i: u64,
+    j: u64,
+    emit: &mut F,
+) {
+    let mut rng = Mt64::new(derive_seed(seed, &[stream::SAMPLE, i, j]));
+    let universe = chunk_universe(grid, i, j);
+    let row_start = grid.start(i);
+    if i == j {
+        let mut dec = MonotoneTriangleDecoder::new();
+        let mut on_t = |t: u64| {
+            let (u, v) = dec.decode(t as u128);
+            emit(row_start + u, row_start + v);
+        };
+        if BATCHED {
+            bernoulli_sample_batched(&mut rng, universe, p, &mut |idxs| {
+                for &t in idxs {
+                    on_t(t);
+                }
+            });
+        } else {
+            bernoulli_sample(&mut rng, universe, p, &mut on_t);
+        }
+    } else {
+        let col_start = grid.start(j);
+        let rows = RowSplitter64::new(grid.span(j, j + 1));
+        let mut on_t = |t: u64| {
+            let (row, off) = rows.split(t);
+            emit(row_start + row, col_start + off);
+        };
+        if BATCHED {
+            bernoulli_sample_batched(&mut rng, universe, p, &mut |idxs| {
+                for &t in idxs {
+                    on_t(t);
+                }
+            });
+        } else {
+            bernoulli_sample(&mut rng, universe, p, &mut on_t);
+        }
     }
 }
 
@@ -235,9 +304,15 @@ impl Generator for GnmUndirected {
 }
 
 impl GnmUndirected {
-    /// Emit PE `pe`'s edges without materializing them (§9 streaming).
-    /// Generic over the consumer so concrete callers monomorphize.
-    pub(crate) fn stream_edges<F: FnMut(u64, u64) + ?Sized>(&self, pe: usize, emit: &mut F) {
+    /// One body for both delivery shapes — `BATCHED` only selects the
+    /// chunk kernel (block-treated Method D vs per-draw), so the count
+    /// recursion and chunk walk can never drift apart between the two
+    /// paths.
+    fn stream_edges_impl<const BATCHED: bool, F: FnMut(u64, u64) + ?Sized>(
+        &self,
+        pe: usize,
+        emit: &mut F,
+    ) {
         let grid = ChunkMatrix::new(self.n, self.chunks);
         if self.n < 2 {
             return;
@@ -258,8 +333,22 @@ impl GnmUndirected {
             rec.tri(root, 0, grid.q, self.m);
         }
         for (i, j, c) in chunks_found {
-            sample_chunk(&grid, self.seed, i, j, c, emit);
+            sample_chunk_impl::<BATCHED, F>(&grid, self.seed, i, j, c, emit);
         }
+    }
+
+    /// Emit PE `pe`'s edges without materializing them (§9 streaming).
+    /// Generic over the consumer so concrete callers monomorphize.
+    pub(crate) fn stream_edges<F: FnMut(u64, u64) + ?Sized>(&self, pe: usize, emit: &mut F) {
+        self.stream_edges_impl::<false, F>(pe, emit);
+    }
+
+    /// Block-treated [`Self::stream_edges`]: the identical edge stream,
+    /// with every chunk's Method D uniforms served from a block-buffered
+    /// PRNG; `emit` is monomorphic, so the decode loops inline into the
+    /// caller's batcher.
+    pub(crate) fn stream_edges_batched<F: FnMut(u64, u64)>(&self, pe: usize, emit: &mut F) {
+        self.stream_edges_impl::<true, F>(pe, emit);
     }
 }
 
@@ -271,6 +360,7 @@ pub struct GnpUndirected {
     p: f64,
     seed: u64,
     chunks: usize,
+    leaves: GnpLeaves,
 }
 
 impl GnpUndirected {
@@ -282,6 +372,7 @@ impl GnpUndirected {
             p,
             seed: 1,
             chunks: 64,
+            leaves: GnpLeaves::default(),
         }
     }
 
@@ -295,6 +386,13 @@ impl GnpUndirected {
     pub fn with_chunks(mut self, chunks: usize) -> Self {
         assert!(chunks >= 1);
         self.chunks = chunks;
+        self
+    }
+
+    /// Select the chunk-sampling algorithm (part of the instance
+    /// definition — see [`GnpLeaves`]).
+    pub fn with_leaves(mut self, leaves: GnpLeaves) -> Self {
+        self.leaves = leaves;
         self
     }
 }
@@ -327,28 +425,58 @@ impl Generator for GnpUndirected {
 }
 
 impl GnpUndirected {
-    /// Emit PE `pe`'s edges without materializing them (§9 streaming).
-    /// Generic over the consumer so concrete callers monomorphize.
-    pub(crate) fn stream_edges<F: FnMut(u64, u64) + ?Sized>(&self, pe: usize, emit: &mut F) {
+    /// The chunk ids PE `pe` owns, in emission order: row `pe` then
+    /// column `pe`.
+    fn chunk_ids(grid: &ChunkMatrix, pe_id: u64) -> impl Iterator<Item = (u64, u64)> + '_ {
+        (0..=pe_id)
+            .map(move |j| (pe_id, j))
+            .chain((pe_id + 1..grid.q).map(move |i| (i, pe_id)))
+    }
+
+    /// One body for both delivery shapes — `BATCHED` only selects the
+    /// chunk kernels, so the chunk walk and seeding can never drift
+    /// apart between the two paths.
+    fn stream_edges_impl<const BATCHED: bool, F: FnMut(u64, u64) + ?Sized>(
+        &self,
+        pe: usize,
+        emit: &mut F,
+    ) {
         let grid = ChunkMatrix::new(self.n, self.chunks);
         let pe_id = pe as u64;
         if self.n < 2 || self.p == 0.0 {
             return;
         }
-        // Row pe: chunks (pe, 0..=pe); column pe: chunks (pe+1.., pe).
-        let chunk_ids = (0..=pe_id)
-            .map(|j| (pe_id, j))
-            .chain((pe_id + 1..grid.q).map(|i| (i, pe_id)));
-        for (i, j) in chunk_ids {
-            let universe = if i == j {
-                grid.tri_universe(i, i + 1)
-            } else {
-                grid.rect_universe(i, i + 1, j, j + 1)
-            };
-            let mut count_rng = Mt64::new(derive_seed(self.seed, &[stream::COUNT, i, j]));
-            let count = binomial(&mut count_rng, universe, self.p);
-            sample_chunk(&grid, self.seed, i, j, count, emit);
+        for (i, j) in Self::chunk_ids(&grid, pe_id) {
+            match self.leaves {
+                GnpLeaves::Skip => {
+                    // Geometric skip sampling straight off the chunk
+                    // universe: one uniform per edge, no count draw.
+                    skip_chunk_impl::<BATCHED, F>(&grid, self.seed, self.p, i, j, emit);
+                }
+                GnpLeaves::AlgoD => {
+                    let universe = if i == j {
+                        grid.tri_universe(i, i + 1)
+                    } else {
+                        grid.rect_universe(i, i + 1, j, j + 1)
+                    };
+                    let mut count_rng = Mt64::new(derive_seed(self.seed, &[stream::COUNT, i, j]));
+                    let count = binomial(&mut count_rng, universe, self.p);
+                    sample_chunk_impl::<BATCHED, F>(&grid, self.seed, i, j, count, emit);
+                }
+            }
         }
+    }
+
+    /// Emit PE `pe`'s edges without materializing them (§9 streaming).
+    /// Generic over the consumer so concrete callers monomorphize.
+    pub(crate) fn stream_edges<F: FnMut(u64, u64) + ?Sized>(&self, pe: usize, emit: &mut F) {
+        self.stream_edges_impl::<false, F>(pe, emit);
+    }
+
+    /// Block-batched [`Self::stream_edges`]: skips drawn and converted
+    /// in blocks, the identical edge stream.
+    pub(crate) fn stream_edges_batched<F: FnMut(u64, u64)>(&self, pe: usize, emit: &mut F) {
+        self.stream_edges_impl::<true, F>(pe, emit);
     }
 }
 
@@ -479,6 +607,105 @@ mod tests {
                 let canon = (u.min(v), u.max(v));
                 assert!(all.contains(&canon), "stray edge {canon:?}");
             }
+        }
+    }
+
+    #[test]
+    fn gnp_leaf_samplers_define_distinct_instances() {
+        let skip = generate_undirected(&GnpUndirected::new(150, 0.05).with_seed(3).with_chunks(4));
+        let algo_d = generate_undirected(
+            &GnpUndirected::new(150, 0.05)
+                .with_seed(3)
+                .with_chunks(4)
+                .with_leaves(GnpLeaves::AlgoD),
+        );
+        assert_ne!(skip.edges, algo_d.edges);
+        for el in [&skip, &algo_d] {
+            assert!(!el.has_self_loops());
+            assert!(!el.has_out_of_range());
+        }
+    }
+
+    #[test]
+    fn gnp_algo_d_mean_and_redundancy() {
+        let n = 250u64;
+        let p = 0.02;
+        let reps = 30;
+        let mut total = 0usize;
+        for seed in 0..reps {
+            let gen = GnpUndirected::new(n, p)
+                .with_seed(seed)
+                .with_chunks(5)
+                .with_leaves(GnpLeaves::AlgoD);
+            let el = generate_undirected(&gen);
+            assert!(!el.has_self_loops());
+            total += el.edges.len();
+        }
+        let mean = total as f64 / reps as f64;
+        let expect = (n * (n - 1) / 2) as f64 * p;
+        assert!(
+            (mean - expect).abs() / expect < 0.05,
+            "mean {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn gnp_skip_redundant_chunks_identical() {
+        // The skip sampler must keep the §4.2 redundancy property: the
+        // two owners of a chunk regenerate identical cross edges.
+        let gen = GnpUndirected::new(120, 0.08).with_seed(11).with_chunks(6);
+        let parts = generate_parallel(&gen, 0);
+        for i in 0..6usize {
+            for j in 0..i {
+                let set_i: std::collections::HashSet<(u64, u64)> = parts[i]
+                    .edges
+                    .iter()
+                    .copied()
+                    .filter(|&(u, v)| {
+                        let vj = parts[j].vertex_begin..parts[j].vertex_end;
+                        vj.contains(&v) || vj.contains(&u)
+                    })
+                    .collect();
+                let set_j: std::collections::HashSet<(u64, u64)> = parts[j]
+                    .edges
+                    .iter()
+                    .copied()
+                    .filter(|&(u, v)| {
+                        let vi = parts[i].vertex_begin..parts[i].vertex_end;
+                        vi.contains(&v) || vi.contains(&u)
+                    })
+                    .collect();
+                assert_eq!(set_i, set_j, "chunk ({i},{j}) differs between owners");
+            }
+        }
+    }
+
+    #[test]
+    fn gnp_batched_equals_per_edge_both_samplers() {
+        for leaves in [GnpLeaves::Skip, GnpLeaves::AlgoD] {
+            let gen = GnpUndirected::new(300, 0.04)
+                .with_seed(5)
+                .with_chunks(6)
+                .with_leaves(leaves);
+            for pe in 0..6 {
+                let mut a = Vec::new();
+                gen.stream_edges(pe, &mut |u: u64, v: u64| a.push((u, v)));
+                let mut b = Vec::new();
+                gen.stream_edges_batched(pe, &mut |u, v| b.push((u, v)));
+                assert_eq!(a, b, "leaves={leaves:?} pe={pe}");
+            }
+        }
+    }
+
+    #[test]
+    fn gnm_batched_equals_per_edge() {
+        let gen = GnmUndirected::new(300, 2500).with_seed(8).with_chunks(6);
+        for pe in 0..6 {
+            let mut a = Vec::new();
+            gen.stream_edges(pe, &mut |u: u64, v: u64| a.push((u, v)));
+            let mut b = Vec::new();
+            gen.stream_edges_batched(pe, &mut |u, v| b.push((u, v)));
+            assert_eq!(a, b, "pe={pe}");
         }
     }
 

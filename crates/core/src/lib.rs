@@ -93,7 +93,7 @@ pub fn generate_directed<G: Generator + ?Sized>(gen: &G) -> EdgeList {
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::ba::BarabasiAlbert;
-    pub use crate::er::{GnmDirected, GnmUndirected, GnpDirected, GnpUndirected};
+    pub use crate::er::{GnmDirected, GnmUndirected, GnpDirected, GnpLeaves, GnpUndirected};
     pub use crate::rdg::{Rdg2d, Rdg3d};
     pub use crate::rgg::{Rgg2d, Rgg3d};
     pub use crate::rhg::{Rhg, SoftRhg};

@@ -170,12 +170,27 @@ macro_rules! batched_via_stream_edges {
     };
 }
 
+/// Shared override body for the ER generators: the block-batched fill
+/// (`stream_edges_batched` — blocked skip conversion for G(n,p), the
+/// block-treated Method D for G(n,m)) pushing through a concrete
+/// closure into the batcher. Same edge stream as `stream_pe`, off the
+/// per-edge transcendental/dispatch bound.
+macro_rules! batched_via_fill {
+    () => {
+        fn stream_pe_batched(&self, pe: usize, buf: &mut Vec<(u64, u64)>, emit: &mut BatchEmit) {
+            let mut b = Batcher::new(buf, emit);
+            self.stream_edges_batched(pe, &mut |u: u64, v: u64| b.push(u, v));
+            b.finish();
+        }
+    };
+}
+
 impl StreamingGenerator for GnmDirected {
     fn stream_pe(&self, pe: usize, emit: &mut dyn FnMut(u64, u64)) {
         self.stream_edges(pe, emit);
     }
 
-    batched_via_stream_edges!();
+    batched_via_fill!();
 }
 
 impl StreamingGenerator for GnpDirected {
@@ -183,7 +198,7 @@ impl StreamingGenerator for GnpDirected {
         self.stream_edges(pe, emit);
     }
 
-    batched_via_stream_edges!();
+    batched_via_fill!();
 }
 
 impl StreamingGenerator for GnmUndirected {
@@ -191,7 +206,7 @@ impl StreamingGenerator for GnmUndirected {
         self.stream_edges(pe, emit);
     }
 
-    batched_via_stream_edges!();
+    batched_via_fill!();
 }
 
 impl StreamingGenerator for GnpUndirected {
@@ -199,7 +214,7 @@ impl StreamingGenerator for GnpUndirected {
         self.stream_edges(pe, emit);
     }
 
-    batched_via_stream_edges!();
+    batched_via_fill!();
 }
 
 impl StreamingGenerator for BarabasiAlbert {

@@ -7,18 +7,19 @@
 //! to sample the edges of the graph."
 //!
 //! The host side therefore runs the divide-and-conquer count recursion
-//! (hypergeometric splits for G(n,m), per-block binomials for G(n,p)) and
-//! hands each leaf block — count, seed identity, universe range — to one
-//! device block, which samples its edges independently. Because leaf
-//! sampling uses the same block-id-derived seeds as the CPU generators,
-//! the device output is **bit-identical** to [`kagen_core::GnmDirected`] /
-//! [`kagen_core::GnpDirected`] — asserted in tests.
+//! (hypergeometric splits for G(n,m)) and hands each leaf block — seed
+//! identity, universe range, and for G(n,m) its sample count — to one
+//! device block, which samples its edges independently (Method D for
+//! G(n,m), geometric skip sampling for G(n,p) since the skip-kernel
+//! swap). Because leaf sampling uses the same block-id-derived seeds as
+//! the CPU generators, the device output is **bit-identical** to
+//! [`kagen_core::GnmDirected`] / [`kagen_core::GnpDirected`] — asserted
+//! in tests.
 
 use crate::device::Device;
 use kagen_core::er::{directed_index_to_edge, er_leaf_blocks, er_pe_block_range};
 use kagen_core::GnmDirected;
-use kagen_dist::binomial;
-use kagen_sampling::vitter::sample_sorted;
+use kagen_sampling::bernoulli_sample_batched;
 use kagen_util::seed::stream;
 use kagen_util::{derive_seed, Mt64};
 
@@ -109,31 +110,37 @@ impl GpuGnpDirected {
         }
         let expected = ((universe as f64) * self.p) as u64;
         let blocks = er_leaf_blocks(universe, expected.max(1));
-        // Host: per-block binomial counts — "the distribution of vertices
-        // for each individual chunk is predetermined" (§4.3), so no
-        // recursion is needed, just one seeded binomial per block.
+        // Host: the leaf decomposition only — geometric skip sampling
+        // needs no predetermined counts, each device block draws its own
+        // skips from the leaf-seeded PRNG (the chunk distribution stays
+        // "predetermined" in the §4.3 sense: it is a pure function of
+        // the leaf id).
         let seed = self.seed;
-        let jobs: Vec<(u64, u64, u128, u128)> = (0..blocks)
+        let p = self.p;
+        let jobs: Vec<(u64, u128, u128)> = (0..blocks)
             .map(|b| {
                 let start = universe * b as u128 / blocks as u128;
                 let end = universe * (b + 1) as u128 / blocks as u128;
-                let mut count_rng = Mt64::new(derive_seed(seed, &[stream::COUNT, b]));
-                let count = binomial(&mut count_rng, end - start, self.p);
-                (b, count, start, end)
+                (b, start, end)
             })
             .collect();
         let n = self.n;
-        let per_block: Vec<Vec<(u64, u64)>> =
-            dev.launch(jobs, move |ctx, (b, count, start, end)| {
-                let mut rng = Mt64::new(derive_seed(seed, &[stream::SAMPLE, b]));
-                let mut out = Vec::with_capacity(count as usize);
-                sample_sorted(&mut rng, (end - start) as u64, count, &mut |i| {
+        let per_block: Vec<Vec<(u64, u64)>> = dev.launch(jobs, move |ctx, (b, start, end)| {
+            let mut rng = Mt64::new(derive_seed(seed, &[stream::SAMPLE, b]));
+            let mut out = Vec::with_capacity((((end - start) as f64) * p) as usize + 1);
+            // The block-batched skip kernel is the device-friendly shape:
+            // a block of uniforms, one branch-free conversion loop, a
+            // prefix sum — mirrored here against the same draw order as
+            // the CPU generator.
+            bernoulli_sample_batched(&mut rng, (end - start) as u64, p, &mut |idxs| {
+                for &i in idxs {
                     out.push(directed_index_to_edge(n, start + i as u128));
-                });
-                ctx.simd_for(out.len(), |_| true);
-                ctx.gmem_write(out.len() * 16);
-                out
+                }
             });
+            ctx.simd_for(out.len(), |_| true);
+            ctx.gmem_write(out.len() * 16);
+            out
+        });
         per_block.concat()
     }
 }

@@ -73,8 +73,9 @@ pub mod reader;
 pub mod sink;
 pub mod writer;
 
+pub use kagen_graph::io::COMPRESSED_BLOCK_EDGES;
 pub use manifest::{Manifest, PartialManifest, RunHeader, ShardInfo, MANIFEST_FILE};
-pub use merge::{ExternalMerge, MergeStats};
+pub use merge::{ExternalMerge, MergeStats, DEFAULT_FAN_IN};
 pub use reader::{stream_shard_file, validate_shard, validate_shard_sampled, ShardReader};
 pub use sink::{
     checksum_step, BinarySink, ChecksumSink, CompressedSink, CountingSink, DegreeStatsSink,

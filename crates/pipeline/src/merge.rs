@@ -16,18 +16,27 @@
 //!    per edge). With enough threads this is one reader per shard; when
 //!    there are fewer shards than threads, the leftover threads sort
 //!    each spill as concurrent in-place pieces instead.
-//! 2. **K-way merge** — the runs are merged with a binary heap of one
-//!    cursor per run; cross-PE duplicates of undirected edges become
-//!    adjacent in the merged order and are dropped on the fly. The merge
-//!    stays sequential (it is IO- and heap-bound); its output leaves
-//!    through [`EdgeSink::push_batch`] in batches.
+//! 2. **K-way merge tree with bounded fan-in** — runs are merged with a
+//!    binary heap of one cursor per run, at most [`DEFAULT_FAN_IN`]
+//!    (configurable) runs at a time: while more runs exist than the
+//!    fan-in cap, contiguous groups are merged into intermediate runs,
+//!    then the surviving runs merge into the sink. Cross-PE duplicates
+//!    of undirected edges become adjacent in the merged order and are
+//!    dropped on the fly (at every pass — dedup of a sorted stream is
+//!    idempotent). The merge stays sequential (it is IO- and
+//!    heap-bound); its output leaves through [`EdgeSink::push_batch`]
+//!    in batches.
 //!
-//! Peak memory is `budget_edges` × 16 bytes plus one decoder per run,
-//! independent of the instance's edge count. The output equals
-//! `generate_undirected` / `generate_directed` edge-for-edge — the k-way
-//! merge of sorted runs yields the fully sorted stream no matter how the
-//! runs were partitioned, so run count and thread count never change the
-//! merged stream.
+//! Peak memory is `budget_edges` × 16 bytes plus at most `fan_in`
+//! decoders (plus one writer during an intermediate pass), independent
+//! of the instance's edge count — without the fan-in cap, a large
+//! instance under a small budget could open
+//! thousands of run files at once and trip the process fd limit, and
+//! the per-decoder buffers would silently breach the documented
+//! `budget × 16 B` contract. The output equals `generate_undirected` /
+//! `generate_directed` edge-for-edge — every pass of the merge tree
+//! yields a sorted stream with ties broken by original run order, so
+//! run count, thread count and fan-in never change the merged stream.
 
 use crate::reader::ShardReader;
 use crate::sink::EdgeSink;
@@ -58,7 +67,19 @@ pub struct MergeStats {
     pub edges_out: u64,
     /// High-water mark of the run buffer — never exceeds the budget.
     pub max_buffered: usize,
+    /// Intermediate merge-tree passes run before the final merge (0
+    /// when every run fits under the fan-in cap at once).
+    pub merge_passes: usize,
+    /// Most run files open *for reading* simultaneously during the
+    /// merge — never exceeds the fan-in cap. (An intermediate pass
+    /// additionally holds one output file open while it writes the
+    /// merged run.)
+    pub max_open_runs: usize,
 }
+
+/// A sorted batch consumer of the k-way merge (one call per
+/// [`OUT_BATCH_EDGES`]-sized slice).
+type BatchConsumer<'a> = dyn FnMut(&[(u64, u64)]) -> io::Result<()> + 'a;
 
 /// One run's read cursor during the k-way merge.
 struct RunCursor {
@@ -102,6 +123,12 @@ impl Ord for HeapEntry {
 /// the pipeline-wide batching granularity.
 const OUT_BATCH_EDGES: usize = kagen_core::streaming::BATCH_EDGES;
 
+/// Default fan-in cap of the k-way merge tree: high enough that a
+/// single pass covers every realistic run count (64 runs × a multi-GiB
+/// budget slice each), low enough to stay far under any fd soft limit
+/// and to keep the decoder working set bounded.
+pub const DEFAULT_FAN_IN: usize = 64;
+
 /// Minimum edges per parallel spill piece: below this, sorting is cheaper
 /// than thread handoff and extra run files.
 const MIN_PIECE_EDGES: usize = 1 << 15;
@@ -128,6 +155,7 @@ pub struct ExternalMerge {
     budget_edges: usize,
     run_dir: PathBuf,
     threads: usize,
+    fan_in: usize,
 }
 
 impl ExternalMerge {
@@ -139,7 +167,16 @@ impl ExternalMerge {
             budget_edges: budget_edges.max(1),
             run_dir: run_dir.into(),
             threads: 0,
+            fan_in: DEFAULT_FAN_IN,
         }
+    }
+
+    /// Cap the number of runs merged (and files held open) at once;
+    /// more runs than this merge in intermediate passes. Clamped to at
+    /// least 2.
+    pub fn with_fan_in(mut self, fan_in: usize) -> ExternalMerge {
+        self.fan_in = fan_in.max(2);
+        self
     }
 
     /// Bound the reader workers of parallel run formation
@@ -300,6 +337,48 @@ impl ExternalMerge {
         Ok(report)
     }
 
+    /// Heap-merge the sorted runs in `paths` (≤ fan-in of them) into
+    /// sorted batches of at most [`OUT_BATCH_EDGES`] edges, dropping
+    /// adjacent duplicates when `undirected`. Ties between runs resolve
+    /// in slice order. Holds exactly `paths.len()` files open.
+    fn merge_runs(
+        paths: &[PathBuf],
+        undirected: bool,
+        on_batch: &mut BatchConsumer,
+    ) -> io::Result<()> {
+        let mut cursors = Vec::with_capacity(paths.len());
+        for path in paths {
+            cursors.push(RunCursor {
+                dec: CompressedEdgeReader::new(BufReader::new(File::open(path)?))?,
+            });
+        }
+        let mut heap = BinaryHeap::with_capacity(cursors.len());
+        for (i, c) in cursors.iter_mut().enumerate() {
+            if let Some(edge) = c.next()? {
+                heap.push(HeapEntry { edge, run: i });
+            }
+        }
+        let mut last: Option<(u64, u64)> = None;
+        let mut batch: Vec<(u64, u64)> = Vec::with_capacity(OUT_BATCH_EDGES);
+        while let Some(HeapEntry { edge, run }) = heap.pop() {
+            if !(undirected && last == Some(edge)) {
+                batch.push(edge);
+                if batch.len() >= OUT_BATCH_EDGES {
+                    on_batch(&batch)?;
+                    batch.clear();
+                }
+                last = Some(edge);
+            }
+            if let Some(next) = cursors[run].next()? {
+                heap.push(HeapEntry { edge: next, run });
+            }
+        }
+        if !batch.is_empty() {
+            on_batch(&batch)?;
+        }
+        Ok(())
+    }
+
     /// Merge every shard of `reader` into `out`, deduplicating cross-PE
     /// duplicates when the manifest says the instance is undirected
     /// (directed instances keep multi-edges, matching
@@ -351,39 +430,46 @@ impl ExternalMerge {
         }
         stats.runs = runs.len();
 
-        // Phase 2: k-way merge with adjacent dedup.
-        let mut cursors = Vec::with_capacity(runs.len());
-        for path in &runs {
-            cursors.push(RunCursor {
-                dec: CompressedEdgeReader::new(BufReader::new(File::open(path)?))?,
-            });
-        }
-        let mut heap = BinaryHeap::with_capacity(cursors.len());
-        for (i, c) in cursors.iter_mut().enumerate() {
-            if let Some(edge) = c.next()? {
-                heap.push(HeapEntry { edge, run: i });
-            }
-        }
-        let mut last: Option<(u64, u64)> = None;
-        let mut out_batch: Vec<(u64, u64)> = Vec::with_capacity(OUT_BATCH_EDGES);
-        while let Some(HeapEntry { edge, run }) = heap.pop() {
-            if !(undirected && last == Some(edge)) {
-                out_batch.push(edge);
-                if out_batch.len() >= OUT_BATCH_EDGES {
-                    out.push_batch(&out_batch);
-                    stats.edges_out += out_batch.len() as u64;
-                    out_batch.clear();
+        // Phase 2: k-way merge tree, at most `fan_in` runs (and open
+        // files) per merge. Groups are contiguous and in run order, so
+        // ties keep resolving in original run order across passes and
+        // the final stream is identical to a single unbounded merge.
+        let mut pass = 0usize;
+        while runs.len() > self.fan_in {
+            let mut next_runs: Vec<PathBuf> = Vec::new();
+            for (group_idx, group) in runs.chunks(self.fan_in).enumerate() {
+                if let [single] = group {
+                    // A remainder group of one is already a sorted,
+                    // deduplicated run — pass it through instead of
+                    // decoding and re-encoding it unchanged.
+                    next_runs.push(single.clone());
+                    continue;
                 }
-                last = Some(edge);
+                stats.max_open_runs = stats.max_open_runs.max(group.len());
+                let path = self
+                    .run_dir
+                    .join(format!("merge-p{pass:02}-{group_idx:05}.kgc"));
+                let mut enc = CompressedEdgeWriter::new(BufWriter::new(File::create(&path)?), 0)?;
+                Self::merge_runs(group, undirected, &mut |batch| {
+                    enc.push_slice(batch)?;
+                    Ok(())
+                })?;
+                enc.finish()?;
+                for p in group {
+                    std::fs::remove_file(p).ok();
+                }
+                next_runs.push(path);
             }
-            if let Some(next) = cursors[run].next()? {
-                heap.push(HeapEntry { edge: next, run });
-            }
+            runs = next_runs;
+            pass += 1;
+            stats.merge_passes = pass;
         }
-        if !out_batch.is_empty() {
-            out.push_batch(&out_batch);
-            stats.edges_out += out_batch.len() as u64;
-        }
+        stats.max_open_runs = stats.max_open_runs.max(runs.len());
+        Self::merge_runs(&runs, undirected, &mut |batch| {
+            out.push_batch(batch);
+            stats.edges_out += batch.len() as u64;
+            Ok(())
+        })?;
 
         for path in runs {
             std::fs::remove_file(path).ok();
@@ -550,6 +636,108 @@ mod tests {
             stats.runs > 2,
             "piece sorting must produce more runs than shards ({})",
             stats.runs
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fan_in_cap_bounds_open_files_and_preserves_stream() {
+        // Force far more runs than the fan-in cap: the merge tree must
+        // never hold more than `fan_in` run files open, must take
+        // multiple passes, and must emit the identical stream a
+        // single-pass (unbounded fan-in) merge produces — for both the
+        // deduplicating undirected path and the multi-edge-preserving
+        // directed path.
+        let budget = 64usize; // tiny budget → one run per ~64 edges
+        for (directed, tag) in [(false, "fanu"), (true, "fand")] {
+            let dir = std::env::temp_dir().join(format!("kagen_merge_{tag}"));
+            std::fs::remove_dir_all(&dir).ok();
+            let meta = InstanceMeta {
+                model: if directed { "rmat" } else { "gnm_undirected" }.into(),
+                params: String::new(),
+                seed: 5,
+            };
+            let manifest = if directed {
+                let gen = Rmat::new(10, 20_000).with_seed(5).with_chunks(6);
+                write_sharded(
+                    &gen,
+                    &meta,
+                    &StreamConfig::new(&dir, ShardFormat::Compressed),
+                )
+                .unwrap()
+            } else {
+                let gen = GnmUndirected::new(2000, 20_000).with_seed(5).with_chunks(6);
+                write_sharded(
+                    &gen,
+                    &meta,
+                    &StreamConfig::new(&dir, ShardFormat::Compressed),
+                )
+                .unwrap()
+            };
+            assert_eq!(manifest.directed, directed);
+            let reader = ShardReader::open(&dir).unwrap();
+
+            let mut single = Vec::new();
+            let mut sink = FnSink::new(|u, v| single.push((u, v)));
+            let huge = ExternalMerge::new(dir.join("runs"), budget)
+                .with_fan_in(usize::MAX)
+                .merge(&reader, &mut sink)
+                .unwrap();
+            sink.finish().unwrap();
+            assert!(huge.runs > 100, "want many runs, got {}", huge.runs);
+            assert_eq!(huge.merge_passes, 0, "unbounded fan-in needs no passes");
+
+            for fan_in in [4usize, 64] {
+                let mut edges = Vec::new();
+                let mut sink = FnSink::new(|u, v| edges.push((u, v)));
+                let stats = ExternalMerge::new(dir.join("runs"), budget)
+                    .with_fan_in(fan_in)
+                    .merge(&reader, &mut sink)
+                    .unwrap();
+                sink.finish().unwrap();
+                assert_eq!(edges, single, "{tag}: stream differs at fan_in={fan_in}");
+                assert!(
+                    stats.max_open_runs <= fan_in,
+                    "{tag}: {} files open under cap {fan_in}",
+                    stats.max_open_runs
+                );
+                assert!(
+                    stats.merge_passes >= 1,
+                    "{tag}: cap {fan_in} over {} runs must need passes",
+                    stats.runs
+                );
+                assert!(stats.max_buffered <= budget, "budget violated");
+                assert_eq!(stats.edges_out, single.len() as u64);
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn fan_in_leaves_no_intermediate_files() {
+        let gen = GnmUndirected::new(500, 5000).with_seed(2).with_chunks(4);
+        let dir = std::env::temp_dir().join("kagen_merge_fanclean");
+        std::fs::remove_dir_all(&dir).ok();
+        let meta = InstanceMeta {
+            model: "gnm_undirected".into(),
+            params: String::new(),
+            seed: 2,
+        };
+        write_sharded(
+            &gen,
+            &meta,
+            &StreamConfig::new(&dir, ShardFormat::Compressed),
+        )
+        .unwrap();
+        let reader = ShardReader::open(&dir).unwrap();
+        let mut sink = FnSink::new(|_, _| {});
+        ExternalMerge::new(dir.join("runs"), 32)
+            .with_fan_in(3)
+            .merge(&reader, &mut sink)
+            .unwrap();
+        assert!(
+            !dir.join("runs").exists(),
+            "run directory (and intermediate merge files) must be cleaned up"
         );
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -20,7 +20,7 @@ use kagen_dist::hypergeometric;
 use kagen_util::seed::{stream, SeedTree};
 use kagen_util::{derive_seed, Mt64};
 
-use crate::vitter::sample_sorted;
+use crate::vitter::{sample_sorted, sample_sorted_batched};
 
 /// Divide-and-conquer sampler over a blocked universe.
 #[derive(Clone, Copy, Debug)]
@@ -134,9 +134,15 @@ impl DistributedSampler {
         self.sample_block_with_count(b, count, emit);
     }
 
-    /// Like [`Self::sample_block`] when the caller already knows the count
-    /// (e.g. from [`Self::for_block_counts`]).
-    pub fn sample_block_with_count(&self, b: u64, count: u64, emit: &mut impl FnMut(u128)) {
+    /// One body for both delivery shapes — `BATCHED` only selects the
+    /// leaf sampler, so the leaf seeding and range decode can never
+    /// drift apart between the per-draw and block-treated paths.
+    fn sample_block_impl<const BATCHED: bool>(
+        &self,
+        b: u64,
+        count: u64,
+        emit: &mut impl FnMut(u128),
+    ) {
         let (start, end) = self.block_range(b);
         let len = end - start;
         assert!(
@@ -144,9 +150,18 @@ impl DistributedSampler {
             "leaf block larger than 2^64; increase the block count"
         );
         let mut rng = Mt64::new(derive_seed(self.seed, &[stream::SAMPLE, b]));
-        sample_sorted(&mut rng, len as u64, count, &mut |i| {
-            emit(start + i as u128)
-        });
+        let mut on_i = |i: u64| emit(start + i as u128);
+        if BATCHED {
+            sample_sorted_batched(&mut rng, len as u64, count, &mut on_i);
+        } else {
+            sample_sorted(&mut rng, len as u64, count, &mut on_i);
+        }
+    }
+
+    /// Like [`Self::sample_block`] when the caller already knows the count
+    /// (e.g. from [`Self::for_block_counts`]).
+    pub fn sample_block_with_count(&self, b: u64, count: u64, emit: &mut impl FnMut(u128)) {
+        self.sample_block_impl::<false>(b, count, emit);
     }
 
     /// Emit all samples of blocks `[lo, hi)` in sorted order.
@@ -154,7 +169,21 @@ impl DistributedSampler {
         let mut pending: Vec<(u64, u64)> = Vec::new();
         self.for_block_counts(lo, hi, &mut |b, c| pending.push((b, c)));
         for (b, c) in pending {
-            self.sample_block_with_count(b, c, emit);
+            self.sample_block_impl::<false>(b, c, emit);
+        }
+    }
+
+    /// Block-treated [`Self::sample_range`]: the identical sample
+    /// stream, with every leaf's Method D uniforms served from a
+    /// block-buffered PRNG
+    /// ([`sample_sorted_batched`](crate::vitter::sample_sorted_batched)).
+    /// Safe because each leaf PRNG exists only for its leaf — the
+    /// buffer's read-ahead words are never observed by anyone else.
+    pub fn sample_range_batched(&self, lo: u64, hi: u64, emit: &mut impl FnMut(u128)) {
+        let mut pending: Vec<(u64, u64)> = Vec::new();
+        self.for_block_counts(lo, hi, &mut |b, c| pending.push((b, c)));
+        for (b, c) in pending {
+            self.sample_block_impl::<true>(b, c, emit);
         }
     }
 }

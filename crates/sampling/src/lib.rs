@@ -18,5 +18,5 @@ pub mod skip;
 pub mod vitter;
 
 pub use distributed::DistributedSampler;
-pub use skip::bernoulli_sample;
-pub use vitter::{sample_sorted, vitter_a, vitter_d};
+pub use skip::{bernoulli_sample, bernoulli_sample_batched};
+pub use vitter::{sample_sorted, sample_sorted_batched, vitter_a, vitter_d};

@@ -6,7 +6,7 @@
 //! expected O(k) work, which is what the paper's chunk-leaf sampling uses
 //! ("a linear time sequential algorithm \[16\]", §2.2).
 
-use kagen_util::Rng64;
+use kagen_util::{BlockRng, Rng64};
 
 /// Threshold ratio: when `universe < ALPHA_INV * k`, Algorithm D hands the
 /// remaining work to Algorithm A (Vitter's recommended α⁻¹ = 13).
@@ -146,6 +146,43 @@ pub fn sample_sorted<R: Rng64>(rng: &mut R, universe: u64, k: u64, emit: &mut im
         vitter_a(rng, universe, k, emit);
     } else {
         vitter_d(rng, universe, k, emit);
+    }
+}
+
+/// Block-treated [`sample_sorted`]: the identical index stream, with the
+/// uniform draws — Method D's `vprime` rejection uniforms included —
+/// served from a [`BlockRng`] buffer instead of per-draw PRNG calls.
+///
+/// Because the buffered words are consumed in the per-draw order, the
+/// output is bit-identical to [`sample_sorted`] on the same PRNG state
+/// (asserted in tests). The buffer may draw up to a block past the last
+/// consumed word, so the PRNG must be dedicated to this call — true of
+/// the per-leaf-seeded PRNGs of every generator in this workspace.
+///
+/// Measured honestly: Method D's accept test is a serial
+/// `ln → exp → ln → …` dependency chain across samples, so — unlike the
+/// geometric skips, whose conversion is embarrassingly parallel — the
+/// block treatment only removes the PRNG-call and dispatch overhead
+/// around that chain, not the chain itself.
+pub fn sample_sorted_batched<R: Rng64>(
+    rng: &mut R,
+    universe: u64,
+    k: u64,
+    emit: &mut impl FnMut(u64),
+) {
+    if k == universe {
+        // Full enumeration draws nothing; skip the buffer entirely so no
+        // words are consumed (bit-compatible with `sample_sorted`).
+        for i in 0..universe {
+            emit(i);
+        }
+        return;
+    }
+    let mut rng = BlockRng::new(rng);
+    if universe < ALPHA_INV * k {
+        vitter_a(&mut rng, universe, k, emit);
+    } else {
+        vitter_d(&mut rng, universe, k, emit);
     }
 }
 
@@ -291,6 +328,34 @@ mod tests {
         // k close to universe forces the Algorithm A path inside D.
         let s = collect(|r, e| sample_sorted(r, 100, 60, &mut |x| e(x)), 3);
         check_valid(&s, 100, 60);
+    }
+
+    #[test]
+    fn batched_equals_per_draw_exactly() {
+        // sample_sorted_batched must reproduce sample_sorted bit-for-bit
+        // from the same PRNG state: D path, dense A fallback, mid-stream
+        // D→A handoff, full enumeration, k=0, universes near u64::MAX,
+        // and counts straddling the RNG block boundary.
+        for &(u, k) in &[
+            (1u64 << 40, 1000u64),
+            (1_000_000, 1000),
+            (100, 60),   // A from the start
+            (1000, 500), // D hands off to A mid-stream
+            (17, 17),    // full enumeration
+            (100, 0),
+            (u64::MAX, 100),
+            (u64::MAX - 1, 3),
+            (1 << 30, 255),
+            (1 << 30, 256),
+            (1 << 30, 257), // block-boundary draw counts
+            (1 << 30, 4096),
+        ] {
+            for seed in 0..5 {
+                let a = collect(|r, e| sample_sorted(r, u, k, &mut |x| e(x)), seed);
+                let b = collect(|r, e| sample_sorted_batched(r, u, k, &mut |x| e(x)), seed);
+                assert_eq!(a, b, "u={u} k={k} seed={seed}");
+            }
+        }
     }
 
     #[test]

@@ -30,6 +30,6 @@ pub mod splitmix;
 
 pub use hash::{spooky_hash128, spooky_hash64, spooky_short128};
 pub use mt::Mt64;
-pub use rng::Rng64;
+pub use rng::{f64_open_of_word, BlockRng, Rng64};
 pub use seed::{derive_seed, rng_at, SeedTree};
 pub use splitmix::SplitMix64;

@@ -4,6 +4,16 @@
 //! unbiased bounded integers, ranges) is derived here so all generators and
 //! distributions are PRNG-agnostic.
 
+/// The canonical word-to-open-uniform mapping behind
+/// [`Rng64::next_f64_open`]: top 53 bits, centered into `(0, 1)`.
+/// Shared so block kernels that buffer raw words (e.g. the geometric
+/// skip conversion) apply the *same* mapping by construction instead of
+/// duplicating the formula.
+#[inline(always)]
+pub fn f64_open_of_word(word: u64) -> f64 {
+    ((word >> 11) as f64 + 0.5) * (1.0 / 9_007_199_254_740_992.0)
+}
+
 /// A source of uniform 64-bit words plus derived helpers.
 pub trait Rng64 {
     /// Next uniform 64-bit word.
@@ -19,7 +29,7 @@ pub trait Rng64 {
     /// Uniform `f64` in the open interval `(0, 1)` — safe for `ln()`.
     #[inline(always)]
     fn next_f64_open(&mut self) -> f64 {
-        ((self.next_u64() >> 11) as f64 + 0.5) * (1.0 / 9_007_199_254_740_992.0)
+        f64_open_of_word(self.next_u64())
     }
 
     /// Unbiased uniform integer in `[0, bound)` (Lemire's method with
@@ -101,6 +111,64 @@ impl<R: Rng64 + ?Sized> Rng64 for &mut R {
     }
 }
 
+/// Words buffered per [`BlockRng`] refill.
+pub const RNG_BLOCK: usize = 256;
+
+/// A block-buffering adapter over any [`Rng64`]: raw words are drawn
+/// [`RNG_BLOCK`] at a time in one tight loop and served from a local
+/// buffer.
+///
+/// Because the words are consumed in the identical order the inner PRNG
+/// would produce them, **every** derived draw (`next_f64`,
+/// `next_f64_open`, `next_below`, …) is bit-identical to running the
+/// same algorithm against the inner PRNG directly — buffering changes
+/// scheduling, never values. This is the "block treatment" of the
+/// sampling hot paths: rejection-style consumers (Vitter's Method D
+/// `vprime` draws, Lemire rejection) pull from the buffer instead of
+/// paying a per-draw PRNG call on the serial dependency chain.
+///
+/// The buffer may run ahead of what the consumer uses: when the adapter
+/// is dropped, up to `RNG_BLOCK − 1` words of the inner PRNG have been
+/// consumed beyond the last served draw. Only wrap PRNGs that are
+/// dedicated to the wrapped computation (true of every per-leaf-seeded
+/// PRNG in this workspace).
+pub struct BlockRng<'a, R: Rng64 + ?Sized> {
+    inner: &'a mut R,
+    buf: [u64; RNG_BLOCK],
+    pos: usize,
+}
+
+impl<'a, R: Rng64 + ?Sized> BlockRng<'a, R> {
+    /// Wrap `inner`; no words are drawn until the first request.
+    pub fn new(inner: &'a mut R) -> Self {
+        BlockRng {
+            inner,
+            buf: [0u64; RNG_BLOCK],
+            pos: RNG_BLOCK,
+        }
+    }
+
+    #[cold]
+    fn refill(&mut self) {
+        for w in self.buf.iter_mut() {
+            *w = self.inner.next_u64();
+        }
+        self.pos = 0;
+    }
+}
+
+impl<R: Rng64 + ?Sized> Rng64 for BlockRng<'_, R> {
+    #[inline(always)]
+    fn next_u64(&mut self) -> u64 {
+        if self.pos >= RNG_BLOCK {
+            self.refill();
+        }
+        let x = self.buf[self.pos];
+        self.pos += 1;
+        x
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +213,24 @@ mod tests {
             saw_lo |= v == 10;
         }
         assert!(saw_lo);
+    }
+
+    #[test]
+    fn block_rng_preserves_word_order() {
+        // Any draw sequence through BlockRng must be bit-identical to
+        // the same sequence against the raw PRNG — across refill
+        // boundaries and mixed draw kinds.
+        let mut raw = SplitMix64::new(11);
+        let mut inner = SplitMix64::new(11);
+        let mut blocked = BlockRng::new(&mut inner);
+        for i in 0..(3 * RNG_BLOCK) {
+            match i % 4 {
+                0 => assert_eq!(raw.next_u64(), blocked.next_u64()),
+                1 => assert_eq!(raw.next_f64(), blocked.next_f64()),
+                2 => assert_eq!(raw.next_f64_open(), blocked.next_f64_open()),
+                _ => assert_eq!(raw.next_below(12345), blocked.next_below(12345)),
+            }
+        }
     }
 
     #[test]

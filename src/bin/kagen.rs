@@ -13,6 +13,10 @@
 //!   gnm_undirected  -n <vertices> -m <edges>
 //!   gnp_directed    -n <vertices> -p <prob>
 //!   gnp_undirected  -n <vertices> -p <prob>
+//!                   --gnp-leaves <skip|algo-d>  leaf sampler: batched
+//!                                      geometric skips (default) or the
+//!                                      pre-swap binomial + Vitter D path
+//!                                      (reproduces historical instances)
 //!   rgg2d           -n <vertices> -r <radius>     (default r: threshold)
 //!   rgg3d           -n <vertices> -r <radius>
 //!   rdg2d           -n <vertices>
@@ -44,6 +48,8 @@
 //!   --merge <mode>        none | external                 (default none)
 //!   --merge-budget <m>    external-merge RAM budget in edges
 //!                                                         (default 1<<22)
+//!   --merge-fan-in <k>    max runs (files) merged at once  (default 64);
+//!                         more runs merge in intermediate passes
 //!   -o <path>             merged output file (with --merge external;
 //!                         default: <shard-dir>/merged.<ext>)
 //!
@@ -64,10 +70,13 @@
 //!                         worker failures are respawned (exponential
 //!                         backoff) up to <budget> times before the rank
 //!                         counts as failed          (default 0)
-//!   --validate <mode>     full | sampled | none     (default full)
-//!                         sampled = size/structure walk + 4 decoded,
-//!                         checksum-verified blocks per shard — the
-//!                         resume fast path for huge runs; none skips
+//!   --validate <mode>     full | sampled | sampled=K | none
+//!                                                   (default full)
+//!                         sampled = size/structure walk + K decoded,
+//!                         checksum-verified blocks per shard (default
+//!                         K=4; K >= the shard's block count decodes
+//!                         every block) — the resume fast path for huge
+//!                         runs, parallelized across shards; none skips
 //!                         the post-run re-read only
 //!   --no-validate         alias for --validate none
 //!
@@ -138,6 +147,7 @@ struct Options {
     p_in: f64,
     p_out: f64,
     rmat_levels: u32,
+    gnp_leaves: String,
     seed: u64,
     chunks: usize,
     threads: usize,
@@ -147,6 +157,7 @@ struct Options {
     shard_dir: Option<String>,
     merge: Option<String>,
     merge_budget: Option<usize>,
+    merge_fan_in: Option<usize>,
     workers: Option<usize>,
     resume: bool,
     no_validate: bool,
@@ -176,6 +187,7 @@ fn parse() -> Options {
         p_in: 0.01,
         p_out: 0.001,
         rmat_levels: 8,
+        gnp_leaves: "skip".into(),
         seed: 1,
         chunks: 64,
         threads: 0,
@@ -185,6 +197,7 @@ fn parse() -> Options {
         shard_dir: None,
         merge: None,
         merge_budget: None,
+        merge_fan_in: None,
         workers: None,
         resume: false,
         no_validate: false,
@@ -235,6 +248,7 @@ fn parse() -> Options {
             "--p-in" => o.p_in = next(&mut args).parse().unwrap_or_else(|_| usage()),
             "--p-out" => o.p_out = next(&mut args).parse().unwrap_or_else(|_| usage()),
             "--rmat-levels" => o.rmat_levels = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--gnp-leaves" => o.gnp_leaves = next(&mut args),
             "-s" => o.seed = next(&mut args).parse().unwrap_or_else(|_| usage()),
             "-c" => o.chunks = next(&mut args).parse().unwrap_or_else(|_| usage()),
             "-t" => o.threads = next(&mut args).parse().unwrap_or_else(|_| usage()),
@@ -245,6 +259,9 @@ fn parse() -> Options {
             "--merge" => o.merge = Some(next(&mut args)),
             "--merge-budget" => {
                 o.merge_budget = Some(next(&mut args).parse().unwrap_or_else(|_| usage()))
+            }
+            "--merge-fan-in" => {
+                o.merge_fan_in = Some(next(&mut args).parse().unwrap_or_else(|_| usage()))
             }
             "--workers" => o.workers = Some(next(&mut args).parse().unwrap_or_else(|_| usage())),
             "--resume" => o.resume = true,
@@ -278,6 +295,12 @@ fn validate(o: &Options) {
         eprintln!("{}: {msg}", mode.name());
         std::process::exit(2);
     };
+    if gnp_leaves(&o.gnp_leaves).is_none() {
+        fail(format!(
+            "unknown --gnp-leaves '{}' (want skip | algo-d)",
+            o.gnp_leaves
+        ));
+    }
     // Which flags each mode accepts.
     let reject = |present: bool, flag: &str, wanted: &str| {
         if present {
@@ -293,6 +316,7 @@ fn validate(o: &Options) {
             );
             reject(o.merge.is_some(), "--merge", "`kagen stream`");
             reject(o.merge_budget.is_some(), "--merge-budget", "`kagen stream`");
+            reject(o.merge_fan_in.is_some(), "--merge-fan-in", "`kagen stream`");
             reject(o.workers.is_some(), "--workers", "`kagen launch`");
             reject(o.resume, "--resume", "`kagen launch`");
             reject(o.no_validate, "--no-validate", "`kagen launch`");
@@ -323,6 +347,7 @@ fn validate(o: &Options) {
         Mode::Launch | Mode::Worker => {
             reject(o.merge.is_some(), "--merge", "`kagen stream`");
             reject(o.merge_budget.is_some(), "--merge-budget", "`kagen stream`");
+            reject(o.merge_fan_in.is_some(), "--merge-fan-in", "`kagen stream`");
             reject(
                 o.output.is_some(),
                 "-o",
@@ -377,6 +402,30 @@ fn validate(o: &Options) {
     }
 }
 
+/// Parse the `--gnp-leaves` spelling.
+fn gnp_leaves(name: &str) -> Option<kagen_repro::core::er::GnpLeaves> {
+    use kagen_repro::core::er::GnpLeaves;
+    match name {
+        "skip" => Some(GnpLeaves::Skip),
+        "algo-d" => Some(GnpLeaves::AlgoD),
+        _ => None,
+    }
+}
+
+/// The G(n,p) params string of manifests and resume ledgers. The
+/// legacy spelling (`n=.. p=..`, no marker) stays with the *legacy*
+/// instance (`algo-d`): run directories written before the skip-kernel
+/// swap resume under `--gnp-leaves algo-d` without a header mismatch —
+/// and, conversely, they can never be silently "resumed" by the new
+/// skip default, whose shards would belong to a different instance.
+fn gnp_params(o: &Options) -> String {
+    if o.gnp_leaves == "algo-d" {
+        format!("n={} p={}", o.n, o.p)
+    } else {
+        format!("n={} p={} leaves={}", o.n, o.p, o.gnp_leaves)
+    }
+}
+
 /// Build the selected generator; every model supports streaming.
 fn build_generator(o: &Options) -> (Box<dyn StreamingGenerator>, String) {
     let (gen, params): (Box<dyn StreamingGenerator>, String) = match o.model.as_str() {
@@ -400,17 +449,19 @@ fn build_generator(o: &Options) -> (Box<dyn StreamingGenerator>, String) {
             Box::new(
                 GnpDirected::new(o.n, o.p)
                     .with_seed(o.seed)
-                    .with_chunks(o.chunks),
+                    .with_chunks(o.chunks)
+                    .with_leaves(gnp_leaves(&o.gnp_leaves).expect("validated")),
             ),
-            format!("n={} p={}", o.n, o.p),
+            gnp_params(o),
         ),
         "gnp_undirected" => (
             Box::new(
                 GnpUndirected::new(o.n, o.p)
                     .with_seed(o.seed)
-                    .with_chunks(o.chunks),
+                    .with_chunks(o.chunks)
+                    .with_leaves(gnp_leaves(&o.gnp_leaves).expect("validated")),
             ),
-            format!("n={} p={}", o.n, o.p),
+            gnp_params(o),
         ),
         "rgg2d" => {
             let r = o.r.unwrap_or_else(|| Rgg2d::threshold_radius(o.n, 1));
@@ -624,7 +675,10 @@ fn run_stream(o: &Options) {
             }
         };
         let started = std::time::Instant::now();
-        let merger = ExternalMerge::new(dir.join("runs"), merge_budget).with_threads(o.threads);
+        let mut merger = ExternalMerge::new(dir.join("runs"), merge_budget).with_threads(o.threads);
+        if let Some(fan_in) = o.merge_fan_in {
+            merger = merger.with_fan_in(fan_in);
+        }
         let mut sink = TeeSink::new(
             out_sink,
             o.stats
@@ -712,6 +766,8 @@ fn worker_args(o: &Options, shard_dir: &str, format: ShardFormat) -> Vec<String>
         o.p_out.to_string(),
         "--rmat-levels".into(),
         o.rmat_levels.to_string(),
+        "--gnp-leaves".into(),
+        o.gnp_leaves.clone(),
         "-s".into(),
         o.seed.to_string(),
         "-c".into(),

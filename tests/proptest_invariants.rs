@@ -4,7 +4,10 @@
 
 use kagen_repro::core::prelude::*;
 use kagen_repro::dist::{binomial, hypergeometric};
-use kagen_repro::sampling::{bernoulli_sample, sample_sorted, DistributedSampler};
+use kagen_repro::sampling::{
+    bernoulli_sample, bernoulli_sample_batched, sample_sorted, sample_sorted_batched,
+    DistributedSampler,
+};
 use kagen_repro::util::{Mt64, Rng64};
 use proptest::prelude::*;
 
@@ -70,6 +73,42 @@ proptest! {
             }
             prev = Some(x);
         });
+    }
+
+    #[test]
+    fn bernoulli_batched_equals_per_edge(
+        universe in 1u64..400_000,
+        p in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        // The block-batched skip kernel must reproduce the per-edge
+        // index stream bit-for-bit from the same PRNG state, for
+        // arbitrary (universe, p).
+        let mut a = Mt64::new(seed);
+        let mut per_edge = Vec::new();
+        bernoulli_sample(&mut a, universe, p, &mut |x| per_edge.push(x));
+        let mut b = Mt64::new(seed);
+        let mut batched = Vec::new();
+        bernoulli_sample_batched(&mut b, universe, p, &mut |s| batched.extend_from_slice(s));
+        prop_assert_eq!(per_edge, batched);
+    }
+
+    #[test]
+    fn sample_sorted_batched_equals_per_draw(
+        universe in 1u64..2_000_000,
+        k_frac in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        // The block-treated Method D must reproduce sample_sorted
+        // bit-for-bit from the same PRNG state.
+        let k = ((universe as f64) * k_frac) as u64;
+        let mut a = Mt64::new(seed);
+        let mut per_draw = Vec::new();
+        sample_sorted(&mut a, universe, k, &mut |x| per_draw.push(x));
+        let mut b = Mt64::new(seed);
+        let mut batched = Vec::new();
+        sample_sorted_batched(&mut b, universe, k, &mut |x| batched.push(x));
+        prop_assert_eq!(per_draw, batched);
     }
 
     #[test]
