@@ -11,9 +11,12 @@
 //!   file (used to produce EXPERIMENTS.md).
 
 use kagen_bench::{run_experiment, ALL_EXPERIMENTS};
+use kagen_obs::{error, info, trace};
 use std::io::Write;
 
 fn main() {
+    kagen_obs::log::init_from_env();
+    kagen_obs::log::set_prefix("experiments");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ids: Vec<String> = Vec::new();
     let mut fast = false;
@@ -27,8 +30,8 @@ fn main() {
         }
     }
     if ids.is_empty() {
-        eprintln!("usage: experiments <id>|all [--fast] [--write <path>]");
-        eprintln!("available: {}", ALL_EXPERIMENTS.join(", "));
+        error!("usage: experiments <id>|all [--fast] [--write <path>]");
+        error!("available: {}", ALL_EXPERIMENTS.join(", "));
         std::process::exit(2);
     }
     let selected: Vec<&str> = if ids.iter().any(|i| i == "all") {
@@ -39,16 +42,16 @@ fn main() {
 
     let mut output = String::new();
     for id in selected {
-        let started = std::time::Instant::now();
+        let span = trace::span(format!("experiment.{id}"));
         match run_experiment(id, fast) {
             Some(section) => {
-                eprintln!("[{id}] done in {:.1}s", started.elapsed().as_secs_f64());
+                info!("[{id}] done in {:.1}s", span.finish());
                 println!("{section}");
                 output.push_str(&section);
                 output.push('\n');
             }
             None => {
-                eprintln!("unknown experiment id: {id}");
+                error!("unknown experiment id: {id}");
                 std::process::exit(2);
             }
         }
@@ -60,6 +63,6 @@ fn main() {
             .open(&path)
             .expect("cannot open output file");
         f.write_all(output.as_bytes()).expect("write failed");
-        eprintln!("appended results to {path}");
+        info!("appended results to {path}");
     }
 }

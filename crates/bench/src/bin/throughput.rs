@@ -10,12 +10,17 @@
 //!
 //! ```text
 //! throughput [--quick] [--reps N] [--out PATH] [--max-workers W]
+//!            [--metrics] [--trace-out PATH]
 //!
 //!   --quick          tiny sizes (CI smoke: seconds, not minutes)
 //!   --reps N         repetitions per measurement, best-of (default 3)
 //!   --out PATH       JSON output (default BENCH_throughput.json)
 //!   --max-workers W  cap of the multi-worker scaling sweep
 //!                    (default: available cores)
+//!   --metrics        enable the obs metric registry during the runs and
+//!                    embed its scalar snapshot as the "metrics" object
+//!   --trace-out PATH write a Chrome trace of every timed region (each
+//!                    best-of repetition is one span)
 //! ```
 //!
 //! Besides the single-core per-edge/batched comparison, the harness runs
@@ -33,11 +38,11 @@
 use kagen_core::er::GnpLeaves;
 use kagen_core::prelude::*;
 use kagen_core::streaming::BATCH_EDGES;
+use kagen_obs::{error, info, trace, warn};
 use kagen_pipeline::{BinarySink, EdgeSink};
 use kagen_util::alloc::CountingAlloc;
 use std::fmt::Write as _;
 use std::hint::black_box;
-use std::time::Instant;
 
 /// Counting allocator: every model's *peak allocation during streaming*
 /// is recorded next to its edges/s — the portable per-model stand-in
@@ -83,15 +88,21 @@ impl Measurement {
 }
 
 /// Best-of-`reps` wall time of one full instance streamed per edge;
-/// returns the xor-fold checksum of the stream along with it.
-fn time_per_edge<G: StreamingGenerator + ?Sized>(gen: &G, reps: u32) -> (u64, f64, u64) {
+/// returns the xor-fold checksum of the stream along with it. Every
+/// timed region here and below is an obs span: one wall-clock source
+/// for the JSON numbers and for `--trace-out`.
+fn time_per_edge<G: StreamingGenerator + ?Sized>(
+    name: &str,
+    gen: &G,
+    reps: u32,
+) -> (u64, f64, u64) {
     let mut edges = 0u64;
     let mut best = f64::INFINITY;
     let mut checksum = 0u64;
     for _ in 0..reps {
         let mut acc = 0u64;
         let mut count = 0u64;
-        let start = Instant::now();
+        let span = trace::span(format!("{name}.per_edge"));
         for pe in 0..gen.num_chunks() {
             gen.stream_pe(pe, &mut |u, v| {
                 // Order-sensitive fold: a reordered or swapped-pair
@@ -101,7 +112,7 @@ fn time_per_edge<G: StreamingGenerator + ?Sized>(gen: &G, reps: u32) -> (u64, f6
                 count += 1;
             });
         }
-        best = best.min(start.elapsed().as_secs_f64().max(1e-9));
+        best = best.min(span.finish().max(1e-9));
         checksum = black_box(acc);
         edges = count;
     }
@@ -118,15 +129,15 @@ fn null_binary_sink() -> Box<dyn EdgeSink> {
 
 /// Best-of-`reps` wall time streamed into a boxed binary sink, one
 /// virtual `accept` plus one 16-byte encode per edge.
-fn time_sink_per_edge<G: StreamingGenerator + ?Sized>(gen: &G, reps: u32) -> f64 {
+fn time_sink_per_edge<G: StreamingGenerator + ?Sized>(name: &str, gen: &G, reps: u32) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let mut sink = null_binary_sink();
-        let start = Instant::now();
+        let span = trace::span(format!("{name}.sink_per_edge"));
         for pe in 0..gen.num_chunks() {
             gen.stream_pe(pe, &mut |u, v| sink.accept(u, v));
         }
-        best = best.min(start.elapsed().as_secs_f64().max(1e-9));
+        best = best.min(span.finish().max(1e-9));
         black_box(sink.finish().unwrap());
     }
     best
@@ -134,16 +145,16 @@ fn time_sink_per_edge<G: StreamingGenerator + ?Sized>(gen: &G, reps: u32) -> f64
 
 /// Best-of-`reps` wall time streamed into the same boxed sink through
 /// `push_batch`: one virtual call and one buffered write per batch.
-fn time_sink_batched<G: StreamingGenerator + ?Sized>(gen: &G, reps: u32) -> f64 {
+fn time_sink_batched<G: StreamingGenerator + ?Sized>(name: &str, gen: &G, reps: u32) -> f64 {
     let mut best = f64::INFINITY;
     let mut buf = Vec::with_capacity(BATCH_EDGES);
     for _ in 0..reps {
         let mut sink = null_binary_sink();
-        let start = Instant::now();
+        let span = trace::span(format!("{name}.sink_batched"));
         for pe in 0..gen.num_chunks() {
             gen.stream_pe_batched(pe, &mut buf, &mut |batch| sink.push_batch(batch));
         }
-        best = best.min(start.elapsed().as_secs_f64().max(1e-9));
+        best = best.min(span.finish().max(1e-9));
         black_box(sink.finish().unwrap());
     }
     best
@@ -151,7 +162,7 @@ fn time_sink_batched<G: StreamingGenerator + ?Sized>(gen: &G, reps: u32) -> f64 
 
 /// Best-of-`reps` wall time of one full instance streamed in batches;
 /// returns the xor-fold checksum of the stream along with it.
-fn time_batched<G: StreamingGenerator + ?Sized>(gen: &G, reps: u32) -> (u64, f64, u64) {
+fn time_batched<G: StreamingGenerator + ?Sized>(name: &str, gen: &G, reps: u32) -> (u64, f64, u64) {
     let mut edges = 0u64;
     let mut best = f64::INFINITY;
     let mut checksum = 0u64;
@@ -159,7 +170,7 @@ fn time_batched<G: StreamingGenerator + ?Sized>(gen: &G, reps: u32) -> (u64, f64
     for _ in 0..reps {
         let mut acc = 0u64;
         let mut count = 0u64;
-        let start = Instant::now();
+        let span = trace::span(format!("{name}.batched"));
         for pe in 0..gen.num_chunks() {
             gen.stream_pe_batched(pe, &mut buf, &mut |batch| {
                 for &(u, v) in batch {
@@ -168,7 +179,7 @@ fn time_batched<G: StreamingGenerator + ?Sized>(gen: &G, reps: u32) -> (u64, f64
                 count += batch.len() as u64;
             });
         }
-        best = best.min(start.elapsed().as_secs_f64().max(1e-9));
+        best = best.min(span.finish().max(1e-9));
         checksum = black_box(acc);
         edges = count;
     }
@@ -201,8 +212,8 @@ fn measure<G: StreamingGenerator + ?Sized>(
     gen: &G,
     reps: u32,
 ) -> Measurement {
-    let (edges_a, per_edge_secs, acc_a) = time_per_edge(gen, reps);
-    let (edges_b, batched_secs, acc_b) = time_batched(gen, reps);
+    let (edges_a, per_edge_secs, acc_a) = time_per_edge(name, gen, reps);
+    let (edges_b, batched_secs, acc_b) = time_batched(name, gen, reps);
     // The batched delivery must be the identical stream, not merely the
     // same count — the rotate-xor fold is order- and content-sensitive.
     // A divergence is *recorded*, not panicked on: the JSON must still
@@ -210,15 +221,15 @@ fn measure<G: StreamingGenerator + ?Sized>(
     // live check rather than one that can never observe a false.
     let paths_checksum_match = edges_a == edges_b && acc_a == acc_b;
     if !paths_checksum_match {
-        eprintln!(
+        error!(
             "{name}: BATCHED PATH DIVERGES from per-edge \
              ({edges_a} vs {edges_b} edges, checksums {acc_a:#x} vs {acc_b:#x})"
         );
     }
-    let sink_per_edge_secs = time_sink_per_edge(gen, reps);
-    let sink_batched_secs = time_sink_batched(gen, reps);
+    let sink_per_edge_secs = time_sink_per_edge(name, gen, reps);
+    let sink_batched_secs = time_sink_batched(name, gen, reps);
     let peak_alloc_bytes = measure_peak_alloc(gen);
-    eprintln!(
+    info!(
         "{name:<16} {edges:>10} edges   per-edge {pe:>7.1} Meps   batched {ba:>7.1} Meps ({sp:.2}x)   sink {spe:>7.1} -> {sba:>7.1} Meps ({ssp:.2}x)   peak {peak:>8} B",
         edges = edges_a,
         pe = edges_a as f64 / per_edge_secs / 1e6,
@@ -260,6 +271,7 @@ struct ScalingPoint {
 /// `kagen launch --workers W`, sharing its plan via
 /// [`kagen_runtime::run_rank_ranges`].
 fn time_rank_ranges<G: StreamingGenerator + Sync + ?Sized>(
+    label: &str,
     gen: &G,
     workers: usize,
     reps: u32,
@@ -288,12 +300,12 @@ fn time_rank_ranges<G: StreamingGenerator + Sync + ?Sized>(
     let mut edges = 0u64;
     let mut best = f64::INFINITY;
     for _ in 0..reps {
-        let start = Instant::now();
+        let span = trace::span(format!("scaling.{label}.w{workers}"));
         let counts: Vec<u64> = pool.install(|| {
             use rayon::prelude::*;
             plan.clone().into_par_iter().map(&run_range).collect()
         });
-        best = best.min(start.elapsed().as_secs_f64().max(1e-9));
+        best = best.min(span.finish().max(1e-9));
         edges = counts.iter().sum();
     }
     (edges, best)
@@ -329,7 +341,7 @@ fn scaling_sweep(
             .with_seed(1)
             .with_chunks(chunks)
             .with_table_levels(8);
-        let (edges, secs) = time_rank_ranges(&gen, workers, reps);
+        let (edges, secs) = time_rank_ranges("strong", &gen, workers, reps);
         points.push(ScalingPoint {
             name: "rmat_table8",
             mode: "strong",
@@ -344,7 +356,7 @@ fn scaling_sweep(
             .with_seed(1)
             .with_chunks(chunks)
             .with_table_levels(8);
-        let (edges, secs) = time_rank_ranges(&gen, workers, reps);
+        let (edges, secs) = time_rank_ranges("weak", &gen, workers, reps);
         points.push(ScalingPoint {
             name: "rmat_table8",
             mode: "weak",
@@ -354,7 +366,7 @@ fn scaling_sweep(
             eps: edges as f64 / secs,
         });
         let last = points.len() - 2;
-        eprintln!(
+        info!(
             "scaling w={workers:<3} strong {:>7.1} Meps   weak {:>7.1} Meps",
             points[last].eps / 1e6,
             points[last + 1].eps / 1e6,
@@ -364,12 +376,16 @@ fn scaling_sweep(
 }
 
 fn main() {
+    kagen_obs::log::init_from_env();
+    kagen_obs::log::set_prefix("throughput");
     let mut quick = false;
     let mut reps = 3u32;
     let mut out = String::from("BENCH_throughput.json");
     let mut max_workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let mut metrics = false;
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -380,7 +396,7 @@ fn main() {
                 reps = match args.next().map(|v| v.parse()) {
                     Some(Ok(r)) if r >= 1 => r,
                     _ => {
-                        eprintln!("throughput: --reps needs an integer >= 1");
+                        error!("--reps needs an integer >= 1");
                         std::process::exit(2);
                     }
                 }
@@ -390,16 +406,24 @@ fn main() {
                 max_workers = match args.next().map(|v| v.parse()) {
                     Some(Ok(w)) if w >= 1 => w,
                     _ => {
-                        eprintln!("throughput: --max-workers needs an integer >= 1");
+                        error!("--max-workers needs an integer >= 1");
                         std::process::exit(2);
                     }
                 }
             }
+            "--metrics" => metrics = true,
+            "--trace-out" => trace_out = Some(args.next().expect("--trace-out needs a path")),
             other => {
-                eprintln!("throughput: unknown flag '{other}'");
+                error!("unknown flag '{other}'");
                 std::process::exit(2);
             }
         }
+    }
+    if metrics {
+        kagen_obs::metrics::set_enabled(true);
+    }
+    if trace_out.is_some() {
+        kagen_obs::trace::set_enabled(true);
     }
 
     // Full mode: the ISSUE's reference point — scale 20, 2^22 edges.
@@ -413,8 +437,8 @@ fn main() {
     let p_directed = (m as f64 / universe_d).min(1.0);
     let p_undirected = (m as f64 / (universe_d / 2.0)).min(1.0);
 
-    eprintln!(
-        "throughput: {} mode, reps={reps}, chunks={chunks}, batch={BATCH_EDGES}",
+    info!(
+        "{} mode, reps={reps}, chunks={chunks}, batch={BATCH_EDGES}",
         if quick { "quick" } else { "full" }
     );
 
@@ -572,9 +596,7 @@ fn main() {
     let plain = &results[0];
     let table = &results[1];
     let rmat_ratio = plain.per_edge_secs / table.batched_secs;
-    eprintln!(
-        "rmat batched(table) vs per-edge(plain): {rmat_ratio:.2}x (target >= 3x at scale 20)"
-    );
+    info!("rmat batched(table) vs per-edge(plain): {rmat_ratio:.2}x (target >= 3x at scale 20)");
 
     // The ER acceptance ratios: the batched geometric-skip G(n,p) path
     // (the CLI default) against the per-edge Algorithm-D baseline.
@@ -588,7 +610,7 @@ fn main() {
     };
     let er_directed_ratio = er_ratio("gnp_directed", "gnp_directed_algoD");
     let er_undirected_ratio = er_ratio("gnp_undirected", "gnp_undirected_algoD");
-    eprintln!(
+    info!(
         "er skip-batched vs per-edge algo-D: directed {er_directed_ratio:.2}x, \
          undirected {er_undirected_ratio:.2}x (target >= 2x at scale 20)"
     );
@@ -599,10 +621,10 @@ fn main() {
     // the chunk count would silently run `chunks` threads while being
     // recorded as more — cap the sweep instead of recording fiction.
     if max_workers > chunks {
-        eprintln!("scaling sweep: capping --max-workers {max_workers} at {chunks} chunks");
+        warn!("scaling sweep: capping --max-workers {max_workers} at {chunks} chunks");
         max_workers = chunks;
     }
-    eprintln!("scaling sweep: 1..{max_workers} workers, rank-range plan over {chunks} chunks");
+    info!("scaling sweep: 1..{max_workers} workers, rank-range plan over {chunks} chunks");
     let scaling = scaling_sweep(scale, m, chunks, max_workers, reps);
 
     // A 1-core box clamps the sweep to a single point; downstream
@@ -613,7 +635,7 @@ fn main() {
         .unwrap_or(1);
     let degenerate_sweep = max_workers <= 1;
     if degenerate_sweep {
-        eprintln!(
+        warn!(
             "scaling sweep is DEGENERATE (one point): {detected_cores} core(s) detected — \
              re-run on a multi-core box for a real curve"
         );
@@ -621,7 +643,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"kagen-throughput/v4\",\n");
+    json.push_str("  \"schema\": \"kagen-throughput/v5\",\n");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"repetitions\": {reps},");
     let _ = writeln!(json, "  \"chunks\": {chunks},");
@@ -629,6 +651,18 @@ fn main() {
     let _ = writeln!(json, "  \"detected_cores\": {detected_cores},");
     let _ = writeln!(json, "  \"max_workers\": {max_workers},");
     let _ = writeln!(json, "  \"degenerate_sweep\": {degenerate_sweep},");
+    // v5: the obs scalar snapshot of the whole run — counters, gauge
+    // peaks, histogram count/sum. Empty unless --metrics, so the
+    // default timings carry zero registry overhead inside the loops.
+    let _ = writeln!(json, "  \"metrics_enabled\": {metrics},");
+    json.push_str("  \"metrics\": {");
+    for (i, (name, v)) in kagen_obs::metrics::scalars().iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        let _ = write!(json, "\"{name}\": {v}");
+    }
+    json.push_str("},\n");
     let _ = writeln!(
         json,
         "  \"rmat_table_batched_vs_plain_per_edge\": {rmat_ratio:.3},"
@@ -694,5 +728,9 @@ fn main() {
     json.push_str("  ]\n}\n");
 
     std::fs::write(&out, &json).expect("cannot write JSON output");
-    eprintln!("wrote {out}");
+    if let Some(path) = &trace_out {
+        trace::write_chrome_trace(std::path::Path::new(path)).expect("cannot write trace output");
+        info!("trace -> {path} ({} spans)", trace::event_count());
+    }
+    info!("wrote {out}");
 }

@@ -11,9 +11,11 @@
 //! or invalid PEs and reuses everything else.
 
 use crate::ledger::{Ledger, RankStatus};
+use crate::metrics::RankMetrics;
 use crate::plan::{plan_ranks, plan_repairs, RankTask};
 use crate::worker::{run_worker, FailureInjection};
 use kagen_core::streaming::StreamingGenerator;
+use kagen_obs::{trace, Counter, Histogram};
 use kagen_pipeline::{
     validate_shard, validate_shard_sampled, Manifest, PartialManifest, RunHeader, ShardFormat,
 };
@@ -25,6 +27,17 @@ use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
+/// Rank retries consumed by in-launch retry budgets.
+static CLUSTER_RETRIES: Counter = Counter::new("cluster.retries");
+/// Ranks that exhausted their budget and failed.
+static CLUSTER_RANK_FAILURES: Counter = Counter::new("cluster.rank_failures");
+/// Shards that passed a validation pass (resume reuse or post-run).
+static CLUSTER_SHARDS_VALIDATED: Counter = Counter::new("cluster.shards_validated");
+/// Shards that failed validation and were queued for regeneration.
+static CLUSTER_SHARDS_INVALIDATED: Counter = Counter::new("cluster.shards_invalidated");
+/// Wall time of each rank's successful attempt, in microseconds.
+static CLUSTER_RANK_WALL_US: Histogram = Histogram::new("cluster.rank_wall_us");
+
 /// How the coordinator executes one rank task. The two implementations
 /// — a re-exec'd OS process and an in-process function call — run the
 /// identical worker code path ([`run_worker`]); the trait exists so
@@ -35,6 +48,16 @@ pub trait WorkerRunner: Sync {
     /// Execute `task`, returning the shard infos it produced.
     /// An `Err` marks the rank failed; its PEs stay pending.
     fn run(&self, task: &RankTask) -> io::Result<Vec<kagen_pipeline::ShardInfo>>;
+
+    /// Worker-side metric counters for `task`'s just-finished run —
+    /// e.g. parsed from the telemetry sidecar the worker process wrote.
+    /// Called once after a successful [`WorkerRunner::run`]. The
+    /// default reports none: in-process runs share the coordinator's
+    /// process-global metrics, and attributing those to a single rank
+    /// would double-count them.
+    fn take_counters(&self, _task: &RankTask) -> Vec<(String, u64)> {
+        Vec::new()
+    }
 }
 
 /// Spawn `exe worker <args> --pe-range a..b --rank r` as a child
@@ -74,6 +97,18 @@ impl WorkerRunner for ProcessRunner {
         )))
         .ok();
         Ok(part.shards)
+    }
+
+    fn take_counters(&self, task: &RankTask) -> Vec<(String, u64)> {
+        let (a, b) = (task.pe_begin as u64, task.pe_end as u64);
+        // Absent sidecar (worker ran without telemetry) is not an
+        // error; the rank entry simply carries no worker counters.
+        let counters = crate::metrics::load_sidecar(&self.dir, a, b)
+            .ok()
+            .flatten()
+            .unwrap_or_default();
+        std::fs::remove_file(self.dir.join(crate::metrics::sidecar_file_name(a, b))).ok();
+        counters
     }
 }
 
@@ -228,6 +263,8 @@ fn validate_shards_parallel(
         })
     };
     failed.sort_by_key(|(pe, _)| *pe);
+    CLUSTER_SHARDS_VALIDATED.add((shards.len() - failed.len()) as u64);
+    CLUSTER_SHARDS_INVALIDATED.add(failed.len() as u64);
     failed
 }
 
@@ -281,6 +318,11 @@ pub struct LaunchReport {
     /// PEs whose existing shards failed resume-time validation and were
     /// regenerated (subset of `regenerated_pes`).
     pub invalidated_pes: Vec<usize>,
+    /// Per-rank telemetry (wall time, attempts, edges, worker sidecar
+    /// counters) for every rank that finished, in rank order — the
+    /// input [`crate::metrics::RunMetrics::federate`] turns into
+    /// `metrics.json`.
+    pub rank_metrics: Vec<RankMetrics>,
 }
 
 fn invalid(msg: String) -> io::Error {
@@ -337,7 +379,7 @@ fn prepare(
         opts.validate,
         opts.workers,
     ) {
-        eprintln!("kagen launch: shard {pe} failed resume validation, regenerating: {cause}");
+        kagen_obs::warn!("shard {pe} failed resume validation, regenerating: {cause}");
         ledger.invalidate_shard(pe);
         invalidated.push(pe);
     }
@@ -363,7 +405,9 @@ pub fn launch(
     let format = ShardFormat::parse(&header.format)
         .ok_or_else(|| invalid(format!("unknown shard format '{}'", header.format)))?;
     std::fs::create_dir_all(dir)?;
+    let prepare_span = trace::span("launch.prepare");
     let (mut ledger, tasks, invalidated_pes) = prepare(dir, header, opts, format)?;
+    let _ = prepare_span.finish();
     let reused_shards = header.chunks - ledger.missing_pes().len() as u64;
     let regenerated_pes: Vec<usize> = ledger.missing_pes();
     ledger.save(dir)?;
@@ -386,9 +430,20 @@ pub fn launch(
         outstanding: tasks.len(),
     });
     let wake = Condvar::new();
-    type RankOutcome = (RankTask, u64, io::Result<Vec<kagen_pipeline::ShardInfo>>);
+    /// What a supervisor reports per attempt: the task, its attempt
+    /// index, the attempt's wall microseconds, the worker's sidecar
+    /// counters (successful attempts only), and the outcome.
+    struct RankOutcome {
+        task: RankTask,
+        attempt: u64,
+        wall_us: u64,
+        counters: Vec<(String, u64)>,
+        result: io::Result<Vec<kagen_pipeline::ShardInfo>>,
+    }
     let (tx, rx) = mpsc::channel::<RankOutcome>();
     let supervisors = opts.workers.min(tasks.len()).max(1);
+    let mut rank_metrics: Vec<RankMetrics> = Vec::new();
+    let supervise_span = trace::span("launch.supervise");
     std::thread::scope(|scope| {
         for _ in 0..supervisors {
             let tx = tx.clone();
@@ -427,6 +482,7 @@ pub fn launch(
                 // remaining supervisors on the condvar. Convert the
                 // panic into a rank failure — the same footprint a
                 // crashed worker *process* has.
+                let rank_span = trace::span(format!("rank-{}", task.rank));
                 let result =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| runner.run(&task)))
                         .unwrap_or_else(|panic| {
@@ -437,28 +493,62 @@ pub fn launch(
                                 .unwrap_or("worker panicked");
                             Err(io::Error::other(format!("worker panicked: {msg}")))
                         });
-                if tx.send((task, attempt, result)).is_err() {
+                let wall_us = (rank_span.finish() * 1e6) as u64;
+                let counters = if result.is_ok() {
+                    runner.take_counters(&task)
+                } else {
+                    Vec::new()
+                };
+                let outcome = RankOutcome {
+                    task,
+                    attempt,
+                    wall_us,
+                    counters,
+                    result,
+                };
+                if tx.send(outcome).is_err() {
                     return;
                 }
             });
         }
         drop(tx);
-        for (task, attempt, result) in rx {
+        for outcome in rx {
+            let RankOutcome {
+                task,
+                attempt,
+                wall_us,
+                counters,
+                result,
+            } = outcome;
             let rank = task.rank;
             let mut finished = true;
             match result {
-                Ok(shards) => ledger.record_rank_done(rank, shards),
+                Ok(shards) => {
+                    CLUSTER_RANK_WALL_US.record(wall_us);
+                    rank_metrics.push(RankMetrics {
+                        rank: rank as u64,
+                        pe_begin: task.pe_begin as u64,
+                        pe_end: task.pe_end as u64,
+                        edges: shards.iter().map(|s| s.edges).sum(),
+                        wall_us,
+                        attempts: attempt + 1,
+                        counters,
+                    });
+                    ledger.record_rank_done(rank, shards);
+                }
                 Err(e) if attempt < opts.retries => {
-                    eprintln!(
-                        "kagen launch: rank {rank} failed (attempt {} of {}), retrying: {e}",
+                    kagen_obs::warn!(
+                        "rank {rank} failed (attempt {} of {}), retrying: {e}",
                         attempt + 1,
                         opts.retries + 1
                     );
+                    CLUSTER_RETRIES.incr();
                     ledger.record_rank_retry(rank);
                     finished = false;
                 }
                 Err(e) => {
-                    eprintln!("kagen launch: rank {rank} failed: {e}");
+                    kagen_obs::warn!("rank {rank} failed: {e}");
+                    CLUSTER_RANK_FAILURES.incr();
                     ledger.record_rank_failed(rank);
                 }
             }
@@ -477,10 +567,11 @@ pub fn launch(
             // Persist progress immediately; surface IO errors after the
             // scope (a failed save must not strand worker threads).
             if let Err(e) = ledger.save(dir) {
-                eprintln!("kagen launch: ledger save failed: {e}");
+                kagen_obs::error!("ledger save failed: {e}");
             }
         }
     });
+    let _ = supervise_span.finish();
 
     let failed: Vec<usize> = ledger
         .ranks
@@ -498,6 +589,7 @@ pub fn launch(
     }
 
     let shards = ledger.done_shards();
+    let validate_span = trace::span("launch.validate");
     if opts.validate != ValidateMode::None {
         // Only the shards written by *this* launch need the post-run
         // check; reused shards were already validated in `prepare`,
@@ -518,14 +610,19 @@ pub fn launch(
             )));
         }
     }
+    let _ = validate_span.finish();
+    let federate_span = trace::span("launch.federate");
     let manifest = header.clone().federate(shards).map_err(invalid)?;
     manifest.save(dir)?;
+    let _ = federate_span.finish();
 
+    rank_metrics.sort_by_key(|r| r.rank);
     Ok(LaunchReport {
         manifest,
         spawned: tasks,
         regenerated_pes,
         reused_shards,
         invalidated_pes,
+        rank_metrics,
     })
 }

@@ -46,6 +46,7 @@
 
 pub mod launch;
 pub mod ledger;
+pub mod metrics;
 pub mod plan;
 pub mod worker;
 
@@ -54,6 +55,7 @@ pub use launch::{
     WorkerRunner, SAMPLED_BLOCKS,
 };
 pub use ledger::{Ledger, RankRecord, RankStatus, ShardState, LEDGER_FILE};
+pub use metrics::{RankMetrics, RunMetrics, METRICS_SCHEMA};
 pub use plan::{plan_ranks, plan_repairs, RankTask};
 pub use worker::{run_worker, FailureInjection};
 

@@ -1,0 +1,341 @@
+//! Per-rank telemetry federation: worker sidecars in, one run-wide
+//! `metrics.json` out — the metrics mirror of `RunHeader::federate`.
+//!
+//! Each worker process snapshots its obs counters into a sidecar next
+//! to its partial manifest (`part-<a>-<b>.metrics.json`); the
+//! coordinator collects one [`RankMetrics`] per finished rank (sidecar
+//! counters, shard edge totals, its own wall-clock and attempt
+//! bookkeeping) and [`RunMetrics`] federates them into a single
+//! document. The same invariant the manifest federation enforces holds
+//! here: on a fresh run the per-rank `edges` sum to the manifest's edge
+//! count exactly; on a resume the difference is accounted to
+//! `reused_edges` (shards validated and kept from a previous run, which
+//! no rank of *this* launch generated).
+//!
+//! Every value is an unsigned integer (wall time is microseconds), so
+//! the documents round-trip through the workspace's hand-rolled parser
+//! (`kagen_pipeline::manifest::json`) — floats never enter the format.
+
+use kagen_pipeline::manifest::{json, push_str_value};
+use kagen_pipeline::Manifest;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Schema tag of the federated metrics document.
+pub const METRICS_SCHEMA: &str = "kagen-metrics/v1";
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Sidecar file name for the rank covering PEs `[pe_begin, pe_end)` —
+/// the partial manifest's name with a `.metrics.json` suffix.
+pub fn sidecar_file_name(pe_begin: u64, pe_end: u64) -> String {
+    format!("part-{pe_begin:05}-{pe_end:05}.metrics.json")
+}
+
+fn counters_json(counters: &[(String, u64)]) -> String {
+    let mut out = String::from("{");
+    for (i, (name, v)) in counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_value(&mut out, name);
+        out.push_str(&format!(":{v}"));
+    }
+    out.push('}');
+    out
+}
+
+/// Write this process's current obs metric scalars (counters, gauge
+/// peaks, histogram count/sum) as the sidecar for PEs
+/// `[pe_begin, pe_end)`. Called by the worker after its partial
+/// manifest is complete; a plain extra file, never read by the shard
+/// pipeline — output bytes are untouched.
+pub fn write_sidecar(dir: &Path, pe_begin: u64, pe_end: u64) -> io::Result<PathBuf> {
+    let counters = kagen_obs::metrics::scalars();
+    let path = dir.join(sidecar_file_name(pe_begin, pe_end));
+    std::fs::write(
+        &path,
+        format!("{{\"counters\":{}}}", counters_json(&counters)),
+    )?;
+    Ok(path)
+}
+
+/// Load (and leave in place) the sidecar for PEs `[pe_begin, pe_end)`,
+/// returning its counters. `Ok(None)` if no sidecar exists — the worker
+/// ran without telemetry.
+pub fn load_sidecar(
+    dir: &Path,
+    pe_begin: u64,
+    pe_end: u64,
+) -> io::Result<Option<Vec<(String, u64)>>> {
+    let path = dir.join(sidecar_file_name(pe_begin, pe_end));
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let doc = json::parse(&text).map_err(invalid)?;
+    let counters = doc
+        .as_obj("metrics sidecar")
+        .and_then(|o| o.get("counters").cloned())
+        .map_err(invalid)?;
+    match counters {
+        json::Value::Obj(fields) => {
+            let mut out = Vec::with_capacity(fields.len());
+            for (name, v) in fields {
+                let v = v.as_u64(&name).map_err(invalid)?;
+                out.push((name, v));
+            }
+            Ok(Some(out))
+        }
+        _ => Err(invalid("metrics sidecar: counters is not an object".into())),
+    }
+}
+
+/// One finished rank's telemetry, as the coordinator saw it.
+#[derive(Clone, Debug)]
+pub struct RankMetrics {
+    /// Rank id (plan order).
+    pub rank: u64,
+    /// First PE of the rank's contiguous range.
+    pub pe_begin: u64,
+    /// One past the rank's last PE.
+    pub pe_end: u64,
+    /// Edges this rank wrote (sum of its shard infos).
+    pub edges: u64,
+    /// Wall time of the rank's successful attempt, in microseconds,
+    /// measured by the coordinator around the worker run.
+    pub wall_us: u64,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u64,
+    /// Worker-side counter snapshot from the sidecar (empty when the
+    /// worker ran without telemetry or in the coordinator's process).
+    pub counters: Vec<(String, u64)>,
+}
+
+/// The federated, run-wide metrics document behind `--metrics-out`.
+#[derive(Clone, Debug)]
+pub struct RunMetrics {
+    /// Generator model name (from the manifest).
+    pub model: String,
+    /// Instance seed.
+    pub seed: u64,
+    /// PE count.
+    pub chunks: u64,
+    /// Total edges in the federated manifest.
+    pub edges: u64,
+    /// Shards reused from a previous run (resume only).
+    pub reused_shards: u64,
+    /// Edges inside those reused shards — `edges` minus the sum of the
+    /// per-rank totals, so the two accountings always reconcile.
+    pub reused_edges: u64,
+    /// Coordinator wall time for the whole launch, in microseconds.
+    pub wall_us: u64,
+    /// One entry per rank that finished in this launch, in rank order.
+    pub ranks: Vec<RankMetrics>,
+}
+
+impl RunMetrics {
+    /// Federate per-rank telemetry against the final manifest.
+    ///
+    /// `reused_edges` is derived, not measured: whatever the ranks of
+    /// this launch did not generate must have come from reused shards.
+    pub fn federate(manifest: &Manifest, mut ranks: Vec<RankMetrics>, wall_us: u64) -> RunMetrics {
+        ranks.sort_by_key(|r| r.rank);
+        let rank_edges: u64 = ranks.iter().map(|r| r.edges).sum();
+        RunMetrics {
+            model: manifest.model.clone(),
+            seed: manifest.seed,
+            chunks: manifest.chunks,
+            edges: manifest.edges,
+            reused_shards: manifest.chunks
+                - ranks.iter().map(|r| r.pe_end - r.pe_begin).sum::<u64>(),
+            reused_edges: manifest.edges - rank_edges,
+            wall_us,
+            ranks,
+        }
+    }
+
+    /// Serialize as integer-only JSON (see the module docs).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":");
+        push_str_value(&mut out, METRICS_SCHEMA);
+        out.push_str(",\"model\":");
+        push_str_value(&mut out, &self.model);
+        out.push_str(&format!(
+            ",\"seed\":{},\"chunks\":{},\"edges\":{},\"reused_shards\":{},\"reused_edges\":{},\"wall_us\":{},\"ranks\":[",
+            self.seed, self.chunks, self.edges, self.reused_shards, self.reused_edges, self.wall_us
+        ));
+        for (i, r) in self.ranks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rank\":{},\"pe_begin\":{},\"pe_end\":{},\"edges\":{},\"wall_us\":{},\"attempts\":{},\"counters\":{}}}",
+                r.rank, r.pe_begin, r.pe_end, r.edges, r.wall_us, r.attempts,
+                counters_json(&r.counters)
+            ));
+        }
+        out.push_str("],\"totals\":");
+        out.push_str(&counters_json(&self.totals()));
+        out.push('}');
+        out
+    }
+
+    /// Sum of the per-rank worker counters, merged by name (the
+    /// run-wide view of `gen.edges`, `rng.words`, ...).
+    pub fn totals(&self) -> Vec<(String, u64)> {
+        let mut totals: Vec<(String, u64)> = Vec::new();
+        for r in &self.ranks {
+            for (name, v) in &r.counters {
+                match totals.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                    Ok(i) => totals[i].1 += v,
+                    Err(i) => totals.insert(i, (name.clone(), *v)),
+                }
+            }
+        }
+        totals
+    }
+
+    /// Write the document to `path`.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Parse a document produced by [`RunMetrics::to_json`] (the
+    /// `totals` field is recomputed from the ranks, not read back).
+    pub fn from_json(text: &str) -> io::Result<RunMetrics> {
+        let parse = || -> Result<RunMetrics, String> {
+            let doc = json::parse(text)?;
+            let obj = doc.as_obj("metrics")?;
+            let schema = obj.get("schema")?.as_str("schema")?;
+            if schema != METRICS_SCHEMA {
+                return Err(format!("unsupported metrics schema '{schema}'"));
+            }
+            let mut ranks = Vec::new();
+            for v in obj.get("ranks")?.as_arr("ranks")? {
+                let r = v.as_obj("rank entry")?;
+                let mut counters = Vec::new();
+                if let json::Value::Obj(fields) = r.get("counters")? {
+                    for (name, v) in fields {
+                        counters.push((name.clone(), v.as_u64(name)?));
+                    }
+                }
+                ranks.push(RankMetrics {
+                    rank: r.get("rank")?.as_u64("rank")?,
+                    pe_begin: r.get("pe_begin")?.as_u64("pe_begin")?,
+                    pe_end: r.get("pe_end")?.as_u64("pe_end")?,
+                    edges: r.get("edges")?.as_u64("edges")?,
+                    wall_us: r.get("wall_us")?.as_u64("wall_us")?,
+                    attempts: r.get("attempts")?.as_u64("attempts")?,
+                    counters,
+                });
+            }
+            Ok(RunMetrics {
+                model: obj.get("model")?.as_str("model")?.to_string(),
+                seed: obj.get("seed")?.as_u64("seed")?,
+                chunks: obj.get("chunks")?.as_u64("chunks")?,
+                edges: obj.get("edges")?.as_u64("edges")?,
+                reused_shards: obj.get("reused_shards")?.as_u64("reused_shards")?,
+                reused_edges: obj.get("reused_edges")?.as_u64("reused_edges")?,
+                wall_us: obj.get("wall_us")?.as_u64("wall_us")?,
+                ranks,
+            })
+        };
+        parse().map_err(invalid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rank(rank: u64, pe_begin: u64, pe_end: u64, edges: u64) -> RankMetrics {
+        RankMetrics {
+            rank,
+            pe_begin,
+            pe_end,
+            edges,
+            wall_us: 1000 + rank,
+            attempts: 1,
+            counters: vec![("gen.edges".into(), edges), ("sink.batches".into(), 2)],
+        }
+    }
+
+    fn manifest(chunks: u64, edges: u64) -> Manifest {
+        Manifest {
+            model: "gnm_directed".into(),
+            params: "n=10 m=100".into(),
+            seed: 42,
+            n: 10,
+            directed: true,
+            chunks,
+            edges,
+            format: "compressed".into(),
+            shards: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn fresh_run_rank_edges_sum_to_manifest() {
+        let m = manifest(4, 100);
+        let rm = RunMetrics::federate(&m, vec![rank(1, 2, 4, 60), rank(0, 0, 2, 40)], 5000);
+        assert_eq!(rm.reused_shards, 0);
+        assert_eq!(rm.reused_edges, 0);
+        assert_eq!(rm.ranks.iter().map(|r| r.edges).sum::<u64>(), rm.edges);
+        // Sorted by rank regardless of arrival order.
+        assert_eq!(rm.ranks[0].rank, 0);
+        let totals = rm.totals();
+        assert_eq!(
+            totals,
+            vec![("gen.edges".into(), 100), ("sink.batches".into(), 4)]
+        );
+    }
+
+    #[test]
+    fn resume_accounts_reused_edges() {
+        let m = manifest(4, 100);
+        // Only PEs 2..4 were regenerated; 0..2 (40 edges) were reused.
+        let rm = RunMetrics::federate(&m, vec![rank(0, 2, 4, 60)], 5000);
+        assert_eq!(rm.reused_shards, 2);
+        assert_eq!(rm.reused_edges, 40);
+        assert_eq!(
+            rm.ranks.iter().map(|r| r.edges).sum::<u64>() + rm.reused_edges,
+            rm.edges
+        );
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let m = manifest(4, 100);
+        let rm = RunMetrics::federate(&m, vec![rank(0, 0, 2, 40), rank(1, 2, 4, 60)], 5000);
+        let text = rm.to_json();
+        let back = RunMetrics::from_json(&text).unwrap();
+        assert_eq!(back.model, rm.model);
+        assert_eq!(back.edges, rm.edges);
+        assert_eq!(back.wall_us, 5000);
+        assert_eq!(back.ranks.len(), 2);
+        assert_eq!(back.ranks[1].counters, rm.ranks[1].counters);
+        assert_eq!(back.totals(), rm.totals());
+        // Integer-only values by construction: the hand-rolled u64-only
+        // parser accepted every number in the round trip above.
+    }
+
+    #[test]
+    fn sidecar_roundtrip() {
+        let dir = std::env::temp_dir().join("kagen_metrics_sidecar");
+        std::fs::create_dir_all(&dir).unwrap();
+        // No sidecar -> None, not an error.
+        assert!(load_sidecar(&dir, 90, 95).unwrap().is_none());
+        let path = dir.join(sidecar_file_name(0, 3));
+        std::fs::write(&path, "{\"counters\":{\"gen.edges\":12,\"rng.words\":256}}").unwrap();
+        let counters = load_sidecar(&dir, 0, 3).unwrap().unwrap();
+        assert_eq!(
+            counters,
+            vec![("gen.edges".into(), 12), ("rng.words".into(), 256)]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -21,10 +21,17 @@
 
 use crate::{Generator, PeGraph};
 use kagen_dist::AliasTable;
+use kagen_obs::Counter;
 use kagen_util::seed::stream;
 use kagen_util::{derive_seed, Rng64, SplitMix64};
 use std::ops::Range;
 use std::sync::Arc;
+
+/// Edges descended through the multi-level alias tables (counted once
+/// per seed block, not per edge).
+static RMAT_TABLE_EDGES: Counter = Counter::new("gen.rmat.table_edges");
+/// Edges descended with the plain per-level loop.
+static RMAT_PLAIN_EDGES: Counter = Counter::new("gen.rmat.plain_edges");
 
 /// Edge indices per hashed seed block (the amortization granularity of
 /// [`Rmat::fill_edges`]).
@@ -249,12 +256,14 @@ impl Rmat {
             // per-push capacity check inside the hot loop.
             match &self.tables {
                 None => {
+                    RMAT_PLAIN_EDGES.add(hi - e);
                     out.extend(offsets.map(|off| {
                         let mut rng = SplitMix64::at(block_seed, off);
                         self.descend_plain(&mut rng)
                     }));
                 }
                 Some(tables) => {
+                    RMAT_TABLE_EDGES.add(hi - e);
                     let tables = tables.as_ref();
                     out.extend(offsets.map(|off| {
                         let mut rng = SplitMix64::at(block_seed, off);

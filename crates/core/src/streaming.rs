@@ -30,6 +30,13 @@ use crate::rmat::Rmat;
 use crate::sbm::StochasticBlockModel;
 use crate::srhg::Srhg;
 use crate::Generator;
+use kagen_obs::Counter;
+
+/// Edges delivered through the batched streaming path (counted once per
+/// flushed batch — never on the per-edge path).
+static GEN_EDGES: Counter = Counter::new("gen.edges");
+/// Batches flushed through the batched streaming path.
+static GEN_BATCHES: Counter = Counter::new("gen.batches");
 
 /// Default batch size (edges) of the batched streaming path: large enough
 /// to amortize per-batch costs (seed hashing, virtual dispatch, slice
@@ -61,6 +68,8 @@ impl<'a, 'e> Batcher<'a, 'e> {
     fn push(&mut self, u: u64, v: u64) {
         self.buf.push((u, v));
         if self.buf.len() >= self.cap {
+            GEN_EDGES.add(self.buf.len() as u64);
+            GEN_BATCHES.incr();
             (self.emit)(self.buf);
             self.buf.clear();
         }
@@ -68,6 +77,8 @@ impl<'a, 'e> Batcher<'a, 'e> {
 
     fn finish(self) {
         if !self.buf.is_empty() {
+            GEN_EDGES.add(self.buf.len() as u64);
+            GEN_BATCHES.incr();
             (self.emit)(self.buf);
             self.buf.clear();
         }
@@ -92,6 +103,8 @@ fn fill_range_batched(
     while lo < range.end {
         let hi = (lo + cap).min(range.end);
         fill(lo..hi, buf);
+        GEN_EDGES.add(buf.len() as u64);
+        GEN_BATCHES.incr();
         emit(buf);
         buf.clear();
         lo = hi;

@@ -24,8 +24,18 @@
 
 use crate::counts::CountTree;
 use crate::grid::CellGrid;
+use kagen_obs::{Counter, Gauge};
 use std::collections::HashMap;
 use std::hash::Hash;
+
+/// Cells generated (including regenerations after eviction) across all
+/// frontier caches — the paper's recomputation cost, run-wide.
+static GEO_CELLS_GENERATED: Counter = Counter::new("geo.cells_generated");
+/// Live/peak points held by frontier caches (value tracks the cache
+/// that updated last; the peak is the run-wide high-water mark).
+static GEO_FRONTIER_POINTS: Gauge = Gauge::new("geo.frontier_points");
+/// Cells visited by cell-range cursors (counted once per sweep).
+static GEO_CURSOR_CELLS: Counter = Counter::new("geo.cursor_cells");
 
 /// Memory accounting of a [`FrontierCache`] (the `abl-mem`-style
 /// footprint proxy: every held point carries its precomputed terms).
@@ -98,6 +108,7 @@ impl<K: Eq + Hash + Copy, V: Weighted> FrontierCache<K, V> {
             .stats
             .peak_points
             .max(self.stats.live_points + self.external);
+        GEO_FRONTIER_POINTS.record_peak(self.stats.peak_points);
     }
 
     /// Fetch `key`, generating it with `gen` on a miss. `retire` extends
@@ -113,6 +124,8 @@ impl<K: Eq + Hash + Copy, V: Weighted> FrontierCache<K, V> {
             // The peak can only move on an insertion; count the
             // caller's externally held points too.
             stats.peak_points = stats.peak_points.max(stats.live_points + external);
+            GEO_CELLS_GENERATED.incr();
+            GEO_FRONTIER_POINTS.set(stats.live_points + external);
             (0, v)
         });
         entry.0 = entry.0.max(retire);
@@ -130,6 +143,7 @@ impl<K: Eq + Hash + Copy, V: Weighted> FrontierCache<K, V> {
             }
             None => {
                 self.stats.generated_cells += 1;
+                GEO_CELLS_GENERATED.incr();
                 gen()
             }
         }
@@ -145,6 +159,7 @@ impl<K: Eq + Hash + Copy, V: Weighted> FrontierCache<K, V> {
             }
             keep
         });
+        GEO_FRONTIER_POINTS.set(self.stats.live_points + self.external);
     }
 
     /// Drop everything (e.g. at an annulus boundary of a hyperbolic
@@ -212,11 +227,14 @@ impl<'a, const D: usize> CellRangeCursor<'a, D> {
     /// the cell's first vertex.
     pub fn for_cells(&self, f: &mut impl FnMut(u64, u64, u64)) {
         let mut next_id = self.first_id();
+        let mut visited = 0u64;
         self.tree
             .for_leaf_counts(self.lo, self.hi, &mut |cell, count| {
+                visited += 1;
                 f(cell, count, next_id);
                 next_id += count;
             });
+        GEO_CURSOR_CELLS.add(visited);
     }
 
     /// Whether `cell` lies inside the range.

@@ -1,0 +1,191 @@
+//! Leveled stderr logger behind `-v`/`-q` and `KAGEN_LOG`.
+//!
+//! Replaces ad-hoc `eprintln!`s with one consistent channel: every line
+//! is `<prefix>: <message>` where the prefix is the subcommand name
+//! (`kagen launch`, `throughput`, ...), set once at startup with
+//! [`set_prefix`]. The default level is [`Level::Info`]; binaries map
+//! `-v` to Debug, `-vv` to Trace, `-q` to Warn, `-qq` to Error, and
+//! [`init_from_env`] lets `KAGEN_LOG=debug` override the default
+//! without touching flags.
+//!
+//! Use through the crate-root macros:
+//!
+//! ```
+//! kagen_obs::log::set_prefix("doc");
+//! kagen_obs::info!("{} ranks spawned", 3); // -> "doc: 3 ranks spawned"
+//! kagen_obs::debug!("hidden at the default level");
+//! ```
+
+use std::fmt::Arguments;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Log severity, most to least severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable problems; shown even under `-qq`.
+    Error = 0,
+    /// Recoverable anomalies (retries, invalidated shards).
+    Warn = 1,
+    /// Run progress and summaries (the default).
+    Info = 2,
+    /// Per-phase detail (`-v`).
+    Debug = 3,
+    /// Per-item detail (`-vv`).
+    Trace = 4,
+}
+
+impl Level {
+    /// Parse a level name (case-insensitive): `error`, `warn`, `info`,
+    /// `debug`, `trace`, or a numeric `0`..`4`.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" | "0" => Some(Level::Error),
+            "warn" | "warning" | "1" => Some(Level::Warn),
+            "info" | "2" => Some(Level::Info),
+            "debug" | "3" => Some(Level::Debug),
+            "trace" | "4" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            3 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Set the maximum level that gets printed.
+pub fn set_level(l: Level) {
+    LEVEL.store(l as u8, Ordering::Relaxed);
+}
+
+/// The current maximum printed level.
+pub fn level() -> Level {
+    Level::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// Whether a message at level `l` would be printed.
+#[inline]
+pub fn enabled(l: Level) -> bool {
+    l as u8 <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// Apply `KAGEN_LOG` (e.g. `KAGEN_LOG=debug`) if set and valid.
+/// Call before parsing flags so `-v`/`-q` win over the environment.
+pub fn init_from_env() {
+    if let Ok(v) = std::env::var("KAGEN_LOG") {
+        if let Some(l) = Level::parse(&v) {
+            set_level(l);
+        }
+    }
+}
+
+static PREFIX: Mutex<String> = Mutex::new(String::new());
+
+/// Set the line prefix (subcommand name, e.g. `kagen launch`). Lines
+/// print as `<prefix>: <message>`; an empty prefix prints bare.
+pub fn set_prefix(p: &str) {
+    *PREFIX.lock().unwrap_or_else(|e| e.into_inner()) = p.to_string();
+}
+
+/// Print one line at level `l` (no-op if the level is filtered). The
+/// backend for the [`crate::error!`]/[`crate::warn!`]/[`crate::info!`]/
+/// [`crate::debug!`]/[`crate::trace_log!`] macros.
+pub fn log(l: Level, args: Arguments<'_>) {
+    if !enabled(l) {
+        return;
+    }
+    let prefix = PREFIX.lock().unwrap_or_else(|e| e.into_inner());
+    if prefix.is_empty() {
+        eprintln!("{args}");
+    } else {
+        eprintln!("{prefix}: {args}");
+    }
+}
+
+/// Log at [`Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Error, ::core::format_args!($($arg)*))
+    };
+}
+
+/// Log at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Warn, ::core::format_args!($($arg)*))
+    };
+}
+
+/// Log at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Info, ::core::format_args!($($arg)*))
+    };
+}
+
+/// Log at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Debug, ::core::format_args!($($arg)*))
+    };
+}
+
+/// Log at [`Level::Trace`] (named to avoid clashing with the
+/// [`crate::trace`] module in `use` position).
+#[macro_export]
+macro_rules! trace_log {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Trace, ::core::format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parse_accepts_names_and_digits() {
+        assert_eq!(Level::parse("error"), Some(Level::Error));
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse(" info "), Some(Level::Info));
+        assert_eq!(Level::parse("Debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("trace"), Some(Level::Trace));
+        assert_eq!(Level::parse("3"), Some(Level::Debug));
+        assert_eq!(Level::parse("verbose"), None);
+        assert_eq!(Level::parse(""), None);
+    }
+
+    #[test]
+    fn level_ordering_gates_enabled() {
+        // Not using set_level here beyond restoring the default, to
+        // avoid racing parallel tests that log.
+        let before = level();
+        set_level(Level::Info);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        assert!(!enabled(Level::Trace));
+        set_level(before);
+    }
+
+    #[test]
+    fn macros_compile_and_filter() {
+        crate::debug!("filtered at the default level: {}", 42);
+        crate::trace_log!("also filtered");
+    }
+}

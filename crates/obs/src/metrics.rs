@@ -1,0 +1,615 @@
+//! Metrics registry: sharded counters, gauges, and log2 histograms.
+//!
+//! Handles are `const`-constructible statics that lazily self-register
+//! on first update, so instrumented crates declare metrics next to the
+//! code they measure with no init order to manage:
+//!
+//! ```
+//! use kagen_obs::{metrics, Counter};
+//!
+//! static BATCHES: Counter = Counter::new("doc.batches");
+//!
+//! metrics::set_enabled(true);
+//! BATCHES.add(1);
+//! ```
+//!
+//! Everything is gated on one process-global flag (off by default): a
+//! disabled update is a single relaxed load and an early return, and
+//! callers only instrument batch/block-granular sites, so the disabled
+//! cost is unmeasurable. Values are `u64` throughout — snapshots
+//! serialize to integer-only JSON that the workspace's hand-rolled
+//! parser (`kagen_pipeline::manifest::json`) can read back.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of counter shards; power of two so the thread index masks.
+const SHARDS: usize = 8;
+
+/// Number of histogram buckets: one for zero plus one per power of two.
+pub const BUCKETS: usize = 65;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn metric recording on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Release);
+}
+
+/// Whether metric recording is currently on.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// A registered metric: every handle type pushes itself here once.
+enum MetricRef {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+static REGISTRY: Mutex<Vec<MetricRef>> = Mutex::new(Vec::new());
+
+/// Per-thread shard index: threads round-robin onto `SHARDS` slots, so
+/// concurrent `add`s from a thread pool mostly hit distinct cachelines.
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static IDX: usize = NEXT.fetch_add(1, Ordering::Relaxed) & (SHARDS - 1);
+    }
+    IDX.with(|i| *i)
+}
+
+/// An atomic counter sharded across cachelines.
+#[repr(align(64))]
+struct Shard(AtomicU64);
+
+/// A monotonically increasing sum, sharded to keep hot multi-threaded
+/// sites (one `add` per 4096-edge batch across a rayon pool) from
+/// bouncing a single cacheline.
+pub struct Counter {
+    name: &'static str,
+    registered: AtomicBool,
+    shards: [Shard; SHARDS],
+}
+
+impl Counter {
+    /// A new counter handle; usable as a `static` initializer.
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            registered: AtomicBool::new(false),
+            shards: [const { Shard(AtomicU64::new(0)) }; SHARDS],
+        }
+    }
+
+    /// Add `n`; no-op while metrics are disabled.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        self.register();
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one; no-op while metrics are disabled.
+    #[inline]
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    /// Current sum across all shards.
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn register(&'static self) {
+        if !self.registered.load(Ordering::Relaxed) && !self.registered.swap(true, Ordering::AcqRel)
+        {
+            REGISTRY.lock().unwrap().push(MetricRef::Counter(self));
+        }
+    }
+
+    fn reset(&self) {
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time value with a high-water mark (e.g. live cache
+/// points, live heap bytes). `set`/`add` track the peak automatically;
+/// `record_peak` folds in an externally measured maximum.
+pub struct Gauge {
+    name: &'static str,
+    registered: AtomicBool,
+    value: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    /// A new gauge handle; usable as a `static` initializer.
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            registered: AtomicBool::new(false),
+            value: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    /// Set the current value, raising the peak if exceeded.
+    #[inline]
+    pub fn set(&'static self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.register();
+        self.value.store(v, Ordering::Relaxed);
+        self.peak.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Increase the current value by `n`, raising the peak if exceeded.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        self.register();
+        let v = self.value.fetch_add(n, Ordering::Relaxed) + n;
+        self.peak.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Decrease the current value by `n` (saturating at zero).
+    #[inline]
+    pub fn sub(&'static self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        self.register();
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// Fold an externally measured maximum into the peak without
+    /// touching the current value.
+    #[inline]
+    pub fn record_peak(&'static self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.register();
+        self.peak.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark observed so far.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    fn register(&'static self) {
+        if !self.registered.load(Ordering::Relaxed) && !self.registered.swap(true, Ordering::AcqRel)
+        {
+            REGISTRY.lock().unwrap().push(MetricRef::Gauge(self));
+        }
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+        self.peak.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Bucket index for a recorded value: 0 holds zeros, bucket `k + 1`
+/// holds `v` in `[2^k, 2^(k+1))`.
+pub const fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Lower bound of bucket `i` (the smallest value it can hold).
+pub const fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// A log2-bucketed distribution (batch sizes, run lengths, per-rank
+/// wall micros). 65 buckets cover the full `u64` range; `count` and
+/// `sum` ride along so means survive federation.
+pub struct Histogram {
+    name: &'static str,
+    registered: AtomicBool,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Histogram {
+    /// A new histogram handle; usable as a `static` initializer.
+    pub const fn new(name: &'static str) -> Self {
+        Histogram {
+            name,
+            registered: AtomicBool::new(false),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+        }
+    }
+
+    /// Record one observation; no-op while metrics are disabled.
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.register();
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Non-empty buckets as `(bucket index, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then_some((i, c))
+            })
+            .collect()
+    }
+
+    fn register(&'static self) {
+        if !self.registered.load(Ordering::Relaxed) && !self.registered.swap(true, Ordering::AcqRel)
+        {
+            REGISTRY.lock().unwrap().push(MetricRef::Histogram(self));
+        }
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A snapshot of one metric's state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter sum.
+    Counter(u64),
+    /// Gauge current value and high-water mark.
+    Gauge {
+        /// Last value set.
+        value: u64,
+        /// High-water mark.
+        peak: u64,
+    },
+    /// Histogram totals plus its non-empty log2 buckets.
+    Histogram {
+        /// Number of observations.
+        count: u64,
+        /// Sum of observations.
+        sum: u64,
+        /// `(bucket index, count)` for each non-empty bucket.
+        buckets: Vec<(usize, u64)>,
+    },
+}
+
+/// Snapshot every metric touched so far, sorted by name. Metrics that
+/// were never updated (or only while disabled) are absent.
+pub fn snapshot() -> Vec<(&'static str, MetricValue)> {
+    let reg = REGISTRY.lock().unwrap();
+    let mut out: Vec<(&'static str, MetricValue)> = reg
+        .iter()
+        .map(|m| match m {
+            MetricRef::Counter(c) => (c.name, MetricValue::Counter(c.value())),
+            MetricRef::Gauge(g) => (
+                g.name,
+                MetricValue::Gauge {
+                    value: g.value(),
+                    peak: g.peak(),
+                },
+            ),
+            MetricRef::Histogram(h) => (
+                h.name,
+                MetricValue::Histogram {
+                    count: h.count(),
+                    sum: h.sum(),
+                    buckets: h.nonzero_buckets(),
+                },
+            ),
+        })
+        .collect();
+    out.sort_by_key(|(name, _)| *name);
+    out
+}
+
+/// Counter snapshots only, sorted by name.
+pub fn counters() -> Vec<(&'static str, u64)> {
+    snapshot()
+        .into_iter()
+        .filter_map(|(n, v)| match v {
+            MetricValue::Counter(c) => Some((n, c)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Every touched metric flattened to sorted `(name, u64)` scalars:
+/// counters as-is, gauges as their high-water mark (suffixed `.peak`),
+/// histograms as `.count` and `.sum`. This is the flat list federated
+/// into per-rank metric sidecars and run-wide metrics files — summing
+/// a `.peak` entry across ranks bounds the run-wide peak from above.
+pub fn scalars() -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for (name, v) in snapshot() {
+        match v {
+            MetricValue::Counter(c) => out.push((name.to_string(), c)),
+            MetricValue::Gauge { peak, .. } => out.push((format!("{name}.peak"), peak)),
+            MetricValue::Histogram { count, sum, .. } => {
+                out.push((format!("{name}.count"), count));
+                out.push((format!("{name}.sum"), sum));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Zero every registered metric (registrations persist). For reusing
+/// one process across measured regions — benches and tests.
+pub fn reset() {
+    let reg = REGISTRY.lock().unwrap();
+    for m in reg.iter() {
+        match m {
+            MetricRef::Counter(c) => c.reset(),
+            MetricRef::Gauge(g) => g.reset(),
+            MetricRef::Histogram(h) => h.reset(),
+        }
+    }
+}
+
+/// Append `s` to `out` as a JSON string literal (quotes included).
+pub(crate) fn escape_json_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serialize the current snapshot as integer-only JSON:
+///
+/// ```json
+/// {
+///   "counters": {"gen.edges": 4096},
+///   "gauges": {"geo.frontier": {"value": 0, "peak": 812}},
+///   "histograms": {"sink.batch": {"count": 2, "sum": 6000,
+///                                 "buckets": [{"bucket": 12, "count": 2}]}}
+/// }
+/// ```
+///
+/// Every value is an unsigned integer, so the output round-trips
+/// through `kagen_pipeline::manifest::json::parse`.
+pub fn to_json() -> String {
+    snapshot_to_json(&snapshot())
+}
+
+/// Serialize an explicit snapshot (see [`to_json`]).
+pub fn snapshot_to_json(snap: &[(&str, MetricValue)]) -> String {
+    let mut counters = String::new();
+    let mut gauges = String::new();
+    let mut hists = String::new();
+    for (name, v) in snap {
+        match v {
+            MetricValue::Counter(c) => {
+                if !counters.is_empty() {
+                    counters.push(',');
+                }
+                escape_json_into(&mut counters, name);
+                counters.push_str(&format!(":{c}"));
+            }
+            MetricValue::Gauge { value, peak } => {
+                if !gauges.is_empty() {
+                    gauges.push(',');
+                }
+                escape_json_into(&mut gauges, name);
+                gauges.push_str(&format!(":{{\"value\":{value},\"peak\":{peak}}}"));
+            }
+            MetricValue::Histogram {
+                count,
+                sum,
+                buckets,
+            } => {
+                if !hists.is_empty() {
+                    hists.push(',');
+                }
+                escape_json_into(&mut hists, name);
+                hists.push_str(&format!(":{{\"count\":{count},\"sum\":{sum},\"buckets\":["));
+                for (j, (i, c)) in buckets.iter().enumerate() {
+                    if j > 0 {
+                        hists.push(',');
+                    }
+                    hists.push_str(&format!("{{\"bucket\":{i},\"count\":{c}}}"));
+                }
+                hists.push_str("]}");
+            }
+        }
+    }
+    format!("{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\"histograms\":{{{hists}}}}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Metric state is process-global; serialize tests that assert on
+    // exact values or toggle the enable flag.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_updates_are_noops() {
+        static C: Counter = Counter::new("test.noop.counter");
+        static G: Gauge = Gauge::new("test.noop.gauge");
+        static H: Histogram = Histogram::new("test.noop.hist");
+        let _g = locked();
+        set_enabled(false);
+        C.add(7);
+        G.set(9);
+        H.record(3);
+        assert_eq!(C.value(), 0);
+        assert_eq!(G.value(), 0);
+        assert_eq!(G.peak(), 0);
+        assert_eq!(H.count(), 0);
+        // Never registered, so absent from the snapshot.
+        assert!(!snapshot().iter().any(|(n, _)| n.starts_with("test.noop.")));
+    }
+
+    #[test]
+    fn sharded_counter_merges_across_threads() {
+        static C: Counter = Counter::new("test.sharded.counter");
+        let _g = locked();
+        set_enabled(true);
+        C.reset();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        C.add(3);
+                    }
+                });
+            }
+        });
+        assert_eq!(C.value(), 8 * 1000 * 3);
+    }
+
+    #[test]
+    fn gauge_tracks_peak() {
+        static G: Gauge = Gauge::new("test.gauge.peak");
+        let _g = locked();
+        set_enabled(true);
+        G.reset();
+        G.set(10);
+        G.add(5);
+        G.sub(12);
+        assert_eq!(G.value(), 3);
+        assert_eq!(G.peak(), 15);
+        G.record_peak(100);
+        assert_eq!(G.peak(), 100);
+        assert_eq!(G.value(), 3);
+        G.sub(1000); // saturates, never wraps
+        assert_eq!(G.value(), 0);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        // v = 0 -> bucket 0; v in [2^k, 2^(k+1)) -> bucket k + 1.
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(4096), 13);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert!(bucket_of(u64::MAX) < BUCKETS);
+        // Bucket lower bounds invert the mapping.
+        assert_eq!(bucket_lo(0), 0);
+        assert_eq!(bucket_lo(1), 1);
+        assert_eq!(bucket_lo(13), 4096);
+        for v in [0u64, 1, 2, 3, 5, 100, 4096, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(bucket_lo(b) <= v);
+            if b + 1 < BUCKETS {
+                assert!(v < bucket_lo(b + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        static H: Histogram = Histogram::new("test.hist.record");
+        let _g = locked();
+        set_enabled(true);
+        H.reset();
+        for v in [0u64, 1, 1, 4096, 5000] {
+            H.record(v);
+        }
+        assert_eq!(H.count(), 5);
+        assert_eq!(H.sum(), 1 + 1 + 4096 + 5000);
+        let buckets = H.nonzero_buckets();
+        assert_eq!(buckets, vec![(0, 1), (1, 2), (13, 2)]);
+    }
+
+    #[test]
+    fn snapshot_json_is_integer_only_and_sorted() {
+        static C1: Counter = Counter::new("test.json.b");
+        static C2: Counter = Counter::new("test.json.a");
+        let _g = locked();
+        set_enabled(true);
+        C1.add(2);
+        C2.add(1);
+        let snap = snapshot();
+        let names: Vec<_> = snap.iter().map(|(n, _)| *n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        let json = to_json();
+        assert!(json.contains("\"test.json.a\":"));
+        assert!(json.contains("\"test.json.b\":"));
+        assert!(!json.contains('.') || !json.contains("e-"), "{json}");
+    }
+
+    #[test]
+    fn escape_json_handles_specials() {
+        let mut s = String::new();
+        escape_json_into(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

@@ -1,0 +1,240 @@
+//! Scoped span timers emitting Chrome trace-event JSON.
+//!
+//! A [`Span`] measures one named region of wall time. Spans are cheap
+//! enough to use unconditionally — creation is one `Instant::now()` —
+//! and double as the workspace's single clock source: [`Span::finish`]
+//! returns the elapsed seconds, so bench harnesses time with the same
+//! instrument that feeds `--trace-out`.
+//!
+//! When tracing is enabled ([`set_enabled`]), each finished span is
+//! buffered as a Chrome "complete" event (`"ph": "X"`) and
+//! [`write_chrome_trace`] dumps the buffer as a JSON object loadable in
+//! `chrome://tracing` or <https://ui.perfetto.dev>. Timestamps are
+//! microseconds since a process-wide epoch pinned on first use, thread
+//! lanes are small dense ids in spawn order, and the `pid` is the real
+//! OS pid so traces from federated worker ranks can be concatenated.
+//!
+//! ```
+//! use kagen_obs::trace;
+//!
+//! trace::set_enabled(true);
+//! let span = trace::span("doc.phase");
+//! let secs = span.finish();
+//! assert!(secs >= 0.0);
+//! assert!(trace::chrome_trace_json().contains("doc.phase"));
+//! ```
+
+use std::borrow::Cow;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn span buffering on or off process-wide. Enabling pins the trace
+/// epoch, so timestamps are relative to roughly this call.
+pub fn set_enabled(on: bool) {
+    if on {
+        let _ = epoch();
+    }
+    ENABLED.store(on, Ordering::Release);
+}
+
+/// Whether spans are currently being buffered.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// One buffered "complete" event.
+struct Event {
+    name: Cow<'static, str>,
+    ts_us: u64,
+    dur_us: u64,
+    tid: u64,
+}
+
+static EVENTS: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+
+/// Dense per-thread lane id in spawn order (Chrome renders one row per
+/// tid; OS thread ids would scatter rows unhelpfully).
+fn tid() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// A running timer over one named region. Records itself into the
+/// trace buffer when finished or dropped (if tracing is enabled), and
+/// always reports elapsed wall time regardless of the tracing flag.
+pub struct Span {
+    name: Cow<'static, str>,
+    start: Instant,
+    done: bool,
+}
+
+/// Start timing a named region.
+pub fn span(name: impl Into<Cow<'static, str>>) -> Span {
+    Span {
+        name: name.into(),
+        start: Instant::now(),
+        done: false,
+    }
+}
+
+impl Span {
+    /// Seconds elapsed so far, without ending the span.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// End the span, record it into the trace buffer (when tracing is
+    /// on), and return the elapsed seconds.
+    pub fn finish(mut self) -> f64 {
+        self.done = true;
+        self.record()
+    }
+
+    fn record(&self) -> f64 {
+        let elapsed = self.start.elapsed();
+        if enabled() {
+            // Saturates to zero if the span started before the epoch
+            // was pinned (tracing enabled mid-run).
+            let ts_us = self.start.duration_since(epoch()).as_micros() as u64;
+            let ev = Event {
+                name: self.name.clone(),
+                ts_us,
+                dur_us: elapsed.as_micros() as u64,
+                tid: tid(),
+            };
+            EVENTS.lock().unwrap().push(ev);
+        }
+        elapsed.as_secs_f64()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.done {
+            self.record();
+        }
+    }
+}
+
+/// Number of events buffered so far.
+pub fn event_count() -> usize {
+    EVENTS.lock().unwrap().len()
+}
+
+/// Discard all buffered events.
+pub fn clear() {
+    EVENTS.lock().unwrap().clear();
+}
+
+/// Serialize the buffered events as a Chrome trace-event JSON object:
+/// `{"traceEvents": [{"name", "cat", "ph": "X", "ts", "dur", "pid",
+/// "tid"}]}`. All values are strings or unsigned integers.
+pub fn chrome_trace_json() -> String {
+    let events = EVENTS.lock().unwrap();
+    let pid = std::process::id();
+    let mut out = String::with_capacity(64 + events.len() * 80);
+    out.push_str("{\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        crate::metrics::escape_json_into(&mut out, &ev.name);
+        out.push_str(&format!(
+            ",\"cat\":\"kagen\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}}}",
+            ev.ts_us, ev.dur_us, pid, ev.tid
+        ));
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Write the buffered events to `path` as Chrome trace-event JSON.
+pub fn write_chrome_trace(path: &Path) -> io::Result<()> {
+    std::fs::write(path, chrome_trace_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The event buffer and enable flag are process-global; serialize.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_time_but_do_not_record() {
+        let _g = locked();
+        set_enabled(false);
+        clear();
+        let s = span("off.region");
+        let secs = s.finish();
+        assert!(secs >= 0.0);
+        assert_eq!(event_count(), 0);
+    }
+
+    #[test]
+    fn finish_records_once_and_drop_does_not_double() {
+        let _g = locked();
+        set_enabled(true);
+        clear();
+        let s = span("on.finish");
+        let _ = s.finish(); // drop runs after finish; must not re-record
+        assert_eq!(event_count(), 1);
+        {
+            let _s = span("on.drop");
+        } // recorded by Drop
+        assert_eq!(event_count(), 2);
+        set_enabled(false);
+        clear();
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let _g = locked();
+        set_enabled(true);
+        clear();
+        let s = span("shape \"quoted\"");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let secs = s.finish();
+        assert!(secs >= 0.001);
+        let json = chrome_trace_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"shape \\\"quoted\\\"\""));
+        assert!(json.contains("\"dur\":"));
+        set_enabled(false);
+        clear();
+    }
+
+    #[test]
+    fn owned_names_are_accepted() {
+        let _g = locked();
+        set_enabled(true);
+        clear();
+        let name = format!("rank-{}", 3);
+        let s = span(name);
+        let _ = s.finish();
+        assert!(chrome_trace_json().contains("rank-3"));
+        set_enabled(false);
+        clear();
+    }
+}

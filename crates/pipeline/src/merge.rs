@@ -77,6 +77,31 @@ pub struct MergeStats {
     pub max_open_runs: usize,
 }
 
+/// Edges read from shards by external merges.
+static MERGE_EDGES_IN: kagen_obs::Counter = kagen_obs::Counter::new("merge.edges_in");
+/// Edges emitted by external merges (after dedup).
+static MERGE_EDGES_OUT: kagen_obs::Counter = kagen_obs::Counter::new("merge.edges_out");
+/// Sorted runs spilled to disk across external merges.
+static MERGE_RUNS: kagen_obs::Counter = kagen_obs::Counter::new("merge.runs");
+/// Intermediate merge-tree passes across external merges.
+static MERGE_PASSES: kagen_obs::Counter = kagen_obs::Counter::new("merge.passes");
+/// High-water marks: run-buffer edges and simultaneously open runs.
+static MERGE_MAX_BUFFERED: kagen_obs::Gauge = kagen_obs::Gauge::new("merge.max_buffered");
+static MERGE_MAX_OPEN_RUNS: kagen_obs::Gauge = kagen_obs::Gauge::new("merge.max_open_runs");
+
+impl MergeStats {
+    /// Fold this merge's totals into the run-wide obs metrics (called
+    /// once per completed merge — telemetry, not accounting).
+    fn record_metrics(&self) {
+        MERGE_EDGES_IN.add(self.edges_in);
+        MERGE_EDGES_OUT.add(self.edges_out);
+        MERGE_RUNS.add(self.runs as u64);
+        MERGE_PASSES.add(self.merge_passes as u64);
+        MERGE_MAX_BUFFERED.record_peak(self.max_buffered as u64);
+        MERGE_MAX_OPEN_RUNS.record_peak(self.max_open_runs as u64);
+    }
+}
+
 /// A sorted batch consumer of the k-way merge (one call per
 /// [`OUT_BATCH_EDGES`]-sized slice).
 type BatchConsumer<'a> = dyn FnMut(&[(u64, u64)]) -> io::Result<()> + 'a;
@@ -477,6 +502,7 @@ impl ExternalMerge {
         // Remove the run directory too if it is now empty (it may be a
         // pre-existing directory holding other files — leave those).
         std::fs::remove_dir(&self.run_dir).ok();
+        stats.record_metrics();
         Ok(stats)
     }
 }

@@ -7,9 +7,20 @@
 use crate::manifest::{Manifest, RunHeader, ShardInfo};
 use crate::sink::{checksum_step, BinarySink, CompressedSink, EdgeSink, TextSink};
 use kagen_core::streaming::StreamingGenerator;
+use kagen_obs::Counter;
 use std::fs::File;
 use std::io::{self, BufWriter};
 use std::path::{Path, PathBuf};
+
+/// Batches pushed into shard sinks (one per emitted slice).
+static SINK_BATCHES: Counter = Counter::new("sink.batches");
+/// Edges pushed into shard sinks.
+static SINK_EDGES: Counter = Counter::new("sink.edges");
+/// Bytes of finished shard files (from file metadata after the sink
+/// closes — telemetry never touches the output stream itself).
+static SINK_BYTES: Counter = Counter::new("sink.bytes_written");
+/// Shards written to completion.
+static SINK_SHARDS: Counter = Counter::new("sink.shards");
 
 /// On-disk shard encoding.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -139,16 +150,25 @@ pub fn write_shard<G: StreamingGenerator + ?Sized>(
     format: ShardFormat,
 ) -> io::Result<ShardInfo> {
     let file = shard_file_name(pe, format);
-    let mut sink = format_sink(&dir.join(&file), format, gen.num_vertices())?;
+    let path = dir.join(&file);
+    let mut sink = format_sink(&path, format, gen.num_vertices())?;
     let mut checksum = 0u64;
     let mut buf = Vec::with_capacity(kagen_core::streaming::BATCH_EDGES);
     gen.stream_pe_batched(pe, &mut buf, &mut |edges| {
+        SINK_BATCHES.incr();
+        SINK_EDGES.add(edges.len() as u64);
         for &(u, v) in edges {
             checksum = checksum_step(checksum, u, v);
         }
         sink.push_batch(edges);
     });
     let edges = sink.finish()?;
+    SINK_SHARDS.incr();
+    if kagen_obs::metrics::enabled() {
+        if let Ok(meta) = std::fs::metadata(&path) {
+            SINK_BYTES.add(meta.len());
+        }
+    }
     Ok(ShardInfo {
         pe: pe as u64,
         file,

@@ -18,7 +18,11 @@
 //!   PRNG in this workspace).
 
 use kagen_dist::geometric::SkipSampler;
+use kagen_obs::Counter;
 use kagen_util::Rng64;
+
+/// Geometric skip blocks drawn by the batched Bernoulli sampler.
+static ER_SKIP_BLOCKS: Counter = Counter::new("gen.er.skip_blocks");
 
 /// Skips converted per block by the batched path: large enough that the
 /// block fill and the `ln` conversion loop amortize their setup, small
@@ -105,6 +109,7 @@ pub fn bernoulli_sample_batched<R: Rng64>(
         } else {
             want as usize
         };
+        ER_SKIP_BLOCKS.incr();
         sampler.skip_block(rng, &mut skips[..block]);
         let mut len = 0usize;
         for &s in skips[..block].iter() {

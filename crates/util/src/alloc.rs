@@ -59,6 +59,20 @@ unsafe impl GlobalAlloc for CountingAlloc {
 }
 
 impl CountingAlloc {
+    /// Bytes currently allocated (when installed as the global
+    /// allocator; always 0 otherwise).
+    pub fn live() -> u64 {
+        LIVE_BYTES.load(Ordering::Relaxed) as u64
+    }
+
+    /// High-water mark of live bytes since the last [`reset_peak`]
+    /// (when installed as the global allocator; always 0 otherwise).
+    ///
+    /// [`reset_peak`]: CountingAlloc::reset_peak
+    pub fn peak() -> u64 {
+        PEAK_BYTES.load(Ordering::Relaxed) as u64
+    }
+
     /// Reset the high-water mark to the current live size and return
     /// that baseline.
     pub fn reset_peak() -> usize {

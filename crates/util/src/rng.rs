@@ -114,6 +114,10 @@ impl<R: Rng64 + ?Sized> Rng64 for &mut R {
 /// Words buffered per [`BlockRng`] refill.
 pub const RNG_BLOCK: usize = 256;
 
+/// Raw PRNG words drawn through [`BlockRng`] (counted once per
+/// [`RNG_BLOCK`]-word refill, in the already-`#[cold]` slow path).
+static RNG_WORDS: kagen_obs::Counter = kagen_obs::Counter::new("rng.words");
+
 /// A block-buffering adapter over any [`Rng64`]: raw words are drawn
 /// [`RNG_BLOCK`] at a time in one tight loop and served from a local
 /// buffer.
@@ -150,6 +154,7 @@ impl<'a, R: Rng64 + ?Sized> BlockRng<'a, R> {
 
     #[cold]
     fn refill(&mut self) {
+        RNG_WORDS.add(RNG_BLOCK as u64);
         for w in self.buf.iter_mut() {
             *w = self.inner.next_u64();
         }

@@ -95,8 +95,29 @@
 //!   --rank <r>            rank id, for log lines only
 //!   -f <format>           edge-list | binary | compressed  (default compressed)
 //!   -t <threads>          worker threads                   (default 1)
+//!   --metrics-sidecar     write this rank's metric counters next to its
+//!                         partial manifest (set by `launch --metrics-out`)
+//!
+//! observability (all modes unless noted):
+//!   -v / -q               more / less logging (-v debug, -vv trace,
+//!                         -q warnings only, -qq errors only); the
+//!                         KAGEN_LOG env var (error|warn|info|debug|trace)
+//!                         sets the default level
+//!   --metrics-out <path>  write run metrics JSON (stream | launch).
+//!                         In launch mode workers report per-rank counter
+//!                         sidecars and the coordinator federates them;
+//!                         per-rank edge totals always reconcile with the
+//!                         manifest's edge count
+//!   --trace-out <path>    write Chrome trace-event JSON of the run's
+//!                         phase spans (open in chrome://tracing or
+//!                         ui.perfetto.dev; not in worker mode)
+//!
+//! Telemetry never touches an RNG stream or an output byte: shards and
+//! manifest.json are bit-identical with metrics/tracing on or off.
 //! ```
 
+use kagen_obs::{info, trace, Gauge};
+use kagen_repro::cluster::metrics::{RankMetrics, RunMetrics};
 use kagen_repro::core::prelude::*;
 use kagen_repro::core::streaming::StreamingGenerator;
 use kagen_repro::graph::io::{write_binary, write_compressed, write_edge_list, write_metis};
@@ -106,8 +127,23 @@ use kagen_repro::pipeline::{
     BinarySink, CompressedSink, DegreeStatsSink, EdgeSink, ExternalMerge, InstanceMeta,
     ShardFormat, ShardReader, StreamConfig, TeeSink, TextSink,
 };
+use kagen_repro::util::alloc::CountingAlloc;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+
+/// Count allocations binary-wide so `--metrics-out` can report a peak
+/// RSS proxy per stage. Pure accounting on top of the system allocator;
+/// the obs gauges below read it only at stage boundaries.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Peak heap bytes of the generate/write stage (shards or the
+/// materialized edge list), above the stage-entry baseline.
+static ALLOC_PEAK_GENERATE: Gauge = Gauge::new("alloc.peak_bytes.generate");
+/// Peak heap bytes of the external-merge stage.
+static ALLOC_PEAK_MERGE: Gauge = Gauge::new("alloc.peak_bytes.merge");
+/// Live heap bytes when the run finished.
+static ALLOC_LIVE_END: Gauge = Gauge::new("alloc.live_bytes.end");
 
 /// Which front-end path a `kagen` invocation takes.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -165,6 +201,11 @@ struct Options {
     retries: Option<u64>,
     pe_range: Option<(usize, usize)>,
     rank: Option<usize>,
+    /// Net `-v` (positive) / `-q` (negative) count; 0 = Info.
+    verbosity: i32,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+    metrics_sidecar: bool,
 }
 
 fn usage() -> ! {
@@ -205,6 +246,10 @@ fn parse() -> Options {
         retries: None,
         pe_range: None,
         rank: None,
+        verbosity: 0,
+        metrics_out: None,
+        trace_out: None,
+        metrics_sidecar: false,
     };
     let mut args = std::env::args().skip(1);
     let Some(mut model) = args.next() else {
@@ -279,6 +324,13 @@ fn parse() -> Options {
                 o.pe_range = Some((a, b));
             }
             "--rank" => o.rank = Some(next(&mut args).parse().unwrap_or_else(|_| usage())),
+            "-v" => o.verbosity += 1,
+            "-vv" => o.verbosity += 2,
+            "-q" => o.verbosity -= 1,
+            "-qq" => o.verbosity -= 2,
+            "--metrics-out" => o.metrics_out = Some(next(&mut args)),
+            "--trace-out" => o.trace_out = Some(next(&mut args)),
+            "--metrics-sidecar" => o.metrics_sidecar = true,
             _ => usage(),
         }
     }
@@ -307,6 +359,26 @@ fn validate(o: &Options) {
             fail(format!("{flag} requires {wanted}"));
         }
     };
+    if mode != Mode::Worker {
+        reject(
+            o.metrics_sidecar,
+            "--metrics-sidecar",
+            "`kagen worker` (launch --metrics-out sets it)",
+        );
+    } else {
+        reject(
+            o.trace_out.is_some(),
+            "--trace-out",
+            "`kagen <model>|stream|launch` (workers report metric sidecars)",
+        );
+    }
+    if !matches!(mode, Mode::Stream | Mode::Launch) {
+        reject(
+            o.metrics_out.is_some(),
+            "--metrics-out",
+            "`kagen stream|launch`",
+        );
+    }
     match mode {
         Mode::Materialize => {
             reject(
@@ -548,7 +620,7 @@ fn build_generator(o: &Options) -> (Box<dyn StreamingGenerator>, String) {
 fn print_stats(el: &EdgeList, directed: bool, gen_time: std::time::Duration) {
     if directed {
         let s = DegreeStats::directed(el);
-        eprintln!(
+        info!(
             "n = {}, m = {}, in-deg {}/{:.2}/{}, out-deg {}/{:.2}/{}, generated in {:.3}s",
             el.n,
             el.edges.len(),
@@ -562,7 +634,7 @@ fn print_stats(el: &EdgeList, directed: bool, gen_time: std::time::Duration) {
         );
     } else {
         let deg = DegreeStats::undirected(el);
-        eprintln!(
+        info!(
             "n = {}, m = {}, degrees {}/{:.2}/{}, generated in {:.3}s",
             el.n,
             el.edges.len(),
@@ -577,7 +649,8 @@ fn print_stats(el: &EdgeList, directed: bool, gen_time: std::time::Duration) {
 /// Materializing mode: generate, merge in RAM, write one file.
 fn run_materialized(o: &Options) {
     let (gen, _params) = build_generator(o);
-    let started = std::time::Instant::now();
+    let gen_span = trace::span("materialize.generate");
+    let baseline = CountingAlloc::reset_peak();
     let gen = gen.as_ref();
     let el = if gen.directed() {
         let parts = generate_parallel(gen, o.threads);
@@ -588,7 +661,8 @@ fn run_materialized(o: &Options) {
         let parts = generate_parallel(gen, o.threads);
         merge_pe_edges(gen.num_vertices(), parts.into_iter().map(|p| p.edges))
     };
-    let gen_time = started.elapsed();
+    let gen_time = std::time::Duration::from_secs_f64(gen_span.finish());
+    ALLOC_PEAK_GENERATE.record_peak(CountingAlloc::peak_above(baseline));
 
     if o.stats {
         print_stats(&el, gen.directed(), gen_time);
@@ -602,6 +676,7 @@ fn run_materialized(o: &Options) {
         "compressed" => write_compressed(w, el),
         _ => usage(),
     };
+    let write_span = trace::span("materialize.write");
     match &o.output {
         Some(path) => {
             let mut f = std::fs::File::create(path).expect("cannot create output file");
@@ -613,6 +688,7 @@ fn run_materialized(o: &Options) {
             write(&mut lock, &el).expect("write failed");
         }
     }
+    drop(write_span);
 }
 
 /// Streaming mode: shard files + manifest; optional external merge.
@@ -640,17 +716,16 @@ fn run_stream(o: &Options) {
     };
     let cfg = StreamConfig::new(shard_dir, format).with_threads(o.threads);
 
-    let started = std::time::Instant::now();
+    let run_started = std::time::Instant::now();
+    let baseline = CountingAlloc::reset_peak();
+    let write_span = trace::span("stream.write_shards");
     let manifest = kagen_repro::pipeline::write_sharded(gen.as_ref(), &meta, &cfg)
         .expect("shard write failed");
-    let write_time = started.elapsed();
-    eprintln!(
+    let write_secs = write_span.finish();
+    ALLOC_PEAK_GENERATE.record_peak(CountingAlloc::peak_above(baseline));
+    info!(
         "wrote {} shards, {} edges, format {} -> {} in {:.3}s",
-        manifest.chunks,
-        manifest.edges,
-        manifest.format,
-        shard_dir,
-        write_time.as_secs_f64()
+        manifest.chunks, manifest.edges, manifest.format, shard_dir, write_secs
     );
 
     if merge == "external" {
@@ -674,7 +749,8 @@ fn run_stream(o: &Options) {
                 Box::new(CompressedSink::new(file, manifest.n).expect("merged header write failed"))
             }
         };
-        let started = std::time::Instant::now();
+        let baseline = CountingAlloc::reset_peak();
+        let merge_span = trace::span("stream.merge");
         let mut merger = ExternalMerge::new(dir.join("runs"), merge_budget).with_threads(o.threads);
         if let Some(fan_in) = o.merge_fan_in {
             merger = merger.with_fan_in(fan_in);
@@ -688,14 +764,11 @@ fn run_stream(o: &Options) {
             .merge(&reader, &mut sink)
             .expect("external merge failed");
         sink.finish().expect("merged output flush failed");
-        eprintln!(
+        let merge_secs = merge_span.finish();
+        ALLOC_PEAK_MERGE.record_peak(CountingAlloc::peak_above(baseline));
+        info!(
             "external merge: {} edges in, {} out, {} runs, peak buffer {} edges, {:.3}s -> {}",
-            stats.edges_in,
-            stats.edges_out,
-            stats.runs,
-            stats.max_buffered,
-            started.elapsed().as_secs_f64(),
-            out_path
+            stats.edges_in, stats.edges_out, stats.runs, stats.max_buffered, merge_secs, out_path
         );
         if let Some(deg) = &sink.b {
             print_degree_summary(
@@ -721,17 +794,39 @@ fn run_stream(o: &Options) {
         };
         print_degree_summary(manifest.n, manifest.edges, &deg, label);
     }
+
+    // Stream mode is a single-process run: report it as one "rank"
+    // covering every PE, so the metrics file has the same shape as a
+    // launch-mode federation and the same sum invariant (rank edges ==
+    // manifest edges).
+    if let Some(path) = &o.metrics_out {
+        ALLOC_LIVE_END.set(CountingAlloc::live());
+        let wall_us = (run_started.elapsed().as_secs_f64() * 1e6) as u64;
+        let rank = RankMetrics {
+            rank: 0,
+            pe_begin: 0,
+            pe_end: manifest.chunks,
+            edges: manifest.edges,
+            wall_us,
+            attempts: 1,
+            counters: kagen_obs::metrics::scalars(),
+        };
+        RunMetrics::federate(&manifest, vec![rank], wall_us)
+            .save(Path::new(path))
+            .expect("cannot write metrics file");
+        kagen_obs::debug!("metrics -> {path}");
+    }
 }
 
 /// Print a `--stats` line for a streamed degree accumulator.
 fn print_degree_summary(n: u64, m: u64, deg: &DegreeStatsSink, label: &str) {
     let (first, second) = deg.stats();
     match second {
-        Some(in_deg) => eprintln!(
+        Some(in_deg) => info!(
             "n = {n}, m = {m}, in-deg {}/{:.2}/{}, out-deg {}/{:.2}/{} ({label})",
             in_deg.min, in_deg.mean, in_deg.max, first.min, first.mean, first.max,
         ),
-        None => eprintln!(
+        None => info!(
             "n = {n}, m = {m}, degrees {}/{:.2}/{} ({label})",
             first.min, first.mean, first.max,
         ),
@@ -783,6 +878,15 @@ fn worker_args(o: &Options, shard_dir: &str, format: ShardFormat) -> Vec<String>
         args.push("-r".into());
         args.push(r.to_string());
     }
+    // Telemetry pass-through: workers inherit the coordinator's
+    // verbosity, and `--metrics-out` asks every rank for a counter
+    // sidecar the coordinator federates afterwards.
+    if o.metrics_out.is_some() {
+        args.push("--metrics-sidecar".into());
+    }
+    for _ in 0..o.verbosity.unsigned_abs() {
+        args.push(if o.verbosity > 0 { "-v" } else { "-q" }.into());
+    }
     args
 }
 
@@ -829,23 +933,32 @@ fn run_launch(o: &Options) {
         retries: o.retries.unwrap_or(0),
         ..Default::default()
     };
-    let started = std::time::Instant::now();
+    let launch_span = trace::span("launch.total");
     match kagen_repro::cluster::launch(Path::new(shard_dir), &header, &opts, &runner) {
         Ok(report) => {
+            let wall = launch_span.finish();
             // Keep this line machine-parseable: the integration tests
-            // and CI assert on `regenerated=[..] reused=N`.
-            eprintln!(
-                "kagen launch: {} ranks spawned, regenerated={:?} reused={} -> {} edges, \
-                 federated manifest in {:.3}s",
+            // and CI assert on `regenerated=[..] reused=N` (the logger
+            // supplies the `kagen launch: ` prefix).
+            info!(
+                "{} ranks spawned, regenerated={:?} reused={} -> {} edges, \
+                 federated manifest in {wall:.3}s",
                 report.spawned.len(),
                 report.regenerated_pes,
                 report.reused_shards,
                 report.manifest.edges,
-                started.elapsed().as_secs_f64()
             );
+            if let Some(path) = &o.metrics_out {
+                ALLOC_LIVE_END.set(CountingAlloc::live());
+                let wall_us = (wall * 1e6) as u64;
+                RunMetrics::federate(&report.manifest, report.rank_metrics, wall_us)
+                    .save(Path::new(path))
+                    .expect("cannot write metrics file");
+                kagen_obs::debug!("metrics -> {path}");
+            }
         }
         Err(e) => {
-            eprintln!("kagen launch: {e}");
+            kagen_obs::error!("{e}");
             std::process::exit(1);
         }
     }
@@ -864,7 +977,7 @@ fn run_worker(o: &Options) {
     let (a, b) = o.pe_range.expect("validated");
     let (gen, _params) = build_generator(o);
     let inject = kagen_repro::cluster::FailureInjection::from_env();
-    let started = std::time::Instant::now();
+    let work_span = trace::span("worker.generate");
     match kagen_repro::cluster::run_worker(
         gen.as_ref(),
         Path::new(shard_dir),
@@ -874,19 +987,23 @@ fn run_worker(o: &Options) {
         inject,
     ) {
         Ok(shards) => {
+            let secs = work_span.finish();
+            if o.metrics_sidecar {
+                kagen_repro::cluster::metrics::write_sidecar(
+                    Path::new(shard_dir),
+                    a as u64,
+                    b as u64,
+                )
+                .expect("cannot write metrics sidecar");
+            }
             let edges: u64 = shards.iter().map(|s| s.edges).sum();
-            eprintln!(
-                "kagen worker{}: PEs {a}..{b} -> {} shards, {edges} edges in {:.3}s",
-                o.rank.map(|r| format!(" rank {r}")).unwrap_or_default(),
+            info!(
+                "PEs {a}..{b} -> {} shards, {edges} edges in {secs:.3}s",
                 shards.len(),
-                started.elapsed().as_secs_f64()
             );
         }
         Err(e) => {
-            eprintln!(
-                "kagen worker{}: {e}",
-                o.rank.map(|r| format!(" rank {r}")).unwrap_or_default()
-            );
+            kagen_obs::error!("{e}");
             std::process::exit(1);
         }
     }
@@ -894,10 +1011,53 @@ fn run_worker(o: &Options) {
 
 fn main() {
     let o = parse();
+    // Environment first, flags win: KAGEN_LOG sets the default and
+    // -v/-q shift from Info.
+    kagen_obs::log::init_from_env();
+    if o.verbosity != 0 {
+        kagen_obs::log::set_level(
+            match (kagen_obs::Level::Info as i32 + o.verbosity).clamp(0, 4) {
+                0 => kagen_obs::Level::Error,
+                1 => kagen_obs::Level::Warn,
+                2 => kagen_obs::Level::Info,
+                3 => kagen_obs::Level::Debug,
+                _ => kagen_obs::Level::Trace,
+            },
+        );
+    }
+    let prefix = match o.mode {
+        Mode::Materialize => "kagen".to_string(),
+        Mode::Stream => "kagen stream".to_string(),
+        Mode::Launch => "kagen launch".to_string(),
+        // The rank id lives in the prefix so every line of a worker —
+        // library warnings included — is attributable in the
+        // coordinator's interleaved stderr.
+        Mode::Worker => match o.rank {
+            Some(r) => format!("kagen worker rank {r}"),
+            None => "kagen worker".to_string(),
+        },
+    };
+    kagen_obs::log::set_prefix(&prefix);
+    // Telemetry is strictly off by default: a relaxed atomic load is
+    // the only cost on the hot paths, and enabling it never changes an
+    // RNG stream or an output byte.
+    if o.metrics_out.is_some() || o.metrics_sidecar {
+        kagen_obs::metrics::set_enabled(true);
+    }
+    if o.trace_out.is_some() {
+        kagen_obs::trace::set_enabled(true);
+    }
     match o.mode {
         Mode::Materialize => run_materialized(&o),
         Mode::Stream => run_stream(&o),
         Mode::Launch => run_launch(&o),
         Mode::Worker => run_worker(&o),
+    }
+    if let Some(path) = &o.trace_out {
+        trace::write_chrome_trace(Path::new(path)).expect("cannot write trace file");
+        kagen_obs::debug!(
+            "trace -> {path} ({} events)",
+            kagen_obs::trace::event_count()
+        );
     }
 }

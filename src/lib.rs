@@ -32,6 +32,7 @@ pub use kagen_dist as dist;
 pub use kagen_geometry as geometry;
 pub use kagen_gpgpu as gpgpu;
 pub use kagen_graph as graph;
+pub use kagen_obs as obs;
 pub use kagen_pipeline as pipeline;
 pub use kagen_runtime as runtime;
 pub use kagen_sampling as sampling;

@@ -1,0 +1,398 @@
+//! Observability integration tests: telemetry must be a pure observer.
+//!
+//! The hard rule of `kagen_obs` (ISSUE 6): enabling metrics or tracing
+//! never touches an RNG stream or an output byte. The matrix test below
+//! proves it for **every** generator model by comparing shard files and
+//! `manifest.json` of a telemetry-on run against a telemetry-off run,
+//! byte for byte. The remaining tests pin the metrics/trace file
+//! formats the CLI emits: both must parse with the repo's own JSON
+//! parser, and a launch's per-rank edge counters must reconcile exactly
+//! with the federated manifest.
+
+use kagen_repro::pipeline::manifest::json;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const KAGEN: &str = env!("CARGO_BIN_EXE_kagen");
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kagen_it_obs_{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Run the kagen binary; returns (success, stderr).
+fn kagen(args: &[&str]) -> (bool, String) {
+    let out = Command::new(KAGEN)
+        .args(args)
+        .output()
+        .expect("cannot spawn kagen");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// Sorted `(file name, bytes)` of every regular file in a directory.
+fn dir_contents(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|entry| {
+            let entry = entry.unwrap();
+            (
+                entry.file_name().to_string_lossy().into_owned(),
+                std::fs::read(entry.path()).unwrap(),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Every model of the CLI, with parameters small enough that the whole
+/// matrix (2 runs x N models) stays in test-suite time.
+fn model_matrix() -> Vec<Vec<&'static str>> {
+    vec![
+        vec!["gnm_directed", "-n", "2000", "-m", "8000"],
+        vec!["gnm_undirected", "-n", "2000", "-m", "8000"],
+        vec!["gnp_directed", "-n", "2000", "-p", "0.002"],
+        vec!["gnp_undirected", "-n", "2000", "-p", "0.004"],
+        vec![
+            "gnp_undirected",
+            "-n",
+            "2000",
+            "-p",
+            "0.004",
+            "--gnp-leaves",
+            "algo-d",
+        ],
+        vec!["rgg2d", "-n", "2000"],
+        vec!["rgg3d", "-n", "1000"],
+        vec!["rdg2d", "-n", "600"],
+        vec!["rdg3d", "-n", "300"],
+        vec!["rhg", "-n", "2000", "-d", "8", "-g", "2.8"],
+        vec!["srhg", "-n", "2000", "-d", "8", "-g", "2.8"],
+        vec!["soft-rhg", "-n", "600", "-d", "8", "-g", "2.8", "-T", "0.5"],
+        vec!["ba", "-n", "2000", "-d", "4"],
+        vec!["rmat", "-n", "2048", "-m", "8000"],
+        vec![
+            "sbm", "-n", "2000", "-b", "4", "--p-in", "0.01", "--p-out", "0.001",
+        ],
+    ]
+}
+
+/// The tentpole guarantee, proven over the full generator matrix: a
+/// `kagen stream` run with `--metrics-out` + `--trace-out` writes the
+/// exact same shard bytes and `manifest.json` as a telemetry-off run.
+#[test]
+fn telemetry_on_off_shards_bit_identical_every_model() {
+    for (i, model) in model_matrix().iter().enumerate() {
+        let dir_off = tmp(&format!("det_off_{i}"));
+        let dir_on = tmp(&format!("det_on_{i}"));
+        let metrics = dir_on.with_extension("metrics.json");
+        let trace = dir_on.with_extension("trace.json");
+
+        let mut base: Vec<&str> = vec!["stream"];
+        base.extend(model);
+        base.extend(["-c", "6", "-s", "99", "--shard-dir"]);
+
+        let mut off_args = base.clone();
+        off_args.push(dir_off.to_str().unwrap());
+        let (ok, stderr) = kagen(&off_args);
+        assert!(ok, "{model:?} telemetry-off run failed:\n{stderr}");
+
+        let mut on_args = base.clone();
+        on_args.push(dir_on.to_str().unwrap());
+        on_args.extend(["--metrics-out", metrics.to_str().unwrap()]);
+        on_args.extend(["--trace-out", trace.to_str().unwrap()]);
+        let (ok, stderr) = kagen(&on_args);
+        assert!(ok, "{model:?} telemetry-on run failed:\n{stderr}");
+
+        let off = dir_contents(&dir_off);
+        let on = dir_contents(&dir_on);
+        assert_eq!(
+            off.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            on.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            "{model:?}: telemetry changed the file set"
+        );
+        for ((name, bytes_off), (_, bytes_on)) in off.iter().zip(on.iter()) {
+            assert_eq!(
+                bytes_off, bytes_on,
+                "{model:?}: telemetry changed the bytes of {name}"
+            );
+        }
+
+        // The telemetry artifacts themselves exist and parse.
+        let m = std::fs::read_to_string(&metrics).expect("missing metrics file");
+        json::parse(&m).unwrap_or_else(|e| panic!("{model:?}: bad metrics JSON: {e}"));
+        let t = std::fs::read_to_string(&trace).expect("missing trace file");
+        json::parse(&t).unwrap_or_else(|e| panic!("{model:?}: bad trace JSON: {e}"));
+
+        std::fs::remove_dir_all(&dir_off).ok();
+        std::fs::remove_dir_all(&dir_on).ok();
+        std::fs::remove_file(&metrics).ok();
+        std::fs::remove_file(&trace).ok();
+    }
+}
+
+/// A launch-mode metrics file reconciles with its manifest: per-rank
+/// edge counts (and the rank-local `gen.edges` counters from the worker
+/// sidecars) sum to the federated edge total, and the sidecars are
+/// cleaned off the shard directory after federation.
+#[test]
+fn launch_metrics_reconcile_with_manifest() {
+    let dir = tmp("launch_metrics");
+    let metrics = dir.with_extension("metrics.json");
+    let (ok, stderr) = kagen(&[
+        "launch",
+        "gnm_undirected",
+        "-n",
+        "3000",
+        "-m",
+        "24000",
+        "-c",
+        "8",
+        "-s",
+        "42",
+        "--workers",
+        "3",
+        "--shard-dir",
+        dir.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(ok, "launch failed:\n{stderr}");
+
+    let text = std::fs::read_to_string(&metrics).expect("missing metrics file");
+    let rm = kagen_repro::cluster::RunMetrics::from_json(&text).expect("bad metrics file");
+    assert_eq!(rm.model, "gnm_undirected");
+    assert_eq!(rm.seed, 42);
+    assert_eq!(rm.chunks, 8);
+    assert_eq!(rm.ranks.len(), 3);
+
+    let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+    let doc = json::parse(&manifest).unwrap();
+    let manifest_edges = doc
+        .as_obj("manifest")
+        .and_then(|o| o.get("edges").and_then(|v| v.as_u64("edges")))
+        .unwrap();
+    assert_eq!(rm.edges, manifest_edges);
+
+    let rank_sum: u64 = rm.ranks.iter().map(|r| r.edges).sum();
+    assert_eq!(rank_sum + rm.reused_edges, manifest_edges);
+    for r in &rm.ranks {
+        let counters: std::collections::HashMap<_, _> =
+            r.counters.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        // The rank's own generator counter agrees with its ledger edge
+        // count — the sidecar really came from that worker process.
+        assert_eq!(counters.get("gen.edges"), Some(&r.edges), "{r:?}");
+        assert!(counters.get("rng.words").copied().unwrap_or(0) > 0, "{r:?}");
+        assert!(r.wall_us > 0, "{r:?}");
+    }
+
+    // Sidecars are consumed during federation, not left as litter that
+    // a `--resume` of a different telemetry setting could misread.
+    let leftover: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".metrics.json"))
+        .collect();
+    assert!(leftover.is_empty(), "sidecars not cleaned up: {leftover:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&metrics).ok();
+}
+
+/// Launch shard output is byte-identical with and without telemetry —
+/// the multi-process twin of the stream-mode matrix (workers enable
+/// metrics when handed `--metrics-sidecar`, and must still write the
+/// same shards).
+#[test]
+fn launch_telemetry_on_off_bit_identical() {
+    let dir_off = tmp("launch_det_off");
+    let dir_on = tmp("launch_det_on");
+    let metrics = dir_on.with_extension("metrics.json");
+    let base = |dir: &str| {
+        vec![
+            "launch".to_string(),
+            "gnm_undirected".into(),
+            "-n".into(),
+            "3000".into(),
+            "-m".into(),
+            "24000".into(),
+            "-c".into(),
+            "8".into(),
+            "-s".into(),
+            "42".into(),
+            "--workers".into(),
+            "3".into(),
+            "--shard-dir".into(),
+            dir.to_string(),
+        ]
+    };
+    let off_args = base(dir_off.to_str().unwrap());
+    let (ok, stderr) = kagen(&off_args.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    assert!(ok, "telemetry-off launch failed:\n{stderr}");
+
+    let mut on_args = base(dir_on.to_str().unwrap());
+    on_args.extend(["--metrics-out".into(), metrics.to_str().unwrap().into()]);
+    let (ok, stderr) = kagen(&on_args.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    assert!(ok, "telemetry-on launch failed:\n{stderr}");
+
+    // Compare shards + manifest; the ledger records wall-clock times and
+    // the on-run's metrics file lives outside the shard dir.
+    let keep = |name: &str| name.ends_with(".kgc") || name == "manifest.json";
+    let off: Vec<_> = dir_contents(&dir_off)
+        .into_iter()
+        .filter(|(n, _)| keep(n))
+        .collect();
+    let on: Vec<_> = dir_contents(&dir_on)
+        .into_iter()
+        .filter(|(n, _)| keep(n))
+        .collect();
+    assert!(!off.is_empty());
+    assert_eq!(off, on, "telemetry changed launch output bytes");
+
+    std::fs::remove_dir_all(&dir_off).ok();
+    std::fs::remove_dir_all(&dir_on).ok();
+    std::fs::remove_file(&metrics).ok();
+}
+
+/// The Chrome trace file is a `{"traceEvents": [...]}` document whose
+/// events carry the fields the Perfetto/chrome://tracing loaders
+/// require, including the phase spans of a launch run.
+#[test]
+fn trace_file_is_wellformed_chrome_json() {
+    let dir = tmp("trace_shape");
+    let trace = dir.with_extension("trace.json");
+    let (ok, stderr) = kagen(&[
+        "stream",
+        "gnm_undirected",
+        "-n",
+        "2000",
+        "-m",
+        "8000",
+        "-c",
+        "4",
+        "--merge",
+        "external",
+        "--shard-dir",
+        dir.to_str().unwrap(),
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok, "stream failed:\n{stderr}");
+
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let doc = json::parse(&text).unwrap();
+    let events = doc
+        .as_obj("trace")
+        .and_then(|o| o.get("traceEvents").cloned())
+        .unwrap();
+    let json::Value::Arr(events) = events else {
+        panic!("traceEvents is not an array");
+    };
+    assert!(!events.is_empty(), "no spans recorded");
+    let mut names = Vec::new();
+    for ev in &events {
+        let obj = ev.as_obj("event").unwrap();
+        // "X" complete events: name, category, timestamp, duration,
+        // process and thread id are all mandatory for the viewers.
+        for key in ["name", "cat", "ph", "ts", "dur", "pid", "tid"] {
+            assert!(obj.get(key).is_ok(), "event missing {key}: {ev:?}");
+        }
+        match obj.get("name").unwrap() {
+            json::Value::Str(s) => names.push(s.clone()),
+            other => panic!("non-string event name: {other:?}"),
+        }
+        match obj.get("ph").unwrap() {
+            json::Value::Str(s) => assert_eq!(s, "X"),
+            other => panic!("non-string ph: {other:?}"),
+        }
+    }
+    assert!(
+        names.iter().any(|n| n == "stream.write_shards"),
+        "missing write span in {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n == "stream.merge"),
+        "missing merge span in {names:?}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&trace).ok();
+}
+
+/// Flag plumbing: telemetry flags are rejected exactly where they make
+/// no sense, before anything is generated or spawned.
+#[test]
+fn telemetry_flag_validation() {
+    let cases: &[(&[&str], &str)] = &[
+        (
+            &["gnm_undirected", "--metrics-out", "/tmp/x.json"],
+            "--metrics-out requires",
+        ),
+        (
+            &["gnm_undirected", "--metrics-sidecar"],
+            "--metrics-sidecar requires",
+        ),
+        (
+            &[
+                "worker",
+                "gnm_undirected",
+                "--shard-dir",
+                "/tmp/x",
+                "--pe-range",
+                "0..2",
+                "--trace-out",
+                "/tmp/t.json",
+            ],
+            "--trace-out requires",
+        ),
+    ];
+    for (args, needle) in cases {
+        let (ok, stderr) = kagen(args);
+        assert!(!ok, "{args:?} must be rejected");
+        assert!(stderr.contains(needle), "{args:?}: {stderr}");
+    }
+}
+
+/// `-q` silences the Info-level summary lines; `-v` keeps them and adds
+/// Debug detail. The machine-parseable summary only moves levels, never
+/// changes content.
+#[test]
+fn verbosity_flags_gate_log_lines() {
+    let dir = tmp("verbosity");
+    let argv = |extra: &[&'static str]| -> Vec<&str> {
+        let mut a: Vec<&str> = vec![
+            "stream",
+            "gnm_undirected",
+            "-n",
+            "1000",
+            "-m",
+            "4000",
+            "-c",
+            "4",
+            "--shard-dir",
+        ];
+        a.push(dir.to_str().unwrap());
+        a.extend_from_slice(extra);
+        a
+    };
+
+    std::fs::remove_dir_all(&dir).ok();
+    let (ok, stderr) = kagen(&argv(&[]));
+    assert!(ok);
+    assert!(stderr.contains("wrote 4 shards"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+    let (ok, stderr) = kagen(&argv(&["-q"]));
+    assert!(ok);
+    assert!(
+        !stderr.contains("wrote 4 shards"),
+        "-q must silence the info summary: {stderr}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
