@@ -11,6 +11,7 @@
 //! ```text
 //! throughput [--quick] [--reps N] [--out PATH] [--max-workers W]
 //!            [--metrics] [--trace-out PATH]
+//!            [--compare BASELINE] [--compare-tolerance FRAC]
 //!
 //!   --quick          tiny sizes (CI smoke: seconds, not minutes)
 //!   --reps N         repetitions per measurement, best-of (default 3)
@@ -21,6 +22,15 @@
 //!                    embed its scalar snapshot as the "metrics" object
 //!   --trace-out PATH write a Chrome trace of every timed region (each
 //!                    best-of repetition is one span)
+//!   --compare BASELINE        perf-regression gate: after the run,
+//!                    read the speedup ratios (rmat/er) out of BASELINE
+//!                    (normally the checked-in BENCH_throughput.json)
+//!                    and exit non-zero if any fresh ratio fell below
+//!                    baseline x (1 - tolerance)
+//!   --compare-tolerance FRAC  the tolerance band (default 0.5 — a
+//!                    quick CI run on shared hardware compares against
+//!                    a full-mode baseline, so the gate is a collapse
+//!                    detector, not a percent-level tracker)
 //! ```
 //!
 //! Besides the single-core per-edge/batched comparison, the harness runs
@@ -311,6 +321,45 @@ fn time_rank_ranges<G: StreamingGenerator + Sync + ?Sized>(
     (edges, best)
 }
 
+/// Extract the numeric value of `"key": <number>` from a JSON document
+/// by string scanning. The workspace's hand-rolled JSON parser is
+/// deliberately u64-only; the baseline's speedup ratios are floats, and
+/// this three-key gate does not justify growing the parser.
+fn extract_f64(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The perf-regression gate: each `(key, fresh ratio)` must stay at or
+/// above the baseline document's value times `(1 - tolerance)`. Returns
+/// the failing keys' messages (empty = gate passed). A key missing from
+/// the baseline is skipped with a warning — an old-schema baseline must
+/// not fail every future run.
+fn compare_ratios(baseline: &str, fresh: &[(&str, f64)], tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (key, fresh_ratio) in fresh {
+        let Some(base) = extract_f64(baseline, key) else {
+            warn!("compare: baseline has no '{key}', skipping");
+            continue;
+        };
+        let floor = base * (1.0 - tolerance);
+        if *fresh_ratio < floor {
+            failures.push(format!(
+                "{key}: {fresh_ratio:.3} fell below {floor:.3} \
+                 (baseline {base:.3}, tolerance {tolerance})"
+            ));
+        } else {
+            info!("compare {key}: {fresh_ratio:.3} vs baseline {base:.3} (floor {floor:.3}) OK");
+        }
+    }
+    failures
+}
+
 /// Worker counts of the sweep: powers of two up to `max`, plus `max`.
 fn worker_counts(max: usize) -> Vec<usize> {
     let mut counts = Vec::new();
@@ -386,6 +435,8 @@ fn main() {
         .unwrap_or(1);
     let mut metrics = false;
     let mut trace_out: Option<String> = None;
+    let mut compare: Option<String> = None;
+    let mut compare_tolerance = 0.5f64;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -413,6 +464,16 @@ fn main() {
             }
             "--metrics" => metrics = true,
             "--trace-out" => trace_out = Some(args.next().expect("--trace-out needs a path")),
+            "--compare" => compare = Some(args.next().expect("--compare needs a baseline path")),
+            "--compare-tolerance" => {
+                compare_tolerance = match args.next().map(|v| v.parse()) {
+                    Some(Ok(t)) if (0.0..1.0).contains(&t) => t,
+                    _ => {
+                        error!("--compare-tolerance needs a fraction in [0, 1)");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => {
                 error!("unknown flag '{other}'");
                 std::process::exit(2);
@@ -733,4 +794,84 @@ fn main() {
         info!("trace -> {path} ({} spans)", trace::event_count());
     }
     info!("wrote {out}");
+
+    // The perf-regression gate, last: the fresh JSON is on disk either
+    // way, so a failing run still leaves the numbers to diagnose.
+    if let Some(baseline_path) = &compare {
+        let baseline = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+        let failures = compare_ratios(
+            &baseline,
+            &[
+                ("rmat_table_batched_vs_plain_per_edge", rmat_ratio),
+                (
+                    "er_skip_batched_vs_algoD_per_edge_directed",
+                    er_directed_ratio,
+                ),
+                (
+                    "er_skip_batched_vs_algoD_per_edge_undirected",
+                    er_undirected_ratio,
+                ),
+            ],
+            compare_tolerance,
+        );
+        for f in &failures {
+            error!("PERF REGRESSION {f}");
+        }
+        if !failures.is_empty() {
+            std::process::exit(1);
+        }
+        info!("compare: all ratios within tolerance of {baseline_path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{compare_ratios, extract_f64};
+
+    const BASELINE: &str = r#"{
+  "schema": "kagen-throughput/v5",
+  "rmat_table_batched_vs_plain_per_edge": 4.779,
+  "er_skip_batched_vs_algoD_per_edge_directed": 2.080,
+  "eps_note": "negative and exponent forms parse too",
+  "neg": -1.5,
+  "exp": 1.2e3
+}"#;
+
+    #[test]
+    fn extracts_floats_by_key() {
+        assert_eq!(
+            extract_f64(BASELINE, "rmat_table_batched_vs_plain_per_edge"),
+            Some(4.779)
+        );
+        assert_eq!(extract_f64(BASELINE, "neg"), Some(-1.5));
+        assert_eq!(extract_f64(BASELINE, "exp"), Some(1200.0));
+        assert_eq!(extract_f64(BASELINE, "no_such_key"), None);
+        assert_eq!(extract_f64(BASELINE, "schema"), None);
+    }
+
+    #[test]
+    fn gate_fails_below_floor_and_skips_missing_keys() {
+        // 4.779 * (1 - 0.5) = 2.3895: 2.5 passes, 2.0 fails.
+        assert!(compare_ratios(
+            BASELINE,
+            &[("rmat_table_batched_vs_plain_per_edge", 2.5)],
+            0.5
+        )
+        .is_empty());
+        let failures = compare_ratios(
+            BASELINE,
+            &[("rmat_table_batched_vs_plain_per_edge", 2.0)],
+            0.5,
+        );
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("2.000"), "{failures:?}");
+        // A key absent from the baseline is skipped, not failed.
+        assert!(compare_ratios(
+            BASELINE,
+            &[("er_skip_batched_vs_algoD_per_edge_undirected", 0.1)],
+            0.5
+        )
+        .is_empty());
+    }
 }

@@ -10,12 +10,14 @@
 //! [`resume`](LaunchOptions::resume) launch re-plans exactly the missing
 //! or invalid PEs and reuses everything else.
 
+use crate::heartbeat;
 use crate::ledger::{Ledger, RankStatus};
 use crate::metrics::RankMetrics;
 use crate::plan::{plan_ranks, plan_repairs, RankTask};
+use crate::trace::{RankTrace, WorkerTrace};
 use crate::worker::{run_worker, FailureInjection};
 use kagen_core::streaming::StreamingGenerator;
-use kagen_obs::{trace, Counter, Histogram};
+use kagen_obs::{trace, Counter, Histogram, HistogramSnapshot};
 use kagen_pipeline::{
     validate_shard, validate_shard_sampled, Manifest, PartialManifest, RunHeader, ShardFormat,
 };
@@ -23,9 +25,10 @@ use std::collections::HashSet;
 use std::collections::VecDeque;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Rank retries consumed by in-launch retry budgets.
 static CLUSTER_RETRIES: Counter = Counter::new("cluster.retries");
@@ -37,6 +40,8 @@ static CLUSTER_SHARDS_VALIDATED: Counter = Counter::new("cluster.shards_validate
 static CLUSTER_SHARDS_INVALIDATED: Counter = Counter::new("cluster.shards_invalidated");
 /// Wall time of each rank's successful attempt, in microseconds.
 static CLUSTER_RANK_WALL_US: Histogram = Histogram::new("cluster.rank_wall_us");
+/// Workers killed because their heartbeat stopped advancing.
+static CLUSTER_STALLS: Counter = Counter::new("cluster.stalls");
 
 /// How the coordinator executes one rank task. The two implementations
 /// — a re-exec'd OS process and an in-process function call — run the
@@ -49,15 +54,28 @@ pub trait WorkerRunner: Sync {
     /// An `Err` marks the rank failed; its PEs stay pending.
     fn run(&self, task: &RankTask) -> io::Result<Vec<kagen_pipeline::ShardInfo>>;
 
-    /// Worker-side metric counters for `task`'s just-finished run —
-    /// e.g. parsed from the telemetry sidecar the worker process wrote.
-    /// Called once after a successful [`WorkerRunner::run`]. The
-    /// default reports none: in-process runs share the coordinator's
-    /// process-global metrics, and attributing those to a single rank
-    /// would double-count them.
-    fn take_counters(&self, _task: &RankTask) -> Vec<(String, u64)> {
-        Vec::new()
+    /// Worker-side telemetry for `task`'s just-finished run — e.g.
+    /// parsed from the sidecars the worker process wrote. Called once
+    /// after a successful [`WorkerRunner::run`]. The default reports
+    /// none: in-process runs share the coordinator's process-global
+    /// metrics and trace buffer, and attributing those to a single
+    /// rank would double-count them.
+    fn take_telemetry(&self, _task: &RankTask) -> RankTelemetry {
+        RankTelemetry::default()
     }
+}
+
+/// What a runner hands the coordinator after a successful rank: the
+/// worker's metric scalars, its full histogram snapshots, and (when the
+/// worker traced) its span sidecar for federation.
+#[derive(Clone, Debug, Default)]
+pub struct RankTelemetry {
+    /// Flat `(name, value)` counter scalars from the metrics sidecar.
+    pub counters: Vec<(String, u64)>,
+    /// Full histogram snapshots from the metrics sidecar.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// The worker's trace sidecar, if it wrote one.
+    pub trace: Option<WorkerTrace>,
 }
 
 /// Spawn `exe worker <args> --pe-range a..b --rank r` as a child
@@ -71,18 +89,82 @@ pub struct ProcessRunner {
     pub worker_args: Vec<String>,
     /// Shard directory (to read partial manifests back).
     pub dir: PathBuf,
+    /// Kill a worker whose heartbeat file has not *changed* within this
+    /// window and report the attempt as failed (feeding the retry
+    /// budget). `None` waits indefinitely, the pre-heartbeat behavior.
+    /// Requires the workers to heartbeat (`--heartbeat`) — staleness is
+    /// judged purely by file content changing under the coordinator's
+    /// local clock, so no clock agreement with the worker is needed.
+    pub stall_timeout: Option<Duration>,
+}
+
+/// How often the stall watchdog polls the child and its heartbeat.
+const STALL_POLL: Duration = Duration::from_millis(50);
+
+impl ProcessRunner {
+    fn wait_with_stall_watchdog(
+        &self,
+        mut child: std::process::Child,
+        task: &RankTask,
+        timeout: Duration,
+    ) -> io::Result<std::process::ExitStatus> {
+        let (a, b) = (task.pe_begin as u64, task.pe_end as u64);
+        let hb_path = self.dir.join(heartbeat::heartbeat_file_name(a, b));
+        let mut last_content: Option<Vec<u8>> = None;
+        let mut last_advance = Instant::now();
+        loop {
+            if let Some(status) = child.try_wait()? {
+                return Ok(status);
+            }
+            if let Ok(bytes) = std::fs::read(&hb_path) {
+                if last_content.as_deref() != Some(&bytes[..]) {
+                    last_content = Some(bytes);
+                    last_advance = Instant::now();
+                }
+            }
+            if last_advance.elapsed() >= timeout {
+                child.kill().ok();
+                child.wait().ok();
+                CLUSTER_STALLS.incr();
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "worker rank {} (PEs {}..{}) stalled: no heartbeat advance in {:.1}s",
+                        task.rank,
+                        task.pe_begin,
+                        task.pe_end,
+                        timeout.as_secs_f64()
+                    ),
+                ));
+            }
+            std::thread::sleep(STALL_POLL.min(timeout));
+        }
+    }
 }
 
 impl WorkerRunner for ProcessRunner {
     fn run(&self, task: &RankTask) -> io::Result<Vec<kagen_pipeline::ShardInfo>> {
-        let status = std::process::Command::new(&self.exe)
-            .arg("worker")
+        let mut cmd = std::process::Command::new(&self.exe);
+        cmd.arg("worker")
             .args(&self.worker_args)
             .arg("--pe-range")
             .arg(format!("{}..{}", task.pe_begin, task.pe_end))
             .arg("--rank")
-            .arg(task.rank.to_string())
-            .status()?;
+            .arg(task.rank.to_string());
+        let result = match self.stall_timeout {
+            Some(timeout) => self.wait_with_stall_watchdog(cmd.spawn()?, task, timeout),
+            None => cmd.status(),
+        };
+        // A finished rank's heartbeat has served its purpose either
+        // way: success ends the liveness question, and a failed/stalled
+        // attempt must not leave bytes a retry would then have to
+        // overwrite before the watchdog trusts the file again.
+        std::fs::remove_file(self.dir.join(heartbeat::heartbeat_file_name(
+            task.pe_begin as u64,
+            task.pe_end as u64,
+        )))
+        .ok();
+        let status = result?;
         if !status.success() {
             return Err(io::Error::other(format!(
                 "worker rank {} (PEs {}..{}) exited with {status}",
@@ -99,16 +181,22 @@ impl WorkerRunner for ProcessRunner {
         Ok(part.shards)
     }
 
-    fn take_counters(&self, task: &RankTask) -> Vec<(String, u64)> {
+    fn take_telemetry(&self, task: &RankTask) -> RankTelemetry {
         let (a, b) = (task.pe_begin as u64, task.pe_end as u64);
-        // Absent sidecar (worker ran without telemetry) is not an
-        // error; the rank entry simply carries no worker counters.
-        let counters = crate::metrics::load_sidecar(&self.dir, a, b)
+        // Absent sidecars (worker ran without telemetry) are not an
+        // error; the rank entry simply carries no worker telemetry.
+        let side = crate::metrics::load_sidecar(&self.dir, a, b)
             .ok()
             .flatten()
             .unwrap_or_default();
         std::fs::remove_file(self.dir.join(crate::metrics::sidecar_file_name(a, b))).ok();
-        counters
+        let worker_trace = crate::trace::load_sidecar(&self.dir, a, b).ok().flatten();
+        std::fs::remove_file(self.dir.join(crate::trace::trace_sidecar_file_name(a, b))).ok();
+        RankTelemetry {
+            counters: side.counters,
+            histograms: side.histograms,
+            trace: worker_trace,
+        }
     }
 }
 
@@ -150,7 +238,7 @@ impl WorkerRunner for InProcessRunner<'_> {
     fn run(&self, task: &RankTask) -> io::Result<Vec<kagen_pipeline::ShardInfo>> {
         let inject = FailureInjection {
             fail_before_pe: task.pes().find(|pe| self.fail_pes.contains(pe)),
-            fail_once_marker: None,
+            ..Default::default()
         };
         let shards = run_worker(
             self.gen,
@@ -290,6 +378,12 @@ pub struct LaunchOptions {
     /// among retries) sleeps `retry_backoff · 2^(k−1)` before
     /// re-spawning.
     pub retry_backoff: Duration,
+    /// Print a live progress line (`info!` level) every interval:
+    /// PEs/edges done so far (ledger-completed ranks plus live
+    /// heartbeats found in the shard directory), aggregate edges/sec,
+    /// and an ETA extrapolated from the rank plan. `None` disables the
+    /// monitor thread entirely.
+    pub progress: Option<Duration>,
 }
 
 impl Default for LaunchOptions {
@@ -300,6 +394,7 @@ impl Default for LaunchOptions {
             validate: ValidateMode::Full,
             retries: 0,
             retry_backoff: Duration::from_millis(500),
+            progress: None,
         }
     }
 }
@@ -319,10 +414,14 @@ pub struct LaunchReport {
     /// regenerated (subset of `regenerated_pes`).
     pub invalidated_pes: Vec<usize>,
     /// Per-rank telemetry (wall time, attempts, edges, worker sidecar
-    /// counters) for every rank that finished, in rank order — the
-    /// input [`crate::metrics::RunMetrics::federate`] turns into
-    /// `metrics.json`.
+    /// counters and histograms) for every rank that finished, in rank
+    /// order — the input [`crate::metrics::RunMetrics::federate`] turns
+    /// into `metrics.json`.
     pub rank_metrics: Vec<RankMetrics>,
+    /// Worker trace sidecars collected from ranks that traced, in rank
+    /// order — the input [`crate::trace::federate_chrome_trace`] turns
+    /// into the run-wide timeline.
+    pub rank_traces: Vec<RankTrace>,
 }
 
 fn invalid(msg: String) -> io::Error {
@@ -432,19 +531,63 @@ pub fn launch(
     let wake = Condvar::new();
     /// What a supervisor reports per attempt: the task, its attempt
     /// index, the attempt's wall microseconds, the worker's sidecar
-    /// counters (successful attempts only), and the outcome.
+    /// telemetry (successful attempts only), and the outcome.
     struct RankOutcome {
         task: RankTask,
         attempt: u64,
         wall_us: u64,
-        counters: Vec<(String, u64)>,
+        telemetry: RankTelemetry,
         result: io::Result<Vec<kagen_pipeline::ShardInfo>>,
     }
     let (tx, rx) = mpsc::channel::<RankOutcome>();
     let supervisors = opts.workers.min(tasks.len()).max(1);
     let mut rank_metrics: Vec<RankMetrics> = Vec::new();
+    let mut rank_traces: Vec<RankTrace> = Vec::new();
+    // Progress accounting shared with the monitor thread: PEs/edges of
+    // ranks this launch has *completed* (live partial progress comes
+    // from the heartbeat files the monitor scans itself).
+    let planned_pes: u64 = tasks.iter().map(|t| (t.pe_end - t.pe_begin) as u64).sum();
+    let done_pes = AtomicU64::new(0);
+    let done_edges = AtomicU64::new(0);
+    let monitor_stop = AtomicBool::new(false);
     let supervise_span = trace::span("launch.supervise");
     std::thread::scope(|scope| {
+        if let Some(interval) = opts.progress.filter(|_| planned_pes > 0) {
+            let (done_pes, done_edges, monitor_stop) = (&done_pes, &done_edges, &monitor_stop);
+            scope.spawn(move || {
+                let started = Instant::now();
+                while !monitor_stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(interval);
+                    if monitor_stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let live = heartbeat::read_all(dir);
+                    let pes = done_pes.load(Ordering::Relaxed)
+                        + live.iter().map(|h| h.pes_done).sum::<u64>();
+                    let edges = done_edges.load(Ordering::Relaxed)
+                        + live.iter().map(|h| h.edges).sum::<u64>();
+                    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+                    let rate = edges as f64 / elapsed;
+                    // ETA from the rank plan: PEs are the work units the
+                    // plan hands out, so remaining time extrapolates
+                    // from the observed per-PE pace.
+                    let eta = if pes > 0 && pes < planned_pes {
+                        format!(
+                            ", ETA {:.0}s",
+                            elapsed * (planned_pes - pes) as f64 / pes as f64
+                        )
+                    } else {
+                        String::new()
+                    };
+                    kagen_obs::info!(
+                        "progress: {pes}/{planned_pes} PEs, {edges} edges, \
+                         {:.2} Medges/s{eta} ({} live ranks)",
+                        rate / 1e6,
+                        live.len()
+                    );
+                }
+            });
+        }
         for _ in 0..supervisors {
             let tx = tx.clone();
             let (sup, wake) = (&sup, &wake);
@@ -494,16 +637,16 @@ pub fn launch(
                             Err(io::Error::other(format!("worker panicked: {msg}")))
                         });
                 let wall_us = (rank_span.finish() * 1e6) as u64;
-                let counters = if result.is_ok() {
-                    runner.take_counters(&task)
+                let telemetry = if result.is_ok() {
+                    runner.take_telemetry(&task)
                 } else {
-                    Vec::new()
+                    RankTelemetry::default()
                 };
                 let outcome = RankOutcome {
                     task,
                     attempt,
                     wall_us,
-                    counters,
+                    telemetry,
                     result,
                 };
                 if tx.send(outcome).is_err() {
@@ -517,7 +660,7 @@ pub fn launch(
                 task,
                 attempt,
                 wall_us,
-                counters,
+                telemetry,
                 result,
             } = outcome;
             let rank = task.rank;
@@ -525,15 +668,27 @@ pub fn launch(
             match result {
                 Ok(shards) => {
                     CLUSTER_RANK_WALL_US.record(wall_us);
+                    let edges: u64 = shards.iter().map(|s| s.edges).sum();
+                    done_pes.fetch_add((task.pe_end - task.pe_begin) as u64, Ordering::Relaxed);
+                    done_edges.fetch_add(edges, Ordering::Relaxed);
                     rank_metrics.push(RankMetrics {
                         rank: rank as u64,
                         pe_begin: task.pe_begin as u64,
                         pe_end: task.pe_end as u64,
-                        edges: shards.iter().map(|s| s.edges).sum(),
+                        edges,
                         wall_us,
                         attempts: attempt + 1,
-                        counters,
+                        counters: telemetry.counters,
+                        histograms: telemetry.histograms,
                     });
+                    if let Some(wt) = telemetry.trace {
+                        rank_traces.push(RankTrace {
+                            rank: rank as u64,
+                            pe_begin: task.pe_begin as u64,
+                            pe_end: task.pe_end as u64,
+                            trace: wt,
+                        });
+                    }
                     ledger.record_rank_done(rank, shards);
                 }
                 Err(e) if attempt < opts.retries => {
@@ -570,6 +725,7 @@ pub fn launch(
                 kagen_obs::error!("ledger save failed: {e}");
             }
         }
+        monitor_stop.store(true, Ordering::Relaxed);
     });
     let _ = supervise_span.finish();
 
@@ -617,6 +773,7 @@ pub fn launch(
     let _ = federate_span.finish();
 
     rank_metrics.sort_by_key(|r| r.rank);
+    rank_traces.sort_by_key(|r| r.rank);
     Ok(LaunchReport {
         manifest,
         spawned: tasks,
@@ -624,5 +781,6 @@ pub fn launch(
         reused_shards,
         invalidated_pes,
         rank_metrics,
+        rank_traces,
     })
 }

@@ -44,19 +44,23 @@
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+pub mod heartbeat;
 pub mod launch;
 pub mod ledger;
 pub mod metrics;
 pub mod plan;
+pub mod trace;
 pub mod worker;
 
+pub use heartbeat::{Heartbeat, HeartbeatPublisher, HEARTBEAT_INTERVAL, HEARTBEAT_SCHEMA};
 pub use launch::{
-    launch, InProcessRunner, LaunchOptions, LaunchReport, ProcessRunner, ValidateMode,
-    WorkerRunner, SAMPLED_BLOCKS,
+    launch, InProcessRunner, LaunchOptions, LaunchReport, ProcessRunner, RankTelemetry,
+    ValidateMode, WorkerRunner, SAMPLED_BLOCKS,
 };
 pub use ledger::{Ledger, RankRecord, RankStatus, ShardState, LEDGER_FILE};
-pub use metrics::{RankMetrics, RunMetrics, METRICS_SCHEMA};
+pub use metrics::{RankMetrics, RunMetrics, SidecarTelemetry, METRICS_SCHEMA, METRICS_SCHEMA_V1};
 pub use plan::{plan_ranks, plan_repairs, RankTask};
+pub use trace::{RankTrace, WorkerTrace, TRACE_SIDECAR_SCHEMA};
 pub use worker::{run_worker, FailureInjection};
 
 #[cfg(test)]

@@ -15,14 +15,28 @@
 //! Every value is an unsigned integer (wall time is microseconds), so
 //! the documents round-trip through the workspace's hand-rolled parser
 //! (`kagen_pipeline::manifest::json`) — floats never enter the format.
+//!
+//! Schema v2 adds full histogram federation: sidecars and the run-wide
+//! document carry each histogram's log2 bucket vector, and the
+//! coordinator merges them bucket-wise across ranks
+//! ([`RunMetrics::merged_histograms`]) so per-stage latency
+//! distributions survive federation instead of collapsing to
+//! count/sum. The v1 invariant is preserved: every histogram still
+//! appears in the flat counter lists as `.count`/`.sum` scalars, and
+//! the merged vectors reconcile with those totals exactly.
 
+use kagen_obs::HistogramSnapshot;
 use kagen_pipeline::manifest::{json, push_str_value};
 use kagen_pipeline::Manifest;
 use std::io;
 use std::path::{Path, PathBuf};
 
 /// Schema tag of the federated metrics document.
-pub const METRICS_SCHEMA: &str = "kagen-metrics/v1";
+pub const METRICS_SCHEMA: &str = "kagen-metrics/v2";
+
+/// Previous schema tag, still accepted by [`RunMetrics::from_json`]
+/// (v1 documents carry no histogram vectors).
+pub const METRICS_SCHEMA_V1: &str = "kagen-metrics/v1";
 
 fn invalid(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
@@ -47,51 +61,135 @@ fn counters_json(counters: &[(String, u64)]) -> String {
     out
 }
 
-/// Write this process's current obs metric scalars (counters, gauge
-/// peaks, histogram count/sum) as the sidecar for PEs
+fn histograms_json(hists: &[(String, HistogramSnapshot)]) -> String {
+    let mut out = String::from("{");
+    for (i, (name, h)) in hists.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_value(&mut out, name);
+        out.push_str(&format!(
+            ":{{\"count\":{},\"sum\":{},\"buckets\":[",
+            h.count, h.sum
+        ));
+        for (j, (b, c)) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"bucket\":{b},\"count\":{c}}}"));
+        }
+        out.push_str("]}");
+    }
+    out.push('}');
+    out
+}
+
+fn parse_histograms(v: &json::Value) -> Result<Vec<(String, HistogramSnapshot)>, String> {
+    let json::Value::Obj(fields) = v else {
+        return Err("histograms is not an object".into());
+    };
+    let mut out = Vec::with_capacity(fields.len());
+    for (name, h) in fields {
+        let obj = h.as_obj(name)?;
+        let mut buckets = Vec::new();
+        for e in obj.get("buckets")?.as_arr("buckets")? {
+            let e = e.as_obj("bucket entry")?;
+            buckets.push((
+                e.get("bucket")?.as_u64("bucket")? as usize,
+                e.get("count")?.as_u64("count")?,
+            ));
+        }
+        out.push((
+            name.clone(),
+            HistogramSnapshot {
+                count: obj.get("count")?.as_u64("count")?,
+                sum: obj.get("sum")?.as_u64("sum")?,
+                buckets,
+            },
+        ));
+    }
+    Ok(out)
+}
+
+/// What one worker's metrics sidecar carries: the flat counter scalars
+/// (the v1 payload, histogram `.count`/`.sum` included) plus the full
+/// histogram bucket vectors added in v2.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SidecarTelemetry {
+    /// Flat `(name, value)` scalars, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Full histogram snapshots, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Serialize this process's current obs metrics as a sidecar document:
+/// the flat scalars under `"counters"` plus full histogram bucket
+/// vectors under `"histograms"`.
+pub fn sidecar_json() -> String {
+    let counters = kagen_obs::metrics::scalars();
+    let hists: Vec<(String, HistogramSnapshot)> = kagen_obs::metrics::histograms()
+        .into_iter()
+        .map(|(n, h)| (n.to_string(), h))
+        .collect();
+    format!(
+        "{{\"counters\":{},\"histograms\":{}}}",
+        counters_json(&counters),
+        histograms_json(&hists)
+    )
+}
+
+/// Write this process's current obs metrics (see [`sidecar_json`]) to
+/// an explicit path — the `kagen worker --metrics-out` document.
+pub fn write_sidecar_to(path: &Path) -> io::Result<()> {
+    std::fs::write(path, sidecar_json())
+}
+
+/// Write this process's current obs metrics as the sidecar for PEs
 /// `[pe_begin, pe_end)`. Called by the worker after its partial
 /// manifest is complete; a plain extra file, never read by the shard
 /// pipeline — output bytes are untouched.
 pub fn write_sidecar(dir: &Path, pe_begin: u64, pe_end: u64) -> io::Result<PathBuf> {
-    let counters = kagen_obs::metrics::scalars();
     let path = dir.join(sidecar_file_name(pe_begin, pe_end));
-    std::fs::write(
-        &path,
-        format!("{{\"counters\":{}}}", counters_json(&counters)),
-    )?;
+    write_sidecar_to(&path)?;
     Ok(path)
 }
 
-/// Load (and leave in place) the sidecar for PEs `[pe_begin, pe_end)`,
-/// returning its counters. `Ok(None)` if no sidecar exists — the worker
-/// ran without telemetry.
+/// Load (and leave in place) the sidecar for PEs `[pe_begin, pe_end)`.
+/// `Ok(None)` if no sidecar exists — the worker ran without telemetry.
+/// A v1 sidecar (no `"histograms"` key) loads with empty histograms.
 pub fn load_sidecar(
     dir: &Path,
     pe_begin: u64,
     pe_end: u64,
-) -> io::Result<Option<Vec<(String, u64)>>> {
+) -> io::Result<Option<SidecarTelemetry>> {
     let path = dir.join(sidecar_file_name(pe_begin, pe_end));
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e),
     };
-    let doc = json::parse(&text).map_err(invalid)?;
-    let counters = doc
-        .as_obj("metrics sidecar")
-        .and_then(|o| o.get("counters").cloned())
-        .map_err(invalid)?;
-    match counters {
-        json::Value::Obj(fields) => {
-            let mut out = Vec::with_capacity(fields.len());
-            for (name, v) in fields {
-                let v = v.as_u64(&name).map_err(invalid)?;
-                out.push((name, v));
+    let parse = || -> Result<SidecarTelemetry, String> {
+        let doc = json::parse(&text)?;
+        let obj = doc.as_obj("metrics sidecar")?;
+        let mut counters = Vec::new();
+        match obj.get("counters")? {
+            json::Value::Obj(fields) => {
+                for (name, v) in fields {
+                    counters.push((name.clone(), v.as_u64(name)?));
+                }
             }
-            Ok(Some(out))
+            _ => return Err("metrics sidecar: counters is not an object".into()),
         }
-        _ => Err(invalid("metrics sidecar: counters is not an object".into())),
-    }
+        let histograms = match obj.get("histograms") {
+            Ok(v) => parse_histograms(v)?,
+            Err(_) => Vec::new(),
+        };
+        Ok(SidecarTelemetry {
+            counters,
+            histograms,
+        })
+    };
+    parse().map(Some).map_err(invalid)
 }
 
 /// One finished rank's telemetry, as the coordinator saw it.
@@ -113,6 +211,9 @@ pub struct RankMetrics {
     /// Worker-side counter snapshot from the sidecar (empty when the
     /// worker ran without telemetry or in the coordinator's process).
     pub counters: Vec<(String, u64)>,
+    /// Worker-side full histogram snapshots from the sidecar (empty
+    /// under the same conditions as `counters`).
+    pub histograms: Vec<(String, HistogramSnapshot)>,
 }
 
 /// The federated, run-wide metrics document behind `--metrics-out`.
@@ -173,13 +274,16 @@ impl RunMetrics {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"rank\":{},\"pe_begin\":{},\"pe_end\":{},\"edges\":{},\"wall_us\":{},\"attempts\":{},\"counters\":{}}}",
+                "{{\"rank\":{},\"pe_begin\":{},\"pe_end\":{},\"edges\":{},\"wall_us\":{},\"attempts\":{},\"counters\":{},\"histograms\":{}}}",
                 r.rank, r.pe_begin, r.pe_end, r.edges, r.wall_us, r.attempts,
-                counters_json(&r.counters)
+                counters_json(&r.counters),
+                histograms_json(&r.histograms)
             ));
         }
         out.push_str("],\"totals\":");
         out.push_str(&counters_json(&self.totals()));
+        out.push_str(",\"histograms\":");
+        out.push_str(&histograms_json(&self.merged_histograms()));
         out.push('}');
         out
     }
@@ -199,6 +303,24 @@ impl RunMetrics {
         totals
     }
 
+    /// Per-rank histograms merged bucket-wise by name — the run-wide
+    /// distribution view. Reconciles with the flat [`RunMetrics::totals`]
+    /// exactly: each merged histogram's `count`/`sum` equal the
+    /// `<name>.count`/`<name>.sum` scalar totals, and its bucket counts
+    /// sum to `count` (asserted in tests and CI).
+    pub fn merged_histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        let mut merged: Vec<(String, HistogramSnapshot)> = Vec::new();
+        for r in &self.ranks {
+            for (name, h) in &r.histograms {
+                match merged.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                    Ok(i) => merged[i].1.merge(h),
+                    Err(i) => merged.insert(i, (name.clone(), h.clone())),
+                }
+            }
+        }
+        merged
+    }
+
     /// Write the document to `path`.
     pub fn save(&self, path: &Path) -> io::Result<()> {
         std::fs::write(path, self.to_json())
@@ -211,7 +333,7 @@ impl RunMetrics {
             let doc = json::parse(text)?;
             let obj = doc.as_obj("metrics")?;
             let schema = obj.get("schema")?.as_str("schema")?;
-            if schema != METRICS_SCHEMA {
+            if schema != METRICS_SCHEMA && schema != METRICS_SCHEMA_V1 {
                 return Err(format!("unsupported metrics schema '{schema}'"));
             }
             let mut ranks = Vec::new();
@@ -223,6 +345,11 @@ impl RunMetrics {
                         counters.push((name.clone(), v.as_u64(name)?));
                     }
                 }
+                // v1 rank entries carry no histogram vectors.
+                let histograms = match r.get("histograms") {
+                    Ok(v) => parse_histograms(v)?,
+                    Err(_) => Vec::new(),
+                };
                 ranks.push(RankMetrics {
                     rank: r.get("rank")?.as_u64("rank")?,
                     pe_begin: r.get("pe_begin")?.as_u64("pe_begin")?,
@@ -231,6 +358,7 @@ impl RunMetrics {
                     wall_us: r.get("wall_us")?.as_u64("wall_us")?,
                     attempts: r.get("attempts")?.as_u64("attempts")?,
                     counters,
+                    histograms,
                 });
             }
             Ok(RunMetrics {
@@ -253,6 +381,15 @@ mod tests {
     use super::*;
 
     fn rank(rank: u64, pe_begin: u64, pe_end: u64, edges: u64) -> RankMetrics {
+        // One histogram with 2 observations per rank; the matching
+        // `.count`/`.sum` scalars ride in `counters` exactly as
+        // `kagen_obs::metrics::scalars()` would flatten them, so the
+        // v1 reconciliation invariant is testable end to end.
+        let hist = HistogramSnapshot {
+            count: 2,
+            sum: edges + 10,
+            buckets: vec![(3, 1), (4 + rank as usize, 1)],
+        };
         RankMetrics {
             rank,
             pe_begin,
@@ -260,7 +397,13 @@ mod tests {
             edges,
             wall_us: 1000 + rank,
             attempts: 1,
-            counters: vec![("gen.edges".into(), edges), ("sink.batches".into(), 2)],
+            counters: vec![
+                ("gen.edges".into(), edges),
+                ("sink.batches".into(), 2),
+                ("sink.shard_wall_us.count".into(), hist.count),
+                ("sink.shard_wall_us.sum".into(), hist.sum),
+            ],
+            histograms: vec![("sink.shard_wall_us".into(), hist)],
         }
     }
 
@@ -290,7 +433,12 @@ mod tests {
         let totals = rm.totals();
         assert_eq!(
             totals,
-            vec![("gen.edges".into(), 100), ("sink.batches".into(), 4)]
+            vec![
+                ("gen.edges".into(), 100),
+                ("sink.batches".into(), 4),
+                ("sink.shard_wall_us.count".into(), 4),
+                ("sink.shard_wall_us.sum".into(), 120),
+            ]
         );
     }
 
@@ -318,9 +466,46 @@ mod tests {
         assert_eq!(back.wall_us, 5000);
         assert_eq!(back.ranks.len(), 2);
         assert_eq!(back.ranks[1].counters, rm.ranks[1].counters);
+        assert_eq!(back.ranks[1].histograms, rm.ranks[1].histograms);
         assert_eq!(back.totals(), rm.totals());
+        assert_eq!(back.merged_histograms(), rm.merged_histograms());
         // Integer-only values by construction: the hand-rolled u64-only
         // parser accepted every number in the round trip above.
+    }
+
+    #[test]
+    fn merged_histograms_reconcile_with_v1_scalar_totals() {
+        let m = manifest(4, 100);
+        let rm = RunMetrics::federate(&m, vec![rank(0, 0, 2, 40), rank(1, 2, 4, 60)], 5000);
+        let merged = rm.merged_histograms();
+        assert_eq!(merged.len(), 1);
+        let (name, h) = &merged[0];
+        assert_eq!(name, "sink.shard_wall_us");
+        // Ranks land in different top buckets (4 vs 5); bucket 3 merges.
+        assert_eq!(h.buckets, vec![(3, 2), (4, 1), (5, 1)]);
+        assert_eq!(h.bucket_total(), h.count);
+        // The v2 vectors reconcile exactly with the v1 scalar totals.
+        let totals = rm.totals();
+        let scalar = |k: &str| totals.iter().find(|(n, _)| n == k).unwrap().1;
+        assert_eq!(h.count, scalar("sink.shard_wall_us.count"));
+        assert_eq!(h.sum, scalar("sink.shard_wall_us.sum"));
+    }
+
+    #[test]
+    fn v1_documents_still_parse() {
+        let v1 = "{\"schema\":\"kagen-metrics/v1\",\"model\":\"gnm_directed\",\"seed\":42,\
+                  \"chunks\":2,\"edges\":10,\"reused_shards\":0,\"reused_edges\":0,\
+                  \"wall_us\":99,\"ranks\":[{\"rank\":0,\"pe_begin\":0,\"pe_end\":2,\
+                  \"edges\":10,\"wall_us\":98,\"attempts\":1,\
+                  \"counters\":{\"gen.edges\":10}}],\"totals\":{\"gen.edges\":10}}";
+        let rm = RunMetrics::from_json(v1).unwrap();
+        assert_eq!(rm.edges, 10);
+        assert_eq!(rm.ranks[0].counters, vec![("gen.edges".into(), 10)]);
+        assert!(rm.ranks[0].histograms.is_empty());
+        assert!(rm.merged_histograms().is_empty());
+        // Unknown schemas are still rejected.
+        let bad = v1.replace("kagen-metrics/v1", "kagen-metrics/v9");
+        assert!(RunMetrics::from_json(&bad).is_err());
     }
 
     #[test]
@@ -329,13 +514,50 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         // No sidecar -> None, not an error.
         assert!(load_sidecar(&dir, 90, 95).unwrap().is_none());
+        // A v1 sidecar (counters only) still loads.
         let path = dir.join(sidecar_file_name(0, 3));
         std::fs::write(&path, "{\"counters\":{\"gen.edges\":12,\"rng.words\":256}}").unwrap();
-        let counters = load_sidecar(&dir, 0, 3).unwrap().unwrap();
+        let side = load_sidecar(&dir, 0, 3).unwrap().unwrap();
         assert_eq!(
-            counters,
+            side.counters,
             vec![("gen.edges".into(), 12), ("rng.words".into(), 256)]
         );
+        assert!(side.histograms.is_empty());
+        // A v2 sidecar carries bucket vectors.
+        std::fs::write(
+            &path,
+            "{\"counters\":{\"gen.edges\":12},\"histograms\":{\"sink.shard_wall_us\":\
+             {\"count\":2,\"sum\":300,\"buckets\":[{\"bucket\":8,\"count\":2}]}}}",
+        )
+        .unwrap();
+        let side = load_sidecar(&dir, 0, 3).unwrap().unwrap();
+        assert_eq!(side.histograms.len(), 1);
+        assert_eq!(side.histograms[0].1.count, 2);
+        assert_eq!(side.histograms[0].1.buckets, vec![(8, 2)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn live_sidecar_write_carries_histograms() {
+        static H: kagen_obs::Histogram = kagen_obs::Histogram::new("test.cluster.sidecar_hist");
+        let dir = std::env::temp_dir().join("kagen_metrics_sidecar_live");
+        std::fs::create_dir_all(&dir).unwrap();
+        kagen_obs::metrics::set_enabled(true);
+        H.record(100);
+        write_sidecar(&dir, 10, 12).unwrap();
+        let side = load_sidecar(&dir, 10, 12).unwrap().unwrap();
+        let (_, h) = side
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "test.cluster.sidecar_hist")
+            .expect("recorded histogram must appear in the sidecar");
+        assert!(h.count >= 1);
+        assert_eq!(h.bucket_total(), h.count);
+        // The flattened v1 scalars ride alongside.
+        assert!(side
+            .counters
+            .iter()
+            .any(|(n, _)| n == "test.cluster.sidecar_hist.count"));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

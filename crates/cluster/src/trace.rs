@@ -1,0 +1,456 @@
+//! Cross-rank trace federation: worker span sidecars in, one
+//! Perfetto-loadable timeline out.
+//!
+//! Each worker process buffers its spans with `kagen_obs::trace` and,
+//! when launch telemetry is on, dumps them as a sidecar next to its
+//! partial manifest (`part-<a>-<b>.trace.json`). The sidecar is itself
+//! a valid Chrome trace (it has a `traceEvents` array), but its
+//! timestamps are microseconds on the *worker's* monotonic clock — so
+//! the header carries the wall-clock anchor captured when that clock's
+//! epoch was pinned ([`kagen_obs::trace::epoch_unix_us`]), and the
+//! coordinator realigns every worker event onto its own timeline:
+//!
+//! ```text
+//! ts' = ts + (worker_anchor − coordinator_anchor)
+//! ```
+//!
+//! [`federate_chrome_trace`] merges the coordinator's own spans with
+//! every rank's realigned events into one JSON document: each process
+//! keeps its real OS `pid` and gets a `process_name` metadata row
+//! (`rank 2 worker (PEs 8..12)`), ranks sort under the coordinator, and
+//! a flow arrow links each supervisor `rank-N` span to the worker
+//! process-level span it spawned — retries included, because only the
+//! successful attempt writes a sidecar, and the arrow starts from the
+//! *last* `rank-N` span.
+//!
+//! Like every telemetry file, sidecars are plain extra files: the shard
+//! pipeline never reads them and output bytes are untouched.
+
+use kagen_obs::metrics::escape_json_into;
+use kagen_obs::TraceEvent;
+use kagen_pipeline::manifest::json;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Schema tag of the worker trace sidecar.
+pub const TRACE_SIDECAR_SCHEMA: &str = "kagen-trace-sidecar/v1";
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Sidecar file name for the rank covering PEs `[pe_begin, pe_end)`.
+pub fn trace_sidecar_file_name(pe_begin: u64, pe_end: u64) -> String {
+    format!("part-{pe_begin:05}-{pe_end:05}.trace.json")
+}
+
+/// One worker process's span buffer plus the header fields federation
+/// needs: its OS pid and the wall-clock anchor of its trace epoch.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerTrace {
+    /// The worker's OS process id.
+    pub pid: u64,
+    /// Wall-clock unix microseconds when the worker's trace epoch was
+    /// pinned; every event `ts_us` is relative to this instant.
+    pub epoch_unix_us: u64,
+    /// The worker's finished spans.
+    pub events: Vec<TraceEvent>,
+}
+
+fn events_json(out: &mut String, events: &[TraceEvent], pid: u64, ts_shift: i64) {
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // Clamp at zero: trace viewers accept negative timestamps, but
+        // the workspace's u64-only JSON parser (which tests round-trip
+        // through) does not — and a worker event genuinely predating
+        // the coordinator epoch only occurs under clock skew.
+        let ts = (ev.ts_us as i64 + ts_shift).max(0) as u64;
+        out.push_str("{\"name\":");
+        escape_json_into(out, &ev.name);
+        out.push_str(&format!(
+            ",\"cat\":\"kagen\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}}}",
+            ts, ev.dur_us, pid, ev.tid
+        ));
+    }
+}
+
+/// Serialize this process's current span buffer as a sidecar document.
+/// A valid Chrome trace in its own right, with the federation header
+/// fields (`schema`, `pid`, `epoch_unix_us`) as extra top-level keys
+/// that trace viewers ignore.
+pub fn sidecar_json() -> String {
+    let events = kagen_obs::trace::events();
+    let pid = std::process::id() as u64;
+    let mut out = String::with_capacity(128 + events.len() * 96);
+    out.push_str("{\"schema\":");
+    escape_json_into(&mut out, TRACE_SIDECAR_SCHEMA);
+    out.push_str(&format!(
+        ",\"pid\":{},\"epoch_unix_us\":{},\"traceEvents\":[",
+        pid,
+        kagen_obs::trace::epoch_unix_us()
+    ));
+    events_json(&mut out, &events, pid, 0);
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Write this process's span buffer as the trace sidecar for PEs
+/// `[pe_begin, pe_end)`. Called by the worker after its partial
+/// manifest is complete.
+pub fn write_sidecar(dir: &Path, pe_begin: u64, pe_end: u64) -> io::Result<PathBuf> {
+    let path = dir.join(trace_sidecar_file_name(pe_begin, pe_end));
+    std::fs::write(&path, sidecar_json())?;
+    Ok(path)
+}
+
+/// Load (and leave in place) the trace sidecar for PEs
+/// `[pe_begin, pe_end)`. `Ok(None)` if no sidecar exists — the worker
+/// ran without tracing.
+pub fn load_sidecar(dir: &Path, pe_begin: u64, pe_end: u64) -> io::Result<Option<WorkerTrace>> {
+    let path = dir.join(trace_sidecar_file_name(pe_begin, pe_end));
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let parse = || -> Result<WorkerTrace, String> {
+        let doc = json::parse(&text)?;
+        let obj = doc.as_obj("trace sidecar")?;
+        let schema = obj.get("schema")?.as_str("schema")?;
+        if schema != TRACE_SIDECAR_SCHEMA {
+            return Err(format!("unsupported trace sidecar schema '{schema}'"));
+        }
+        let mut events = Vec::new();
+        for v in obj.get("traceEvents")?.as_arr("traceEvents")? {
+            let e = v.as_obj("trace event")?;
+            events.push(TraceEvent {
+                name: e.get("name")?.as_str("name")?.to_string(),
+                ts_us: e.get("ts")?.as_u64("ts")?,
+                dur_us: e.get("dur")?.as_u64("dur")?,
+                tid: e.get("tid")?.as_u64("tid")?,
+            });
+        }
+        Ok(WorkerTrace {
+            pid: obj.get("pid")?.as_u64("pid")?,
+            epoch_unix_us: obj.get("epoch_unix_us")?.as_u64("epoch_unix_us")?,
+            events,
+        })
+    };
+    parse().map(Some).map_err(invalid)
+}
+
+/// One rank's collected worker trace, tagged with its plan position.
+#[derive(Clone, Debug)]
+pub struct RankTrace {
+    /// Rank id (plan order).
+    pub rank: u64,
+    /// First PE of the rank's contiguous range.
+    pub pe_begin: u64,
+    /// One past the rank's last PE.
+    pub pe_end: u64,
+    /// The worker's sidecar payload.
+    pub trace: WorkerTrace,
+}
+
+fn metadata_row(out: &mut String, pid: u64, name: &str, sort_index: u64) {
+    out.push_str("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":");
+    out.push_str(&format!("{pid},\"tid\":0,\"args\":{{\"name\":"));
+    escape_json_into(out, name);
+    out.push_str("}},");
+    out.push_str(&format!(
+        "{{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+         \"args\":{{\"sort_index\":{sort_index}}}}}"
+    ));
+}
+
+/// The timestamp/tid anchor of a rank's process-level span: the
+/// outermost `worker.generate` span when present, else the earliest
+/// event.
+fn worker_anchor(events: &[TraceEvent]) -> Option<&TraceEvent> {
+    events
+        .iter()
+        .find(|e| e.name == "worker.generate")
+        .or_else(|| events.iter().min_by_key(|e| e.ts_us))
+}
+
+/// Merge the coordinator's current span buffer with every rank's
+/// sidecar into one Chrome trace JSON document (see the module docs
+/// for the shape). Timestamps are realigned onto the coordinator's
+/// clock via the sidecar wall anchors.
+pub fn federate_chrome_trace(ranks: &[RankTrace]) -> String {
+    federate_with(
+        &WorkerTrace {
+            pid: std::process::id() as u64,
+            epoch_unix_us: kagen_obs::trace::epoch_unix_us(),
+            events: kagen_obs::trace::events(),
+        },
+        ranks,
+    )
+}
+
+/// [`federate_chrome_trace`] against an explicit coordinator view
+/// instead of this process's live trace buffer (deterministic tests,
+/// offline re-federation of saved sidecars).
+pub fn federate_with(coord: &WorkerTrace, ranks: &[RankTrace]) -> String {
+    let coord_events = &coord.events;
+    let coord_pid = coord.pid;
+    let coord_anchor = coord.epoch_unix_us as i64;
+
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"traceEvents\":[");
+    metadata_row(&mut out, coord_pid, "kagen launch (coordinator)", 0);
+    for rt in ranks {
+        out.push(',');
+        metadata_row(
+            &mut out,
+            rt.trace.pid,
+            &format!(
+                "rank {} worker (PEs {}..{})",
+                rt.rank, rt.pe_begin, rt.pe_end
+            ),
+            rt.rank + 1,
+        );
+    }
+    if !coord_events.is_empty() {
+        out.push(',');
+        events_json(&mut out, coord_events, coord_pid, 0);
+    }
+    for rt in ranks {
+        if rt.trace.events.is_empty() {
+            continue;
+        }
+        let shift = rt.trace.epoch_unix_us as i64 - coord_anchor;
+        out.push(',');
+        events_json(&mut out, &rt.trace.events, rt.trace.pid, shift);
+    }
+    // Flow arrows: supervisor `rank-N` span -> worker process span.
+    // A retried rank has several `rank-N` spans; the sidecar belongs to
+    // the successful (last) attempt, so the arrow starts there.
+    for rt in ranks {
+        let Some(rank_span) = coord_events
+            .iter()
+            .filter(|e| e.name == format!("rank-{}", rt.rank))
+            .max_by_key(|e| e.ts_us)
+        else {
+            continue;
+        };
+        let Some(anchor) = worker_anchor(&rt.trace.events) else {
+            continue;
+        };
+        let shift = rt.trace.epoch_unix_us as i64 - coord_anchor;
+        let worker_ts = (anchor.ts_us as i64 + shift).max(0) as u64;
+        out.push(',');
+        out.push_str(&format!(
+            "{{\"name\":\"rank-{r}\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":{r},\
+             \"ts\":{},\"pid\":{},\"tid\":{}}}",
+            rank_span.ts_us,
+            coord_pid,
+            rank_span.tid,
+            r = rt.rank,
+        ));
+        out.push_str(&format!(
+            ",{{\"name\":\"rank-{r}\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\
+             \"id\":{r},\"ts\":{},\"pid\":{},\"tid\":{}}}",
+            worker_ts,
+            rt.trace.pid,
+            anchor.tid,
+            r = rt.rank,
+        ));
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Write the federated timeline (see [`federate_chrome_trace`]) to
+/// `path`.
+pub fn write_federated_chrome_trace(path: &Path, ranks: &[RankTrace]) -> io::Result<()> {
+    std::fs::write(path, federate_chrome_trace(ranks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, ts_us: u64, dur_us: u64, tid: u64) -> TraceEvent {
+        TraceEvent {
+            name: name.to_string(),
+            ts_us,
+            dur_us,
+            tid,
+        }
+    }
+
+    #[test]
+    fn sidecar_roundtrip_preserves_events_and_anchor() {
+        let dir = std::env::temp_dir().join("kagen_trace_sidecar_rt");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(load_sidecar(&dir, 4, 8).unwrap().is_none());
+        // Hand-written sidecar with a known anchor.
+        std::fs::write(
+            dir.join(trace_sidecar_file_name(4, 8)),
+            "{\"schema\":\"kagen-trace-sidecar/v1\",\"pid\":4242,\
+             \"epoch_unix_us\":1000000,\"traceEvents\":[{\"name\":\"worker.generate\",\
+             \"cat\":\"kagen\",\"ph\":\"X\",\"ts\":5,\"dur\":90,\"pid\":4242,\"tid\":1}],\
+             \"displayTimeUnit\":\"ms\"}",
+        )
+        .unwrap();
+        let wt = load_sidecar(&dir, 4, 8).unwrap().unwrap();
+        assert_eq!(wt.pid, 4242);
+        assert_eq!(wt.epoch_unix_us, 1_000_000);
+        assert_eq!(wt.events, vec![ev("worker.generate", 5, 90, 1)]);
+        // Unknown schema is rejected, not silently misread.
+        std::fs::write(
+            dir.join(trace_sidecar_file_name(4, 8)),
+            "{\"schema\":\"kagen-trace-sidecar/v9\",\"pid\":1,\"epoch_unix_us\":1,\
+             \"traceEvents\":[]}",
+        )
+        .unwrap();
+        assert!(load_sidecar(&dir, 4, 8).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn live_sidecar_is_chrome_shaped_and_parses_back() {
+        let dir = std::env::temp_dir().join("kagen_trace_sidecar_live");
+        std::fs::create_dir_all(&dir).unwrap();
+        kagen_obs::trace::set_enabled(true);
+        let s = kagen_obs::trace::span("test.trace.live");
+        let _ = s.finish();
+        write_sidecar(&dir, 0, 2).unwrap();
+        let wt = load_sidecar(&dir, 0, 2).unwrap().unwrap();
+        assert_eq!(wt.pid, std::process::id() as u64);
+        assert_eq!(wt.epoch_unix_us, kagen_obs::trace::epoch_unix_us());
+        assert!(wt.events.iter().any(|e| e.name == "test.trace.live"));
+        kagen_obs::trace::set_enabled(false);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn federation_realigns_names_and_links() {
+        // Worker epochs 100us and 250us after the coordinator's: their
+        // events must shift forward by exactly that delta.
+        let coord_anchor = 5_000_000u64;
+        let coord = WorkerTrace {
+            pid: 8000,
+            epoch_unix_us: coord_anchor,
+            events: vec![ev("launch.supervise", 0, 900, 1)],
+        };
+        let ranks = vec![
+            RankTrace {
+                rank: 0,
+                pe_begin: 0,
+                pe_end: 4,
+                trace: WorkerTrace {
+                    pid: 9001,
+                    epoch_unix_us: coord_anchor + 100,
+                    events: vec![
+                        ev("worker.generate", 10, 500, 1),
+                        ev("pipeline.shard", 20, 80, 2),
+                    ],
+                },
+            },
+            RankTrace {
+                rank: 1,
+                pe_begin: 4,
+                pe_end: 8,
+                trace: WorkerTrace {
+                    pid: 9002,
+                    epoch_unix_us: coord_anchor + 250,
+                    events: vec![ev("worker.generate", 40, 300, 1)],
+                },
+            },
+        ];
+        let json_text = federate_with(&coord, &ranks);
+        // Parses with the workspace's own (u64-only) parser.
+        let doc = json::parse(&json_text).unwrap();
+        let events = doc
+            .as_obj("trace")
+            .unwrap()
+            .get("traceEvents")
+            .unwrap()
+            .as_arr("traceEvents")
+            .unwrap()
+            .to_vec();
+        // Distinct pid rows with names for both workers.
+        assert!(json_text.contains("\"rank 0 worker (PEs 0..4)\""));
+        assert!(json_text.contains("\"rank 1 worker (PEs 4..8)\""));
+        assert!(json_text.contains("\"pid\":9001"));
+        assert!(json_text.contains("\"pid\":9002"));
+        // Realigned timestamps: 10+100 and 40+250.
+        let find = |pid: u64, name: &str| {
+            events
+                .iter()
+                .filter_map(|v| v.as_obj("e").ok())
+                .find(|e| {
+                    e.get("pid").ok().and_then(|p| p.as_u64("pid").ok()) == Some(pid)
+                        && e.get("name")
+                            .ok()
+                            .and_then(|n| n.as_str("n").ok().map(String::from))
+                            == Some(name.to_string())
+                })
+                .unwrap_or_else(|| panic!("missing event {name} pid {pid}"))
+        };
+        assert_eq!(
+            find(9001, "worker.generate")
+                .get("ts")
+                .unwrap()
+                .as_u64("ts")
+                .unwrap(),
+            110
+        );
+        assert_eq!(
+            find(9002, "worker.generate")
+                .get("ts")
+                .unwrap()
+                .as_u64("ts")
+                .unwrap(),
+            290
+        );
+    }
+
+    #[test]
+    fn federation_links_flows_to_last_rank_span() {
+        // The coordinator saw two rank-0 spans (a failed and a
+        // successful attempt); the flow must start from the later one,
+        // because only the successful attempt wrote a sidecar.
+        let coord = WorkerTrace {
+            pid: 8000,
+            epoch_unix_us: 5_000_000,
+            events: vec![ev("rank-0", 10, 40, 2), ev("rank-0", 600, 80, 3)],
+        };
+        let ranks = vec![RankTrace {
+            rank: 0,
+            pe_begin: 0,
+            pe_end: 2,
+            trace: WorkerTrace {
+                pid: 7001,
+                epoch_unix_us: 5_000_000 + 620,
+                events: vec![ev("worker.generate", 3, 50, 1)],
+            },
+        }];
+        let json_text = federate_with(&coord, &ranks);
+        assert!(
+            json_text.contains(
+                "\"cat\":\"flow\",\"ph\":\"s\",\"id\":0,\"ts\":600,\"pid\":8000,\"tid\":3"
+            ),
+            "{json_text}"
+        );
+        assert!(
+            json_text
+                .contains("\"ph\":\"f\",\"bp\":\"e\",\"id\":0,\"ts\":623,\"pid\":7001,\"tid\":1"),
+            "{json_text}"
+        );
+        // A rank with no events gets a pid row but no flow arrow.
+        let bare = vec![RankTrace {
+            rank: 1,
+            pe_begin: 2,
+            pe_end: 4,
+            trace: WorkerTrace::default(),
+        }];
+        let json_text = federate_with(&coord, &bare);
+        assert!(json_text.contains("rank 1 worker"));
+        assert!(!json_text.contains("\"id\":1,"));
+    }
+}

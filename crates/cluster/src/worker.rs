@@ -9,10 +9,15 @@
 //! format)`, which is the whole point of the paper.
 
 use kagen_core::streaming::StreamingGenerator;
+use kagen_obs::Counter;
 use kagen_pipeline::{write_shard, PartialManifest, ShardFormat, ShardInfo};
 use std::io;
 use std::ops::Range;
 use std::path::Path;
+
+/// Shards this worker finished writing — the heartbeat publisher's
+/// "PEs done" signal.
+static WORKER_PES_DONE: Counter = Counter::new("worker.pes_done");
 
 /// Failure-injection hook for supervision tests: abort before writing
 /// shard `pe`, leaving earlier shards of the range behind — the
@@ -26,19 +31,28 @@ pub struct FailureInjection {
     /// marker exists every later attempt proceeds normally — a fault
     /// that heals on retry.
     pub fail_once_marker: Option<std::path::PathBuf>,
+    /// Wedge mode for stall-detection tests: if this marker file does
+    /// not exist, create it and sleep forever at entry — a hung worker
+    /// that only a heartbeat watchdog can catch; once the marker
+    /// exists every later attempt proceeds normally.
+    pub stall_once_marker: Option<std::path::PathBuf>,
 }
 
 impl FailureInjection {
     /// Read the injection from the environment (`KAGEN_WORKER_FAIL_PE`,
-    /// `KAGEN_WORKER_FAIL_ONCE=<marker path>`) — how the `kagen worker`
-    /// subcommand picks it up in integration tests without a dedicated
-    /// CLI flag.
+    /// `KAGEN_WORKER_FAIL_ONCE=<marker path>`,
+    /// `KAGEN_WORKER_STALL_ONCE=<marker path>`) — how the
+    /// `kagen worker` subcommand picks it up in integration tests
+    /// without a dedicated CLI flag.
     pub fn from_env() -> FailureInjection {
         FailureInjection {
             fail_before_pe: std::env::var("KAGEN_WORKER_FAIL_PE")
                 .ok()
                 .and_then(|v| v.parse().ok()),
             fail_once_marker: std::env::var("KAGEN_WORKER_FAIL_ONCE")
+                .ok()
+                .map(std::path::PathBuf::from),
+            stall_once_marker: std::env::var("KAGEN_WORKER_STALL_ONCE")
                 .ok()
                 .map(std::path::PathBuf::from),
         }
@@ -69,6 +83,18 @@ pub fn run_worker(
             ));
         }
     }
+    if let Some(marker) = &inject.stall_once_marker {
+        if !marker.exists() {
+            std::fs::write(marker, b"stalled once\n")?;
+            // Wedge: no progress, no exit — the footprint of a hung
+            // worker. Only the supervisor's stall watchdog ends this
+            // attempt (by killing the process).
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(1));
+            }
+        }
+    }
+    crate::heartbeat::set_stage("generate");
     let (begin, end) = (pes.start, pes.end);
     let results: Vec<io::Result<ShardInfo>> =
         kagen_runtime::run_chunks(end - begin, threads, |i| {
@@ -76,7 +102,9 @@ pub fn run_worker(
             if inject.fail_before_pe == Some(pe) {
                 return Err(io::Error::other(format!("injected failure before PE {pe}")));
             }
-            write_shard(gen, pe, dir, format)
+            let shard = write_shard(gen, pe, dir, format)?;
+            WORKER_PES_DONE.incr();
+            Ok(shard)
         });
     let mut shards = Vec::with_capacity(results.len());
     for r in results {
@@ -88,6 +116,7 @@ pub fn run_worker(
         shards: shards.clone(),
     };
     part.save(dir)?;
+    crate::heartbeat::set_stage("done");
     Ok(shards)
 }
 

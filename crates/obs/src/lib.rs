@@ -41,5 +41,5 @@ pub mod metrics;
 pub mod trace;
 
 pub use log::Level;
-pub use metrics::{Counter, Gauge, Histogram, MetricValue};
-pub use trace::{span, Span};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricValue};
+pub use trace::{span, Span, TraceEvent};

@@ -170,6 +170,55 @@ mod tests {
     }
 
     #[test]
+    fn level_parse_rejects_malformed_inputs() {
+        // Out-of-range digits, signs, floats, and embedded whitespace
+        // all fail closed (caller keeps its current level).
+        for bad in [
+            "5",
+            "-1",
+            "+2",
+            "99",
+            "2.0",
+            "0x1",
+            "in fo",
+            "debu",
+            "debugg",
+            "truee",
+            "trace!",
+            "\n\t",
+            "２",
+            "warn warn",
+        ] {
+            assert_eq!(Level::parse(bad), None, "{bad:?} must not parse");
+        }
+        // Surrounding whitespace (any amount) is tolerated; inner is not.
+        assert_eq!(Level::parse("\t trace \n"), Some(Level::Trace));
+        assert_eq!(Level::parse("  0  "), Some(Level::Error));
+        // Mixed case resolves through ASCII lowercasing only.
+        assert_eq!(Level::parse("ErRoR"), Some(Level::Error));
+        assert_eq!(Level::parse("WARNING"), Some(Level::Warn));
+    }
+
+    #[test]
+    fn init_from_env_ignores_invalid_and_applies_valid() {
+        // Env mutation is process-global: restore everything before
+        // returning so parallel tests see the default level.
+        let before = level();
+        std::env::set_var("KAGEN_LOG", "not-a-level");
+        init_from_env();
+        assert_eq!(level(), before, "invalid KAGEN_LOG must be ignored");
+        std::env::set_var("KAGEN_LOG", "error");
+        init_from_env();
+        assert_eq!(level(), Level::Error);
+        // Flags are applied after init_from_env, so a later set_level
+        // (the `-v`/`-q` path) wins over the environment.
+        set_level(Level::Debug);
+        assert_eq!(level(), Level::Debug);
+        std::env::remove_var("KAGEN_LOG");
+        set_level(before);
+    }
+
+    #[test]
     fn level_ordering_gates_enabled() {
         // Not using set_level here beyond restoring the default, to
         // avoid racing parallel tests that log.

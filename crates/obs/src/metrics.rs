@@ -402,8 +402,94 @@ pub fn reset() {
     }
 }
 
+/// A plain-data histogram snapshot: totals plus the sparse non-empty
+/// log2 buckets, mergeable bucket-wise so distributions federate across
+/// ranks without collapsing to count/sum.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// `(bucket index, count)` pairs, sorted by index, counts > 0.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Fold `other` into `self`: totals add, buckets merge index-wise.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.buckets.is_empty() {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, ca)), Some(&&(ib, cb))) => {
+                    if ia < ib {
+                        merged.push((ia, ca));
+                        a.next();
+                    } else if ib < ia {
+                        merged.push((ib, cb));
+                        b.next();
+                    } else {
+                        merged.push((ia, ca + cb));
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(_), None) => {
+                    merged.extend(a.by_ref().copied());
+                    break;
+                }
+                (None, Some(_)) => {
+                    merged.extend(b.by_ref().copied());
+                    break;
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+    }
+
+    /// Sum of all bucket counts; equals `count` for any snapshot built
+    /// from a single histogram or merged from such snapshots.
+    pub fn bucket_total(&self) -> u64 {
+        self.buckets.iter().map(|&(_, c)| c).sum()
+    }
+}
+
+/// Histogram snapshots only, sorted by name.
+pub fn histograms() -> Vec<(&'static str, HistogramSnapshot)> {
+    snapshot()
+        .into_iter()
+        .filter_map(|(n, v)| match v {
+            MetricValue::Histogram {
+                count,
+                sum,
+                buckets,
+            } => Some((
+                n,
+                HistogramSnapshot {
+                    count,
+                    sum,
+                    buckets,
+                },
+            )),
+            _ => None,
+        })
+        .collect()
+}
+
 /// Append `s` to `out` as a JSON string literal (quotes included).
-pub(crate) fn escape_json_into(out: &mut String, s: &str) {
+/// Public so sidecar/federation serializers in other crates emit
+/// strings byte-compatibly with the metrics JSON here.
+pub fn escape_json_into(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -604,6 +690,51 @@ mod tests {
         assert!(json.contains("\"test.json.a\":"));
         assert!(json.contains("\"test.json.b\":"));
         assert!(!json.contains('.') || !json.contains("e-"), "{json}");
+    }
+
+    #[test]
+    fn histogram_snapshot_merges_bucket_wise() {
+        let mut a = HistogramSnapshot {
+            count: 3,
+            sum: 10,
+            buckets: vec![(0, 1), (5, 2)],
+        };
+        let b = HistogramSnapshot {
+            count: 4,
+            sum: 90,
+            buckets: vec![(5, 1), (7, 3)],
+        };
+        a.merge(&b);
+        assert_eq!(a.count, 7);
+        assert_eq!(a.sum, 100);
+        assert_eq!(a.buckets, vec![(0, 1), (5, 3), (7, 3)]);
+        assert_eq!(a.bucket_total(), a.count);
+        // Merging an empty snapshot is a no-op on buckets.
+        let before = a.clone();
+        a.merge(&HistogramSnapshot::default());
+        assert_eq!(a, before);
+        // Merging into an empty snapshot copies.
+        let mut e = HistogramSnapshot::default();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn histograms_accessor_returns_live_snapshots() {
+        static H: Histogram = Histogram::new("test.hist.accessor");
+        let _g = locked();
+        set_enabled(true);
+        H.reset();
+        H.record(12);
+        H.record(100);
+        let hs = histograms();
+        let (_, snap) = hs
+            .iter()
+            .find(|(n, _)| *n == "test.hist.accessor")
+            .expect("registered histogram must appear");
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.sum, 112);
+        assert_eq!(snap.bucket_total(), 2);
     }
 
     #[test]

@@ -29,7 +29,7 @@ use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
@@ -48,10 +48,33 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-static EPOCH: OnceLock<Instant> = OnceLock::new();
+/// The trace epoch: the monotonic instant all `ts` values are relative
+/// to, paired with the wall-clock unix microseconds captured at the
+/// same moment. The wall half is the cross-process alignment anchor:
+/// two processes can place their monotonic timelines on one axis by
+/// shifting each event by the difference of the two anchors.
+static EPOCH: OnceLock<(Instant, u64)> = OnceLock::new();
+
+fn epoch_pair() -> (Instant, u64) {
+    *EPOCH.get_or_init(|| {
+        let unix_us = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        (Instant::now(), unix_us)
+    })
+}
 
 fn epoch() -> Instant {
-    *EPOCH.get_or_init(Instant::now)
+    epoch_pair().0
+}
+
+/// Wall-clock unix microseconds captured when the trace epoch was
+/// pinned. An event's absolute wall time is `epoch_unix_us() + ts_us`;
+/// federation uses this to realign worker timelines onto the
+/// coordinator's clock. Pins the epoch if not already pinned.
+pub fn epoch_unix_us() -> u64 {
+    epoch_pair().1
 }
 
 /// One buffered "complete" event.
@@ -134,6 +157,32 @@ impl Drop for Span {
 /// Number of events buffered so far.
 pub fn event_count() -> usize {
     EVENTS.lock().unwrap().len()
+}
+
+/// One finished span, exported for sidecar serialization and trace
+/// federation. Timestamps are microseconds relative to this process's
+/// trace epoch (see [`epoch_unix_us`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub name: String,
+    pub ts_us: u64,
+    pub dur_us: u64,
+    pub tid: u64,
+}
+
+/// Snapshot the buffered events as owned data.
+pub fn events() -> Vec<TraceEvent> {
+    EVENTS
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|ev| TraceEvent {
+            name: ev.name.to_string(),
+            ts_us: ev.ts_us,
+            dur_us: ev.dur_us,
+            tid: ev.tid,
+        })
+        .collect()
 }
 
 /// Discard all buffered events.
@@ -221,6 +270,26 @@ mod tests {
         assert!(json.contains("\"ph\":\"X\""));
         assert!(json.contains("\"name\":\"shape \\\"quoted\\\"\""));
         assert!(json.contains("\"dur\":"));
+        set_enabled(false);
+        clear();
+    }
+
+    #[test]
+    fn events_snapshot_and_wall_anchor() {
+        let _g = locked();
+        set_enabled(true);
+        clear();
+        let s = span("snap.region");
+        let _ = s.finish();
+        let evs = events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].name, "snap.region");
+        assert!(evs[0].tid >= 1);
+        // The wall anchor is pinned once and stable across calls.
+        let a = epoch_unix_us();
+        assert_eq!(a, epoch_unix_us());
+        // Sanity: after 2020-01-01 in microseconds.
+        assert!(a > 1_577_836_800_000_000);
         set_enabled(false);
         clear();
     }

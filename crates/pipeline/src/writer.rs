@@ -7,7 +7,7 @@
 use crate::manifest::{Manifest, RunHeader, ShardInfo};
 use crate::sink::{checksum_step, BinarySink, CompressedSink, EdgeSink, TextSink};
 use kagen_core::streaming::StreamingGenerator;
-use kagen_obs::Counter;
+use kagen_obs::{Counter, Histogram};
 use std::fs::File;
 use std::io::{self, BufWriter};
 use std::path::{Path, PathBuf};
@@ -21,6 +21,10 @@ static SINK_EDGES: Counter = Counter::new("sink.edges");
 static SINK_BYTES: Counter = Counter::new("sink.bytes_written");
 /// Shards written to completion.
 static SINK_SHARDS: Counter = Counter::new("sink.shards");
+/// Wall time of each completed shard write, in microseconds — the
+/// per-stage latency distribution that survives cross-rank federation
+/// bucket-wise (`kagen-metrics/v2`).
+static SINK_SHARD_WALL_US: Histogram = Histogram::new("sink.shard_wall_us");
 
 /// On-disk shard encoding.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -149,6 +153,7 @@ pub fn write_shard<G: StreamingGenerator + ?Sized>(
     dir: &Path,
     format: ShardFormat,
 ) -> io::Result<ShardInfo> {
+    let shard_span = kagen_obs::span("pipeline.write_shard");
     let file = shard_file_name(pe, format);
     let path = dir.join(&file);
     let mut sink = format_sink(&path, format, gen.num_vertices())?;
@@ -164,6 +169,7 @@ pub fn write_shard<G: StreamingGenerator + ?Sized>(
     });
     let edges = sink.finish()?;
     SINK_SHARDS.incr();
+    SINK_SHARD_WALL_US.record((shard_span.finish() * 1e6) as u64);
     if kagen_obs::metrics::enabled() {
         if let Ok(meta) = std::fs::metadata(&path) {
             SINK_BYTES.add(meta.len());

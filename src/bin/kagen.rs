@@ -79,6 +79,16 @@
 //!                         runs, parallelized across shards; none skips
 //!                         the post-run re-read only
 //!   --no-validate         alias for --validate none
+//!   --progress <secs>     print a live progress line every <secs>
+//!                         seconds: PEs/edges done (completed ranks +
+//!                         live worker heartbeats), aggregate edges/sec,
+//!                         ETA from the rank plan
+//!   --stall-timeout <s>   kill a worker whose heartbeat has not
+//!                         advanced in <s> seconds and count the attempt
+//!                         as failed (retried under --retries). Both
+//!                         flags make workers publish heartbeat files
+//!                         (part-<a>-<b>.heartbeat.json) at batch
+//!                         granularity
 //!
 //! Launch mode splits the PE range into contiguous rank ranges and
 //! re-execs this binary as `kagen worker` child processes, one per rank
@@ -97,20 +107,34 @@
 //!   -t <threads>          worker threads                   (default 1)
 //!   --metrics-sidecar     write this rank's metric counters next to its
 //!                         partial manifest (set by `launch --metrics-out`)
+//!   --trace-sidecar       write this rank's span sidecar next to its
+//!                         partial manifest (set by `launch --trace-out`)
+//!   --heartbeat           publish a liveness/progress heartbeat file
+//!                         while generating (set by `launch --progress`
+//!                         or `launch --stall-timeout`)
 //!
 //! observability (all modes unless noted):
 //!   -v / -q               more / less logging (-v debug, -vv trace,
 //!                         -q warnings only, -qq errors only); the
 //!                         KAGEN_LOG env var (error|warn|info|debug|trace)
 //!                         sets the default level
-//!   --metrics-out <path>  write run metrics JSON (stream | launch).
-//!                         In launch mode workers report per-rank counter
-//!                         sidecars and the coordinator federates them;
+//!   --metrics-out <path>  write run metrics JSON (stream | launch |
+//!                         worker). In launch mode workers report
+//!                         per-rank sidecars (kagen-metrics/v2: counter
+//!                         scalars + full histogram buckets) and the
+//!                         coordinator federates them bucket-wise;
 //!                         per-rank edge totals always reconcile with the
-//!                         manifest's edge count
+//!                         manifest's edge count. A standalone worker
+//!                         writes its own sidecar-shaped document
 //!   --trace-out <path>    write Chrome trace-event JSON of the run's
 //!                         phase spans (open in chrome://tracing or
-//!                         ui.perfetto.dev; not in worker mode)
+//!                         ui.perfetto.dev). In launch mode the file is
+//!                         the *federated* cross-rank timeline: every
+//!                         worker's spans realigned onto the
+//!                         coordinator's clock, one pid row per rank,
+//!                         flow arrows from each supervisor rank-N span
+//!                         to its worker. A standalone worker writes its
+//!                         sidecar document (also a valid Chrome trace)
 //!
 //! Telemetry never touches an RNG stream or an output byte: shards and
 //! manifest.json are bit-identical with metrics/tracing on or off.
@@ -206,6 +230,10 @@ struct Options {
     metrics_out: Option<String>,
     trace_out: Option<String>,
     metrics_sidecar: bool,
+    trace_sidecar: bool,
+    heartbeat: bool,
+    progress: Option<f64>,
+    stall_timeout: Option<f64>,
 }
 
 fn usage() -> ! {
@@ -250,6 +278,10 @@ fn parse() -> Options {
         metrics_out: None,
         trace_out: None,
         metrics_sidecar: false,
+        trace_sidecar: false,
+        heartbeat: false,
+        progress: None,
+        stall_timeout: None,
     };
     let mut args = std::env::args().skip(1);
     let Some(mut model) = args.next() else {
@@ -331,6 +363,12 @@ fn parse() -> Options {
             "--metrics-out" => o.metrics_out = Some(next(&mut args)),
             "--trace-out" => o.trace_out = Some(next(&mut args)),
             "--metrics-sidecar" => o.metrics_sidecar = true,
+            "--trace-sidecar" => o.trace_sidecar = true,
+            "--heartbeat" => o.heartbeat = true,
+            "--progress" => o.progress = Some(next(&mut args).parse().unwrap_or_else(|_| usage())),
+            "--stall-timeout" => {
+                o.stall_timeout = Some(next(&mut args).parse().unwrap_or_else(|_| usage()))
+            }
             _ => usage(),
         }
     }
@@ -365,18 +403,42 @@ fn validate(o: &Options) {
             "--metrics-sidecar",
             "`kagen worker` (launch --metrics-out sets it)",
         );
-    } else {
         reject(
-            o.trace_out.is_some(),
-            "--trace-out",
-            "`kagen <model>|stream|launch` (workers report metric sidecars)",
+            o.trace_sidecar,
+            "--trace-sidecar",
+            "`kagen worker` (launch --trace-out sets it)",
+        );
+        reject(
+            o.heartbeat,
+            "--heartbeat",
+            "`kagen worker` (launch --progress/--stall-timeout set it)",
         );
     }
-    if !matches!(mode, Mode::Stream | Mode::Launch) {
+    if mode != Mode::Launch {
+        reject(o.progress.is_some(), "--progress", "`kagen launch`");
+        reject(
+            o.stall_timeout.is_some(),
+            "--stall-timeout",
+            "`kagen launch`",
+        );
+    }
+    if let Some(secs) = o.progress {
+        if secs.is_nan() || secs <= 0.0 {
+            fail(format!("--progress wants a positive interval, got {secs}"));
+        }
+    }
+    if let Some(secs) = o.stall_timeout {
+        if secs.is_nan() || secs <= 0.0 {
+            fail(format!(
+                "--stall-timeout wants a positive window, got {secs}"
+            ));
+        }
+    }
+    if !matches!(mode, Mode::Stream | Mode::Launch | Mode::Worker) {
         reject(
             o.metrics_out.is_some(),
             "--metrics-out",
-            "`kagen stream|launch`",
+            "`kagen stream|launch|worker`",
         );
     }
     match mode {
@@ -810,6 +872,10 @@ fn run_stream(o: &Options) {
             wall_us,
             attempts: 1,
             counters: kagen_obs::metrics::scalars(),
+            histograms: kagen_obs::metrics::histograms()
+                .into_iter()
+                .map(|(n, h)| (n.to_string(), h))
+                .collect(),
         };
         RunMetrics::federate(&manifest, vec![rank], wall_us)
             .save(Path::new(path))
@@ -879,10 +945,18 @@ fn worker_args(o: &Options, shard_dir: &str, format: ShardFormat) -> Vec<String>
         args.push(r.to_string());
     }
     // Telemetry pass-through: workers inherit the coordinator's
-    // verbosity, and `--metrics-out` asks every rank for a counter
-    // sidecar the coordinator federates afterwards.
+    // verbosity; `--metrics-out` asks every rank for a metrics sidecar,
+    // `--trace-out` for a span sidecar (both federated by the
+    // coordinator afterwards), and `--progress`/`--stall-timeout` for
+    // the heartbeat file the coordinator polls.
     if o.metrics_out.is_some() {
         args.push("--metrics-sidecar".into());
+    }
+    if o.trace_out.is_some() {
+        args.push("--trace-sidecar".into());
+    }
+    if o.progress.is_some() || o.stall_timeout.is_some() {
+        args.push("--heartbeat".into());
     }
     for _ in 0..o.verbosity.unsigned_abs() {
         args.push(if o.verbosity > 0 { "-v" } else { "-q" }.into());
@@ -917,6 +991,7 @@ fn run_launch(o: &Options) {
         exe,
         worker_args: worker_args(o, shard_dir, format),
         dir: PathBuf::from(shard_dir),
+        stall_timeout: o.stall_timeout.map(std::time::Duration::from_secs_f64),
     };
     let validate = if o.no_validate {
         kagen_repro::cluster::ValidateMode::None
@@ -931,6 +1006,7 @@ fn run_launch(o: &Options) {
         resume: o.resume,
         validate,
         retries: o.retries.unwrap_or(0),
+        progress: o.progress.map(std::time::Duration::from_secs_f64),
         ..Default::default()
     };
     let launch_span = trace::span("launch.total");
@@ -956,6 +1032,21 @@ fn run_launch(o: &Options) {
                     .expect("cannot write metrics file");
                 kagen_obs::debug!("metrics -> {path}");
             }
+            // The launch trace is the federated cross-rank timeline —
+            // coordinator spans plus every worker sidecar realigned onto
+            // this process's clock (`main` skips its generic trace write
+            // for launch mode).
+            if let Some(path) = &o.trace_out {
+                kagen_repro::cluster::trace::write_federated_chrome_trace(
+                    Path::new(path),
+                    &report.rank_traces,
+                )
+                .expect("cannot write trace file");
+                kagen_obs::debug!(
+                    "federated trace -> {path} ({} rank sidecars)",
+                    report.rank_traces.len()
+                );
+            }
         }
         Err(e) => {
             kagen_obs::error!("{e}");
@@ -977,6 +1068,21 @@ fn run_worker(o: &Options) {
     let (a, b) = o.pe_range.expect("validated");
     let (gen, _params) = build_generator(o);
     let inject = kagen_repro::cluster::FailureInjection::from_env();
+    // Liveness: a background thread samples the obs counters and
+    // publishes part-<a>-<b>.heartbeat.json on every advance. Dropping
+    // the publisher (after generation) flushes one final beat.
+    let publisher = o
+        .heartbeat
+        .then(|| {
+            kagen_repro::cluster::HeartbeatPublisher::spawn(
+                shard_dir,
+                a as u64,
+                b as u64,
+                kagen_repro::cluster::HEARTBEAT_INTERVAL,
+            )
+        })
+        .transpose()
+        .expect("cannot start heartbeat publisher");
     let work_span = trace::span("worker.generate");
     match kagen_repro::cluster::run_worker(
         gen.as_ref(),
@@ -988,6 +1094,7 @@ fn run_worker(o: &Options) {
     ) {
         Ok(shards) => {
             let secs = work_span.finish();
+            drop(publisher);
             if o.metrics_sidecar {
                 kagen_repro::cluster::metrics::write_sidecar(
                     Path::new(shard_dir),
@@ -995,6 +1102,27 @@ fn run_worker(o: &Options) {
                     b as u64,
                 )
                 .expect("cannot write metrics sidecar");
+            }
+            if o.trace_sidecar {
+                kagen_repro::cluster::trace::write_sidecar(
+                    Path::new(shard_dir),
+                    a as u64,
+                    b as u64,
+                )
+                .expect("cannot write trace sidecar");
+            }
+            // Standalone telemetry (hand-run ranks on separate
+            // machines): the same sidecar-shaped documents, at paths of
+            // the operator's choosing.
+            if let Some(path) = &o.metrics_out {
+                kagen_repro::cluster::metrics::write_sidecar_to(Path::new(path))
+                    .expect("cannot write metrics file");
+                kagen_obs::debug!("metrics -> {path}");
+            }
+            if let Some(path) = &o.trace_out {
+                std::fs::write(path, kagen_repro::cluster::trace::sidecar_json())
+                    .expect("cannot write trace file");
+                kagen_obs::debug!("trace -> {path}");
             }
             let edges: u64 = shards.iter().map(|s| s.edges).sum();
             info!(
@@ -1041,10 +1169,12 @@ fn main() {
     // Telemetry is strictly off by default: a relaxed atomic load is
     // the only cost on the hot paths, and enabling it never changes an
     // RNG stream or an output byte.
-    if o.metrics_out.is_some() || o.metrics_sidecar {
+    // Heartbeats piggyback on the metric counters, so `--heartbeat`
+    // implies metrics collection even without a metrics output.
+    if o.metrics_out.is_some() || o.metrics_sidecar || o.heartbeat {
         kagen_obs::metrics::set_enabled(true);
     }
-    if o.trace_out.is_some() {
+    if o.trace_out.is_some() || o.trace_sidecar {
         kagen_obs::trace::set_enabled(true);
     }
     match o.mode {
@@ -1053,11 +1183,16 @@ fn main() {
         Mode::Launch => run_launch(&o),
         Mode::Worker => run_worker(&o),
     }
+    // Launch writes the federated timeline and a worker its sidecar
+    // document inside their run functions; only the single-process
+    // modes use the generic span dump.
     if let Some(path) = &o.trace_out {
-        trace::write_chrome_trace(Path::new(path)).expect("cannot write trace file");
-        kagen_obs::debug!(
-            "trace -> {path} ({} events)",
-            kagen_obs::trace::event_count()
-        );
+        if matches!(o.mode, Mode::Materialize | Mode::Stream) {
+            trace::write_chrome_trace(Path::new(path)).expect("cannot write trace file");
+            kagen_obs::debug!(
+                "trace -> {path} ({} events)",
+                kagen_obs::trace::event_count()
+            );
+        }
     }
 }

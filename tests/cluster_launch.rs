@@ -324,6 +324,78 @@ fn transient_worker_failure_is_retried_with_budget() {
     std::fs::remove_dir_all(&stream_dir).ok();
 }
 
+/// `--stall-timeout` turns a wedged worker (alive but making no
+/// progress) into an ordinary failure the retry budget rescues: the
+/// watchdog kills the stalled process, the respawn proceeds past the
+/// one-shot stall marker, and the final manifest is byte-identical to a
+/// clean stream run.
+#[test]
+fn stalled_worker_is_killed_and_retried() {
+    let dir = tmp("stall_cli");
+    let marker = std::env::temp_dir().join("kagen_it_stall_marker");
+    std::fs::remove_file(&marker).ok();
+
+    let mut args: Vec<String> = vec!["launch".into()];
+    args.extend(model_args(dir.to_str().unwrap()));
+    args.extend([
+        "--workers".into(),
+        "1".into(),
+        "--retries".into(),
+        "2".into(),
+        "--stall-timeout".into(),
+        "1".into(),
+    ]);
+    let (ok, stderr) = kagen(
+        &args.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &[("KAGEN_WORKER_STALL_ONCE", marker.to_str().unwrap())],
+    );
+    assert!(
+        ok,
+        "launch with --retries must survive the stall:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("stalled: no heartbeat advance"),
+        "the stall must be diagnosed as such, not a generic exit: {stderr}"
+    );
+    assert!(stderr.contains("retrying: "), "{stderr}");
+    assert!(dir.join("manifest.json").exists());
+
+    let stream_dir = tmp("stall_cli_stream");
+    let mut args: Vec<String> = vec!["stream".into()];
+    args.extend(model_args(stream_dir.to_str().unwrap()));
+    let (ok, _) = kagen(&args.iter().map(|s| s.as_str()).collect::<Vec<_>>(), &[]);
+    assert!(ok);
+    assert_eq!(
+        read_manifest(&dir),
+        read_manifest(&stream_dir),
+        "a launch that recovered from a stall must still be byte-identical"
+    );
+
+    // Without a retry budget the same stall fails the launch — but
+    // resumable, like any other worker death.
+    let dir2 = tmp("stall_cli_nobudget");
+    std::fs::remove_file(&marker).ok();
+    let mut args: Vec<String> = vec!["launch".into()];
+    args.extend(model_args(dir2.to_str().unwrap()));
+    args.extend([
+        "--workers".into(),
+        "1".into(),
+        "--stall-timeout".into(),
+        "1".into(),
+    ]);
+    let (ok, stderr) = kagen(
+        &args.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &[("KAGEN_WORKER_STALL_ONCE", marker.to_str().unwrap())],
+    );
+    assert!(!ok, "without --retries the stall must fail the launch");
+    assert!(stderr.contains("resumable"), "{stderr}");
+
+    std::fs::remove_file(&marker).ok();
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dir2).ok();
+    std::fs::remove_dir_all(&stream_dir).ok();
+}
+
 /// `--validate sampled` resumes a damaged run: a truncated shard is
 /// caught by the structural walk and regenerated, valid shards are
 /// reused without the full re-read.

@@ -23,10 +23,20 @@ fn tmp(tag: &str) -> PathBuf {
 
 /// Run the kagen binary; returns (success, stderr).
 fn kagen(args: &[&str]) -> (bool, String) {
-    let out = Command::new(KAGEN)
-        .args(args)
-        .output()
-        .expect("cannot spawn kagen");
+    kagen_env(args, &[])
+}
+
+/// Run the kagen binary with extra environment variables.
+fn kagen_env(args: &[&str], envs: &[(&str, &str)]) -> (bool, String) {
+    let mut cmd = Command::new(KAGEN);
+    cmd.args(args);
+    // The tests' own environment must not leak into level-precedence
+    // assertions.
+    cmd.env_remove("KAGEN_LOG");
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("cannot spawn kagen");
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
@@ -337,6 +347,22 @@ fn telemetry_flag_validation() {
             "--metrics-sidecar requires",
         ),
         (
+            &["gnm_undirected", "--trace-sidecar"],
+            "--trace-sidecar requires",
+        ),
+        (&["gnm_undirected", "--heartbeat"], "--heartbeat requires"),
+        (
+            &[
+                "stream",
+                "gnm_undirected",
+                "--shard-dir",
+                "/tmp/x",
+                "--progress",
+                "1",
+            ],
+            "--progress requires",
+        ),
+        (
             &[
                 "worker",
                 "gnm_undirected",
@@ -344,10 +370,42 @@ fn telemetry_flag_validation() {
                 "/tmp/x",
                 "--pe-range",
                 "0..2",
-                "--trace-out",
-                "/tmp/t.json",
+                "--stall-timeout",
+                "5",
             ],
-            "--trace-out requires",
+            "--stall-timeout requires",
+        ),
+        (
+            &[
+                "launch",
+                "gnm_undirected",
+                "--shard-dir",
+                "/tmp/x",
+                "--heartbeat",
+            ],
+            "--heartbeat requires",
+        ),
+        (
+            &[
+                "launch",
+                "gnm_undirected",
+                "--shard-dir",
+                "/tmp/x",
+                "--stall-timeout",
+                "0",
+            ],
+            "--stall-timeout wants a positive",
+        ),
+        (
+            &[
+                "launch",
+                "gnm_undirected",
+                "--shard-dir",
+                "/tmp/x",
+                "--progress",
+                "-1",
+            ],
+            "--progress wants a positive",
         ),
     ];
     for (args, needle) in cases {
@@ -355,6 +413,427 @@ fn telemetry_flag_validation() {
         assert!(!ok, "{args:?} must be rejected");
         assert!(stderr.contains(needle), "{args:?}: {stderr}");
     }
+}
+
+/// The tentpole acceptance shape: a 3-worker launch with `--trace-out`
+/// produces ONE JSON document containing the coordinator's spans plus
+/// every worker's spans under distinct pids, a `process_name` metadata
+/// row per process, and flow events linking each supervisor `rank-N`
+/// span to its worker's process-level span.
+#[test]
+fn launch_federated_trace_has_rank_rows_and_flows() {
+    let dir = tmp("fed_trace");
+    let trace = dir.with_extension("trace.json");
+    let (ok, stderr) = kagen(&[
+        "launch",
+        "gnm_undirected",
+        "-n",
+        "3000",
+        "-m",
+        "24000",
+        "-c",
+        "8",
+        "-s",
+        "42",
+        "--workers",
+        "3",
+        "--shard-dir",
+        dir.to_str().unwrap(),
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok, "launch failed:\n{stderr}");
+
+    let text = std::fs::read_to_string(&trace).expect("missing federated trace");
+    let doc = json::parse(&text).unwrap();
+    let events = doc
+        .as_obj("trace")
+        .unwrap()
+        .get("traceEvents")
+        .unwrap()
+        .as_arr("traceEvents")
+        .unwrap()
+        .to_vec();
+
+    let field = |ev: &json::Value, key: &str| -> Option<json::Value> {
+        ev.as_obj("event").ok()?.get(key).ok().cloned()
+    };
+    let str_field = |ev: &json::Value, key: &str| -> Option<String> {
+        match field(ev, key) {
+            Some(json::Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    };
+    let u64_field = |ev: &json::Value, key: &str| -> Option<u64> {
+        field(ev, key).and_then(|v| v.as_u64(key).ok())
+    };
+
+    // One process_name metadata row per process: the coordinator and
+    // each of the three ranks, all on distinct pids.
+    let proc_names: Vec<String> = events
+        .iter()
+        .filter(|e| str_field(e, "name").as_deref() == Some("process_name"))
+        .filter_map(|e| {
+            e.as_obj("event")
+                .ok()?
+                .get("args")
+                .ok()?
+                .as_obj("args")
+                .ok()?
+                .get("name")
+                .ok()
+                .and_then(|v| v.as_str("name").ok().map(String::from))
+        })
+        .collect();
+    assert!(
+        proc_names.iter().any(|n| n.contains("coordinator")),
+        "{proc_names:?}"
+    );
+    for rank in 0..3 {
+        assert!(
+            proc_names
+                .iter()
+                .any(|n| n.starts_with(&format!("rank {rank} worker"))),
+            "missing rank {rank} metadata row: {proc_names:?}"
+        );
+    }
+    let pids: std::collections::HashSet<u64> =
+        events.iter().filter_map(|e| u64_field(e, "pid")).collect();
+    assert!(pids.len() >= 4, "want 4 distinct pids, got {pids:?}");
+
+    // Every worker's process-level span made it in (one per rank, each
+    // from a different process than the coordinator's spans).
+    let coord_pid = events
+        .iter()
+        .find(|e| str_field(e, "name").as_deref() == Some("launch.supervise"))
+        .and_then(|e| u64_field(e, "pid"))
+        .expect("coordinator supervise span missing");
+    let worker_pids: std::collections::HashSet<u64> = events
+        .iter()
+        .filter(|e| str_field(e, "name").as_deref() == Some("worker.generate"))
+        .filter_map(|e| u64_field(e, "pid"))
+        .collect();
+    assert_eq!(worker_pids.len(), 3, "one worker.generate span per rank");
+    assert!(!worker_pids.contains(&coord_pid));
+
+    // Flow arrows: an `s`/`f` pair per rank, start on the coordinator
+    // pid, finish on a worker pid.
+    for rank in 0u64..3 {
+        let flows: Vec<&json::Value> = events
+            .iter()
+            .filter(|e| {
+                str_field(e, "cat").as_deref() == Some("flow") && u64_field(e, "id") == Some(rank)
+            })
+            .collect();
+        let phs: Vec<String> = flows.iter().filter_map(|e| str_field(e, "ph")).collect();
+        assert!(
+            phs.contains(&"s".to_string()) && phs.contains(&"f".to_string()),
+            "rank {rank} flow pair missing: {phs:?}"
+        );
+        for f in &flows {
+            match str_field(f, "ph").as_deref() {
+                Some("s") => assert_eq!(u64_field(f, "pid"), Some(coord_pid)),
+                Some("f") => assert!(worker_pids.contains(&u64_field(f, "pid").unwrap())),
+                other => panic!("unexpected flow phase {other:?}"),
+            }
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&trace).ok();
+}
+
+/// The PR-6 byte-identity rule extended to the full PR-8 surface: a
+/// launch with heartbeats, stall watchdog, progress lines, metrics
+/// federation AND trace federation all on writes the exact same shard
+/// bytes and manifest as a telemetry-off launch.
+#[test]
+fn launch_full_telemetry_still_byte_identical() {
+    let dir_off = tmp("fulltel_off");
+    let dir_on = tmp("fulltel_on");
+    let metrics = dir_on.with_extension("metrics.json");
+    let trace = dir_on.with_extension("trace.json");
+    let base = |dir: &str| {
+        vec![
+            "launch".to_string(),
+            "gnm_undirected".into(),
+            "-n".into(),
+            "3000".into(),
+            "-m".into(),
+            "24000".into(),
+            "-c".into(),
+            "8".into(),
+            "-s".into(),
+            "42".into(),
+            "--workers".into(),
+            "3".into(),
+            "--shard-dir".into(),
+            dir.to_string(),
+        ]
+    };
+    let off_args = base(dir_off.to_str().unwrap());
+    let (ok, stderr) = kagen(&off_args.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    assert!(ok, "telemetry-off launch failed:\n{stderr}");
+
+    let mut on_args = base(dir_on.to_str().unwrap());
+    on_args.extend([
+        "--metrics-out".into(),
+        metrics.to_str().unwrap().into(),
+        "--trace-out".into(),
+        trace.to_str().unwrap().into(),
+        "--progress".into(),
+        "0.2".into(),
+        "--stall-timeout".into(),
+        "30".into(),
+    ]);
+    let (ok, stderr) = kagen(&on_args.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    assert!(ok, "full-telemetry launch failed:\n{stderr}");
+
+    let keep = |name: &str| name.ends_with(".kgc") || name == "manifest.json";
+    let off: Vec<_> = dir_contents(&dir_off)
+        .into_iter()
+        .filter(|(n, _)| keep(n))
+        .collect();
+    let on: Vec<_> = dir_contents(&dir_on)
+        .into_iter()
+        .filter(|(n, _)| keep(n))
+        .collect();
+    assert!(!off.is_empty());
+    assert_eq!(off, on, "full telemetry changed launch output bytes");
+
+    // No telemetry litter inside the shard dir: heartbeats and sidecars
+    // are consumed or removed by the coordinator.
+    for (name, _) in dir_contents(&dir_on) {
+        assert!(
+            !name.ends_with(".heartbeat.json")
+                && !name.ends_with(".trace.json")
+                && !name.ends_with(".metrics.json"),
+            "telemetry file left behind: {name}"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir_off).ok();
+    std::fs::remove_dir_all(&dir_on).ok();
+    std::fs::remove_file(&metrics).ok();
+    std::fs::remove_file(&trace).ok();
+}
+
+/// kagen-metrics/v2: the run document carries full per-rank histogram
+/// bucket vectors and a bucket-wise merged run-wide view, and the v1
+/// counter-reconciliation invariant still holds — each merged
+/// histogram's count/sum equal the `<name>.count`/`<name>.sum` scalar
+/// totals, and its bucket counts sum to `count`.
+#[test]
+fn launch_metrics_v2_histograms_reconcile_with_v1_scalars() {
+    let dir = tmp("metrics_v2");
+    let metrics = dir.with_extension("metrics.json");
+    let (ok, stderr) = kagen(&[
+        "launch",
+        "gnm_undirected",
+        "-n",
+        "3000",
+        "-m",
+        "24000",
+        "-c",
+        "8",
+        "-s",
+        "42",
+        "--workers",
+        "3",
+        "--shard-dir",
+        dir.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(ok, "launch failed:\n{stderr}");
+
+    let text = std::fs::read_to_string(&metrics).expect("missing metrics file");
+    assert!(text.contains("\"schema\":\"kagen-metrics/v2\""), "{text}");
+    let rm = kagen_repro::cluster::RunMetrics::from_json(&text).expect("bad metrics file");
+
+    // Each rank carries histogram snapshots next to its scalars; the
+    // shard-write wall histogram exists on every rank and counts that
+    // rank's shards.
+    for r in &rm.ranks {
+        let (_, h) = r
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "sink.shard_wall_us")
+            .unwrap_or_else(|| panic!("rank {} has no sink.shard_wall_us", r.rank));
+        assert_eq!(h.count, r.pe_end - r.pe_begin, "{r:?}");
+        assert_eq!(h.bucket_total(), h.count, "{r:?}");
+    }
+
+    // The run-wide merge reconciles exactly with the v1 scalar totals.
+    let totals: std::collections::HashMap<String, u64> = rm.totals().into_iter().collect();
+    let merged = rm.merged_histograms();
+    assert!(!merged.is_empty());
+    for (name, h) in &merged {
+        assert_eq!(
+            totals.get(&format!("{name}.count")),
+            Some(&h.count),
+            "{name}: merged count != scalar total"
+        );
+        assert_eq!(
+            totals.get(&format!("{name}.sum")),
+            Some(&h.sum),
+            "{name}: merged sum != scalar total"
+        );
+        assert_eq!(h.bucket_total(), h.count, "{name}: buckets don't sum");
+    }
+    let (_, shard_wall) = merged
+        .iter()
+        .find(|(n, _)| n == "sink.shard_wall_us")
+        .expect("merged sink.shard_wall_us missing");
+    assert_eq!(shard_wall.count, 8, "every PE's shard write is counted");
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&metrics).ok();
+}
+
+/// A standalone `kagen worker --pe-range a..b` (hand-run ranks over a
+/// shared filesystem) accepts `--metrics-out`/`--trace-out` directly
+/// and writes sidecar-shaped documents to those paths, plus a heartbeat
+/// file under `--heartbeat`.
+#[test]
+fn worker_standalone_telemetry_files() {
+    let dir = tmp("worker_standalone");
+    let metrics = dir.with_extension("metrics.json");
+    let trace = dir.with_extension("trace.json");
+    let (ok, stderr) = kagen(&[
+        "worker",
+        "gnm_undirected",
+        "-n",
+        "3000",
+        "-m",
+        "24000",
+        "-c",
+        "8",
+        "-s",
+        "42",
+        "--shard-dir",
+        dir.to_str().unwrap(),
+        "--pe-range",
+        "2..5",
+        "--heartbeat",
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok, "standalone worker failed:\n{stderr}");
+
+    // Metrics: a sidecar-shaped document (the same counters +
+    // histogram-vectors payload the coordinator federates) with live
+    // values from this rank.
+    let m = std::fs::read_to_string(&metrics).expect("missing metrics file");
+    let doc = json::parse(&m).unwrap();
+    let counters = doc
+        .as_obj("sidecar")
+        .unwrap()
+        .get("counters")
+        .unwrap()
+        .as_obj("counters")
+        .unwrap();
+    assert_eq!(
+        counters
+            .get("worker.pes_done")
+            .unwrap()
+            .as_u64("worker.pes_done")
+            .unwrap(),
+        3,
+        "{m}"
+    );
+    assert!(m.contains("sink.shard_wall_us"), "{m}");
+
+    // Trace: a valid Chrome document that is also a loadable sidecar
+    // (schema + pid + wall anchor), containing the worker span.
+    let t = std::fs::read_to_string(&trace).expect("missing trace file");
+    assert!(t.contains("\"schema\":\"kagen-trace-sidecar/v1\""), "{t}");
+    assert!(t.contains("\"epoch_unix_us\":"), "{t}");
+    assert!(t.contains("worker.generate"), "{t}");
+    json::parse(&t).unwrap();
+
+    // Heartbeat: the final beat reports the done stage and the full
+    // range (standalone workers leave it as their liveness record; in a
+    // launch the coordinator removes it).
+    let hb = std::fs::read_to_string(dir.join("part-00002-00005.heartbeat.json"))
+        .expect("missing heartbeat file");
+    assert!(hb.contains("\"stage\":\"done\""), "{hb}");
+    assert!(hb.contains("\"pes_done\":3"), "{hb}");
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&metrics).ok();
+    std::fs::remove_file(&trace).ok();
+}
+
+/// KAGEN_LOG sets the default level, `-v`/`-q` win over it, and an
+/// invalid KAGEN_LOG value is ignored rather than fatal.
+#[test]
+fn kagen_log_env_and_flag_precedence() {
+    let dir = tmp("log_env");
+    let argv = |extra: &[&'static str]| -> Vec<&str> {
+        let mut a: Vec<&str> = vec![
+            "stream",
+            "gnm_undirected",
+            "-n",
+            "1000",
+            "-m",
+            "4000",
+            "-c",
+            "4",
+            "--shard-dir",
+        ];
+        a.push(dir.to_str().unwrap());
+        a.extend_from_slice(extra);
+        a
+    };
+
+    // KAGEN_LOG=error silences the Info summary.
+    std::fs::remove_dir_all(&dir).ok();
+    let (ok, stderr) = kagen_env(&argv(&[]), &[("KAGEN_LOG", "error")]);
+    assert!(ok);
+    assert!(!stderr.contains("wrote 4 shards"), "{stderr}");
+
+    // ...but an explicit -v flag wins over the env default.
+    std::fs::remove_dir_all(&dir).ok();
+    let (ok, stderr) = kagen_env(&argv(&["-v"]), &[("KAGEN_LOG", "error")]);
+    assert!(ok);
+    assert!(stderr.contains("wrote 4 shards"), "{stderr}");
+
+    // Malformed env values are ignored: the default Info level stays.
+    for bad in ["bogus", "5", "-1", "in fo"] {
+        std::fs::remove_dir_all(&dir).ok();
+        let (ok, stderr) = kagen_env(&argv(&[]), &[("KAGEN_LOG", bad)]);
+        assert!(ok, "KAGEN_LOG={bad} must not be fatal:\n{stderr}");
+        assert!(
+            stderr.contains("wrote 4 shards"),
+            "KAGEN_LOG={bad} must fall back to Info: {stderr}"
+        );
+    }
+
+    // Worker log lines keep their rank-attributable prefix.
+    std::fs::remove_dir_all(&dir).ok();
+    let (ok, stderr) = kagen(&[
+        "worker",
+        "gnm_undirected",
+        "-n",
+        "1000",
+        "-m",
+        "4000",
+        "-c",
+        "4",
+        "--shard-dir",
+        dir.to_str().unwrap(),
+        "--pe-range",
+        "0..2",
+        "--rank",
+        "7",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("kagen worker rank 7: "), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// `-q` silences the Info-level summary lines; `-v` keeps them and adds
