@@ -23,10 +23,12 @@
 //!   --trace-out PATH write a Chrome trace of every timed region (each
 //!                    best-of repetition is one span)
 //!   --compare BASELINE        perf-regression gate: after the run,
-//!                    read the speedup ratios (rmat/er) out of BASELINE
-//!                    (normally the checked-in BENCH_throughput.json)
-//!                    and exit non-zero if any fresh ratio fell below
-//!                    baseline x (1 - tolerance)
+//!                    discover every headline `*_vs_*` ratio in the
+//!                    fresh JSON and gate each against BASELINE
+//!                    (normally the checked-in BENCH_throughput.json),
+//!                    exiting non-zero if any fresh ratio fell below
+//!                    baseline x (1 - tolerance); new kernels' ratios
+//!                    are auto-gated, not hand-listed
 //!   --compare-tolerance FRAC  the tolerance band (default 0.5 — a
 //!                    quick CI run on shared hardware compares against
 //!                    a full-mode baseline, so the gate is a collapse
@@ -324,7 +326,7 @@ fn time_rank_ranges<G: StreamingGenerator + Sync + ?Sized>(
 /// Extract the numeric value of `"key": <number>` from a JSON document
 /// by string scanning. The workspace's hand-rolled JSON parser is
 /// deliberately u64-only; the baseline's speedup ratios are floats, and
-/// this three-key gate does not justify growing the parser.
+/// this handful-of-keys gate does not justify growing the parser.
 fn extract_f64(text: &str, key: &str) -> Option<f64> {
     let needle = format!("\"{key}\"");
     let at = text.find(&needle)? + needle.len();
@@ -333,6 +335,29 @@ fn extract_f64(text: &str, key: &str) -> Option<f64> {
         .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// Discover every headline ratio key in a throughput JSON document:
+/// a quoted key containing `_vs_` whose value parses as a number. The
+/// gate walks the *fresh* document's keys, so a new kernel's ratio is
+/// auto-gated the moment it is written to the JSON — no hand-kept key
+/// list to forget to extend.
+fn discover_ratio_keys(text: &str) -> Vec<String> {
+    let mut keys: Vec<String> = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find('"') {
+        rest = &rest[start + 1..];
+        let Some(end) = rest.find('"') else { break };
+        let key = &rest[..end];
+        rest = &rest[end + 1..];
+        if key.contains("_vs_")
+            && extract_f64(text, key).is_some()
+            && !keys.iter().any(|k| k == key)
+        {
+            keys.push(key.to_string());
+        }
+    }
+    keys
 }
 
 /// The perf-regression gate: each `(key, fresh ratio)` must stay at or
@@ -521,6 +546,42 @@ fn main() {
             .with_table_levels(8),
         reps,
     ));
+    // The linear-work composed-table kernel (the CLI default since the
+    // linear-work rework): one fused alias draw per 8-level path block,
+    // deinterleaved halves, pow2 word sampling. Levels are pinned at 8
+    // rather than auto-sized so the recorded params reproduce the same
+    // instance on any box regardless of its L2.
+    results.push(measure(
+        "rmat_linear",
+        "rmat",
+        format!("scale={scale} m={m} kernel=linear levels=8"),
+        &Rmat::new(scale, m)
+            .with_seed(1)
+            .with_chunks(chunks)
+            .with_kernel(RmatKernel::Linear { levels: 8 }),
+        reps,
+    ));
+    // Beyond the scale-32 wall: the legacy interleaved table cannot run
+    // here (2·scale Morton bits overflow u64), so this pair records what
+    // the composed kernel buys where only plain descent used to work.
+    let (s32_scale, s32_m) = (32u32, if quick { 1u64 << 15 } else { 1u64 << 21 });
+    results.push(measure(
+        "rmat_plain_s32",
+        "rmat",
+        format!("scale={s32_scale} m={s32_m} plain"),
+        &Rmat::new(s32_scale, s32_m).with_seed(1).with_chunks(chunks),
+        reps,
+    ));
+    results.push(measure(
+        "rmat_linear_s32",
+        "rmat",
+        format!("scale={s32_scale} m={s32_m} kernel=linear levels=8"),
+        &Rmat::new(s32_scale, s32_m)
+            .with_seed(1)
+            .with_chunks(chunks)
+            .with_kernel(RmatKernel::Linear { levels: 8 }),
+        reps,
+    ));
     results.push(measure(
         "gnm_directed",
         "gnm_directed",
@@ -651,19 +712,32 @@ fn main() {
         reps,
     ));
 
-    // The acceptance ratio: fastest batched R-MAT path (table descent,
-    // the CLI default) against the per-edge-seeded plain descent — the
-    // seed repository's hot path.
-    let plain = &results[0];
-    let table = &results[1];
+    // The R-MAT acceptance ratios. Legacy: batched interleaved-table
+    // descent against the per-edge-seeded plain descent (the seed
+    // repository's hot path). New: the linear-work composed kernel
+    // against the legacy table's batched path — the tentpole target
+    // (>= 2x at scale 20) — and against plain at scale 32, where the
+    // table kernel cannot run at all.
+    let by_name = |needle: &str| results.iter().find(|r| r.name == needle).unwrap();
+    let plain = by_name("rmat_plain");
+    let table = by_name("rmat_table8");
+    let linear = by_name("rmat_linear");
     let rmat_ratio = plain.per_edge_secs / table.batched_secs;
+    let rmat_linear_vs_table = table.batched_secs / linear.batched_secs;
+    let rmat_linear_vs_plain = plain.per_edge_secs / linear.batched_secs;
     info!("rmat batched(table) vs per-edge(plain): {rmat_ratio:.2}x (target >= 3x at scale 20)");
+    info!(
+        "rmat batched(linear) vs batched(table8): {rmat_linear_vs_table:.2}x \
+         (target >= 2x at scale 20), vs per-edge(plain): {rmat_linear_vs_plain:.2}x"
+    );
+    let rmat_s32_ratio =
+        by_name("rmat_plain_s32").batched_secs / by_name("rmat_linear_s32").batched_secs;
+    info!("rmat scale-32 batched(linear) vs batched(plain): {rmat_s32_ratio:.2}x");
 
     // The ER acceptance ratios: the batched geometric-skip G(n,p) path
     // (the CLI default) against the per-edge Algorithm-D baseline.
     // Throughput is normalized per *edge* (the instances are distinct
     // same-distribution samples, so edge counts differ slightly).
-    let by_name = |needle: &str| results.iter().find(|r| r.name == needle).unwrap();
     let er_ratio = |skip: &str, algod: &str| {
         let s = by_name(skip);
         let d = by_name(algod);
@@ -727,6 +801,18 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"rmat_table_batched_vs_plain_per_edge\": {rmat_ratio:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"rmat_linear_batched_vs_table8_batched\": {rmat_linear_vs_table:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"rmat_linear_batched_vs_plain_per_edge\": {rmat_linear_vs_plain:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"rmat_linear_s32_batched_vs_plain_batched\": {rmat_s32_ratio:.3},"
     );
     let _ = writeln!(
         json,
@@ -800,21 +886,22 @@ fn main() {
     if let Some(baseline_path) = &compare {
         let baseline = std::fs::read_to_string(baseline_path)
             .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
-        let failures = compare_ratios(
-            &baseline,
-            &[
-                ("rmat_table_batched_vs_plain_per_edge", rmat_ratio),
-                (
-                    "er_skip_batched_vs_algoD_per_edge_directed",
-                    er_directed_ratio,
-                ),
-                (
-                    "er_skip_batched_vs_algoD_per_edge_undirected",
-                    er_undirected_ratio,
-                ),
-            ],
-            compare_tolerance,
-        );
+        // Discover the headline ratios from the fresh document rather
+        // than a hand-kept list: any `*_vs_*` key written above is
+        // gated automatically. Baseline-only ratios (a key this run no
+        // longer produces) are surfaced too — a renamed key must not
+        // silently un-gate itself.
+        let keys = discover_ratio_keys(&json);
+        let fresh: Vec<(&str, f64)> = keys
+            .iter()
+            .filter_map(|k| extract_f64(&json, k).map(|v| (k.as_str(), v)))
+            .collect();
+        for k in discover_ratio_keys(&baseline) {
+            if !keys.contains(&k) {
+                warn!("compare: baseline ratio '{k}' is not produced by this run");
+            }
+        }
+        let failures = compare_ratios(&baseline, &fresh, compare_tolerance);
         for f in &failures {
             error!("PERF REGRESSION {f}");
         }
@@ -827,13 +914,15 @@ fn main() {
 
 #[cfg(test)]
 mod tests {
-    use super::{compare_ratios, extract_f64};
+    use super::{compare_ratios, discover_ratio_keys, extract_f64};
 
     const BASELINE: &str = r#"{
   "schema": "kagen-throughput/v5",
   "rmat_table_batched_vs_plain_per_edge": 4.779,
+  "rmat_linear_batched_vs_table8_batched": 2.4,
   "er_skip_batched_vs_algoD_per_edge_directed": 2.080,
   "eps_note": "negative and exponent forms parse too",
+  "name_vs_nothing_numeric": "a_vs_b string value, not a ratio",
   "neg": -1.5,
   "exp": 1.2e3
 }"#;
@@ -873,5 +962,23 @@ mod tests {
             0.5
         )
         .is_empty());
+    }
+
+    #[test]
+    fn discovers_ratio_keys_generically() {
+        // Every `*_vs_*` key with a numeric value, in document order,
+        // deduplicated; string-valued keys and plain keys are not
+        // ratios.
+        assert_eq!(
+            discover_ratio_keys(BASELINE),
+            vec![
+                "rmat_table_batched_vs_plain_per_edge",
+                "rmat_linear_batched_vs_table8_batched",
+                "er_skip_batched_vs_algoD_per_edge_directed",
+            ]
+        );
+        let doubled = format!("{BASELINE}{BASELINE}");
+        assert_eq!(discover_ratio_keys(&doubled).len(), 3);
+        assert!(discover_ratio_keys("{\"plain\": 1.0}").is_empty());
     }
 }

@@ -97,7 +97,7 @@ pub mod prelude {
     pub use crate::rdg::{Rdg2d, Rdg3d};
     pub use crate::rgg::{Rgg2d, Rgg3d};
     pub use crate::rhg::{Rhg, SoftRhg};
-    pub use crate::rmat::Rmat;
+    pub use crate::rmat::{Rmat, RmatKernel};
     pub use crate::sbm::StochasticBlockModel;
     pub use crate::srhg::Srhg;
     pub use crate::streaming::StreamingGenerator;

@@ -447,6 +447,19 @@ mod tests {
                 .with_chunks(8)
                 .with_table_levels(4),
         );
+        assert_stream_matches(
+            &Rmat::new(9, 3000)
+                .with_seed(6)
+                .with_chunks(8)
+                .with_kernel(crate::RmatKernel::Linear { levels: 4 }),
+        );
+        // Linear kernel above the old scale-32 table cliff.
+        assert_stream_matches(
+            &Rmat::new(33, 3000)
+                .with_seed(6)
+                .with_chunks(8)
+                .with_kernel(crate::RmatKernel::Linear { levels: 8 }),
+        );
     }
 
     #[test]
@@ -499,6 +512,18 @@ mod tests {
                     .with_seed(6)
                     .with_chunks(chunks)
                     .with_table_levels(4),
+            );
+            assert_batched_matches(
+                &Rmat::new(9, 3000)
+                    .with_seed(6)
+                    .with_chunks(chunks)
+                    .with_kernel(crate::RmatKernel::Linear { levels: 4 }),
+            );
+            assert_batched_matches(
+                &Rmat::new(33, 3000)
+                    .with_seed(6)
+                    .with_chunks(chunks)
+                    .with_kernel(crate::RmatKernel::Linear { levels: 8 }),
             );
             assert_batched_matches(
                 &StochasticBlockModel::planted(300, 3, 0.1, 0.01)

@@ -98,7 +98,43 @@ impl AliasTable {
     /// this is every table level of the R-MAT descent hot path.
     #[inline]
     pub fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> usize {
-        let x = rng.next_u64();
+        self.sample_word(rng.next_u64())
+    }
+
+    /// Draw one outcome index from an already-generated 64-bit word — the
+    /// pure half of [`AliasTable::sample`]. Batched callers (the R-MAT
+    /// composed-table fill) precompute a lane of RNG words and then issue
+    /// the table loads back to back, so the loads of independent lanes
+    /// overlap instead of serializing behind each lane's RNG state.
+    #[inline]
+    pub fn sample_word(&self, x: u64) -> usize {
+        self.sample_word_generic(x)
+    }
+
+    /// [`AliasTable::sample_word`] specialized to power-of-two tables:
+    /// the slot index is the word's top `log₂ k` bits (one shift+mask
+    /// instead of a widening 128-bit multiply) and the coin is the low
+    /// 32 bits. Index and coin bits are disjoint for k ≤ 2³² outcomes.
+    /// Note the different word→outcome map: streams drawn through this
+    /// entry point are *not* interchangeable with [`AliasTable::sample`]
+    /// draws — callers pick one map per kernel and keep it.
+    #[inline(always)]
+    pub fn sample_word_pow2(&self, x: u64) -> usize {
+        debug_assert!(self.slots.len().is_power_of_two());
+        // The mask both proves in-bounds indexing to the compiler and
+        // keeps the method total even on non-power-of-two tables.
+        // `wrapping_shr` keeps the single-outcome table total (shift 64
+        // wraps to 0; the mask then pins the index to 0 anyway).
+        let i = (x.wrapping_shr(64 - self.slots.len().trailing_zeros()) as usize)
+            & (self.slots.len() - 1);
+        let slot = &self.slots[i];
+        let keep = ((x as u32) < slot.threshold) as u32;
+        let mask = keep.wrapping_neg();
+        (((i as u32) & mask) | (slot.alias & !mask)) as usize
+    }
+
+    #[inline]
+    fn sample_word_generic(&self, x: u64) -> usize {
         let m = (x as u128) * (self.slots.len() as u128);
         // The high half is < len by construction; the `min` proves it to
         // the compiler (no bounds-check branch in the hot loop).

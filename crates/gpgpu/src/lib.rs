@@ -27,6 +27,12 @@
 //!   their own, small cells are grouped), then the three-step
 //!   count → prefix-sum → fill edge generation into a preallocated edge
 //!   array. Output is identical to the CPU [`kagen_core::Rgg2d`].
+//! * [`rmat`] — the linear-work composed-table R-MAT kernel: one device
+//!   block per seed block of edge indices, bit-identical to
+//!   [`kagen_core::Rmat`] for every descent kernel.
+//! * [`ba`] — Barabási–Albert chain recomputation per slot block, with
+//!   the chains' variable length surfacing as warp divergence;
+//!   bit-identical to [`kagen_core::BarabasiAlbert`].
 //!
 //! Because the simulation executes the same arithmetic as the CPU path,
 //! the value of this crate is *structural*: it demonstrates (and tests)
@@ -35,12 +41,16 @@
 //! computed host-side, bulk sampling is embarrassingly block-parallel, and
 //! edge output needs only a prefix sum, never inter-block communication.
 
+pub mod ba;
 pub mod device;
 pub mod er;
 pub mod rgg;
+pub mod rmat;
 pub mod scan;
 
+pub use ba::GpuBarabasiAlbert;
 pub use device::{Device, DeviceConfig, DeviceStats, StatsSnapshot};
 pub use er::{GpuGnmDirected, GpuGnpDirected};
 pub use rgg::{GpuRgg, GpuRgg2d, GpuRgg3d};
+pub use rmat::GpuRmat;
 pub use scan::exclusive_scan;

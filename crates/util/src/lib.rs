@@ -22,12 +22,14 @@
 //! * [`seed`] — the seed-derivation scheme tying it all together.
 
 pub mod alloc;
+pub mod cache;
 pub mod hash;
 pub mod mt;
 pub mod rng;
 pub mod seed;
 pub mod splitmix;
 
+pub use cache::l2_cache_bytes;
 pub use hash::{spooky_hash128, spooky_hash64, spooky_short128};
 pub use mt::Mt64;
 pub use rng::{f64_open_of_word, BlockRng, Rng64};

@@ -26,10 +26,16 @@
 //!   soft-rhg        -n <vertices> -d <avg-deg> -g <gamma> -T <temperature>
 //!   ba              -n <vertices> -d <edges-per-vertex>
 //!   rmat            -n <vertices=2^k> -m <edges>
-//!                   --rmat-levels <k>  multi-level descent tables: one
-//!                                      alias draw per k recursion levels
-//!                                      (default 8; 0 = plain per-level
-//!                                      descent, the pre-table instance)
+//!                   --rmat-kernel <k>  linear | table | plain (default
+//!                                      linear: the linear-work composed
+//!                                      path-block table, any scale;
+//!                                      table = legacy interleaved
+//!                                      descent tables, scale < 32 only)
+//!                   --rmat-levels <k>  levels per table draw, 1..=12
+//!                                      (default: sized to the L2 cache
+//!                                      for linear, 8 for table; 0 =
+//!                                      plain per-level descent, the
+//!                                      pre-table instance)
 //!   sbm             -n <vertices> -b <blocks> --p-in <p> --p-out <p>
 //!
 //! common options:
@@ -206,7 +212,8 @@ struct Options {
     blocks: usize,
     p_in: f64,
     p_out: f64,
-    rmat_levels: u32,
+    rmat_levels: Option<u32>,
+    rmat_kernel: Option<String>,
     gnp_leaves: String,
     seed: u64,
     chunks: usize,
@@ -255,7 +262,8 @@ fn parse() -> Options {
         blocks: 2,
         p_in: 0.01,
         p_out: 0.001,
-        rmat_levels: 8,
+        rmat_levels: None,
+        rmat_kernel: None,
         gnp_leaves: "skip".into(),
         seed: 1,
         chunks: 64,
@@ -324,7 +332,10 @@ fn parse() -> Options {
             "-b" => o.blocks = next(&mut args).parse().unwrap_or_else(|_| usage()),
             "--p-in" => o.p_in = next(&mut args).parse().unwrap_or_else(|_| usage()),
             "--p-out" => o.p_out = next(&mut args).parse().unwrap_or_else(|_| usage()),
-            "--rmat-levels" => o.rmat_levels = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--rmat-levels" => {
+                o.rmat_levels = Some(next(&mut args).parse().unwrap_or_else(|_| usage()))
+            }
+            "--rmat-kernel" => o.rmat_kernel = Some(next(&mut args)),
             "--gnp-leaves" => o.gnp_leaves = next(&mut args),
             "-s" => o.seed = next(&mut args).parse().unwrap_or_else(|_| usage()),
             "-c" => o.chunks = next(&mut args).parse().unwrap_or_else(|_| usage()),
@@ -390,6 +401,49 @@ fn validate(o: &Options) {
             "unknown --gnp-leaves '{}' (want skip | algo-d)",
             o.gnp_leaves
         ));
+    }
+    // R-MAT kernel/levels: typos and out-of-range values die here, before
+    // any worker spawns, regardless of mode.
+    if let Some(name) = o.rmat_kernel.as_deref() {
+        if !matches!(name, "linear" | "table" | "plain") {
+            fail(format!(
+                "unknown --rmat-kernel '{name}' (want linear | table | plain)"
+            ));
+        }
+    }
+    if let Some(levels) = o.rmat_levels {
+        // 0 is the legacy spelling for plain descent; 1..=12 bounds the
+        // 4^levels table footprint (4^12 slots = 128 MiB).
+        if levels > 12 {
+            fail(format!("--rmat-levels {levels} out of range (want 0..=12)"));
+        }
+        match o.rmat_kernel.as_deref() {
+            Some("plain") if levels != 0 => {
+                fail(format!(
+                    "--rmat-levels {levels} conflicts with --rmat-kernel plain (only 0 allowed)"
+                ));
+            }
+            Some("table") | Some("linear") if levels == 0 => {
+                fail(format!(
+                    "--rmat-levels 0 (plain descent) conflicts with --rmat-kernel {}",
+                    o.rmat_kernel.as_deref().unwrap()
+                ));
+            }
+            _ => {}
+        }
+    }
+    if o.model == "rmat" {
+        if o.n > 1u64 << 63 {
+            fail(format!("rmat needs n <= 2^63, got {}", o.n));
+        }
+        let (kernel, _) = rmat_config(o);
+        if kernel == "table" && rmat_scale(o) >= 32 {
+            fail(format!(
+                "--rmat-kernel table needs scale < 32 (n < 2^32), got scale {}; \
+                 use --rmat-kernel linear",
+                rmat_scale(o)
+            ));
+        }
     }
     // Which flags each mode accepts.
     let reject = |present: bool, flag: &str, wanted: &str| {
@@ -560,6 +614,57 @@ fn gnp_params(o: &Options) -> String {
     }
 }
 
+/// R-MAT scale implied by `-n` (next power of two).
+fn rmat_scale(o: &Options) -> u32 {
+    o.n.next_power_of_two().ilog2().max(1)
+}
+
+/// Resolve the R-MAT kernel and level count from the flags.
+///
+/// Kernel default is `linear` — the fastest bit-stable kernel at every
+/// scale; the legacy `--rmat-levels 0` spelling still selects plain
+/// descent. Linear levels default to the L2-cache-sized table
+/// ([`Rmat::auto_linear_levels`]); the resolved value is pinned into the
+/// params string and the re-exec'd worker command lines, so an instance
+/// planned on this host reproduces bit-identically anywhere.
+fn rmat_config(o: &Options) -> (&'static str, u32) {
+    let kernel = match o.rmat_kernel.as_deref() {
+        Some("plain") => "plain",
+        Some("table") => "table",
+        Some("linear") => "linear",
+        None if o.rmat_levels == Some(0) => "plain",
+        None => "linear",
+        Some(_) => unreachable!("validated"),
+    };
+    let scale = rmat_scale(o);
+    let levels = match kernel {
+        "plain" => 0,
+        "table" => o.rmat_levels.unwrap_or(8).clamp(1, 12).min(scale),
+        _ => o
+            .rmat_levels
+            .unwrap_or_else(|| Rmat::auto_linear_levels(scale, kagen_repro::util::l2_cache_bytes()))
+            .min(scale),
+    };
+    (kernel, levels)
+}
+
+/// The R-MAT params string of manifests and resume ledgers. As with
+/// [`gnp_params`], the legacy spelling (`scale=.. m=.. levels=..`, no
+/// kernel marker) stays with the *legacy* instances — plain (`levels=0`)
+/// and the interleaved descent tables — so run directories written before
+/// the linear-work kernel resume under `--rmat-kernel table|plain`
+/// without a header mismatch, and can never be silently "resumed" by the
+/// new linear default, whose shards belong to a different instance.
+fn rmat_params(o: &Options) -> String {
+    let (kernel, levels) = rmat_config(o);
+    let scale = rmat_scale(o);
+    if kernel == "linear" {
+        format!("scale={scale} m={} kernel=linear levels={levels}", o.m)
+    } else {
+        format!("scale={scale} m={} levels={levels}", o.m)
+    }
+}
+
 /// Build the selected generator; every model supports streaming.
 fn build_generator(o: &Options) -> (Box<dyn StreamingGenerator>, String) {
     let (gen, params): (Box<dyn StreamingGenerator>, String) = match o.model.as_str() {
@@ -652,16 +757,17 @@ fn build_generator(o: &Options) -> (Box<dyn StreamingGenerator>, String) {
             format!("n={} d={}", o.n, o.d as u64),
         ),
         "rmat" => {
-            let scale = o.n.next_power_of_two().ilog2().max(1);
-            (
-                Box::new(
-                    Rmat::new(scale, o.m)
-                        .with_seed(o.seed)
-                        .with_chunks(o.chunks)
-                        .with_table_levels(o.rmat_levels),
-                ),
-                format!("scale={scale} m={} levels={}", o.m, o.rmat_levels),
-            )
+            let scale = rmat_scale(o);
+            let (kernel, levels) = rmat_config(o);
+            let gen = Rmat::new(scale, o.m)
+                .with_seed(o.seed)
+                .with_chunks(o.chunks);
+            let gen = match kernel {
+                "plain" => gen.with_kernel(RmatKernel::Plain),
+                "table" => gen.with_kernel(RmatKernel::Table { levels }),
+                _ => gen.with_kernel(RmatKernel::Linear { levels }),
+            };
+            (Box::new(gen), rmat_params(o))
         }
         "sbm" => (
             Box::new(
@@ -925,8 +1031,13 @@ fn worker_args(o: &Options, shard_dir: &str, format: ShardFormat) -> Vec<String>
         o.p_in.to_string(),
         "--p-out".into(),
         o.p_out.to_string(),
+        // Kernel and levels are passed *resolved* (auto levels pinned on
+        // the coordinator), so workers rebuild the identical instance
+        // even if their host reports a different cache size.
+        "--rmat-kernel".into(),
+        rmat_config(o).0.into(),
         "--rmat-levels".into(),
-        o.rmat_levels.to_string(),
+        rmat_config(o).1.to_string(),
         "--gnp-leaves".into(),
         o.gnp_leaves.clone(),
         "-s".into(),

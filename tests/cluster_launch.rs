@@ -529,6 +529,54 @@ fn launch_rejects_invalid_flags_before_spawning_workers() {
             ],
             "not a non-empty sub-range",
         ),
+        (
+            vec![
+                "launch",
+                "rmat",
+                "--shard-dir",
+                dir_s,
+                "--rmat-kernel",
+                "liner",
+            ],
+            "unknown --rmat-kernel",
+        ),
+        (
+            vec![
+                "launch",
+                "rmat",
+                "--shard-dir",
+                dir_s,
+                "--rmat-levels",
+                "13",
+            ],
+            "out of range (want 0..=12)",
+        ),
+        (
+            vec![
+                "launch",
+                "rmat",
+                "--shard-dir",
+                dir_s,
+                "--rmat-kernel",
+                "plain",
+                "--rmat-levels",
+                "8",
+            ],
+            "conflicts with --rmat-kernel plain",
+        ),
+        (
+            vec![
+                "launch",
+                "rmat",
+                "--shard-dir",
+                dir_s,
+                "-n",
+                "4294967296",
+                "--rmat-kernel",
+                "table",
+            ],
+            "needs scale < 32",
+        ),
     ] {
         let (ok, stderr) = kagen(&args, &[]);
         assert!(!ok, "{args:?} must be rejected");
