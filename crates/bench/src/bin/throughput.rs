@@ -374,9 +374,12 @@ fn compare_ratios(baseline: &str, fresh: &[(&str, f64)], tolerance: f64) -> Vec<
         };
         let floor = base * (1.0 - tolerance);
         if *fresh_ratio < floor {
+            // Old value, new value, and their quotient — enough to judge
+            // the regression's size straight from the CI log.
             failures.push(format!(
-                "{key}: {fresh_ratio:.3} fell below {floor:.3} \
-                 (baseline {base:.3}, tolerance {tolerance})"
+                "{key}: old {base:.3} -> new {fresh_ratio:.3} \
+                 (new/old {:.3}, floor {floor:.3} at tolerance {tolerance})",
+                fresh_ratio / base
             ));
         } else {
             info!("compare {key}: {fresh_ratio:.3} vs baseline {base:.3} (floor {floor:.3}) OK");
@@ -954,7 +957,11 @@ mod tests {
             0.5,
         );
         assert_eq!(failures.len(), 1);
-        assert!(failures[0].contains("2.000"), "{failures:?}");
+        // The message must carry the old value, the new value, and their
+        // ratio (2.0 / 4.779 = 0.4185…).
+        assert!(failures[0].contains("old 4.779"), "{failures:?}");
+        assert!(failures[0].contains("new 2.000"), "{failures:?}");
+        assert!(failures[0].contains("new/old 0.418"), "{failures:?}");
         // A key absent from the baseline is skipped, not failed.
         assert!(compare_ratios(
             BASELINE,

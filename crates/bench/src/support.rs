@@ -9,6 +9,7 @@ pub use kagen_runtime::scaling::format_table;
 /// One emulated run of a generator: per-PE busy times (executed on all
 /// available cores), emulated parallel time = max over PEs, and the total
 /// number of emitted edges.
+#[derive(Debug)]
 pub struct RunStats {
     /// Emulated parallel time (slowest PE).
     pub time: Duration,

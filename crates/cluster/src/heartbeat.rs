@@ -181,6 +181,7 @@ fn sample_counters() -> (u64, u64) {
 /// The worker-side publisher thread. Spawn once per worker process;
 /// dropping it publishes one final heartbeat (so `done` states land on
 /// disk) and joins the thread.
+#[derive(Debug)]
 pub struct HeartbeatPublisher {
     stop: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,

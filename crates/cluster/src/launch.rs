@@ -80,6 +80,7 @@ pub struct RankTelemetry {
 
 /// Spawn `exe worker <args> --pe-range a..b --rank r` as a child
 /// process, wait for it, and collect its partial manifest.
+#[derive(Debug)]
 pub struct ProcessRunner {
     /// Binary to execute (normally `std::env::current_exe()` — the
     /// launcher re-execs itself).
@@ -214,6 +215,18 @@ pub struct InProcessRunner<'a> {
     pub threads: usize,
     /// PEs whose generation should abort the owning task (tests).
     pub fail_pes: HashSet<usize>,
+}
+
+// Manual impl: trait objects carry no `Debug`; print everything else.
+impl std::fmt::Debug for InProcessRunner<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InProcessRunner")
+            .field("dir", &self.dir)
+            .field("format", &self.format)
+            .field("threads", &self.threads)
+            .field("fail_pes", &self.fail_pes)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> InProcessRunner<'a> {

@@ -19,7 +19,7 @@ use kagen_delaunay::{circumcircle2, circumsphere3, Delaunay2, Delaunay3};
 use kagen_geometry::cell_points::cell_points;
 use kagen_geometry::grid::levels_for_min_side;
 use kagen_geometry::{CellGrid, CellRangeCursor, CountTree, FrontierCache, FrontierStats, Point};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Shared implementation for both dimensions.
 #[derive(Clone, Debug)]
@@ -159,7 +159,7 @@ impl<const D: usize> Rdg<D> {
             let n_center = pts.len();
             cache.note_external(n_center as u64);
 
-            let mut halo_seen: HashSet<(u64, [i64; D])> = HashSet::new();
+            let mut halo_seen: BTreeSet<(u64, [i64; D])> = BTreeSet::new();
             let mut h: i64 = 0;
             loop {
                 h += 1;
@@ -342,7 +342,7 @@ impl<const D: usize> Generator for Rdg<D> {
 
         // Grow the halo ring by ring until the triangulation is certified.
         let max_halo = (g - 1).clamp(1, 16);
-        let mut halo_seen: HashSet<(u64, [i64; D])> = HashSet::new();
+        let mut halo_seen: BTreeSet<(u64, [i64; D])> = BTreeSet::new();
         let mut halo_pts: Vec<Point<D>> = Vec::new();
         let mut halo_ids: Vec<u64> = Vec::new();
         let mut h: i64 = 0;

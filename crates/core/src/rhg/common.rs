@@ -19,13 +19,14 @@ use kagen_geometry::hyperbolic::{PrePoint, RhgSpace};
 use kagen_geometry::{FrontierCache, FrontierStats};
 use kagen_util::seed::stream;
 use kagen_util::{derive_seed, Mt64, Rng64};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Target expected points per angular cell (the paper's tuning parameter c,
 /// "typically 8", §7.2.1).
 pub const POINTS_PER_CELL: u64 = 8;
 
 /// The deterministic instance skeleton shared by RHG and sRHG.
+#[derive(Debug)]
 pub struct RhgInstance {
     /// Geometry (R, α, annuli bounds, …).
     pub space: RhgSpace,
@@ -271,9 +272,9 @@ pub(crate) fn stream_pe_queries(
 }
 
 /// A per-PE cache of generated cells (local and recomputed remote ones).
-#[derive(Default)]
+#[derive(Default, Debug)]
 pub struct CellCache {
-    cells: HashMap<(usize, u64), Vec<PrePoint>>,
+    cells: BTreeMap<(usize, u64), Vec<PrePoint>>,
 }
 
 impl CellCache {

@@ -233,7 +233,7 @@ impl Generator for SoftRhg {
             }
         }
         locals.sort_by_key(|p| p.id);
-        let local_ids: std::collections::HashSet<u64> = locals.iter().map(|p| p.id).collect();
+        let local_ids: std::collections::BTreeSet<u64> = locals.iter().map(|p| p.id).collect();
         for v in &locals {
             out.coords2.push((v.id, [v.r, v.theta]));
         }

@@ -4,7 +4,7 @@
 //! visibility walk over facets, in-sphere cavity flood, boundary-facet fan.
 
 use crate::predicates::{insphere3, orient3, Sign};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 #[derive(Clone, Copy, Debug)]
 struct Tet {
@@ -33,13 +33,14 @@ fn face_key(f: [u32; 3]) -> [u32; 3] {
 const INVALID: u32 = u32::MAX;
 
 /// A 3D Delaunay tetrahedralization.
+#[derive(Debug)]
 pub struct Delaunay3 {
     pts: Vec<[f64; 3]>,
     n_input: usize,
     tets: Vec<Tet>,
     alive: Vec<bool>,
     /// Sorted face triple → the (up to two) incident tets.
-    face_tets: HashMap<[u32; 3], [u32; 2]>,
+    face_tets: BTreeMap<[u32; 3], [u32; 2]>,
     last: u32,
 }
 
@@ -80,7 +81,7 @@ impl Delaunay3 {
             n_input: n,
             tets: Vec::with_capacity(8 * n + 8),
             alive: Vec::with_capacity(8 * n + 8),
-            face_tets: HashMap::with_capacity(16 * n + 32),
+            face_tets: BTreeMap::new(),
             last: 0,
         };
         // Orient the super-tet positively.
@@ -228,7 +229,7 @@ impl Delaunay3 {
         let start = self.locate(p);
 
         let mut cavity = vec![start];
-        let mut in_cavity = std::collections::HashSet::from([start]);
+        let mut in_cavity = std::collections::BTreeSet::from([start]);
         let mut stack = vec![start];
         while let Some(t) = stack.pop() {
             let v = self.tets[t as usize].v;

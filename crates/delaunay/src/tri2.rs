@@ -8,7 +8,7 @@
 //! super-vertices are excluded from the output.
 
 use crate::predicates::{incircle2, orient2, Sign};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 #[derive(Clone, Copy, Debug)]
 struct Tri {
@@ -16,13 +16,14 @@ struct Tri {
 }
 
 /// A 2D Delaunay triangulation.
+#[derive(Debug)]
 pub struct Delaunay2 {
     pts: Vec<[f64; 2]>,
     n_input: usize,
     tris: Vec<Tri>,
     alive: Vec<bool>,
     /// Directed edge (a,b) → triangle that has it in CCW order.
-    edge_tri: HashMap<(u32, u32), u32>,
+    edge_tri: BTreeMap<(u32, u32), u32>,
     last: u32,
 }
 
@@ -60,7 +61,7 @@ impl Delaunay2 {
             n_input: n,
             tris: Vec::with_capacity(4 * n + 8),
             alive: Vec::with_capacity(4 * n + 8),
-            edge_tri: HashMap::with_capacity(8 * n + 16),
+            edge_tri: BTreeMap::new(),
             last: 0,
         };
         dt.push_tri([s0, s1, s2]);
@@ -154,7 +155,7 @@ impl Delaunay2 {
 
         // Cavity flood fill over circumcircle-violating triangles.
         let mut cavity = vec![start];
-        let mut in_cavity = std::collections::HashSet::from([start]);
+        let mut in_cavity = std::collections::BTreeSet::from([start]);
         let mut stack = vec![start];
         while let Some(t) = stack.pop() {
             let v = self.tris[t as usize].v;

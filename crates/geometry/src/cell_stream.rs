@@ -25,8 +25,7 @@
 use crate::counts::CountTree;
 use crate::grid::CellGrid;
 use kagen_obs::{Counter, Gauge};
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 /// Cells generated (including regenerations after eviction) across all
 /// frontier caches — the paper's recomputation cost, run-wide.
@@ -85,7 +84,7 @@ impl<A, B> Weighted for (Vec<A>, Vec<B>) {
 /// never depends on the retire estimate, only the memory/recompute trade
 /// does.
 pub struct FrontierCache<K, V> {
-    map: HashMap<K, (u64, V)>,
+    map: BTreeMap<K, (u64, V)>,
     stats: FrontierStats,
     /// Points the caller currently holds outside the cache (the taken
     /// center cell); included in every peak update so the reported
@@ -93,11 +92,23 @@ pub struct FrontierCache<K, V> {
     external: u64,
 }
 
-impl<K: Eq + Hash + Copy, V: Weighted> FrontierCache<K, V> {
+// Manual impl: prints occupancy and stats without requiring
+// `K: Debug` / `V: Debug`.
+impl<K, V> std::fmt::Debug for FrontierCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrontierCache")
+            .field("len", &self.map.len())
+            .field("stats", &self.stats)
+            .field("external", &self.external)
+            .finish()
+    }
+}
+
+impl<K: Ord + Copy, V: Weighted> FrontierCache<K, V> {
     /// An empty cache.
     pub fn new() -> Self {
         FrontierCache {
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             stats: FrontierStats::default(),
             external: 0,
         }
@@ -185,7 +196,7 @@ impl<K: Eq + Hash + Copy, V: Weighted> FrontierCache<K, V> {
     }
 }
 
-impl<K: Eq + Hash + Copy, V: Weighted> Default for FrontierCache<K, V> {
+impl<K: Ord + Copy, V: Weighted> Default for FrontierCache<K, V> {
     fn default() -> Self {
         FrontierCache::new()
     }
@@ -195,6 +206,7 @@ impl<K: Eq + Hash + Copy, V: Weighted> Default for FrontierCache<K, V> {
 /// global-id prefix: the communication-free vertex ids of §5.1 fall out
 /// of the traversal (one `prefix_before` for the range start, then a
 /// running sum), instead of one O(levels·2^d) tree query per cell.
+#[derive(Debug)]
 pub struct CellRangeCursor<'a, const D: usize> {
     grid: &'a CellGrid<D>,
     tree: &'a CountTree<D>,

@@ -74,7 +74,7 @@ pub struct StatsSnapshot {
 }
 
 /// The simulated accelerator.
-#[derive(Default)]
+#[derive(Default, Debug)]
 pub struct Device {
     /// Launch geometry.
     pub cfg: DeviceConfig,
@@ -82,6 +82,7 @@ pub struct Device {
 }
 
 /// Per-block execution context handed to kernels.
+#[derive(Debug)]
 pub struct BlockCtx<'a> {
     /// This block's index within the launch grid.
     pub block: usize,

@@ -6,6 +6,7 @@
 use crate::{EdgeList, Node};
 
 /// Disjoint-set forest over `0..n`.
+#[derive(Debug)]
 pub struct UnionFind {
     parent: Vec<u32>,
     size: Vec<u32>,

@@ -121,6 +121,17 @@ pub struct CompressedEdgeWriter<W: Write> {
     header: Vec<u8>,
 }
 
+// Manual impl: `W` need not be `Debug`, and the scratch buffers are
+// noise — report the stream position instead.
+impl<W: Write> std::fmt::Debug for CompressedEdgeWriter<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompressedEdgeWriter")
+            .field("count", &self.count)
+            .field("block_count", &self.block_count)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<W: Write> CompressedEdgeWriter<W> {
     /// Start a stream over `n` vertices (writes the header immediately).
     pub fn new(mut w: W, n: u64) -> io::Result<Self> {
@@ -218,6 +229,16 @@ pub struct CompressedEdgeReader<R: BufRead> {
     /// boundary — reads are self-validating even without a manifest.
     expected_checksum: u64,
     running_checksum: u64,
+}
+
+// Manual impl: `R` need not be `Debug`.
+impl<R: BufRead> std::fmt::Debug for CompressedEdgeReader<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompressedEdgeReader")
+            .field("n", &self.n)
+            .field("remaining", &self.remaining)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<R: BufRead> CompressedEdgeReader<R> {

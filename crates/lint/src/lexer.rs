@@ -1,0 +1,446 @@
+//! A small Rust lexer sufficient for token-level lint rules.
+//!
+//! This is not a full grammar: it produces a flat token stream with line
+//! numbers, and its only obligation is to *never* mistake the inside of a
+//! comment, string, or char literal for code (and vice versa). That means
+//! it handles, precisely:
+//!
+//! * line comments (`//`, `///`, `//!`) to end of line,
+//! * block comments with arbitrary nesting (`/* /* */ */`),
+//! * string literals with escapes (`"\"still a string\""`),
+//! * raw strings with any hash count (`r"x"`, `r#"x"#`, `r##"…"##`),
+//!   including byte/C-string prefixes (`b"…"`, `br#"…"#`, `c"…"`, `cr#"…"#`),
+//! * char and byte literals (`'a'`, `'\''`, `'\u{1F600}'`, `b'x'`)
+//!   disambiguated from lifetimes (`'a`, `'static`),
+//! * raw identifiers (`r#type` lexes as the identifier `type`).
+//!
+//! Everything else is idents, integer/float literals, and single-char
+//! punctuation; rules match multi-char operators (`::`, `+=`) as
+//! consecutive punct tokens.
+
+/// One lexed token kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (raw identifiers are unescaped: `r#fn` → `fn`).
+    Ident(String),
+    /// Integer literal, suffix included in the span but not recorded.
+    Int,
+    /// Float literal (has a fractional part or an exponent).
+    Float,
+    /// Any string literal form (plain, raw, byte, C).
+    Str,
+    /// Char or byte literal.
+    Char,
+    /// A lifetime such as `'a` (not a char literal).
+    Lifetime,
+    /// `// …` comment; text is everything after the slashes, untrimmed.
+    LineComment(String),
+    /// `/* … */` comment (nesting resolved); text body, untrimmed.
+    BlockComment(String),
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: u32,
+}
+
+/// Lex `src` into a flat token stream. Never panics; on malformed input
+/// (unterminated string/comment) the remainder is consumed as that token.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: Tok, line: u32) {
+        self.out.push(Token { kind, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => {
+                    self.bump();
+                    self.plain_string();
+                    self.push(Tok::Str, line);
+                }
+                '\'' => self.char_or_lifetime(line),
+                c if is_ident_start(c) => self.ident_or_prefixed_literal(line),
+                c if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    let c = self.bump().unwrap();
+                    self.push(Tok::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // the two slashes
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(Tok::LineComment(text), line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // `/*`
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(Tok::BlockComment(text), line);
+    }
+
+    /// Consume a plain (escaped) string body; opening quote already eaten.
+    fn plain_string(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // the escaped char, whatever it is
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consume a raw string body `r##"…"##`; caller consumed the prefix
+    /// letters, `self.pos` is at the first `#` or the opening quote.
+    fn raw_string(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut seen = 0usize;
+                while seen < hashes && self.peek(0) == Some('#') {
+                    seen += 1;
+                    self.bump();
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// `'a'` vs `'a` vs `'\n'` vs `'\u{…}'`.
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume escape then to closing quote.
+                self.bump();
+                self.bump(); // escape designator (n, ', u, x, …)
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(Tok::Char, line);
+            }
+            Some(c) if self.peek(1) == Some('\'') && c != '\'' => {
+                // 'x' — a one-char literal.
+                self.bump();
+                self.bump();
+                self.push(Tok::Char, line);
+            }
+            Some(c) if is_ident_start(c) => {
+                // A lifetime: consume the identifier.
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                self.push(Tok::Lifetime, line);
+            }
+            _ => {
+                // `'(`, `''`, stray quote — treat as punctuation.
+                self.push(Tok::Punct('\''), line);
+            }
+        }
+    }
+
+    fn ident_or_prefixed_literal(&mut self, line: u32) {
+        let mut name = String::new();
+        while self.peek(0).is_some_and(is_ident_continue) {
+            name.push(self.bump().unwrap());
+        }
+        let raw_capable = matches!(name.as_str(), "r" | "br" | "cr");
+        let str_capable = raw_capable || matches!(name.as_str(), "b" | "c");
+        match self.peek(0) {
+            // r"…", br#"…"#, c"…", …
+            Some('"') if str_capable => {
+                if raw_capable {
+                    self.raw_string();
+                } else {
+                    self.bump();
+                    self.plain_string();
+                }
+                self.push(Tok::Str, line);
+            }
+            Some('#') if raw_capable => {
+                // `r#"…"#` raw string vs `r#ident` raw identifier.
+                let mut ahead = 1;
+                while self.peek(ahead) == Some('#') {
+                    ahead += 1;
+                }
+                if self.peek(ahead) == Some('"') {
+                    self.raw_string();
+                    self.push(Tok::Str, line);
+                } else if name == "r" {
+                    self.bump(); // the hash
+                    let mut ident = String::new();
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        ident.push(self.bump().unwrap());
+                    }
+                    self.push(Tok::Ident(ident), line);
+                } else {
+                    self.push(Tok::Ident(name), line);
+                }
+            }
+            // b'x'
+            Some('\'') if name == "b" => {
+                self.char_or_lifetime(line);
+                if let Some(last) = self.out.last_mut() {
+                    if last.kind == Tok::Lifetime {
+                        // `b'…` can only be a byte literal; normalize.
+                        last.kind = Tok::Char;
+                    }
+                }
+            }
+            _ => self.push(Tok::Ident(name), line),
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut is_float = false;
+        let radix_prefixed = self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x') | Some('o') | Some('b') | Some('X'));
+        if radix_prefixed {
+            self.bump();
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
+                self.bump();
+            }
+            self.push(Tok::Int, line);
+            return;
+        }
+        while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            self.bump();
+        }
+        // Fractional part — but not `1..x` ranges or `1.method()` calls.
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                self.bump();
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e') | Some('E')) {
+            let sign = matches!(self.peek(1), Some('+') | Some('-'));
+            let digit_at = if sign { 2 } else { 1 };
+            if self.peek(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                self.bump();
+                if sign {
+                    self.bump();
+                }
+                while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    self.bump();
+                }
+            }
+        }
+        // Type suffix (`u64`, `f32`, …) rides along with the literal.
+        if self.peek(0).is_some_and(is_ident_start) {
+            let mut suffix = String::new();
+            while self.peek(0).is_some_and(is_ident_continue) {
+                suffix.push(self.bump().unwrap());
+            }
+            if suffix.starts_with('f') {
+                is_float = true;
+            }
+        }
+        self.push(if is_float { Tok::Float } else { Tok::Int }, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_hide_code() {
+        assert_eq!(idents("// HashMap\nfoo"), vec!["foo"]);
+        assert_eq!(idents("/* HashMap /* nested */ still */ bar"), vec!["bar"]);
+        assert_eq!(idents("/// doc HashMap\nbaz"), vec!["baz"]);
+    }
+
+    #[test]
+    fn strings_hide_code_and_comment_markers() {
+        assert_eq!(
+            idents(r#"let s = "HashMap // not a comment";"#),
+            vec!["let", "s"]
+        );
+        assert_eq!(
+            idents(r##"let s = r#"un"safe"# ; x"##),
+            vec!["let", "s", "x"]
+        );
+        assert_eq!(
+            idents("let s = \"esc \\\" HashMap\"; y"),
+            vec!["let", "s", "y"]
+        );
+        assert_eq!(idents("b\"HashMap\" z"), vec!["z"]);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        assert_eq!(kinds("'a'"), vec![Tok::Char]);
+        assert_eq!(kinds("'a"), vec![Tok::Lifetime]);
+        assert_eq!(kinds("'\\''"), vec![Tok::Char]);
+        assert_eq!(kinds("'\\u{1F600}'"), vec![Tok::Char]);
+        assert_eq!(
+            kinds("&'static str"),
+            vec![Tok::Punct('&'), Tok::Lifetime, Tok::Ident("str".into())]
+        );
+        assert_eq!(kinds("b'x'"), vec![Tok::Char]);
+        // A char literal must not swallow a following comment.
+        assert_eq!(
+            kinds("'\"' // trailing"),
+            vec![Tok::Char, Tok::LineComment(" trailing".into())]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_unescape() {
+        assert_eq!(idents("r#type r#fn plain"), vec!["type", "fn", "plain"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        assert_eq!(
+            idents(r###"r##"quote " and "# inside"## after"###),
+            vec!["after"]
+        );
+    }
+
+    #[test]
+    fn numbers_classify() {
+        assert_eq!(kinds("1"), vec![Tok::Int]);
+        assert_eq!(kinds("1.5"), vec![Tok::Float]);
+        assert_eq!(kinds("1e9"), vec![Tok::Float]);
+        assert_eq!(kinds("1f64"), vec![Tok::Float]);
+        assert_eq!(kinds("0xFFu64"), vec![Tok::Int]);
+        assert_eq!(
+            kinds("0..5"),
+            vec![Tok::Int, Tok::Punct('.'), Tok::Punct('.'), Tok::Int]
+        );
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n  c");
+        assert_eq!(
+            toks.iter().map(|t| t.line).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        lex("\"never closed");
+        lex("/* never closed");
+        lex("r#\"never closed");
+        lex("'");
+    }
+}

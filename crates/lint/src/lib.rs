@@ -1,0 +1,22 @@
+//! `kagen-lint`: determinism & safety static analysis for this workspace.
+//!
+//! The paper's contract — every PE's output is a pure function of
+//! `(seed, params, pe)` — is enforced at runtime by `cmp` matrices in CI,
+//! but those only catch divergence after the bytes exist. This crate
+//! catches the classic *sources* of divergence at the token level, before
+//! anything runs: randomized-order collections on output paths (D1),
+//! wall-clock/environment reads (D2), ad-hoc RNG seeding (D3), missing
+//! `SAFETY:` documentation (S1), and order-dependent float reductions
+//! inside parallel statements (F1). See [`rules`] for the rule text and
+//! the pragma grammar, [`scan`] for what is in scope.
+//!
+//! No dependencies by design: the [`lexer`] is hand-rolled and handles
+//! exactly the token forms that can hide or fake a match (comments with
+//! nesting, raw strings with hash fences, char literals vs lifetimes).
+
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use rules::{lint_source, Rule, RuleSet, Violation};
+pub use scan::{classify, lint_workspace, Report};

@@ -1,0 +1,67 @@
+//! The `kagen-lint` binary. Usage:
+//!
+//! ```text
+//! kagen-lint [ROOT]      lint the workspace rooted at ROOT (default `.`)
+//! kagen-lint --list-rules
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when violations were found, 2 on usage
+//! or I/O errors. Output is one `path:line: [rule] message` per finding,
+//! GCC-style, so editors and CI annotate it natively.
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut root = PathBuf::from(".");
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--list-rules" => {
+                for r in kagen_lint::Rule::ALL {
+                    println!("{}  {}", r.name(), r.describe());
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                println!("usage: kagen-lint [--list-rules] [ROOT]");
+                return;
+            }
+            other if !other.starts_with('-') => root = PathBuf::from(other),
+            other => {
+                eprintln!("kagen-lint: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = match kagen_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("kagen-lint: cannot scan {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+
+    for file in &report.files {
+        for v in &file.violations {
+            println!(
+                "{}:{}: [{}] {}",
+                file.path,
+                v.line,
+                v.rule.name(),
+                v.message
+            );
+        }
+    }
+    let n = report.violation_count();
+    eprintln!(
+        "kagen-lint: {} violation{} in {} file{} ({} scanned)",
+        n,
+        if n == 1 { "" } else { "s" },
+        report.files.len(),
+        if report.files.len() == 1 { "" } else { "s" },
+        report.files_scanned,
+    );
+    if n > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture: D1 must stay silent — BTree collections everywhere, and the
+// HashSet below lives in test-gated code, which is exempt.
+use std::collections::BTreeMap;
+
+pub fn degree_histogram(edges: &[(u64, u64)]) -> BTreeMap<u64, u64> {
+    let mut h = BTreeMap::new();
+    for &(u, _) in edges {
+        *h.entry(u).or_insert(0) += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn dedup_check() {
+        let s: std::collections::HashSet<u64> = [1, 2, 3].into_iter().collect();
+        assert_eq!(s.len(), 3);
+    }
+}

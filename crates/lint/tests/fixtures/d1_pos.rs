@@ -1,0 +1,10 @@
+// Fixture: D1 must fire — HashMap/HashSet in an output-deterministic crate.
+use std::collections::HashMap;
+
+pub fn degree_histogram(edges: &[(u64, u64)]) -> HashMap<u64, u64> {
+    let mut h = HashMap::new();
+    for &(u, _) in edges {
+        *h.entry(u).or_insert(0) += 1;
+    }
+    h
+}

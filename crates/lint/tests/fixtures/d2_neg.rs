@@ -1,0 +1,12 @@
+// Fixture: D2 must stay silent — the clock names only appear in
+// comments and strings, never as code.
+//
+// Instant::now() and SystemTime::now() are banned outside kagen_obs.
+
+pub fn describe() -> &'static str {
+    "timing goes through kagen_obs spans, not Instant::now()"
+}
+
+pub fn chunk_count(requested: usize) -> usize {
+    requested.max(1)
+}

@@ -1,0 +1,14 @@
+// Fixture: D2 must fire — wall-clock, env, and core-count reads in a
+// crate that is not on the observability allowlist.
+use std::time::Instant;
+
+pub fn chunk_count() -> usize {
+    let t0 = Instant::now();
+    let override_n = std::env::var("KAGEN_CHUNKS").ok();
+    let n = match override_n {
+        Some(v) => v.parse().unwrap_or(1),
+        None => std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+    };
+    let _ = t0.elapsed();
+    n
+}

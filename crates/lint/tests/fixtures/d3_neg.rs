@@ -1,0 +1,7 @@
+// Fixture: D3 must stay silent — every seed flows through the
+// (seed, pe, block) derivation helpers.
+pub fn stream(seed: u64, pe: u64, block: u64) -> u64 {
+    let mut rng = Mt64::new(derive_seed(seed, pe, block));
+    let mut sm = SplitMix64::new(mix2(seed, pe));
+    rng.next_u64() ^ sm.next_u64()
+}

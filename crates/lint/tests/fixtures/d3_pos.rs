@@ -1,0 +1,6 @@
+// Fixture: D3 must fire — an RNG seeded with a hard-coded literal in a
+// generator crate.
+pub fn stream() -> u64 {
+    let mut rng = Mt64::new(123456789);
+    rng.next_u64()
+}

@@ -1,0 +1,13 @@
+// Fixture: F1 must stay silent — the parallel reduction is over
+// integers (associative), and the float accumulation is sequential.
+pub fn edge_count(blocks: &[Vec<u64>]) -> u64 {
+    blocks.par_iter().map(|b| b.len() as u64).sum()
+}
+
+pub fn sequential_mean(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += x;
+    }
+    acc / xs.len() as f64
+}

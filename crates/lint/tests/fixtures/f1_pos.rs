@@ -1,0 +1,4 @@
+// Fixture: F1 must fire — a float reduction inside a par_* statement.
+pub fn total_weight(weights: &[f64]) -> f64 {
+    weights.par_iter().map(|w| w * 2.0).sum()
+}

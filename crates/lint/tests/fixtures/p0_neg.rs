@@ -1,0 +1,10 @@
+// Fixture: P0 must stay silent — both pragmas are well-formed, carry a
+// reason, and suppress a real finding.
+
+// kagen-lint: allow(d1) -- lookup-only map, never iterated
+use std::collections::HashMap;
+
+pub fn stream(seed: u64) -> u64 {
+    let mut rng = Mt64::new(7); // kagen-lint: allow(d3) -- fixture exemplar of a trailing pragma
+    rng.next_u64() ^ seed
+}

@@ -1,0 +1,11 @@
+// Fixture: P0 must fire three times — a pragma without a reason, one
+// naming an unknown rule, and one that suppresses nothing.
+
+// kagen-lint: allow(d1)
+pub fn lookup() {}
+
+// kagen-lint: allow(d9) -- no such rule
+pub fn a() {}
+
+// kagen-lint: allow(d2) -- nothing on the next line reads a clock
+pub fn b() {}

@@ -1,0 +1,11 @@
+// Fixture: S1 must stay silent — every unsafe site carries an adjacent
+// SAFETY comment, in both accepted positions.
+pub fn read_first(v: &[u64]) -> u64 {
+    // SAFETY: caller guarantees `v` is non-empty, so the pointer is
+    // valid for a read of one element.
+    unsafe { *v.as_ptr() }
+}
+
+pub fn read_last(v: &[u64]) -> u64 {
+    unsafe { *v.as_ptr().add(v.len() - 1) } // SAFETY: v is non-empty by contract.
+}

@@ -1,0 +1,4 @@
+// Fixture: S1 must fire — an unsafe block with no SAFETY comment.
+pub fn read_first(v: &[u64]) -> u64 {
+    unsafe { *v.as_ptr() }
+}

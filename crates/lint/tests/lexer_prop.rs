@@ -1,0 +1,106 @@
+//! Property tests for the lexer over the constructs that can hide or
+//! fake a rule match: nested block comments, raw strings with hash
+//! fences, and line comments. The lexer must never leak identifiers out
+//! of them, never lose the code that follows them, and never panic.
+
+use kagen_lint::lexer::{lex, Tok};
+use proptest::prelude::*;
+
+/// Comment/string body from a seed: lowercase words and spaces only, so
+/// nesting delimiters are controlled entirely by the test.
+fn words(seed: u64, len: usize) -> String {
+    let mut s = String::new();
+    let mut x = seed;
+    for _ in 0..len {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let c = (b'a' + ((x >> 33) % 27) as u8) as char;
+        s.push(if c == '{' { ' ' } else { c });
+    }
+    s
+}
+
+fn idents(tokens: &[kagen_lint::lexer::Token]) -> Vec<String> {
+    tokens
+        .iter()
+        .filter_map(|t| match &t.kind {
+            Tok::Ident(s) => Some(s.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // A block comment nested to arbitrary depth swallows its body and
+    // releases exactly the code after it.
+    #[test]
+    fn nested_block_comment_is_one_token(depth in 1usize..8, seed in any::<u64>(), len in 0usize..40) {
+        let body = words(seed, len);
+        let src = format!(
+            "{}unsafe {} {}\nmarker",
+            "/*".repeat(depth),
+            body,
+            "*/".repeat(depth)
+        );
+        let tokens = lex(&src);
+        let n_comments = tokens
+            .iter()
+            .filter(|t| matches!(t.kind, Tok::BlockComment(_)))
+            .count();
+        prop_assert_eq!(n_comments, 1, "src: {}", src);
+        // Nothing inside the comment may surface as code — in particular
+        // not the `unsafe` keyword S1 keys on.
+        prop_assert_eq!(idents(&tokens), vec!["marker".to_string()], "src: {}", src);
+    }
+
+    // A raw string with a k-hash fence swallows quotes and shorter
+    // fences in its body; code resumes after the real terminator.
+    #[test]
+    fn raw_string_fences_hold(hashes in 1usize..5, seed in any::<u64>(), len in 0usize..30) {
+        // Body mixes words with quotes and (hashes-1)-deep fake closers,
+        // none of which may terminate the literal.
+        let fake = format!("\"{}", "#".repeat(hashes - 1));
+        let body = format!("{} {} HashMap {}", words(seed, len), fake, fake);
+        let src = format!(
+            "let s = r{h}\"{body}\"{h};\nmarker",
+            h = "#".repeat(hashes),
+            body = body
+        );
+        let tokens = lex(&src);
+        let n_strings = tokens.iter().filter(|t| matches!(t.kind, Tok::Str)).count();
+        prop_assert_eq!(n_strings, 1, "src: {}", src);
+        let ids = idents(&tokens);
+        // The D1 bait inside the literal must not leak out as an ident.
+        prop_assert!(!ids.contains(&"HashMap".to_string()), "src: {}", src);
+        prop_assert_eq!(ids.last().cloned(), Some("marker".to_string()), "src: {}", src);
+    }
+
+    // A line comment runs to the newline and no further.
+    #[test]
+    fn line_comment_stops_at_newline(seed in any::<u64>(), len in 0usize..60) {
+        let src = format!("// Instant {}\nmarker", words(seed, len));
+        let tokens = lex(&src);
+        prop_assert_eq!(idents(&tokens), vec!["marker".to_string()], "src: {}", src);
+    }
+
+    // The lexer is total: arbitrary printable soup (including unpaired
+    // delimiters and stray quotes) lexes without panicking, with
+    // monotonically nondecreasing line numbers.
+    #[test]
+    fn lexer_is_total_and_lines_are_monotone(bytes in proptest::collection::vec(32u8..127, 0..200), breaks in 0usize..6) {
+        let mut src: String = bytes.iter().map(|&b| b as char).collect();
+        for i in 0..breaks {
+            let at = (i * 37) % (src.len() + 1);
+            src.insert(at, '\n');
+        }
+        let tokens = lex(&src);
+        let mut prev = 1u32;
+        for t in &tokens {
+            prop_assert!(t.line >= prev, "line numbers regressed in {:?}", src);
+            prev = t.line;
+        }
+    }
+}

@@ -63,11 +63,13 @@ fn shard_index() -> usize {
 
 /// An atomic counter sharded across cachelines.
 #[repr(align(64))]
+#[derive(Debug)]
 struct Shard(AtomicU64);
 
 /// A monotonically increasing sum, sharded to keep hot multi-threaded
 /// sites (one `add` per 4096-edge batch across a rayon pool) from
 /// bouncing a single cacheline.
+#[derive(Debug)]
 pub struct Counter {
     name: &'static str,
     registered: AtomicBool,
@@ -125,6 +127,7 @@ impl Counter {
 /// A point-in-time value with a high-water mark (e.g. live cache
 /// points, live heap bytes). `set`/`add` track the peak automatically;
 /// `record_peak` folds in an externally measured maximum.
+#[derive(Debug)]
 pub struct Gauge {
     name: &'static str,
     registered: AtomicBool,
@@ -235,6 +238,7 @@ pub const fn bucket_lo(i: usize) -> u64 {
 /// A log2-bucketed distribution (batch sizes, run lengths, per-rank
 /// wall micros). 65 buckets cover the full `u64` range; `count` and
 /// `sum` ride along so means survive federation.
+#[derive(Debug)]
 pub struct Histogram {
     name: &'static str,
     registered: AtomicBool,

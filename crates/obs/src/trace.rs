@@ -100,6 +100,7 @@ fn tid() -> u64 {
 /// A running timer over one named region. Records itself into the
 /// trace buffer when finished or dropped (if tracing is enabled), and
 /// always reports elapsed wall time regardless of the tracing flag.
+#[derive(Debug)]
 pub struct Span {
     name: Cow<'static, str>,
     start: Instant,

@@ -381,6 +381,7 @@ pub mod json {
     }
 
     /// Accessor helpers for the typed object view.
+    #[derive(Debug)]
     pub struct Obj<'a>(&'a [(String, Value)]);
 
     impl<'a> Obj<'a> {

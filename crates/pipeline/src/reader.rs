@@ -12,6 +12,7 @@ use std::io::{self, BufRead, BufReader, Read};
 use std::path::{Path, PathBuf};
 
 /// A shard directory opened for reading.
+#[derive(Debug)]
 pub struct ShardReader {
     manifest: Manifest,
     format: ShardFormat,

@@ -85,7 +85,7 @@ pub fn checksum_step(acc: u64, u: u64, v: u64) -> u64 {
 }
 
 /// Counts edges; the cheapest possible sink.
-#[derive(Default)]
+#[derive(Default, Debug)]
 pub struct CountingSink {
     count: u64,
 }
@@ -120,7 +120,7 @@ impl EdgeSink for CountingSink {
 
 /// Maintains the order-dependent checksum of the stream — the value the
 /// shard manifests record.
-#[derive(Default)]
+#[derive(Default, Debug)]
 pub struct ChecksumSink {
     count: u64,
     checksum: u64,
@@ -166,6 +166,7 @@ impl EdgeSink for ChecksumSink {
 
 /// Accumulates in-/out-degree counts without storing edges. Memory is
 /// O(n) — the per-vertex counters — never O(m).
+#[derive(Debug)]
 pub struct DegreeStatsSink {
     directed: bool,
     out_deg: Vec<u64>,
@@ -234,6 +235,7 @@ impl EdgeSink for DegreeStatsSink {
 }
 
 /// Writes `u v` text lines (the KaGen tool's output format).
+#[derive(Debug)]
 pub struct TextSink<W: Write> {
     w: W,
     count: u64,
@@ -294,6 +296,7 @@ impl<W: Write> EdgeSink for TextSink<W> {
 }
 
 /// Writes raw little-endian `u64` pairs (16 bytes per edge).
+#[derive(Debug)]
 pub struct BinarySink<W: Write> {
     w: W,
     count: u64,
@@ -358,6 +361,7 @@ impl<W: Write> EdgeSink for BinarySink<W> {
 
 /// Writes the compressed varint+delta shard format
 /// (`kagen_graph::io::CompressedEdgeWriter`).
+#[derive(Debug)]
 pub struct CompressedSink<W: Write> {
     enc: Option<CompressedEdgeWriter<W>>,
     count: u64,
@@ -413,6 +417,7 @@ impl<W: Write> EdgeSink for CompressedSink<W> {
 }
 
 /// Duplicates the stream into two sinks (e.g. a file plus running stats).
+#[derive(Debug)]
 pub struct TeeSink<A: EdgeSink, B: EdgeSink> {
     /// First branch.
     pub a: A,
@@ -456,6 +461,16 @@ impl<A: EdgeSink, B: EdgeSink> EdgeSink for TeeSink<A, B> {
 pub struct FnSink<F: FnMut(u64, u64)> {
     f: F,
     count: u64,
+}
+
+// Manual impl: the wrapped closure has no `Debug`; the edge count is
+// the only stable field.
+impl<F: FnMut(u64, u64)> std::fmt::Debug for FnSink<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnSink")
+            .field("count", &self.count)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<F: FnMut(u64, u64)> FnSink<F> {

@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Factory for the endpoints of a P-party communicator.
+#[derive(Debug)]
 pub struct Communicator;
 
 type Packet<T> = (usize, u64, Vec<T>);
@@ -28,6 +29,18 @@ pub struct Endpoint<T> {
     /// Early arrivals from peers already in a later round.
     pending: Vec<Packet<T>>,
     bytes_sent: Arc<AtomicU64>,
+}
+
+// Manual impl: channel handles have no useful `Debug`; identify the
+// endpoint by its coordinates instead.
+impl<T> std::fmt::Debug for Endpoint<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("rank", &self.rank)
+            .field("round", &self.round)
+            .field("parties", &self.senders.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Communicator {

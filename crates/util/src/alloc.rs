@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Delegates to [`System`], counting live bytes and their high-water
 /// mark.
+#[derive(Debug)]
 pub struct CountingAlloc;
 
 static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
@@ -25,7 +26,11 @@ static PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
 
 // SAFETY: delegates to `System`; the counters are plain atomics.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: contract inherited from `GlobalAlloc::alloc` — `layout`
+    // has nonzero size; forwarded to `System` unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: `layout` satisfies `System.alloc`'s contract because it
+        // satisfies ours (same trait, forwarded verbatim).
         let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
             let live = LIVE_BYTES.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
@@ -34,7 +39,11 @@ unsafe impl GlobalAlloc for CountingAlloc {
         p
     }
 
+    // SAFETY: contract inherited from `GlobalAlloc::dealloc` — `p` was
+    // returned by this allocator with this `layout`.
     unsafe fn dealloc(&self, p: *mut u8, layout: Layout) {
+        // SAFETY: `(p, layout)` came from our `alloc`/`realloc`, which
+        // only ever hand out `System` blocks with the same layout.
         unsafe { System.dealloc(p, layout) };
         LIVE_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
     }
@@ -42,7 +51,12 @@ unsafe impl GlobalAlloc for CountingAlloc {
     // Forward realloc to the system fast path (the trait's default
     // would degrade every Vec regrowth to alloc+copy+dealloc, skewing
     // timed measurements in binaries that install this allocator).
+    //
+    // SAFETY: contract inherited from `GlobalAlloc::realloc` — `p` was
+    // allocated here with `layout`, and `new_size` is nonzero.
     unsafe fn realloc(&self, p: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: `(p, layout)` is one of our live `System` blocks and
+        // `new_size` is nonzero per the caller's contract above.
         let q = unsafe { System.realloc(p, layout, new_size) };
         if !q.is_null() {
             let live = if new_size >= layout.size() {

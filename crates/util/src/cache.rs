@@ -87,4 +87,83 @@ mod tests {
     fn missing_sysfs_falls_back() {
         assert_eq!(l2_from_sysfs("/nonexistent/cache"), None);
     }
+
+    /// Build a fake sysfs cache directory: one subdir per entry with the
+    /// given `level`/`type`/`size` leaves (a leaf is skipped when empty,
+    /// modeling sysfs trees with missing attribute files).
+    fn fake_tree(name: &str, entries: &[(&str, &str, &str, &str)]) -> std::path::PathBuf {
+        let base =
+            std::env::temp_dir().join(format!("kagen-cache-fake-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        for (dir, level, ty, size) in entries {
+            let d = base.join(dir);
+            std::fs::create_dir_all(&d).unwrap();
+            for (leaf, val) in [("level", level), ("type", ty), ("size", size)] {
+                if !val.is_empty() {
+                    std::fs::write(d.join(leaf), format!("{val}\n")).unwrap();
+                }
+            }
+        }
+        base
+    }
+
+    fn probe(name: &str, entries: &[(&str, &str, &str, &str)]) -> Option<usize> {
+        let base = fake_tree(name, entries);
+        let got = l2_from_sysfs(base.to_str().unwrap());
+        let _ = std::fs::remove_dir_all(&base);
+        got
+    }
+
+    #[test]
+    fn unified_l2_is_detected() {
+        let got = probe(
+            "unified",
+            &[
+                ("index0", "1", "Data", "32K"),
+                ("index2", "2", "Unified", "1024K"),
+            ],
+        );
+        assert_eq!(got, Some(1 << 20));
+    }
+
+    #[test]
+    fn instruction_l2_is_skipped() {
+        assert_eq!(
+            probe("icache", &[("index2", "2", "Instruction", "1024K")]),
+            None
+        );
+    }
+
+    #[test]
+    fn non_l2_levels_are_skipped() {
+        let got = probe(
+            "levels",
+            &[
+                ("index0", "1", "Data", "32K"),
+                ("index3", "3", "Unified", "8M"),
+            ],
+        );
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn unparsable_size_is_skipped() {
+        assert_eq!(
+            probe("garbage", &[("index2", "2", "Unified", "lots")]),
+            None
+        );
+    }
+
+    #[test]
+    fn missing_level_leaf_is_skipped() {
+        // `level` file absent: the entry cannot be classified, so it is
+        // ignored rather than guessed at.
+        assert_eq!(probe("noleaf", &[("index2", "", "Unified", "1024K")]), None);
+    }
+
+    #[test]
+    fn non_index_dirs_are_ignored() {
+        assert_eq!(probe("weird", &[("power", "2", "Unified", "1024K")]), None);
+    }
 }

@@ -21,6 +21,16 @@ pub struct Mt64 {
     idx: usize,
 }
 
+// Manual impl: the 312-word state array is noise; the cursor is the
+// only field worth printing.
+impl std::fmt::Debug for Mt64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mt64")
+            .field("idx", &self.idx)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Mt64 {
     /// Seed with a single 64-bit value (reference `init_genrand64`).
     pub fn new(seed: u64) -> Self {

@@ -142,6 +142,16 @@ pub struct BlockRng<'a, R: Rng64 + ?Sized> {
     pos: usize,
 }
 
+// Manual impl: `R` need not be `Debug` and the buffered words are
+// noise — the refill cursor is the only stable field.
+impl<R: Rng64 + ?Sized> std::fmt::Debug for BlockRng<'_, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockRng")
+            .field("pos", &self.pos)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a, R: Rng64 + ?Sized> BlockRng<'a, R> {
     /// Wrap `inner`; no words are drawn until the first request.
     pub fn new(inner: &'a mut R) -> Self {

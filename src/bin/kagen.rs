@@ -884,6 +884,8 @@ fn run_stream(o: &Options) {
     };
     let cfg = StreamConfig::new(shard_dir, format).with_threads(o.threads);
 
+    // kagen-lint: allow(d2) -- CLI progress reporting on stderr; shard bytes and
+    // manifest content never include wall-clock values
     let run_started = std::time::Instant::now();
     let baseline = CountingAlloc::reset_peak();
     let write_span = trace::span("stream.write_shards");
@@ -1086,6 +1088,8 @@ fn run_launch(o: &Options) {
         .map(|name| ShardFormat::parse(name).expect("validated"))
         .unwrap_or(ShardFormat::Compressed);
     let workers = o.workers.unwrap_or_else(|| {
+        // kagen-lint: allow(d2) -- default worker count partitions PEs across
+        // processes only; shards + federated manifest are worker-count-invariant (CI cmp)
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
